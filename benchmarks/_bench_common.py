@@ -1,0 +1,40 @@
+"""Shared helpers of the experiment harnesses (imported by bench files)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from repro.framework.pipeline import BuildResult, build
+from repro.programs import load_program
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+WIDTH_ISAS = {1: "risc", 2: "vliw2", 4: "vliw4", 6: "vliw6", 8: "vliw8"}
+
+_BUILD_CACHE: Dict[Tuple[str, str], BuildResult] = {}
+
+
+def build_program(name: str, isa: str = "risc") -> BuildResult:
+    """Compile a bundled benchmark once per (program, ISA)."""
+    key = (name, isa)
+    result = _BUILD_CACHE.get(key)
+    if result is None:
+        result = build(load_program(name), isa=isa, filename=f"{name}.kc")
+        _BUILD_CACHE[key] = result
+    return result
+
+
+#: Tables produced during the run; the conftest terminal-summary hook
+#: prints them after pytest's capture ends, so they land in
+#: ``pytest benchmarks/ | tee bench_output.txt``.
+EMITTED_TABLES = []
+
+
+def emit_table(name: str, text: str) -> None:
+    """Archive a reproduced table and queue it for terminal output."""
+    EMITTED_TABLES.append((name, text))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text + "\n")

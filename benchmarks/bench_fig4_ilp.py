@@ -1,0 +1,152 @@
+"""Figure 4 — theoretical ILP vs. measured VLIW speedups.
+
+Paper (Section VII-B): the ILP cycle model's upper bound is compared to
+the performance actually achieved by RISC/2/4/6/8-issue VLIW processor
+instances for the five applications.  Findings reproduced here:
+
+* DCT and AES offer high ILP; FFT, JPEG enc/dec and Quicksort little —
+  the recursive FFT is singled out (small basic blocks limit it);
+* the ILP measurement is a good estimator of the KAHRISMA-exploitable
+  parallelism;
+* AES is the exception: its working set exceeds the 2-KiB L1 (the paper
+  measures 14 % misses), so the 8-issue instance exploits only a
+  fraction of the measured ILP — cache misses are not modelled by the
+  ILP measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.binutils.loader import load_executable
+from repro.cycles.doe import DoeModel
+from repro.cycles.ilp import IlpModel
+from repro.cycles.memmodel import find_cache
+from repro.sim.interpreter import Interpreter
+
+from _bench_common import WIDTH_ISAS, build_program
+
+APPS = ("dct4x4", "aes", "fft", "cjpeg", "djpeg", "qsort")
+WIDTHS = (1, 2, 4, 6, 8)
+
+
+def run_model(name: str, isa: str, model):
+    built = build_program(name, isa)
+    program = load_executable(built.elf, built.arch)
+    Interpreter(program.state, cycle_model=model).run()
+    return model
+
+
+def measure_series(name: str) -> Dict:
+    ilp = run_model(name, "risc", IlpModel())
+    doe_cycles: Dict[int, int] = {}
+    l1_miss = 0.0
+    for width in WIDTHS:
+        model = run_model(name, WIDTH_ISAS[width],
+                          DoeModel(issue_width=width))
+        doe_cycles[width] = model.cycles
+        if width == 8:
+            l1_miss = find_cache(model.memory, "L1").miss_rate
+    return {
+        "ilp": ilp.ilp,
+        "cycles": doe_cycles,
+        "speedups": {w: doe_cycles[1] / doe_cycles[w] for w in WIDTHS},
+        "l1_miss": l1_miss,
+    }
+
+
+@pytest.fixture(scope="module")
+def series(table_writer):
+    data = {name: measure_series(name) for name in APPS}
+
+    header = (
+        f"{'application':<10} {'ILP':>6} "
+        + "".join(f"{'x' + str(w):>7}" for w in WIDTHS)
+        + f" {'L1miss@8':>9}"
+    )
+    lines = [
+        "speedup over the RISC instance per issue width (DOE model),",
+        "with the theoretical ILP upper bound (unlimited resources):",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for name in APPS:
+        row = data[name]
+        lines.append(
+            f"{name:<10} {row['ilp']:>6.2f} "
+            + "".join(f"{row['speedups'][w]:>7.2f}" for w in WIDTHS)
+            + f" {row['l1_miss'] * 100:>8.1f}%"
+        )
+    table_writer("figure4_ilp_vs_vliw", "\n".join(lines))
+    return data
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_series_benchmarked(benchmark, series, app):
+    """Expose each application's series as a benchmark entry (the
+    timed quantity is one DOE-model simulation at width 4)."""
+
+    def one_run():
+        return run_model(app, "vliw4", DoeModel(issue_width=4)).cycles
+
+    cycles = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    assert cycles == series[app]["cycles"][4]
+
+
+class TestFigure4Shape:
+    """Shape assertions; each consumes the benchmark fixture (with a
+    no-op measurement) so the checks also run under --benchmark-only."""
+
+    @pytest.fixture(autouse=True)
+    def _noop_benchmark(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_high_vs_low_ilp_groups(self, series):
+        """DCT and AES high; FFT, JPEG enc/dec, Quicksort low."""
+        high = min(series["dct4x4"]["ilp"], series["aes"]["ilp"])
+        low = max(series[name]["ilp"]
+                  for name in ("fft", "cjpeg", "djpeg", "qsort"))
+        assert high > low
+
+    def test_speedups_monotone(self, series):
+        for name in APPS:
+            speedups = [series[name]["speedups"][w] for w in WIDTHS]
+            for earlier, later in zip(speedups, speedups[1:]):
+                assert later >= earlier * 0.98, name
+
+    def test_ilp_upper_bounds_speedup(self, series):
+        for name in APPS:
+            assert series[name]["speedups"][8] <= series[name]["ilp"] * 1.05
+
+    def test_ilp_predicts_exploitable_parallelism(self, series):
+        """Apps with higher ILP achieve higher 8-issue speedup — rank
+        correlation between indicator and measurement (the paper's
+        claim that ILP guides ISA selection)."""
+        import itertools
+
+        names = list(APPS)
+        concordant = discordant = 0
+        for a, b in itertools.combinations(names, 2):
+            d_ilp = series[a]["ilp"] - series[b]["ilp"]
+            d_speed = series[a]["speedups"][8] - series[b]["speedups"][8]
+            if d_ilp * d_speed > 0:
+                concordant += 1
+            elif d_ilp * d_speed < 0:
+                discordant += 1
+        assert concordant > discordant
+
+    def test_aes_saturates_from_cache_misses(self, series):
+        """The paper's AES anomaly: plenty of ILP, but the 8-issue
+        instance exploits only a fraction — L1 misses (unmodelled by
+        ILP) are the cause."""
+        aes = series["aes"]
+        dct = series["dct4x4"]
+        # AES leaves a larger fraction of its ILP unexploited than DCT.
+        aes_utilisation = aes["speedups"][8] / aes["ilp"]
+        dct_utilisation = dct["speedups"][8] / dct["ilp"]
+        assert aes_utilisation < dct_utilisation
+        # ...and the cause is visible in the cache statistics.
+        assert aes["l1_miss"] > 4 * max(dct["l1_miss"], 0.001)

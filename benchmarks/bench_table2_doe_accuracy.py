@@ -1,0 +1,132 @@
+"""Table II — accuracy of the DOE model against the RTL reference.
+
+Paper (Section VII-C): the DCT application, compiled for RISC and
+2/4/8-issue VLIW, simulated with perfect branch prediction by (a) the
+RTL hardware simulation and (b) the cycle-approximate DOE model:
+
+    Configuration   Hardware   Approximation   Error
+    RISC            21768      22062           1.4%
+    VLIW2           14111      13922           1.4%
+    VLIW4            9774       9878           1.1%
+    VLIW8            7774       7992           2.8%
+
+The RTL simulator needs ~8 ms/instruction, the approximate simulator is
+~100 000x faster at nearly the same cycle counts.
+
+Our hardware stand-in is the cycle-accurate pipeline of
+:mod:`repro.rtl` (same three effects the heuristic ignores); the
+reproduced table reports cycle counts, per-row error — asserted to stay
+in the single-digit-percent class — and the wall-clock ratio between
+the two models (both run in Python here, so the speed ratio is far
+smaller than against true RTL simulation; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.binutils.loader import load_executable
+from repro.cycles.doe import DoeModel
+from repro.rtl.pipeline import RtlPipeline
+from repro.sim.interpreter import Interpreter
+
+from _bench_common import WIDTH_ISAS, build_program
+
+WORKLOAD = "dct4x4"
+CONFIGS = ((1, "RISC"), (2, "VLIW2"), (4, "VLIW4"), (8, "VLIW8"))
+PAPER_ROWS = {
+    "RISC": (21768, 22062, 1.4),
+    "VLIW2": (14111, 13922, 1.4),
+    "VLIW4": (9774, 9878, 1.1),
+    "VLIW8": (7774, 7992, 2.8),
+}
+
+
+def run_with(width: int, model):
+    built = build_program(WORKLOAD, WIDTH_ISAS[width])
+    program = load_executable(built.elf, built.arch)
+    start = time.perf_counter()
+    Interpreter(program.state, cycle_model=model).run()
+    elapsed = time.perf_counter() - start
+    if isinstance(model, RtlPipeline):
+        start_timing = time.perf_counter()
+        _ = model.cycles  # run the cycle-accurate timing simulation
+        elapsed += time.perf_counter() - start_timing
+    return model.cycles, elapsed
+
+
+@pytest.fixture(scope="module")
+def accuracy(table_writer):
+    rows = []
+    for width, label in CONFIGS:
+        rtl_cycles, rtl_time = run_with(width, RtlPipeline(width))
+        doe_cycles, doe_time = run_with(width, DoeModel(issue_width=width))
+        error = abs(doe_cycles - rtl_cycles) / rtl_cycles * 100
+        rows.append({
+            "label": label,
+            "width": width,
+            "hardware": rtl_cycles,
+            "approx": doe_cycles,
+            "error": error,
+            "speed_ratio": rtl_time / doe_time if doe_time else 0.0,
+        })
+
+    lines = [
+        "DCT benchmark, perfect branch prediction for both simulators",
+        "(paper values for reference; our 'hardware' is the",
+        "cycle-accurate DOE pipeline of repro.rtl):",
+        "",
+        f"{'Configuration':<14} {'Hardware':>10} {'Approximation':>14} "
+        f"{'Error':>7}   {'paper':>21}",
+        "-" * 74,
+    ]
+    for row in rows:
+        paper_hw, paper_ap, paper_err = PAPER_ROWS[row["label"]]
+        lines.append(
+            f"{row['label']:<14} {row['hardware']:>10} "
+            f"{row['approx']:>14} {row['error']:>6.1f}%   "
+            f"{paper_hw:>7}/{paper_ap:<7} {paper_err:>4.1f}%"
+        )
+    ratio = sum(r["speed_ratio"] for r in rows) / len(rows)
+    lines.append("")
+    lines.append(
+        f"RTL-reference vs DOE wall-clock ratio: {ratio:.1f}x "
+        f"(paper: ~100,000x against true RTL simulation; both of our "
+        f"models run in Python on a shared functional simulation)"
+    )
+    table_writer("table2_doe_accuracy", "\n".join(lines))
+    return rows
+
+
+@pytest.mark.parametrize("width,label", CONFIGS)
+def test_row_benchmarked(benchmark, accuracy, width, label):
+    """Benchmark entry per configuration: one DOE-model simulation."""
+
+    def doe_run():
+        return run_with(width, DoeModel(issue_width=width))[0]
+
+    cycles = benchmark.pedantic(doe_run, rounds=1, iterations=1)
+    row = next(r for r in accuracy if r["width"] == width)
+    assert cycles == row["approx"]
+
+
+def test_errors_within_paper_class(benchmark, accuracy):
+    """Every row's error stays in the single-digit percent class the
+    paper demonstrates (its max: 2.8%; we allow up to 6% because the
+    hardware reference is itself a reconstruction)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in accuracy:
+        assert row["error"] < 6.0, row
+    assert max(r["error"] for r in accuracy) >= 0.0
+
+
+def test_cycles_decrease_with_width(benchmark, accuracy):
+    """Wider instances are faster; at saturation the curve flattens
+    (resource sharing may even cost a fraction of a percent, as
+    between VLIW4 and VLIW8 here and in the paper's Figure 4 tails)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    hw = [r["hardware"] for r in accuracy]
+    for earlier, later in zip(hw, hw[1:]):
+        assert later <= earlier * 1.01

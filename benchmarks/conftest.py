@@ -1,0 +1,37 @@
+"""Fixtures of the experiment harnesses.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation (Section VII).  Reproduced tables are archived under
+``benchmarks/results/`` and printed in the terminal summary (after
+pytest's capture ends, so ``pytest benchmarks/ | tee ...`` records
+them).
+"""
+
+import pytest
+
+from _bench_common import EMITTED_TABLES, build_program, emit_table
+
+
+@pytest.fixture(scope="session")
+def program_builder():
+    return build_program
+
+
+@pytest.fixture(scope="session")
+def table_writer():
+    return emit_table
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every reproduced table after the test summary."""
+    if not EMITTED_TABLES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("reproduced tables and figures "
+          "(archived under benchmarks/results/):")
+    for name, text in EMITTED_TABLES:
+        write("")
+        write(f"===== {name} =====")
+        for line in text.splitlines():
+            write(line)

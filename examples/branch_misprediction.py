@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Branch-misprediction cycle approximation (paper Section VIII).
+
+The paper's future work: *"we plan to integrate cycle-approximation
+models for branch misprediction into our simulator."*  This example
+exercises that extension: the same workload under perfect prediction
+(the paper's evaluation setup), static predictors and dynamic
+predictors, on both the heuristic DOE model and the cycle-accurate RTL
+reference.
+"""
+
+from repro import build, run
+from repro.cycles import (
+    BackwardTakenPredictor,
+    BimodalPredictor,
+    BranchModel,
+    DoeModel,
+    GsharePredictor,
+    NotTakenPredictor,
+)
+from repro.programs import load_program
+from repro.rtl import RtlPipeline
+
+PENALTY = 3
+
+
+def main() -> None:
+    source = load_program("qsort")  # data-dependent branches galore
+    built = build(source, isa="risc", filename="qsort.kc")
+
+    perfect = DoeModel(issue_width=1)
+    run(built, cycle_model=perfect)
+    print("workload: qsort (1024 elements), RISC instance, "
+          f"penalty {PENALTY} cycles\n")
+    print(f"{'predictor':<20} {'mispredict':>11} {'DOE cycles':>11} "
+          f"{'slowdown':>9}")
+    print(f"{'perfect (paper)':<20} {'-':>11} {perfect.cycles:>11} "
+          f"{'1.000x':>9}")
+
+    for predictor in (
+        NotTakenPredictor(),
+        BackwardTakenPredictor(),
+        BimodalPredictor(table_bits=10),
+        GsharePredictor(table_bits=10, history_bits=8),
+    ):
+        branch_model = BranchModel(predictor, penalty=PENALTY)
+        model = DoeModel(issue_width=1, branch_model=branch_model)
+        run(built, cycle_model=model)
+        print(f"{predictor.name:<20} "
+              f"{branch_model.misprediction_rate * 100:>10.1f}% "
+              f"{model.cycles:>11} "
+              f"{model.cycles / perfect.cycles:>8.3f}x")
+
+    print("\ncross-check against the cycle-accurate reference "
+          "(bimodal, same seed):")
+    doe = DoeModel(
+        issue_width=1,
+        branch_model=BranchModel(BimodalPredictor(), penalty=PENALTY),
+    )
+    run(built, cycle_model=doe)
+    rtl = RtlPipeline(
+        1, branch_model=BranchModel(BimodalPredictor(), penalty=PENALTY)
+    )
+    run(built, cycle_model=rtl)
+    error = abs(doe.cycles - rtl.cycles) / rtl.cycles * 100
+    print(f"  DOE {doe.cycles} vs RTL {rtl.cycles} cycles "
+          f"({error:.2f}% apart)")
+
+
+if __name__ == "__main__":
+    main()

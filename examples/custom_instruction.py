@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Retargeting the whole toolchain from the ADL: a custom MAC operation.
+
+The paper's framework is ADL-centric (Section IV): compiler, assembler
+and simulator are generated from one architecture description, so
+extending the ISA is a *description* change, not a tool change.  This
+example adds a multiply-accumulate operation
+
+    mac rd, rs1, rs2, ra        # rd = R(ra) + R(rs1) * R(rs2)
+
+to a derived architecture and — without touching the assembler or the
+simulator — assembles and simulates a dot-product kernel that uses it,
+then compares cycles against the baseline mul+add sequence.
+"""
+
+from repro.adl.kahrisma import (
+    DELAY_MUL,
+    ISSUE_WIDTHS,
+    ISA_NAMES,
+    OPERATIONS,
+    REGISTER_FILE,
+)
+from repro.adl.model import Architecture, Field, Isa, Operation
+from repro.adl.validate import check_architecture
+from repro.binutils.assembler import Assembler
+from repro.binutils.linker import link
+from repro.binutils.loader import load_executable
+from repro.cycles import DoeModel
+from repro.sim.interpreter import Interpreter
+
+MAC = Operation(
+    name="mac",
+    size=4,
+    fields=(
+        Field("opcode", 31, 24, const=0x0F, role="opcode"),
+        Field("rd", 23, 19, role="reg_dst"),
+        Field("rs1", 18, 14, role="reg_src"),
+        Field("rs2", 13, 9, role="reg_src"),
+        Field("ra", 8, 4, role="reg_src"),
+        Field("pad", 3, 0, const=0, role="pad"),
+    ),
+    behavior="W(rd, R(ra) + s32(R(rs1)) * s32(R(rs2)))",
+    src_fields=("rs1", "rs2", "ra"),
+    dst_fields=("rd",),
+    kind="alu",
+    fu_class="mul",
+    delay=DELAY_MUL,
+    asm_operands=("rd", "rs1", "rs2", "ra"),
+)
+
+
+def build_mac_architecture() -> Architecture:
+    """The KAHRISMA description plus one operation — nothing else."""
+    extended_ops = OPERATIONS + (MAC,)
+    isas = tuple(
+        Isa(ident=ident, name=ISA_NAMES[ident], issue_width=width,
+            operations=extended_ops, resources=width)
+        for ident, width in sorted(ISSUE_WIDTHS.items())
+    )
+    arch = Architecture(
+        name="kahrisma-mac",
+        register_file=REGISTER_FILE,
+        isas=isas,
+        default_isa=0,
+    )
+    check_architecture(arch)
+    return arch
+
+
+BASELINE_ASM = r"""
+.isa risc
+.text
+.global $risc$main
+$risc$main:
+    la   r8, a
+    la   r9, b
+    li   r10, 64          # elements
+    li   r11, 0           # accumulator
+loop:
+    lw   r12, 0(r8)
+    lw   r13, 0(r9)
+    mul  r14, r12, r13
+    add  r11, r11, r14    # separate multiply + accumulate
+    addi r8, r8, 4
+    addi r9, r9, 4
+    addi r10, r10, -1
+    bne  r10, r0, loop
+    mv   a0, r11
+    call $risc$print_int
+    li   a0, '\n'
+    call $risc$putchar
+    li   a0, 0
+    call $risc$exit
+
+.data
+a: .space 256
+b: .space 256
+"""
+
+MAC_ASM = BASELINE_ASM.replace(
+    """    mul  r14, r12, r13
+    add  r11, r11, r14    # separate multiply + accumulate
+""",
+    """    mac  r11, r12, r13, r11   # fused multiply-accumulate
+""",
+)
+
+INIT_ASM = r"""
+.text
+init:
+    la   r8, a
+    la   r9, b
+    li   r10, 64
+    li   r12, 1
+fill:
+    sw   r12, 0(r8)
+    sw   r12, 0(r9)
+    addi r8, r8, 4
+    addi r9, r9, 4
+    addi r12, r12, 1
+    addi r10, r10, -1
+    bne  r10, r0, fill
+    ret
+"""
+
+
+def run(arch, asm_text: str, label: str) -> None:
+    # Prepend a data-fill call so the dot product is non-trivial.
+    asm = asm_text.replace(
+        "$risc$main:\n",
+        "$risc$main:\n    call init\n",
+    ) + INIT_ASM
+    obj = Assembler(arch).assemble(asm, f"{label}.s")
+    elf, _info = link([obj], arch, entry_symbol="$risc$main", entry_isa=0)
+    program = load_executable(elf, arch)
+    model = DoeModel(issue_width=1)
+    stats = Interpreter(program.state, cycle_model=model).run(
+        max_instructions=1_000_000
+    )
+    print(f"{label:22} output={program.output.strip():>8} "
+          f"instructions={stats.executed_instructions:>5} "
+          f"DOE cycles={model.cycles:>6}")
+
+
+def main() -> None:
+    arch = build_mac_architecture()
+    print("extended architecture:", arch.name)
+    print("operations in ISA    :", len(arch.isas[0].operations),
+          "(baseline has", len(OPERATIONS), ")")
+    print()
+    run(arch, BASELINE_ASM, "mul + add (baseline)")
+    run(arch, MAC_ASM, "fused mac (extended)")
+    print(
+        "\nThe assembler accepted the new mnemonic and the simulator\n"
+        "executed it without a single line of tool code changing —\n"
+        "TargetGen generated the operation table entry and the\n"
+        "simulation function from the ADL description."
+    )
+
+
+if __name__ == "__main__":
+    main()

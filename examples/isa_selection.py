@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Function-granularity ISA selection from the ILP indicator.
+
+The paper proposes (Sections I, VIII) selecting an ISA per function
+using the theoretical ILP measurement, avoiding the need to simulate
+every (ISA, application) combination.  This example runs the selection
+on the bundled cjpeg benchmark and validates the choice with the DOE
+cycle model.
+"""
+
+from repro import build, run, select_isas
+from repro.cycles import DoeModel
+from repro.programs import load_program
+
+
+def measure(source: str, label: str, *, isa: str = "risc",
+            isa_map=None, width: int = 8) -> int:
+    built = build(source, isa=isa, isa_map=isa_map, filename="cjpeg.kc")
+    result = run(built, cycle_model=DoeModel(issue_width=width))
+    print(f"{label:36} {result.cycles:>9} cycles "
+          f"(output {result.output.strip()!r})")
+    return result.cycles
+
+
+def main() -> None:
+    source = load_program("cjpeg")
+
+    print("== step 1: one profiling run on RISC, ILP per function ==\n")
+    report = select_isas(source, filename="cjpeg.kc")
+    print(report.format())
+
+    print("\n== step 2: validate the selected mapping with DOE ==\n")
+    baseline = measure(source, "all RISC", isa="risc", width=1)
+    wide = measure(source, "all VLIW8", isa="vliw8", width=8)
+    mixed = measure(source, "selected mixed mapping", isa="risc",
+                    isa_map=report.isa_map, width=8)
+
+    print(f"\nspeedup over RISC: VLIW8 {baseline / wide:.2f}x, "
+          f"selected mapping {baseline / mixed:.2f}x")
+    resources = {
+        "risc": 1, "vliw2": 2, "vliw4": 4, "vliw6": 6, "vliw8": 8,
+    }
+    widest = max(resources[isa] for isa in report.isa_map.values())
+    print(f"peak EDPEs needed: VLIW8 build 8, selected mapping {widest} — "
+          f"the indicator buys most of the speedup at a fraction of the "
+          f"reconfigurable fabric.")
+
+
+if __name__ == "__main__":
+    main()

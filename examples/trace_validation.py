@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Trace generation and RTL cross-validation.
+
+The paper's simulator writes a per-operation trace file used to
+validate the RTL hardware implementation (Section V, goal 3).  This
+example generates a trace, shows its format, and then performs the
+validation the other way round: the heuristic DOE cycle model against
+the cycle-accurate RTL reference pipeline (the Table II experiment on
+a small kernel).
+"""
+
+import io
+
+from repro import build, run
+from repro.cycles import DoeModel
+from repro.rtl import RtlPipeline
+from repro.sim import Tracer
+
+SOURCE = """\
+int v[32];
+
+int main() {
+    for (int i = 0; i < 32; i++) {
+        v[i] = i * i - 16 * i;
+    }
+    int best = -32768;
+    for (int i = 0; i < 32; i++) {
+        if (v[i] > best) {
+            best = v[i];
+        }
+    }
+    print_int(best);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("== per-operation trace (first 12 records) ==\n")
+    built = build(SOURCE, isa="vliw2", filename="trace.kc")
+    tracer = Tracer(limit=2000)
+    result = run(built, tracer=tracer, cycle_model=DoeModel(issue_width=2))
+    for record in tracer.records[:12]:
+        print(record.format())
+    print(f"... {len(tracer.records)} records total; "
+          f"program output: {result.output.strip()}")
+
+    print("\n== heuristic DOE model vs cycle-accurate RTL reference ==\n")
+    print(f"{'ISA':8} {'RTL (hardware)':>14} {'DOE (approx)':>13} {'error':>7}")
+    for isa, width in (("risc", 1), ("vliw2", 2), ("vliw4", 4), ("vliw8", 8)):
+        built = build(SOURCE, isa=isa, filename="trace.kc")
+        doe = run(built, cycle_model=DoeModel(issue_width=width)).cycles
+        rtl = run(built, cycle_model=RtlPipeline(issue_width=width)).cycles
+        error = abs(doe - rtl) / rtl * 100
+        print(f"{isa:8} {rtl:>14} {doe:>13} {error:>6.1f}%")
+    print("\nThe heuristic model ignores resource sharing, bounded drift "
+          "and hardware memory order — the error stays within a few "
+          "percent (paper Table II: 1.1%-2.8%).")
+
+
+if __name__ == "__main__":
+    main()

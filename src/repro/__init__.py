@@ -1,0 +1,58 @@
+"""Reproduction of "A cycle-approximate, mixed-ISA simulator for the
+KAHRISMA architecture" (Stripf, Koenig, Becker — DATE 2012).
+
+Public API tour::
+
+    from repro import KAHRISMA, build, run
+    from repro.cycles import IlpModel, AieModel, DoeModel
+    from repro.rtl import RtlPipeline
+
+    built = build(open("app.kc").read(), isa="vliw4")
+    result = run(built, cycle_model=DoeModel(issue_width=4))
+    print(result.output, result.cycles)
+
+Sub-packages: :mod:`repro.adl` (architecture description),
+:mod:`repro.targetgen` (generated simulator fragments),
+:mod:`repro.lang` (KC compiler), :mod:`repro.binutils` (ELF assembler/
+linker), :mod:`repro.sim` (the interpreter), :mod:`repro.cycles`
+(ILP/AIE/DOE models + memory hierarchy), :mod:`repro.rtl`
+(cycle-accurate reference), :mod:`repro.framework` (pipeline + ISA
+selection), :mod:`repro.programs` (benchmark workloads).
+"""
+
+from .adl.kahrisma import (
+    ISA_RISC,
+    ISA_VLIW2,
+    ISA_VLIW4,
+    ISA_VLIW6,
+    ISA_VLIW8,
+    KAHRISMA,
+)
+from .framework.pipeline import (
+    BuildResult,
+    RunResult,
+    build,
+    build_and_run,
+    build_benchmark,
+    run,
+)
+from .framework.selection import select_isas
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildResult",
+    "ISA_RISC",
+    "ISA_VLIW2",
+    "ISA_VLIW4",
+    "ISA_VLIW6",
+    "ISA_VLIW8",
+    "KAHRISMA",
+    "RunResult",
+    "build",
+    "build_and_run",
+    "build_benchmark",
+    "run",
+    "select_isas",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Architecture Description Language (ADL) for the KAHRISMA framework.
+
+The ADL describes all processor configurations (ISAs) in parallel; the
+TargetGen utility (:mod:`repro.targetgen`) generates the simulator's
+register table, operation tables and simulation functions from it, and
+the assembler/compiler are retargeted from the same description.
+"""
+
+from .behavior import BehaviorError, parse_behavior
+from .builder import (
+    b_type,
+    i_type,
+    j_type,
+    load_type,
+    lui_type,
+    r_type,
+    special_type,
+    store_type,
+)
+from .kahrisma import (
+    ISA_RISC,
+    ISA_VLIW2,
+    ISA_VLIW4,
+    ISA_VLIW6,
+    ISA_VLIW8,
+    KAHRISMA,
+    build_architecture,
+)
+from .model import (
+    AdlError,
+    Architecture,
+    Field,
+    Isa,
+    Operation,
+    Register,
+    RegisterFile,
+)
+from .validate import check_architecture, validate_architecture
+
+__all__ = [
+    "AdlError",
+    "Architecture",
+    "BehaviorError",
+    "Field",
+    "Isa",
+    "ISA_RISC",
+    "ISA_VLIW2",
+    "ISA_VLIW4",
+    "ISA_VLIW6",
+    "ISA_VLIW8",
+    "KAHRISMA",
+    "Operation",
+    "Register",
+    "RegisterFile",
+    "b_type",
+    "build_architecture",
+    "check_architecture",
+    "i_type",
+    "j_type",
+    "load_type",
+    "lui_type",
+    "parse_behavior",
+    "r_type",
+    "special_type",
+    "store_type",
+    "validate_architecture",
+]

@@ -1,0 +1,131 @@
+"""The behaviour DSL embedded in ADL operation descriptions.
+
+The paper's ADL contains, for each operation, a simulation source code
+fragment in C++ from which TargetGen generates the simulation function
+(Section V).  Our ADL embeds an equivalent fragment written in a small,
+restricted Python subset.  This module defines *what* the DSL may
+contain; :mod:`repro.targetgen.compile_behavior` lowers it to an
+executable simulation function.
+
+DSL vocabulary
+--------------
+
+Field names of the operation (``rd``, ``rs1``, ``imm`` ...) are bound to
+their decoded values.  The following intrinsics are available:
+
+======================  ====================================================
+``R(n)``                read general-purpose register ``n`` (32-bit value)
+``W(n, v)``             write ``v`` to register ``n`` (buffered until all
+                        parallel operations of the instruction computed)
+``M1/M2/M4(a)``         load a byte / half / word from memory address ``a``
+``S1/S2/S4(a, v)``      store to memory (buffered like register writes)
+``BR(off)``             branch: next IP = instruction end + ``off`` words
+``JABS(a)``             jump to the absolute byte address ``a``
+``NIP``                 byte address of the next sequential instruction
+``IP``                  byte address of the current instruction
+``SWITCH(i)``           activate ISA ``i`` (the ``SWITCHTARGET`` semantics)
+``SIM(i)``              run emulated C-library function ``i`` (Section V-E)
+``HALT()``              stop simulation
+``s8/s16/s32(v)``       reinterpret ``v`` as a signed 8/16/32-bit value
+``sdiv/srem(a, b)``     truncating signed division / remainder (by-zero
+                        yields -1 / the dividend, like the hardware)
+======================  ====================================================
+
+Statements allowed: expression statements, assignments to plain local
+names, ``if``/``elif``/``else`` and ``pass``.  Loops, imports, attribute
+access, subscripts, lambdas and comprehensions are rejected so that a
+behaviour fragment is trivially auditable and compilable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet
+
+from .model import AdlError
+
+#: Intrinsics callable from behaviour fragments.
+INTRINSIC_CALLS: FrozenSet[str] = frozenset(
+    {
+        "R", "W",
+        "M1", "M2", "M4",
+        "S1", "S2", "S4",
+        "BR", "JABS", "SWITCH", "SIM", "HALT",
+        "s8", "s16", "s32", "sdiv", "srem",
+    }
+)
+
+#: Value intrinsics usable as plain names.
+INTRINSIC_NAMES: FrozenSet[str] = frozenset({"IP", "NIP"})
+
+_ALLOWED_STMT = (ast.Expr, ast.Assign, ast.If, ast.Pass)
+_ALLOWED_EXPR = (
+    ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare, ast.Call, ast.IfExp,
+    ast.Name, ast.Constant, ast.Load, ast.Store,
+    # operator tokens
+    ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod,
+    ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor,
+    ast.USub, ast.Invert, ast.Not,
+    ast.And, ast.Or,
+    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+    ast.expr_context,
+)
+
+
+class BehaviorError(AdlError):
+    """Raised when a behaviour fragment uses a disallowed construct."""
+
+
+def parse_behavior(op_name: str, source: str) -> ast.Module:
+    """Parse and validate a behaviour fragment.
+
+    Returns the parsed ``ast.Module``; raises :class:`BehaviorError` on
+    any construct outside the DSL.
+    """
+    try:
+        tree = ast.parse(source, filename=f"<behavior:{op_name}>", mode="exec")
+    except SyntaxError as exc:
+        raise BehaviorError(f"operation {op_name!r}: {exc}") from exc
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.arguments)):
+            continue
+        if isinstance(node, _ALLOWED_STMT):
+            continue
+        if isinstance(node, _ALLOWED_EXPR):
+            continue
+        raise BehaviorError(
+            f"operation {op_name!r}: construct {type(node).__name__} is not "
+            f"part of the behaviour DSL"
+        )
+    _check_names(op_name, tree)
+    return tree
+
+
+def _check_names(op_name: str, tree: ast.Module) -> None:
+    """Reject calls to names that are neither intrinsics nor locals."""
+    assigned = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    raise BehaviorError(
+                        f"operation {op_name!r}: assignment targets must be "
+                        f"plain names"
+                    )
+                assigned.add(target.id)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Name) or func.id not in INTRINSIC_CALLS:
+                raise BehaviorError(
+                    f"operation {op_name!r}: only DSL intrinsics may be "
+                    f"called"
+                )
+
+
+def behavior_reads_memory(source: str) -> bool:
+    return any(intr in source for intr in ("M1(", "M2(", "M4("))
+
+
+def behavior_writes_memory(source: str) -> bool:
+    return any(intr in source for intr in ("S1(", "S2(", "S4("))

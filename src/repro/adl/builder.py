@@ -1,0 +1,233 @@
+"""Concise construction helpers for operation encodings.
+
+The KAHRISMA reproduction uses five instruction-word formats; these
+factory functions build :class:`~repro.adl.model.Operation` instances
+with consistent field layouts so the concrete architecture description
+(:mod:`repro.adl.kahrisma`) stays declarative and table-like.
+
+Formats (bit 31 = MSB of the 32-bit operation word)::
+
+    R-type    | opcode 31:24 | rd 23:19 | rs1 18:14 | rs2 13:9 | pad 8:0 |
+    I-type    | opcode 31:24 | rd 23:19 | rs1 18:14 | imm14 13:0         |
+    S-type    | opcode 31:24 | rt 23:19 | rs1 18:14 | imm14 13:0         |
+    B-type    | opcode 31:24 | rs1 23:19 | rs2 18:14 | imm14 13:0        |
+    J-type    | opcode 31:24 | imm24 23:0                                |
+    LUI-type  | opcode 31:24 | rd 23:19 | pad 18 | imm18 17:0            |
+
+Branch and jump immediates are signed offsets in *operation words*
+relative to the end of the instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .model import Field, Operation, WORD_BYTES
+
+OPCODE_HI, OPCODE_LO = 31, 24
+
+
+def _opcode(value: int) -> Field:
+    return Field("opcode", OPCODE_HI, OPCODE_LO, const=value, role="opcode")
+
+
+def _reg(name: str, hi: int, role: str) -> Field:
+    return Field(name, hi, hi - 4, role=role)
+
+
+def r_type(
+    name: str,
+    opcode: int,
+    behavior: str,
+    *,
+    kind: str = "alu",
+    fu_class: str = "alu",
+    delay: int = 1,
+) -> Operation:
+    """Three-register ALU operation: ``name rd, rs1, rs2``."""
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=(
+            _opcode(opcode),
+            _reg("rd", 23, "reg_dst"),
+            _reg("rs1", 18, "reg_src"),
+            _reg("rs2", 13, "reg_src"),
+            Field("pad", 8, 0, const=0, role="pad"),
+        ),
+        behavior=behavior,
+        src_fields=("rs1", "rs2"),
+        dst_fields=("rd",),
+        kind=kind,
+        fu_class=fu_class,
+        delay=delay,
+        asm_operands=("rd", "rs1", "rs2"),
+    )
+
+
+def i_type(
+    name: str,
+    opcode: int,
+    behavior: str,
+    *,
+    signed_imm: bool = True,
+    kind: str = "alu",
+    fu_class: str = "alu",
+    delay: int = 1,
+) -> Operation:
+    """Register-immediate operation: ``name rd, rs1, imm``."""
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=(
+            _opcode(opcode),
+            _reg("rd", 23, "reg_dst"),
+            _reg("rs1", 18, "reg_src"),
+            Field("imm", 13, 0, signed=signed_imm, role="imm"),
+        ),
+        behavior=behavior,
+        src_fields=("rs1",),
+        dst_fields=("rd",),
+        kind=kind,
+        fu_class=fu_class,
+        delay=delay,
+        asm_operands=("rd", "rs1", "imm"),
+    )
+
+
+def load_type(name: str, opcode: int, behavior: str, *, delay: int = 1) -> Operation:
+    """Memory load: ``name rd, imm(rs1)``."""
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=(
+            _opcode(opcode),
+            _reg("rd", 23, "reg_dst"),
+            _reg("rs1", 18, "reg_src"),
+            Field("imm", 13, 0, signed=True, role="imm"),
+        ),
+        behavior=behavior,
+        src_fields=("rs1",),
+        dst_fields=("rd",),
+        kind="load",
+        fu_class="mem",
+        delay=delay,
+        asm_operands=("rd", "imm(rs1)"),
+    )
+
+
+def store_type(name: str, opcode: int, behavior: str, *, delay: int = 1) -> Operation:
+    """Memory store: ``name rt, imm(rs1)`` (rt is the value register)."""
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=(
+            _opcode(opcode),
+            _reg("rt", 23, "reg_src"),
+            _reg("rs1", 18, "reg_src"),
+            Field("imm", 13, 0, signed=True, role="imm"),
+        ),
+        behavior=behavior,
+        src_fields=("rt", "rs1"),
+        dst_fields=(),
+        kind="store",
+        fu_class="mem",
+        delay=delay,
+        asm_operands=("rt", "imm(rs1)"),
+    )
+
+
+def b_type(name: str, opcode: int, behavior: str) -> Operation:
+    """Conditional branch: ``name rs1, rs2, offset``."""
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=(
+            _opcode(opcode),
+            _reg("rs1", 23, "reg_src"),
+            _reg("rs2", 18, "reg_src"),
+            Field("imm", 13, 0, signed=True, role="imm"),
+        ),
+        behavior=behavior,
+        src_fields=("rs1", "rs2"),
+        dst_fields=(),
+        kind="branch",
+        fu_class="ctrl",
+        delay=1,
+        asm_operands=("rs1", "rs2", "imm"),
+    )
+
+
+def j_type(
+    name: str,
+    opcode: int,
+    behavior: str,
+    *,
+    implicit_writes: Tuple[int, ...] = (),
+) -> Operation:
+    """Unconditional jump with 24-bit word offset."""
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=(
+            _opcode(opcode),
+            Field("imm", 23, 0, signed=True, role="imm"),
+        ),
+        behavior=behavior,
+        implicit_writes=implicit_writes,
+        kind="branch",
+        fu_class="ctrl",
+        delay=1,
+        asm_operands=("imm",),
+    )
+
+
+def lui_type(name: str, opcode: int, behavior: str) -> Operation:
+    """Load upper immediate: ``name rd, imm18`` (rd = imm18 << 14)."""
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=(
+            _opcode(opcode),
+            _reg("rd", 23, "reg_dst"),
+            Field("pad", 18, 18, const=0, role="pad"),
+            Field("imm", 17, 0, role="imm"),
+        ),
+        behavior=behavior,
+        dst_fields=("rd",),
+        kind="alu",
+        fu_class="alu",
+        delay=1,
+        asm_operands=("rd", "imm"),
+    )
+
+
+def special_type(
+    name: str,
+    opcode: int,
+    behavior: str,
+    *,
+    kind: str,
+    fu_class: str = "ctrl",
+    delay: int = 1,
+    with_imm: bool = False,
+) -> Operation:
+    """Operations with no or one immediate operand (nop/halt/switch/sim)."""
+    fields = [_opcode(opcode)]
+    operands: Tuple[str, ...] = ()
+    if with_imm:
+        fields.append(Field("pad", 23, 14, const=0, role="pad"))
+        fields.append(Field("imm", 13, 0, role="imm"))
+        operands = ("imm",)
+    else:
+        fields.append(Field("pad", 23, 0, const=0, role="pad"))
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=tuple(fields),
+        behavior=behavior,
+        kind=kind,
+        fu_class=fu_class,
+        delay=delay,
+        asm_operands=operands,
+    )

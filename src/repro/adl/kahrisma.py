@@ -1,0 +1,230 @@
+"""The concrete KAHRISMA architecture description.
+
+One architecture, five ISAs in parallel (Section III / Figure 1): the
+RISC instruction format and 2/4/6/8-issue VLIW formats.  All ISAs share
+the operation set and the 32-entry register file; an n-issue VLIW
+instruction is n consecutive operation words whose slots are executed
+under the Dynamic Operation Execution model.
+
+The operation set is a compact RISC-style ISA sufficient for compiled C
+programs: 32-bit integer ALU, multiply/divide, byte/half/word memory
+access, compare-and-branch, jumps, and the two KAHRISMA-specific
+operations ``switchtarget`` (runtime ISA reconfiguration, Section V-D)
+and ``simop`` (C standard library emulation, Section V-E).
+"""
+
+from __future__ import annotations
+
+from .builder import (
+    b_type,
+    i_type,
+    j_type,
+    load_type,
+    lui_type,
+    r_type,
+    special_type,
+    store_type,
+    _opcode,
+    _reg,
+)
+from .model import (
+    Architecture,
+    Field,
+    Isa,
+    Operation,
+    Register,
+    RegisterFile,
+    WORD_BYTES,
+)
+
+NUM_REGS = 32
+
+#: Conventional register assignments (roles drive compiler and syscalls).
+REG_ZERO = 0
+REG_AT = 1
+REG_RV = 2
+REG_RV2 = 3
+REG_ARG_FIRST, REG_ARG_LAST = 4, 7
+REG_TMP_FIRST, REG_TMP_LAST = 8, 15
+REG_SAVED_FIRST, REG_SAVED_LAST = 16, 23
+REG_TMP2_FIRST, REG_TMP2_LAST = 24, 27
+REG_GP = 28
+REG_FP = 29
+REG_SP = 30
+REG_RA = 31
+
+#: ISA identifiers, as used by the ``switchtarget`` operand.
+ISA_RISC = 0
+ISA_VLIW2 = 1
+ISA_VLIW4 = 2
+ISA_VLIW6 = 3
+ISA_VLIW8 = 4
+
+ISSUE_WIDTHS = {ISA_RISC: 1, ISA_VLIW2: 2, ISA_VLIW4: 4, ISA_VLIW6: 6, ISA_VLIW8: 8}
+ISA_NAMES = {
+    ISA_RISC: "risc",
+    ISA_VLIW2: "vliw2",
+    ISA_VLIW4: "vliw4",
+    ISA_VLIW6: "vliw6",
+    ISA_VLIW8: "vliw8",
+}
+
+#: Latencies of the functional units (cycles).
+DELAY_ALU = 1
+DELAY_MUL = 3
+DELAY_DIV = 10
+DELAY_MEM_ISSUE = 1  # base; the memory hierarchy adds the access delay
+
+
+def _role(i: int) -> str:
+    if i == REG_ZERO:
+        return "zero"
+    if i == REG_AT:
+        return "at"
+    if i in (REG_RV, REG_RV2):
+        return "rv"
+    if REG_ARG_FIRST <= i <= REG_ARG_LAST:
+        return "arg"
+    if REG_TMP_FIRST <= i <= REG_TMP_LAST or REG_TMP2_FIRST <= i <= REG_TMP2_LAST:
+        return "tmp"
+    if REG_SAVED_FIRST <= i <= REG_SAVED_LAST:
+        return "saved"
+    return {REG_GP: "gp", REG_FP: "fp", REG_SP: "sp", REG_RA: "ra"}[i]
+
+
+REGISTER_FILE = RegisterFile(
+    name="gpr",
+    registers=tuple(Register(f"r{i}", i, _role(i)) for i in range(NUM_REGS)),
+    zero_register=REG_ZERO,
+)
+
+
+def _jr(name: str, opcode: int, behavior: str, link: bool) -> Operation:
+    fields = [_opcode(opcode)]
+    if link:
+        fields += [
+            _reg("rd", 23, "reg_dst"),
+            _reg("rs1", 18, "reg_src"),
+            Field("pad", 13, 0, const=0, role="pad"),
+        ]
+        operands = ("rd", "rs1")
+        dst = ("rd",)
+    else:
+        fields += [
+            _reg("rs1", 23, "reg_src"),
+            Field("pad", 18, 0, const=0, role="pad"),
+        ]
+        operands = ("rs1",)
+        dst = ()
+    return Operation(
+        name=name,
+        size=WORD_BYTES,
+        fields=tuple(fields),
+        behavior=behavior,
+        src_fields=("rs1",),
+        dst_fields=dst,
+        kind="branch",
+        fu_class="ctrl",
+        delay=1,
+        asm_operands=operands,
+    )
+
+
+OPERATIONS = (
+    # --- no-operation / machine control -------------------------------
+    special_type("nop", 0x00, "pass", kind="nop", fu_class="none"),
+    special_type("halt", 0x3F, "HALT()", kind="halt"),
+    special_type(
+        "switchtarget", 0x3C, "SWITCH(imm)", kind="switch", with_imm=True
+    ),
+    special_type(
+        "simop", 0x3D, "SIM(imm)", kind="simop", fu_class="none", with_imm=True
+    ),
+    # --- three-register ALU --------------------------------------------
+    r_type("add", 0x01, "W(rd, R(rs1) + R(rs2))"),
+    r_type("sub", 0x02, "W(rd, R(rs1) - R(rs2))"),
+    r_type("and", 0x03, "W(rd, R(rs1) & R(rs2))"),
+    r_type("or", 0x04, "W(rd, R(rs1) | R(rs2))"),
+    r_type("xor", 0x05, "W(rd, R(rs1) ^ R(rs2))"),
+    r_type("sll", 0x06, "W(rd, R(rs1) << (R(rs2) & 31))"),
+    r_type("srl", 0x07, "W(rd, R(rs1) >> (R(rs2) & 31))"),
+    r_type("sra", 0x08, "W(rd, s32(R(rs1)) >> (R(rs2) & 31))"),
+    r_type("slt", 0x09, "W(rd, 1 if s32(R(rs1)) < s32(R(rs2)) else 0)"),
+    r_type("sltu", 0x0A, "W(rd, 1 if R(rs1) < R(rs2) else 0)"),
+    r_type(
+        "mul", 0x0B, "W(rd, s32(R(rs1)) * s32(R(rs2)))",
+        fu_class="mul", delay=DELAY_MUL,
+    ),
+    r_type(
+        "mulh", 0x0C, "W(rd, (s32(R(rs1)) * s32(R(rs2))) >> 32)",
+        fu_class="mul", delay=DELAY_MUL,
+    ),
+    r_type(
+        "div", 0x0D, "W(rd, sdiv(R(rs1), R(rs2)))",
+        fu_class="div", delay=DELAY_DIV,
+    ),
+    r_type(
+        "rem", 0x0E, "W(rd, srem(R(rs1), R(rs2)))",
+        fu_class="div", delay=DELAY_DIV,
+    ),
+    # --- register-immediate ALU ----------------------------------------
+    i_type("addi", 0x10, "W(rd, R(rs1) + imm)"),
+    i_type("andi", 0x11, "W(rd, R(rs1) & imm)", signed_imm=False),
+    i_type("ori", 0x12, "W(rd, R(rs1) | imm)", signed_imm=False),
+    i_type("xori", 0x13, "W(rd, R(rs1) ^ imm)", signed_imm=False),
+    i_type("slli", 0x14, "W(rd, R(rs1) << (imm & 31))", signed_imm=False),
+    i_type("srli", 0x15, "W(rd, R(rs1) >> (imm & 31))", signed_imm=False),
+    i_type("srai", 0x16, "W(rd, s32(R(rs1)) >> (imm & 31))", signed_imm=False),
+    i_type("slti", 0x17, "W(rd, 1 if s32(R(rs1)) < imm else 0)"),
+    i_type(
+        "sltiu", 0x18,
+        "W(rd, 1 if R(rs1) < (imm & 4294967295) else 0)",
+        signed_imm=False,
+    ),
+    lui_type("lui", 0x19, "W(rd, imm << 14)"),
+    # --- memory ----------------------------------------------------------
+    load_type("lw", 0x20, "W(rd, M4(R(rs1) + imm))", delay=DELAY_MEM_ISSUE),
+    load_type("lh", 0x21, "W(rd, s16(M2(R(rs1) + imm)))", delay=DELAY_MEM_ISSUE),
+    load_type("lhu", 0x22, "W(rd, M2(R(rs1) + imm))", delay=DELAY_MEM_ISSUE),
+    load_type("lb", 0x23, "W(rd, s8(M1(R(rs1) + imm)))", delay=DELAY_MEM_ISSUE),
+    load_type("lbu", 0x24, "W(rd, M1(R(rs1) + imm))", delay=DELAY_MEM_ISSUE),
+    store_type("sw", 0x25, "S4(R(rs1) + imm, R(rt))", delay=DELAY_MEM_ISSUE),
+    store_type("sh", 0x26, "S2(R(rs1) + imm, R(rt))", delay=DELAY_MEM_ISSUE),
+    store_type("sb", 0x27, "S1(R(rs1) + imm, R(rt))", delay=DELAY_MEM_ISSUE),
+    # --- control flow ----------------------------------------------------
+    b_type("beq", 0x30, "if R(rs1) == R(rs2): BR(imm)"),
+    b_type("bne", 0x31, "if R(rs1) != R(rs2): BR(imm)"),
+    b_type("blt", 0x32, "if s32(R(rs1)) < s32(R(rs2)): BR(imm)"),
+    b_type("bge", 0x33, "if s32(R(rs1)) >= s32(R(rs2)): BR(imm)"),
+    b_type("bltu", 0x34, "if R(rs1) < R(rs2): BR(imm)"),
+    b_type("bgeu", 0x35, "if R(rs1) >= R(rs2): BR(imm)"),
+    j_type("j", 0x38, "BR(imm)"),
+    j_type("jal", 0x39, "W(31, NIP)\nBR(imm)", implicit_writes=(REG_RA,)),
+    _jr("jr", 0x3A, "JABS(R(rs1))", link=False),
+    _jr("jalr", 0x3B, "W(rd, NIP)\nJABS(R(rs1))", link=True),
+)
+
+
+def _make_isa(ident: int) -> Isa:
+    width = ISSUE_WIDTHS[ident]
+    return Isa(
+        ident=ident,
+        name=ISA_NAMES[ident],
+        issue_width=width,
+        operations=OPERATIONS,
+        resources=width,
+    )
+
+
+def build_architecture() -> Architecture:
+    """Construct the full KAHRISMA architecture description."""
+    return Architecture(
+        name="kahrisma",
+        register_file=REGISTER_FILE,
+        isas=tuple(_make_isa(i) for i in sorted(ISSUE_WIDTHS)),
+        default_isa=ISA_RISC,
+    )
+
+
+#: Module-level singleton; the description is immutable.
+KAHRISMA = build_architecture()

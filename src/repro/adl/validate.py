@@ -1,0 +1,88 @@
+"""Consistency checks for architecture descriptions.
+
+TargetGen runs these before generating any simulator source: an ADL
+error caught here is an error in *every* generated artefact, so the
+checks are deliberately strict.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .behavior import parse_behavior
+from .model import Architecture, AdlError, Isa, Operation
+
+
+def validate_operation(op: Operation) -> List[str]:
+    """Return a list of problems with a single operation (empty if OK)."""
+    problems: List[str] = []
+    covered = 0
+    for f in op.fields:
+        if covered & f.mask:
+            problems.append(f"operation {op.name!r}: field {f.name!r} overlaps")
+        covered |= f.mask
+    if not any(f.const is not None for f in op.fields):
+        problems.append(f"operation {op.name!r}: no constant field for detection")
+    for fname in op.src_fields:
+        if op.field(fname).role != "reg_src":
+            problems.append(
+                f"operation {op.name!r}: src field {fname!r} lacks reg_src role"
+            )
+    for fname in op.dst_fields:
+        if op.field(fname).role != "reg_dst":
+            problems.append(
+                f"operation {op.name!r}: dst field {fname!r} lacks reg_dst role"
+            )
+    try:
+        parse_behavior(op.name, op.behavior)
+    except AdlError as exc:
+        problems.append(str(exc))
+    return problems
+
+
+def validate_isa(isa: Isa) -> List[str]:
+    """Check detection is unambiguous and operation names unique."""
+    problems: List[str] = []
+    names = [op.name for op in isa.operations]
+    if len(set(names)) != len(names):
+        problems.append(f"ISA {isa.name!r}: duplicate operation names")
+    ops = isa.operations
+    for i, a in enumerate(ops):
+        problems.extend(validate_operation(a))
+        for b in ops[i + 1:]:
+            shared = a.const_mask & b.const_mask
+            if (a.const_value & shared) == (b.const_value & shared):
+                problems.append(
+                    f"ISA {isa.name!r}: operations {a.name!r} and {b.name!r} "
+                    f"are not distinguishable by their constant fields"
+                )
+    return problems
+
+
+def validate_architecture(arch: Architecture) -> List[str]:
+    problems: List[str] = []
+    seen_ops = set()
+    for isa in arch.isas:
+        key = id(isa.operations)
+        if key in seen_ops:
+            continue  # shared operation tuple already validated
+        seen_ops.add(key)
+        problems.extend(validate_isa(isa))
+    num_regs = len(arch.register_file)
+    for isa in arch.isas:
+        for op in isa.operations:
+            for reg in op.implicit_reads + op.implicit_writes:
+                if not (0 <= reg < num_regs):
+                    problems.append(
+                        f"operation {op.name!r}: implicit register {reg} "
+                        f"out of range"
+                    )
+        break  # operations are shared; checking one ISA suffices
+    return problems
+
+
+def check_architecture(arch: Architecture) -> None:
+    """Raise :class:`AdlError` listing every problem found."""
+    problems = validate_architecture(arch)
+    if problems:
+        raise AdlError("; ".join(problems))

@@ -1,0 +1,48 @@
+"""Binary utilities: ELF32, assembler, linker, loader (paper Section IV)."""
+
+from .assembler import Assembler, AsmError, REGISTER_ALIASES
+from .elf import (
+    ElfError,
+    ElfFile,
+    ElfRelocation,
+    ElfSection,
+    ElfSymbol,
+    EM_KAHRISMA,
+    ET_EXEC,
+    ET_REL,
+    R_KAH_ABS32,
+    R_KAH_HI18,
+    R_KAH_LO14,
+    R_KAH_PC14,
+    R_KAH_PC24,
+)
+from .linker import LinkError, LinkInfo, link
+from .loader import LoadedProgram, load_executable
+from .objfile import ASMMAP_SECTION, DBGLINE_SECTION, ObjectFile
+
+__all__ = [
+    "ASMMAP_SECTION",
+    "AsmError",
+    "Assembler",
+    "DBGLINE_SECTION",
+    "ElfError",
+    "ElfFile",
+    "ElfRelocation",
+    "ElfSection",
+    "ElfSymbol",
+    "EM_KAHRISMA",
+    "ET_EXEC",
+    "ET_REL",
+    "LinkError",
+    "LinkInfo",
+    "LoadedProgram",
+    "ObjectFile",
+    "R_KAH_ABS32",
+    "R_KAH_HI18",
+    "R_KAH_LO14",
+    "R_KAH_PC14",
+    "R_KAH_PC24",
+    "REGISTER_ALIASES",
+    "link",
+    "load_executable",
+]

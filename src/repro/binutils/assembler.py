@@ -1,0 +1,637 @@
+"""Two-pass, mixed-ISA assembler (paper Section IV).
+
+Translates KAHRISMA assembly into relocatable object files.  The ISA
+can be switched mid-file with the ``.isa`` pseudo directive — exactly
+the mechanism the paper's assembler uses to support mixed-ISA assembly
+files.  While a VLIW ISA is active, instructions are bundles written
+``{ op ; op ; ... }`` and are padded with ``nop`` to the issue width.
+
+The assembler also stores the assembly line map (address → assembly
+file/line) that the simulator uses for debugging (Section V-C); it is
+emitted into the custom ``.kahrisma.asmmap`` ELF section.  ``.loc``
+directives emitted by the compiler feed the C source line map.
+
+Syntax summary::
+
+    # comment
+    .isa vliw4              # switch target ISA
+    .text / .data / .rodata / .bss
+    .global sym
+    .func sym / .endfunc    # function range (symbol size)
+    .word 1, label, sym+8
+    .half 1, 2   .byte 3    .ascii "s"  .asciiz "s"
+    .space 16    .align 4
+    .file 1 "dct.kc"        # source file table (compiler-emitted)
+    .loc 1 42               # current address maps to file 1 line 42
+    label:
+    add r3, r4, r5          # RISC instruction
+    { add r3, r4, r5 ; lw r6, 0(r7) }   # VLIW bundle
+    li r4, 123456           # pseudo: expands to lui+ori
+    la r4, table            # pseudo: %hi/%lo pair
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..adl.model import Architecture
+from ..targetgen.optable import OperationTable, TargetDescription, build_target
+from .elf import (
+    R_KAH_ABS32,
+    R_KAH_HI18,
+    R_KAH_LO14,
+    R_KAH_PC14,
+    R_KAH_PC24,
+)
+from .objfile import ObjectFile, Relocation
+
+MASK32 = 0xFFFFFFFF
+
+
+class AsmError(Exception):
+    """Assembly-time error with file/line context."""
+
+    def __init__(self, message: str, filename: str = "?", line: int = 0) -> None:
+        super().__init__(f"{filename}:{line}: {message}")
+        self.filename = filename
+        self.line = line
+
+
+#: Register aliases accepted in operands (besides r0..r31).
+REGISTER_ALIASES: Dict[str, int] = {
+    "zero": 0, "at": 1, "v0": 2, "v1": 3,
+    "a0": 4, "a1": 5, "a2": 6, "a3": 7,
+    "t0": 8, "t1": 9, "t2": 10, "t3": 11,
+    "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+    "s0": 16, "s1": 17, "s2": 18, "s3": 19,
+    "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "t8": 24, "t9": 25, "t10": 26, "t11": 27,
+    "gp": 28, "fp": 29, "sp": 30, "ra": 31,
+}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_$.][\w$.]*):")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_$.][\w$.]*$")
+
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+
+
+@dataclass
+class _ParsedOp:
+    mnemonic: str
+    operands: List[str]
+
+
+@dataclass
+class _Item:
+    kind: str  # "label" | "instr" | directive name
+    line: int
+    #: label name / directive args / list of _ParsedOp for instr
+    payload: object = None
+    #: filled by pass 1
+    section: str = ""
+    offset: int = 0
+    isa_id: int = 0
+    size: int = 0
+
+
+@dataclass
+class _Reference:
+    """A symbolic operand awaiting a relocation."""
+
+    symbol: str
+    reloc_type: int
+    addend: int = 0
+
+
+class Assembler:
+    """Retargeted from the ADL: operand syntax comes from the operation
+    tables TargetGen built."""
+
+    def __init__(
+        self,
+        arch: Architecture,
+        target: Optional[TargetDescription] = None,
+    ) -> None:
+        self.arch = arch
+        self.target = target if target is not None else build_target(arch)
+
+    # -- public API -----------------------------------------------------------
+
+    def assemble(self, source: str, filename: str = "<asm>") -> ObjectFile:
+        items = self._parse(source, filename)
+        obj = ObjectFile(name=filename)
+        self._pass1(items, obj, filename)
+        self._pass2(items, obj, filename)
+        return obj
+
+    # -- parsing ----------------------------------------------------------------
+
+    def _parse(self, source: str, filename: str) -> List[_Item]:
+        items: List[_Item] = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    items.append(_Item("label", lineno, match.group(1)))
+                    line = line[match.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+            if line.startswith("."):
+                parts = line.split(None, 1)
+                name = parts[0][1:]
+                args = parts[1].strip() if len(parts) > 1 else ""
+                items.append(_Item(name, lineno, args))
+                continue
+            if line.startswith("{"):
+                if not line.endswith("}"):
+                    raise AsmError("bundle must close on the same line",
+                                   filename, lineno)
+                body = line[1:-1].strip()
+                ops = [
+                    self._parse_op(part, filename, lineno)
+                    for part in body.split(";")
+                    if part.strip()
+                ]
+                if not ops:
+                    raise AsmError("empty bundle", filename, lineno)
+                items.append(_Item("instr", lineno, ops))
+                continue
+            items.append(
+                _Item("instr", lineno, [self._parse_op(line, filename, lineno)])
+            )
+        return items
+
+    @staticmethod
+    def _parse_op(text: str, filename: str, lineno: int) -> _ParsedOp:
+        text = text.strip()
+        if not text:
+            raise AsmError("empty operation", filename, lineno)
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands: List[str] = []
+        if len(parts) > 1:
+            operands = [p.strip() for p in _split_operands(parts[1])]
+        return _ParsedOp(mnemonic, operands)
+
+    # -- pass 1: layout -----------------------------------------------------------
+
+    def _pass1(self, items: List[_Item], obj: ObjectFile, filename: str) -> None:
+        section = ".text"
+        offsets = {".text": 0, ".data": 0, ".rodata": 0, ".bss": 0}
+        isa = self.arch.isa_by_id[self.arch.default_isa]
+        func_stack: List[Tuple[str, int]] = []
+
+        for item in items:
+            item.section = section
+            item.offset = offsets[section]
+            item.isa_id = isa.ident
+            kind = item.kind
+            if kind == "label":
+                name = item.payload
+                if name in obj.symbols:
+                    raise AsmError(f"duplicate label {name!r}",
+                                   filename, item.line)
+                obj.define_symbol(name, section, offsets[section])
+            elif kind == "instr":
+                if section != ".text":
+                    raise AsmError("instructions outside .text",
+                                   filename, item.line)
+                ops: List[_ParsedOp] = item.payload
+                expanded: List[_ParsedOp] = []
+                if isa.issue_width == 1:
+                    for op in ops:
+                        expanded.extend(
+                            self._expand_pseudo(op, filename, item.line)
+                        )
+                    item.size = 4 * len(expanded)
+                else:
+                    if len(ops) > isa.issue_width:
+                        raise AsmError(
+                            f"bundle of {len(ops)} operations exceeds "
+                            f"issue width {isa.issue_width}",
+                            filename, item.line,
+                        )
+                    for op in ops:
+                        exp = self._expand_pseudo(op, filename, item.line)
+                        if len(exp) != 1:
+                            raise AsmError(
+                                f"pseudo {op.mnemonic!r} not allowed inside "
+                                f"a bundle", filename, item.line,
+                            )
+                        expanded.extend(exp)
+                    while len(expanded) < isa.issue_width:
+                        expanded.append(_ParsedOp("nop", []))
+                    item.size = isa.instr_size
+                item.payload = expanded
+                offsets[section] += item.size
+            elif kind == "isa":
+                try:
+                    isa = self.arch.isa_named(item.payload)
+                except KeyError:
+                    raise AsmError(f"unknown ISA {item.payload!r}",
+                                   filename, item.line)
+            elif kind in (".text", "text", "data", "rodata", "bss"):
+                section = "." + kind.lstrip(".")
+                item.section = section
+                item.offset = offsets[section]
+            elif kind == "global":
+                pass  # handled in pass 2 (symbol may not exist yet)
+            elif kind == "func":
+                func_stack.append((item.payload.strip(), offsets[".text"]))
+            elif kind == "endfunc":
+                if not func_stack:
+                    raise AsmError(".endfunc without .func",
+                                   filename, item.line)
+                name, start = func_stack.pop()
+                sym = obj.symbols.get(name)
+                if sym is None:
+                    raise AsmError(
+                        f".func symbol {name!r} has no label",
+                        filename, item.line,
+                    )
+                sym.is_function = True
+                sym.size = offsets[".text"] - start
+            elif kind in ("word", "half", "byte", "ascii", "asciiz",
+                          "space", "align", "file", "loc"):
+                offsets[section] += self._data_size(
+                    kind, item.payload, section, offsets[section],
+                    filename, item.line,
+                )
+            else:
+                raise AsmError(f"unknown directive .{kind}",
+                               filename, item.line)
+        if func_stack:
+            raise AsmError(f".func {func_stack[-1][0]!r} never closed",
+                           filename, items[-1].line if items else 0)
+        obj.bss_size = offsets[".bss"]
+
+    def _data_size(
+        self, kind: str, args: str, section: str, offset: int,
+        filename: str, line: int,
+    ) -> int:
+        if kind == "word":
+            return 4 * len(_split_operands(args))
+        if kind == "half":
+            return 2 * len(_split_operands(args))
+        if kind == "byte":
+            return len(_split_operands(args))
+        if kind in ("ascii", "asciiz"):
+            text = _parse_string(args, filename, line)
+            return len(text) + (1 if kind == "asciiz" else 0)
+        if kind == "space":
+            return _parse_int(args, filename, line)
+        if kind == "align":
+            alignment = _parse_int(args, filename, line)
+            if alignment & (alignment - 1):
+                raise AsmError(".align expects a power of two",
+                               filename, line)
+            return (-offset) % alignment
+        return 0  # .file / .loc
+
+    # -- pass 2: encoding ------------------------------------------------------------
+
+    def _pass2(self, items: List[_Item], obj: ObjectFile, filename: str) -> None:
+        src_files: Dict[int, str] = {}
+        for item in items:
+            kind = item.kind
+            if kind == "global":
+                name = item.payload.strip()
+                sym = obj.symbols.get(name)
+                if sym is None:
+                    raise AsmError(
+                        f".global for undefined symbol {name!r}",
+                        filename, item.line,
+                    )
+                sym.is_global = True
+            elif kind == "file":
+                parts = item.payload.split(None, 1)
+                ident = _parse_int(parts[0], filename, item.line)
+                src_files[ident] = _parse_string(parts[1], filename, item.line)
+            elif kind == "loc":
+                parts = item.payload.split()
+                ident = _parse_int(parts[0], filename, item.line)
+                srcline = _parse_int(parts[1], filename, item.line)
+                src_file = src_files.get(ident)
+                if src_file is None:
+                    raise AsmError(f".loc references unknown file {ident}",
+                                   filename, item.line)
+                obj.src_map.add(item.offset, src_file, srcline)
+            elif kind == "instr":
+                self._encode_instruction(item, obj, filename)
+            elif kind in ("word", "half", "byte", "ascii", "asciiz",
+                          "space", "align"):
+                self._encode_data(item, obj, filename)
+
+    def _encode_instruction(
+        self, item: _Item, obj: ObjectFile, filename: str
+    ) -> None:
+        optable = self.target.optable(item.isa_id)
+        text = obj.section_data(".text")
+        assert len(text) == item.offset, "pass1/pass2 layout divergence"
+        obj.asm_map.add(item.offset, filename, item.line)
+        ops: List[_ParsedOp] = item.payload
+        is_bundle = optable.isa.issue_width > 1
+        controls = 0
+        for slot, op in enumerate(ops):
+            entry = optable.by_name.get(op.mnemonic)
+            if entry is None:
+                raise AsmError(
+                    f"unknown operation {op.mnemonic!r} for ISA "
+                    f"{optable.isa.name!r}", filename, item.line,
+                )
+            if is_bundle and (entry.op.is_control or entry.op.kind == "simop"):
+                controls += 1
+                if controls > 1:
+                    raise AsmError(
+                        "more than one control operation in bundle",
+                        filename, item.line,
+                    )
+            word_offset = item.offset + 4 * slot
+            # Branch offsets are relative to the end of the instruction:
+            # the bundle end for VLIW, the next word for RISC (where each
+            # expanded pseudo op is its own instruction).
+            instr_end = item.offset + item.size if is_bundle else word_offset + 4
+            word = self._encode_op(
+                entry, op, obj, word_offset, instr_end, filename, item.line
+            )
+            text += word.to_bytes(4, "little")
+
+    def _encode_op(
+        self, entry, op: _ParsedOp, obj: ObjectFile,
+        word_offset: int, instr_end: int, filename: str, line: int,
+    ) -> int:
+        templates = entry.op.asm_operands
+        if len(op.operands) != len(templates):
+            raise AsmError(
+                f"{op.mnemonic}: expected {len(templates)} operands "
+                f"({', '.join(templates)}), got {len(op.operands)}",
+                filename, line,
+            )
+        values: Dict[str, int] = {}
+        for template, operand in zip(templates, op.operands):
+            if template.endswith("(rs1)"):
+                offset_txt, base_txt = _split_mem_operand(
+                    operand, filename, line
+                )
+                values["rs1"] = _parse_register(base_txt, filename, line)
+                values["imm"] = self._imm_or_reloc(
+                    entry, "imm", offset_txt, obj, word_offset, instr_end,
+                    filename, line,
+                )
+                continue
+            # The ADL field role decides the operand kind, so custom
+            # operations with arbitrary register field names assemble
+            # without assembler changes.
+            role = entry.op.field(template).role
+            if role in ("reg_dst", "reg_src"):
+                values[template] = _parse_register(operand, filename, line)
+            else:  # immediate
+                values[template] = self._imm_or_reloc(
+                    entry, template, operand, obj, word_offset, instr_end,
+                    filename, line,
+                )
+        try:
+            return entry.encode(values)
+        except Exception as exc:
+            raise AsmError(f"{op.mnemonic}: {exc}", filename, line)
+
+    def _imm_or_reloc(
+        self, entry, fieldname: str, text: str, obj: ObjectFile,
+        word_offset: int, instr_end: int, filename: str, line: int,
+    ) -> int:
+        text = text.strip()
+        value = _try_parse_int(text)
+        if value is not None:
+            return value
+        if text.startswith("%hi(") and text.endswith(")"):
+            sym, addend = _parse_symref(text[4:-1], filename, line)
+            obj.relocations.append(
+                Relocation(".text", word_offset, R_KAH_HI18, sym, addend)
+            )
+            return 0
+        if text.startswith("%lo(") and text.endswith(")"):
+            sym, addend = _parse_symref(text[4:-1], filename, line)
+            obj.relocations.append(
+                Relocation(".text", word_offset, R_KAH_LO14, sym, addend)
+            )
+            return 0
+        # Bare symbol: PC-relative branch/jump target.
+        sym, addend = _parse_symref(text, filename, line)
+        kind = entry.op.kind
+        width = entry.op.field(fieldname).width
+        if kind != "branch":
+            raise AsmError(
+                f"symbolic operand {text!r} only allowed on branches "
+                f"(use %hi/%lo elsewhere)", filename, line,
+            )
+        reloc = R_KAH_PC24 if width >= 24 else R_KAH_PC14
+        # addend encodes the distance from the op word to the end of the
+        # instruction, so the linker can compute target - instruction_end.
+        obj.relocations.append(
+            Relocation(
+                ".text", word_offset, reloc, sym,
+                addend + (word_offset - instr_end),
+            )
+        )
+        return 0
+
+    def _encode_data(self, item: _Item, obj: ObjectFile, filename: str) -> None:
+        kind = item.kind
+        if item.section == ".bss":
+            if kind not in ("space", "align"):
+                raise AsmError(f".{kind} not allowed in .bss",
+                               filename, item.line)
+            return
+        data = obj.section_data(item.section)
+        assert len(data) == item.offset, "pass1/pass2 layout divergence"
+        args = item.payload
+        if kind == "word":
+            for part in _split_operands(args):
+                value = _try_parse_int(part)
+                if value is None:
+                    sym, addend = _parse_symref(part, filename, item.line)
+                    obj.relocations.append(
+                        Relocation(item.section, len(data), R_KAH_ABS32,
+                                   sym, addend)
+                    )
+                    value = 0
+                data += (value & MASK32).to_bytes(4, "little")
+        elif kind == "half":
+            for part in _split_operands(args):
+                data += (_parse_int(part, filename, item.line) & 0xFFFF
+                         ).to_bytes(2, "little")
+        elif kind == "byte":
+            for part in _split_operands(args):
+                data.append(_parse_int(part, filename, item.line) & 0xFF)
+        elif kind in ("ascii", "asciiz"):
+            data += _parse_string(args, filename, item.line).encode("latin-1")
+            if kind == "asciiz":
+                data.append(0)
+        elif kind == "space":
+            data += b"\x00" * _parse_int(args, filename, item.line)
+        elif kind == "align":
+            alignment = _parse_int(args, filename, item.line)
+            data += b"\x00" * ((-len(data)) % alignment)
+
+    # -- pseudo instructions ------------------------------------------------------
+
+    def _expand_pseudo(
+        self, op: _ParsedOp, filename: str, line: int
+    ) -> List[_ParsedOp]:
+        name = op.mnemonic
+        operands = op.operands
+
+        def need(n: int) -> None:
+            if len(operands) != n:
+                raise AsmError(
+                    f"{name}: expected {n} operands", filename, line
+                )
+
+        if name == "li":
+            need(2)
+            rd, imm_txt = operands
+            value = _try_parse_int(imm_txt)
+            if value is None:
+                # li with a symbol degenerates to la.
+                return self._expand_pseudo(
+                    _ParsedOp("la", operands), filename, line
+                )
+            value &= MASK32
+            signed = value - (1 << 32) if value & 0x80000000 else value
+            if IMM14_MIN <= signed <= IMM14_MAX:
+                return [_ParsedOp("addi", [rd, "r0", str(signed)])]
+            high, low = value >> 14, value & 0x3FFF
+            result = [_ParsedOp("lui", [rd, str(high)])]
+            if low:
+                result.append(_ParsedOp("ori", [rd, rd, str(low)]))
+            return result
+        if name == "la":
+            need(2)
+            rd, sym = operands
+            return [
+                _ParsedOp("lui", [rd, f"%hi({sym})"]),
+                _ParsedOp("ori", [rd, rd, f"%lo({sym})"]),
+            ]
+        if name == "mv":
+            need(2)
+            return [_ParsedOp("addi", [operands[0], operands[1], "0"])]
+        if name == "neg":
+            need(2)
+            return [_ParsedOp("sub", [operands[0], "r0", operands[1]])]
+        if name == "ret":
+            need(0)
+            return [_ParsedOp("jr", ["ra"])]
+        if name == "call":
+            need(1)
+            return [_ParsedOp("jal", operands)]
+        if name == "b":
+            need(1)
+            return [_ParsedOp("j", operands)]
+        return [op]
+
+
+# -- token helpers ---------------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == '"':
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            return line[:i]
+    return line
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside parentheses or strings."""
+    parts: List[str] = []
+    depth = 0
+    in_string = False
+    current = ""
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+            current += ch
+        elif ch == "(" and not in_string:
+            depth += 1
+            current += ch
+        elif ch == ")" and not in_string:
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0 and not in_string:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _split_mem_operand(
+    text: str, filename: str, line: int
+) -> Tuple[str, str]:
+    match = re.match(r"^(.*)\(([^)]+)\)$", text.strip())
+    if not match:
+        raise AsmError(f"expected offset(base), got {text!r}", filename, line)
+    offset = match.group(1).strip() or "0"
+    return offset, match.group(2).strip()
+
+
+def _parse_register(text: str, filename: str, line: int) -> int:
+    text = text.strip().lower()
+    if text in REGISTER_ALIASES:
+        return REGISTER_ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        index = int(text[1:])
+        if 0 <= index < 32:
+            return index
+    raise AsmError(f"bad register {text!r}", filename, line)
+
+
+def _try_parse_int(text: str) -> Optional[int]:
+    text = text.strip()
+    if len(text) >= 3 and text.startswith("'") and text.endswith("'"):
+        body = text[1:-1]
+        unescaped = body.encode().decode("unicode_escape")
+        if len(unescaped) == 1:
+            return ord(unescaped)
+        return None
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def _parse_int(text: str, filename: str, line: int) -> int:
+    value = _try_parse_int(text)
+    if value is None:
+        raise AsmError(f"expected integer, got {text.strip()!r}",
+                       filename, line)
+    return value
+
+
+def _parse_symref(text: str, filename: str, line: int) -> Tuple[str, int]:
+    """Parse ``symbol``, ``symbol+imm`` or ``symbol-imm``."""
+    text = text.strip()
+    match = re.match(r"^([A-Za-z_$.][\w$.]*)\s*([+-]\s*\d+)?$", text)
+    if not match:
+        raise AsmError(f"bad symbol reference {text!r}", filename, line)
+    addend = 0
+    if match.group(2):
+        addend = int(match.group(2).replace(" ", ""))
+    return match.group(1), addend
+
+
+def _parse_string(text: str, filename: str, line: int) -> str:
+    text = text.strip()
+    if len(text) < 2 or not text.startswith('"') or not text.endswith('"'):
+        raise AsmError(f"expected string literal, got {text!r}",
+                       filename, line)
+    return text[1:-1].encode().decode("unicode_escape")

@@ -1,0 +1,500 @@
+"""ELF32 container format, reader and writer.
+
+The paper stores object files and application binaries in standard ELF
+(Section IV, [13]).  This module implements the ELF32 little-endian
+format from the TIS specification: file header, program headers,
+section headers, symbol tables, string tables and RELA relocation
+sections — enough to be a faithful container for the KAHRISMA
+toolchain, including the custom sections the simulator consumes
+(assembly line map, debug line table).
+
+Only what the spec requires is implemented; no shortcuts are taken with
+the binary layout, so files round-trip byte-exactly through
+``ElfFile.write`` / ``ElfFile.read``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# -- constants (TIS ELF32 spec) ---------------------------------------------
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS32 = 1
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+
+ET_REL = 1
+ET_EXEC = 2
+
+#: Unofficial machine number for the KAHRISMA reproduction.
+EM_KAHRISMA = 0x5241
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_NOBITS = 8
+
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+PT_LOAD = 1
+PF_X = 0x1
+PF_W = 0x2
+PF_R = 0x4
+
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+#: KAHRISMA relocation types (r_info low byte).
+R_KAH_NONE = 0
+R_KAH_ABS32 = 1
+R_KAH_HI18 = 2
+R_KAH_LO14 = 3
+R_KAH_PC14 = 4
+R_KAH_PC24 = 5
+
+RELOC_NAMES = {
+    R_KAH_NONE: "NONE",
+    R_KAH_ABS32: "ABS32",
+    R_KAH_HI18: "HI18",
+    R_KAH_LO14: "LO14",
+    R_KAH_PC14: "PC14",
+    R_KAH_PC24: "PC24",
+}
+
+_EHDR = struct.Struct("<16sHHIIIIIHHHHHH")
+_SHDR = struct.Struct("<IIIIIIIIII")
+_PHDR = struct.Struct("<IIIIIIII")
+_SYM = struct.Struct("<IIIBBH")
+_RELA = struct.Struct("<IIi")
+
+
+class ElfError(Exception):
+    """Malformed or unsupported ELF input."""
+
+
+@dataclass
+class ElfSection:
+    name: str
+    sh_type: int = SHT_PROGBITS
+    flags: int = 0
+    addr: int = 0
+    data: bytes = b""
+    link: int = 0
+    info: int = 0
+    addralign: int = 1
+    entsize: int = 0
+    #: For SHT_NOBITS the size is carried here (data stays empty).
+    nobits_size: int = 0
+
+    @property
+    def size(self) -> int:
+        if self.sh_type == SHT_NOBITS:
+            return self.nobits_size
+        return len(self.data)
+
+
+@dataclass
+class ElfSymbol:
+    name: str
+    value: int = 0
+    size: int = 0
+    binding: int = STB_LOCAL
+    sym_type: int = STT_NOTYPE
+    #: Section *name* ("" = SHN_UNDEF, "<abs>" = SHN_ABS).
+    section: str = ""
+
+    @property
+    def is_global(self) -> bool:
+        return self.binding == STB_GLOBAL
+
+    @property
+    def is_defined(self) -> bool:
+        return self.section != ""
+
+
+@dataclass
+class ElfRelocation:
+    #: Name of the section the relocation applies to (e.g. ".text").
+    section: str
+    offset: int
+    reloc_type: int
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class ProgramHeader:
+    p_type: int
+    offset: int
+    vaddr: int
+    filesz: int
+    memsz: int
+    flags: int
+    align: int = 0x1000
+
+
+@dataclass
+class ElfFile:
+    """An ELF object or executable, held fully in memory."""
+
+    e_type: int = ET_REL
+    machine: int = EM_KAHRISMA
+    entry: int = 0
+    flags: int = 0
+    sections: List[ElfSection] = field(default_factory=list)
+    symbols: List[ElfSymbol] = field(default_factory=list)
+    relocations: List[ElfRelocation] = field(default_factory=list)
+    segments: List[Tuple[ProgramHeader, bytes]] = field(default_factory=list)
+
+    # -- convenience -------------------------------------------------------
+
+    def section(self, name: str) -> Optional[ElfSection]:
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        return None
+
+    def add_section(self, sec: ElfSection) -> None:
+        if self.section(sec.name) is not None:
+            raise ElfError(f"duplicate section {sec.name!r}")
+        self.sections.append(sec)
+
+    def symbol(self, name: str) -> Optional[ElfSymbol]:
+        for sym in self.symbols:
+            if sym.name == name:
+                return sym
+        return None
+
+    def global_symbols(self) -> List[ElfSymbol]:
+        return [s for s in self.symbols if s.is_global]
+
+    # -- writer --------------------------------------------------------------
+
+    def write(self) -> bytes:
+        """Serialise to ELF32 bytes."""
+        sections = list(self.sections)
+        section_names = [s.name for s in sections]
+
+        # Relocation sections (one .rela.<target> per relocated section).
+        reloc_by_target: Dict[str, List[ElfRelocation]] = {}
+        for rel in self.relocations:
+            reloc_by_target.setdefault(rel.section, []).append(rel)
+
+        # Symbol table: locals first (ELF requirement), with the
+        # leading NULL symbol.
+        symbols = sorted(self.symbols, key=lambda s: s.binding != STB_LOCAL)
+        sym_index = {"": 0}
+        for i, sym in enumerate(symbols):
+            sym_index[sym.name] = i + 1
+        first_global = 1 + sum(1 for s in symbols if s.binding == STB_LOCAL)
+
+        strtab = _StringTable()
+        for sym in symbols:
+            strtab.add(sym.name)
+
+        def section_index(name: str) -> int:
+            if name == "":
+                return SHN_UNDEF
+            if name == "<abs>":
+                return SHN_ABS
+            try:
+                return section_names.index(name) + 1  # +1 for NULL section
+            except ValueError:
+                raise ElfError(f"symbol/reloc references unknown section {name!r}")
+
+        symtab_data = bytearray(_SYM.pack(0, 0, 0, 0, 0, 0))
+        for sym in symbols:
+            info = (sym.binding << 4) | (sym.sym_type & 0xF)
+            symtab_data += _SYM.pack(
+                strtab.offset(sym.name),
+                sym.value,
+                sym.size,
+                info,
+                0,
+                section_index(sym.section),
+            )
+
+        built: List[ElfSection] = list(sections)
+        symtab_pos = len(built) + 1
+        built.append(
+            ElfSection(
+                ".symtab",
+                SHT_SYMTAB,
+                data=bytes(symtab_data),
+                link=symtab_pos + 1,  # .strtab follows
+                info=first_global,
+                addralign=4,
+                entsize=_SYM.size,
+            )
+        )
+        built.append(
+            ElfSection(".strtab", SHT_STRTAB, data=strtab.data(), addralign=1)
+        )
+        for target, rels in sorted(reloc_by_target.items()):
+            data = bytearray()
+            for rel in rels:
+                if rel.symbol not in sym_index:
+                    raise ElfError(
+                        f"relocation references unknown symbol {rel.symbol!r}"
+                    )
+                info = (sym_index[rel.symbol] << 8) | (rel.reloc_type & 0xFF)
+                data += _RELA.pack(rel.offset, info, rel.addend)
+            built.append(
+                ElfSection(
+                    f".rela{target}",
+                    SHT_RELA,
+                    data=bytes(data),
+                    link=symtab_pos,
+                    info=section_index(target),
+                    addralign=4,
+                    entsize=_RELA.size,
+                )
+            )
+
+        shstrtab = _StringTable()
+        for sec in built:
+            shstrtab.add(sec.name)
+        shstrtab.add(".shstrtab")
+        built.append(
+            ElfSection(".shstrtab", SHT_STRTAB, data=shstrtab.data())
+        )
+
+        # Layout: ehdr, phdrs, segment data, section data, shdrs.
+        phnum = len(self.segments)
+        offset = _EHDR.size + phnum * _PHDR.size
+        blob = bytearray()
+
+        phdrs: List[ProgramHeader] = []
+        for phdr, data in self.segments:
+            pad = (-offset) % phdr.align if phdr.align else 0
+            # Keep segment file offsets congruent with vaddr modulo align.
+            if phdr.align:
+                pad = (phdr.vaddr - offset) % phdr.align
+            blob += b"\x00" * pad
+            offset += pad
+            placed = ProgramHeader(
+                phdr.p_type, offset, phdr.vaddr, len(data), phdr.memsz,
+                phdr.flags, phdr.align,
+            )
+            phdrs.append(placed)
+            blob += data
+            offset += len(data)
+
+        section_offsets: List[int] = []
+        for sec in built:
+            if sec.sh_type == SHT_NOBITS:
+                section_offsets.append(offset)
+                continue
+            pad = (-offset) % max(sec.addralign, 1)
+            blob += b"\x00" * pad
+            offset += pad
+            section_offsets.append(offset)
+            blob += sec.data
+            offset += len(sec.data)
+
+        pad = (-offset) % 4
+        blob += b"\x00" * pad
+        offset += pad
+        shoff = offset
+
+        shdr_blob = bytearray(_SHDR.pack(0, 0, 0, 0, 0, 0, 0, 0, 0, 0))
+        for sec, sec_off in zip(built, section_offsets):
+            shdr_blob += _SHDR.pack(
+                shstrtab.offset(sec.name),
+                sec.sh_type,
+                sec.flags,
+                sec.addr,
+                sec_off,
+                sec.size,
+                sec.link,
+                sec.info,
+                sec.addralign,
+                sec.entsize,
+            )
+
+        ident = ELF_MAGIC + bytes(
+            [ELFCLASS32, ELFDATA2LSB, EV_CURRENT]
+        ) + b"\x00" * 9
+        ehdr = _EHDR.pack(
+            ident,
+            self.e_type,
+            self.machine,
+            EV_CURRENT,
+            self.entry,
+            _EHDR.size if phnum else 0,
+            shoff,
+            self.flags,
+            _EHDR.size,
+            _PHDR.size if phnum else 0,
+            phnum,
+            _SHDR.size,
+            len(built) + 1,
+            len(built),  # .shstrtab is last
+        )
+        phdr_blob = bytearray()
+        for phdr in phdrs:
+            phdr_blob += _PHDR.pack(
+                phdr.p_type, phdr.offset, phdr.vaddr, phdr.vaddr,
+                phdr.filesz, phdr.memsz, phdr.flags, phdr.align,
+            )
+        return bytes(ehdr) + bytes(phdr_blob) + bytes(blob) + bytes(shdr_blob)
+
+    # -- reader --------------------------------------------------------------
+
+    @classmethod
+    def read(cls, data: bytes) -> "ElfFile":
+        if len(data) < _EHDR.size or data[:4] != ELF_MAGIC:
+            raise ElfError("not an ELF file")
+        (
+            ident, e_type, machine, version, entry, phoff, shoff, flags,
+            _ehsize, phentsize, phnum, shentsize, shnum, shstrndx,
+        ) = _EHDR.unpack_from(data, 0)
+        if ident[4] != ELFCLASS32 or ident[5] != ELFDATA2LSB:
+            raise ElfError("only ELF32 little-endian is supported")
+        if version != EV_CURRENT:
+            raise ElfError(f"unsupported ELF version {version}")
+
+        result = cls(e_type=e_type, machine=machine, entry=entry, flags=flags)
+
+        raw_shdrs = []
+        for i in range(shnum):
+            raw_shdrs.append(_SHDR.unpack_from(data, shoff + i * shentsize))
+        if shnum:
+            shstr_off = raw_shdrs[shstrndx][4]
+            shstr_size = raw_shdrs[shstrndx][5]
+            shstr = data[shstr_off:shstr_off + shstr_size]
+        else:
+            shstr = b""
+
+        def cstr(table: bytes, off: int) -> str:
+            end = table.index(b"\x00", off)
+            return table[off:end].decode("utf-8")
+
+        names: List[str] = []
+        parsed: List[Tuple[str, Tuple]] = []
+        for raw in raw_shdrs:
+            name = cstr(shstr, raw[0]) if shnum else ""
+            names.append(name)
+            parsed.append((name, raw))
+
+        strtab_cache: Dict[int, bytes] = {}
+
+        def section_body(raw) -> bytes:
+            off, size = raw[4], raw[5]
+            return data[off:off + size]
+
+        sym_names_by_index: List[str] = []
+        for index, (name, raw) in enumerate(parsed):
+            sh_type = raw[1]
+            if index == 0 or sh_type in (SHT_STRTAB,):
+                continue
+            if sh_type == SHT_SYMTAB:
+                strtab_raw = parsed[raw[6]][1]
+                strtab_cache[raw[6]] = section_body(strtab_raw)
+                body = section_body(raw)
+                count = len(body) // _SYM.size
+                for i in range(count):
+                    st_name, value, size, info, _other, shndx = _SYM.unpack_from(
+                        body, i * _SYM.size
+                    )
+                    sym_name = cstr(strtab_cache[raw[6]], st_name)
+                    sym_names_by_index.append(sym_name)
+                    if i == 0:
+                        continue
+                    if shndx == SHN_UNDEF:
+                        sec_name = ""
+                    elif shndx == SHN_ABS:
+                        sec_name = "<abs>"
+                    else:
+                        sec_name = names[shndx]
+                    result.symbols.append(
+                        ElfSymbol(
+                            name=sym_name,
+                            value=value,
+                            size=size,
+                            binding=info >> 4,
+                            sym_type=info & 0xF,
+                            section=sec_name,
+                        )
+                    )
+                continue
+            if sh_type == SHT_RELA:
+                target = names[raw[7]]
+                body = section_body(raw)
+                count = len(body) // _RELA.size
+                for i in range(count):
+                    offset, info, addend = _RELA.unpack_from(
+                        body, i * _RELA.size
+                    )
+                    result.relocations.append(
+                        ElfRelocation(
+                            section=target,
+                            offset=offset,
+                            reloc_type=info & 0xFF,
+                            symbol=sym_names_by_index[info >> 8],
+                            addend=addend,
+                        )
+                    )
+                continue
+            result.sections.append(
+                ElfSection(
+                    name=name,
+                    sh_type=sh_type,
+                    flags=raw[2],
+                    addr=raw[3],
+                    data=b"" if sh_type == SHT_NOBITS else section_body(raw),
+                    link=raw[6],
+                    info=raw[7],
+                    addralign=raw[8],
+                    entsize=raw[9],
+                    nobits_size=raw[5] if sh_type == SHT_NOBITS else 0,
+                )
+            )
+
+        for i in range(phnum):
+            raw = _PHDR.unpack_from(data, phoff + i * phentsize)
+            p_type, offset, vaddr, _paddr, filesz, memsz, pflags, align = raw
+            result.segments.append(
+                (
+                    ProgramHeader(p_type, offset, vaddr, filesz, memsz,
+                                  pflags, align),
+                    data[offset:offset + filesz],
+                )
+            )
+        return result
+
+
+class _StringTable:
+    """ELF string table builder (leading NUL, offsets memoised)."""
+
+    def __init__(self) -> None:
+        self._data = bytearray(b"\x00")
+        self._offsets: Dict[str, int] = {"": 0}
+
+    def add(self, name: str) -> int:
+        if name in self._offsets:
+            return self._offsets[name]
+        off = len(self._data)
+        self._data += name.encode("utf-8") + b"\x00"
+        self._offsets[name] = off
+        return off
+
+    def offset(self, name: str) -> int:
+        return self._offsets[name]
+
+    def data(self) -> bytes:
+        return bytes(self._data)

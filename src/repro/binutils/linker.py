@@ -1,0 +1,309 @@
+"""Linker: combines relocatable objects into an executable ELF.
+
+Mirrors the paper's flow (Section IV): object files are linked into the
+application binary, stored in ELF.  The linker lays out sections,
+resolves symbols (local symbols within their object, global symbols
+across all objects), applies the KAHRISMA relocations, injects the
+auto-generated C-library stub object (Section V-E) and merges the
+debug line maps into the executable's custom sections.
+
+The entry ISA is recorded in the ELF header's ``e_flags`` so the
+simulator can initialise its active-ISA state (Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..adl.model import Architecture
+from ..sim.debuginfo import LineMap
+from ..sim.state import TEXT_BASE
+from ..targetgen.asmgen import generate_libc_stubs
+from .assembler import Assembler
+from .elf import (
+    ElfFile,
+    ElfSection,
+    ElfSymbol,
+    ET_EXEC,
+    PF_R,
+    PF_W,
+    PF_X,
+    ProgramHeader,
+    PT_LOAD,
+    R_KAH_ABS32,
+    R_KAH_HI18,
+    R_KAH_LO14,
+    R_KAH_PC14,
+    R_KAH_PC24,
+    RELOC_NAMES,
+    SHF_ALLOC,
+    SHF_EXECINSTR,
+    SHF_WRITE,
+    SHT_NOBITS,
+    SHT_PROGBITS,
+    STB_GLOBAL,
+    STB_LOCAL,
+    STT_FUNC,
+    STT_OBJECT,
+)
+from .objfile import ASMMAP_SECTION, DBGLINE_SECTION, ObjectFile
+
+MASK32 = 0xFFFFFFFF
+
+_LAYOUT_ORDER = (".text", ".rodata", ".data", ".bss")
+
+
+class LinkError(Exception):
+    """Unresolved symbols, duplicate definitions, overflowing fields."""
+
+
+@dataclass
+class LinkInfo:
+    """Address map produced alongside the executable (for tooling)."""
+
+    section_bases: Dict[str, int]
+    section_sizes: Dict[str, int]
+    symbols: Dict[str, int]
+    image_end: int
+
+
+def link(
+    objects: Iterable[ObjectFile],
+    arch: Architecture,
+    *,
+    entry_symbol: str,
+    entry_isa: int,
+    text_base: int = TEXT_BASE,
+    include_libc: bool = True,
+) -> Tuple[ElfFile, LinkInfo]:
+    """Link ``objects`` into an executable ELF.
+
+    ``entry_symbol`` is looked up after symbol resolution (typically the
+    ISA-mangled main, e.g. ``$risc$main``); ``entry_isa`` is the ISA the
+    processor must start in, stored in ``e_flags``.
+    """
+    objects = list(objects)
+    if include_libc:
+        stub_asm = generate_libc_stubs(arch)
+        stub_obj = Assembler(arch).assemble(stub_asm, "<libc-stubs>")
+        objects.append(stub_obj)
+
+    # -- layout ---------------------------------------------------------
+    section_sizes = {name: 0 for name in _LAYOUT_ORDER}
+    placement: List[Dict[str, int]] = []  # per object: section -> offset
+    for obj in objects:
+        offsets: Dict[str, int] = {}
+        for name in _LAYOUT_ORDER:
+            size = obj.section_size(name)
+            aligned = (section_sizes[name] + 3) & ~3
+            offsets[name] = aligned
+            section_sizes[name] = aligned + size
+        placement.append(offsets)
+
+    section_bases: Dict[str, int] = {}
+    cursor = text_base
+    for name in _LAYOUT_ORDER:
+        cursor = (cursor + 15) & ~15
+        section_bases[name] = cursor
+        cursor += section_sizes[name]
+    image_end = cursor
+
+    def obj_section_addr(index: int, section: str) -> int:
+        return section_bases[section] + placement[index][section]
+
+    # -- symbol resolution ------------------------------------------------
+    global_symbols: Dict[str, int] = {}
+    global_owner: Dict[str, str] = {}
+    local_symbols: List[Dict[str, int]] = []
+    functions: List[Tuple[str, int, int]] = []
+    data_symbols: List[Tuple[str, int, int, str]] = []
+    for index, obj in enumerate(objects):
+        locals_here: Dict[str, int] = {}
+        for sym in obj.symbols.values():
+            addr = obj_section_addr(index, sym.section) + sym.offset
+            locals_here[sym.name] = addr
+            if sym.is_global:
+                if sym.name in global_symbols:
+                    raise LinkError(
+                        f"duplicate global symbol {sym.name!r} in "
+                        f"{obj.name} (first defined in "
+                        f"{global_owner[sym.name]})"
+                    )
+                global_symbols[sym.name] = addr
+                global_owner[sym.name] = obj.name
+            if sym.is_function:
+                functions.append((sym.name, addr, sym.size))
+            elif sym.section in (".data", ".rodata", ".bss"):
+                data_symbols.append((sym.name, addr, sym.size, sym.section))
+        local_symbols.append(locals_here)
+
+    # -- build output section images ----------------------------------------
+    images = {
+        name: bytearray(section_sizes[name])
+        for name in (".text", ".rodata", ".data")
+    }
+    for index, obj in enumerate(objects):
+        for name in (".text", ".rodata", ".data"):
+            data = obj.sections.get(name)
+            if data:
+                off = placement[index][name]
+                images[name][off:off + len(data)] = data
+
+    # -- relocation -------------------------------------------------------------
+    undefined: Dict[str, str] = {}
+    for index, obj in enumerate(objects):
+        for rel in obj.relocations:
+            sym_addr = local_symbols[index].get(rel.symbol)
+            if sym_addr is None:
+                sym_addr = global_symbols.get(rel.symbol)
+            if sym_addr is None:
+                undefined.setdefault(rel.symbol, obj.name)
+                continue
+            place = obj_section_addr(index, rel.section) + rel.offset
+            image = images[rel.section]
+            image_off = placement[index][rel.section] + rel.offset
+            _apply_reloc(
+                image, image_off, rel.reloc_type, sym_addr, rel.addend,
+                place, rel.symbol,
+            )
+    if undefined:
+        missing = ", ".join(
+            f"{name!r} (referenced from {owner})"
+            for name, owner in sorted(undefined.items())
+        )
+        raise LinkError(f"undefined symbols: {missing}")
+
+    # -- entry -------------------------------------------------------------
+    entry_addr = global_symbols.get(entry_symbol)
+    if entry_addr is None:
+        raise LinkError(f"entry symbol {entry_symbol!r} not defined")
+
+    # -- merge debug maps ----------------------------------------------------
+    asm_map = LineMap()
+    src_map = LineMap()
+    for index, obj in enumerate(objects):
+        text_addr = obj_section_addr(index, ".text")
+        for entry in obj.asm_map:
+            asm_map.add(entry.addr + text_addr, entry.file, entry.line)
+        for entry in obj.src_map:
+            src_map.add(entry.addr + text_addr, entry.file, entry.line)
+
+    # -- assemble the executable ELF -------------------------------------------
+    elf = ElfFile(e_type=ET_EXEC, entry=entry_addr, flags=entry_isa)
+    elf.add_section(
+        ElfSection(".text", SHT_PROGBITS, SHF_ALLOC | SHF_EXECINSTR,
+                   addr=section_bases[".text"], data=bytes(images[".text"]),
+                   addralign=16)
+    )
+    if section_sizes[".rodata"]:
+        elf.add_section(
+            ElfSection(".rodata", SHT_PROGBITS, SHF_ALLOC,
+                       addr=section_bases[".rodata"],
+                       data=bytes(images[".rodata"]), addralign=16)
+        )
+    if section_sizes[".data"]:
+        elf.add_section(
+            ElfSection(".data", SHT_PROGBITS, SHF_ALLOC | SHF_WRITE,
+                       addr=section_bases[".data"],
+                       data=bytes(images[".data"]), addralign=16)
+        )
+    if section_sizes[".bss"]:
+        elf.add_section(
+            ElfSection(".bss", SHT_NOBITS, SHF_ALLOC | SHF_WRITE,
+                       addr=section_bases[".bss"],
+                       nobits_size=section_sizes[".bss"], addralign=16)
+        )
+    if len(asm_map):
+        elf.add_section(
+            ElfSection(ASMMAP_SECTION, SHT_PROGBITS, data=asm_map.encode())
+        )
+    if len(src_map):
+        elf.add_section(
+            ElfSection(DBGLINE_SECTION, SHT_PROGBITS, data=src_map.encode())
+        )
+
+    for name, addr, size in functions:
+        elf.symbols.append(
+            ElfSymbol(name=name, value=addr, size=size,
+                      binding=STB_GLOBAL if name in global_symbols else STB_LOCAL,
+                      sym_type=STT_FUNC, section=".text")
+        )
+    for name, addr, size, section in data_symbols:
+        elf.symbols.append(
+            ElfSymbol(name=name, value=addr, size=size,
+                      binding=STB_GLOBAL if name in global_symbols else STB_LOCAL,
+                      sym_type=STT_OBJECT, section=section)
+        )
+
+    # Program headers: text RX, then one RW segment covering
+    # rodata+data+bss (rodata is mapped read-only in real systems; the
+    # simulator does not enforce page protection).
+    elf.segments.append(
+        (
+            ProgramHeader(PT_LOAD, 0, section_bases[".text"],
+                          len(images[".text"]), len(images[".text"]),
+                          PF_R | PF_X),
+            bytes(images[".text"]),
+        )
+    )
+    data_start = section_bases[".rodata"]
+    file_blob = bytearray()
+    file_end = data_start
+    for name in (".rodata", ".data"):
+        base = section_bases[name]
+        if section_sizes[name] == 0:
+            continue
+        file_blob += b"\x00" * (base - file_end)
+        file_blob += images[name]
+        file_end = base + section_sizes[name]
+    mem_end = image_end
+    if file_blob or section_sizes[".bss"]:
+        elf.segments.append(
+            (
+                ProgramHeader(PT_LOAD, 0, data_start, len(file_blob),
+                              mem_end - data_start, PF_R | PF_W),
+                bytes(file_blob),
+            )
+        )
+
+    info = LinkInfo(
+        section_bases=section_bases,
+        section_sizes=section_sizes,
+        symbols={**global_symbols},
+        image_end=image_end,
+    )
+    return elf, info
+
+
+def _apply_reloc(
+    image: bytearray, offset: int, reloc_type: int, sym_addr: int,
+    addend: int, place: int, symbol: str,
+) -> None:
+    value = sym_addr + addend
+    word = int.from_bytes(image[offset:offset + 4], "little")
+    if reloc_type == R_KAH_ABS32:
+        word = value & MASK32
+    elif reloc_type == R_KAH_HI18:
+        word = (word & ~0x3FFFF) | ((value >> 14) & 0x3FFFF)
+    elif reloc_type == R_KAH_LO14:
+        word = (word & ~0x3FFF) | (value & 0x3FFF)
+    elif reloc_type in (R_KAH_PC14, R_KAH_PC24):
+        delta = value - place
+        if delta % 4:
+            raise LinkError(
+                f"branch target {symbol!r} not word-aligned (delta {delta})"
+            )
+        words = delta >> 2
+        width = 14 if reloc_type == R_KAH_PC14 else 24
+        limit = 1 << (width - 1)
+        if not (-limit <= words < limit):
+            raise LinkError(
+                f"branch to {symbol!r} out of range for "
+                f"{RELOC_NAMES[reloc_type]} ({words} words)"
+            )
+        mask = (1 << width) - 1
+        word = (word & ~mask) | (words & mask)
+    else:
+        raise LinkError(f"unknown relocation type {reloc_type}")
+    image[offset:offset + 4] = word.to_bytes(4, "little")

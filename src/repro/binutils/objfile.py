@@ -1,0 +1,206 @@
+"""Relocatable object files: the assembler's output, the linker's input.
+
+A thin semantic layer over :mod:`repro.binutils.elf`: named sections
+with byte contents, a symbol table, relocations, function ranges and
+the two line maps (assembly and C source) that end up in the custom
+ELF sections ``.kahrisma.asmmap`` and ``.kdbg.lines``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.debuginfo import LineMap
+from .elf import (
+    ElfError,
+    ElfFile,
+    ElfRelocation,
+    ElfSection,
+    ElfSymbol,
+    ET_REL,
+    SHF_ALLOC,
+    SHF_EXECINSTR,
+    SHF_WRITE,
+    SHT_NOBITS,
+    SHT_PROGBITS,
+    STB_GLOBAL,
+    STB_LOCAL,
+    STT_FUNC,
+    STT_NOTYPE,
+    STT_OBJECT,
+)
+
+#: Section properties: (sh_type, sh_flags, alignment).
+SECTION_KINDS = {
+    ".text": (SHT_PROGBITS, SHF_ALLOC | SHF_EXECINSTR, 4),
+    ".rodata": (SHT_PROGBITS, SHF_ALLOC, 4),
+    ".data": (SHT_PROGBITS, SHF_ALLOC | SHF_WRITE, 4),
+    ".bss": (SHT_NOBITS, SHF_ALLOC | SHF_WRITE, 4),
+}
+
+ASMMAP_SECTION = ".kahrisma.asmmap"
+DBGLINE_SECTION = ".kdbg.lines"
+
+
+@dataclass
+class Symbol:
+    name: str
+    section: str
+    offset: int
+    is_global: bool = False
+    is_function: bool = False
+    size: int = 0
+
+
+@dataclass
+class Relocation:
+    section: str
+    offset: int
+    reloc_type: int
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class ObjectFile:
+    """One relocatable translation unit."""
+
+    name: str = "<object>"
+    sections: Dict[str, bytearray] = field(default_factory=dict)
+    bss_size: int = 0
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    relocations: List[Relocation] = field(default_factory=list)
+    #: Section-relative line maps (addresses are .text offsets).
+    asm_map: LineMap = field(default_factory=LineMap)
+    src_map: LineMap = field(default_factory=LineMap)
+
+    def section_data(self, name: str) -> bytearray:
+        if name == ".bss":
+            raise ElfError(".bss carries no data")
+        return self.sections.setdefault(name, bytearray())
+
+    def section_size(self, name: str) -> int:
+        if name == ".bss":
+            return self.bss_size
+        return len(self.sections.get(name, b""))
+
+    def define_symbol(
+        self,
+        name: str,
+        section: str,
+        offset: int,
+        *,
+        is_global: bool = False,
+        is_function: bool = False,
+        size: int = 0,
+    ) -> Symbol:
+        if name in self.symbols:
+            raise ElfError(f"{self.name}: duplicate symbol {name!r}")
+        sym = Symbol(name, section, offset, is_global, is_function, size)
+        self.symbols[name] = sym
+        return sym
+
+    # -- ELF round-trip -------------------------------------------------------
+
+    def to_elf(self) -> ElfFile:
+        elf = ElfFile(e_type=ET_REL)
+        for sec_name, (sh_type, flags, align) in SECTION_KINDS.items():
+            if sec_name == ".bss":
+                if self.bss_size:
+                    elf.add_section(
+                        ElfSection(
+                            ".bss", SHT_NOBITS, flags,
+                            nobits_size=self.bss_size, addralign=align,
+                        )
+                    )
+                continue
+            data = self.sections.get(sec_name)
+            if data:
+                elf.add_section(
+                    ElfSection(
+                        sec_name, sh_type, flags,
+                        data=bytes(data), addralign=align,
+                    )
+                )
+        if len(self.asm_map):
+            elf.add_section(
+                ElfSection(ASMMAP_SECTION, SHT_PROGBITS,
+                           data=self.asm_map.encode())
+            )
+        if len(self.src_map):
+            elf.add_section(
+                ElfSection(DBGLINE_SECTION, SHT_PROGBITS,
+                           data=self.src_map.encode())
+            )
+        for sym in self.symbols.values():
+            if sym.section and elf.section(sym.section) is None:
+                # Symbol in an empty section: emit the section anyway so
+                # the reference stays valid.
+                sh_type, flags, align = SECTION_KINDS[sym.section]
+                elf.add_section(
+                    ElfSection(sym.section, sh_type, flags, addralign=align)
+                )
+            elf.symbols.append(
+                ElfSymbol(
+                    name=sym.name,
+                    value=sym.offset,
+                    size=sym.size,
+                    binding=STB_GLOBAL if sym.is_global else STB_LOCAL,
+                    sym_type=STT_FUNC if sym.is_function else (
+                        STT_OBJECT if sym.section in (".data", ".rodata", ".bss")
+                        else STT_NOTYPE
+                    ),
+                    section=sym.section,
+                )
+            )
+        # Undefined symbols referenced by relocations.
+        defined = set(self.symbols)
+        for rel in self.relocations:
+            if rel.symbol not in defined:
+                defined.add(rel.symbol)
+                elf.symbols.append(
+                    ElfSymbol(name=rel.symbol, binding=STB_GLOBAL, section="")
+                )
+            elf.relocations.append(
+                ElfRelocation(
+                    section=rel.section,
+                    offset=rel.offset,
+                    reloc_type=rel.reloc_type,
+                    symbol=rel.symbol,
+                    addend=rel.addend,
+                )
+            )
+        return elf
+
+    @classmethod
+    def from_elf(cls, elf: ElfFile, name: str = "<elf>") -> "ObjectFile":
+        if elf.e_type != ET_REL:
+            raise ElfError(f"{name}: not a relocatable object")
+        obj = cls(name=name)
+        for sec in elf.sections:
+            if sec.name == ".bss":
+                obj.bss_size = sec.size
+            elif sec.name in SECTION_KINDS:
+                obj.sections[sec.name] = bytearray(sec.data)
+            elif sec.name == ASMMAP_SECTION:
+                obj.asm_map = LineMap.decode(sec.data)
+            elif sec.name == DBGLINE_SECTION:
+                obj.src_map = LineMap.decode(sec.data)
+        for sym in elf.symbols:
+            if not sym.is_defined:
+                continue
+            obj.symbols[sym.name] = Symbol(
+                name=sym.name,
+                section=sym.section,
+                offset=sym.value,
+                is_global=sym.is_global,
+                is_function=sym.sym_type == STT_FUNC,
+                size=sym.size,
+            )
+        for rel in elf.relocations:
+            obj.relocations.append(
+                Relocation(rel.section, rel.offset, rel.reloc_type,
+                           rel.symbol, rel.addend)
+            )
+        return obj

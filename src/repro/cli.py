@@ -1,0 +1,329 @@
+"""Command-line interface of the KAHRISMA framework.
+
+Subcommands mirror the paper's toolchain (Figure 2)::
+
+    kahrisma compile app.kc -o app.elf --isa vliw4
+    kahrisma asm app.s -o app.elf --entry '$risc$main' --entry-isa 0
+    kahrisma run app.elf --model doe [--isa 2] [--trace out.trc]
+    kahrisma disasm app.elf
+    kahrisma ilp app.kc
+    kahrisma select app.kc
+    kahrisma targetgen --emit-sim gen_sim.py --emit-stubs libc.s
+    kahrisma programs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from .adl.kahrisma import KAHRISMA
+from .binutils.assembler import Assembler
+from .binutils.elf import ElfFile
+from .binutils.linker import link
+from .binutils.loader import load_executable
+from .cycles.aie import AieModel
+from .cycles.branch import (
+    BimodalPredictor,
+    BranchModel,
+    GsharePredictor,
+    NotTakenPredictor,
+)
+from .cycles.doe import DoeModel
+from .cycles.ilp import IlpModel
+from .framework.pipeline import build
+from .framework.selection import profile_functions, select_isas
+from .lang.driver import compile_mixed, compile_source
+from .programs import PROGRAMS, load_program
+from .rtl.pipeline import RtlPipeline
+from .sim.disasm import disassemble_range
+from .sim.interpreter import Interpreter
+from .sim.tracing import Tracer
+from .targetgen.asmgen import generate_libc_stubs
+from .targetgen.codegen import write_simulator_module
+from .targetgen.docgen import write_isa_reference
+
+
+def _parse_isa_map(text: Optional[str]) -> Dict[str, str]:
+    result: Dict[str, str] = {}
+    if text:
+        for pair in text.split(","):
+            name, _, isa = pair.partition("=")
+            if not isa:
+                raise SystemExit(f"--mixed expects fn=isa pairs, got {pair!r}")
+            result[name.strip()] = isa.strip()
+    return result
+
+
+def _read_source(path: str) -> str:
+    if path in PROGRAMS:
+        return load_program(path)
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = _read_source(args.input)
+    isa_map = _parse_isa_map(args.mixed)
+    if isa_map:
+        compiled = compile_mixed(
+            source, KAHRISMA, isa_map=isa_map, default_isa=args.isa,
+            filename=args.input,
+        )
+    else:
+        compiled = compile_source(
+            source, KAHRISMA, isa=args.isa, filename=args.input
+        )
+    if args.emit_asm:
+        with open(args.emit_asm, "w", encoding="utf-8") as f:
+            f.write(compiled.assembly)
+    obj = Assembler(KAHRISMA).assemble(compiled.assembly, args.input)
+    elf, _info = link(
+        [obj], KAHRISMA,
+        entry_symbol=compiled.entry_symbol, entry_isa=compiled.entry_isa,
+    )
+    with open(args.output, "wb") as f:
+        f.write(elf.write())
+    print(f"wrote {args.output} (entry {compiled.entry_symbol})")
+    return 0
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    with open(args.input, "r", encoding="utf-8") as f:
+        source = f.read()
+    obj = Assembler(KAHRISMA).assemble(source, args.input)
+    elf, _info = link(
+        [obj], KAHRISMA, entry_symbol=args.entry, entry_isa=args.entry_isa
+    )
+    with open(args.output, "wb") as f:
+        f.write(elf.write())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _make_branch_model(name: Optional[str], penalty: int):
+    if name is None or name == "perfect":
+        return None
+    predictors = {
+        "not-taken": NotTakenPredictor,
+        "bimodal": BimodalPredictor,
+        "gshare": GsharePredictor,
+    }
+    if name not in predictors:
+        raise SystemExit(f"unknown branch predictor {name!r}")
+    return BranchModel(predictors[name](), penalty=penalty)
+
+
+def _make_model(name: Optional[str], width: int, branch_model=None):
+    if name is None or name == "none":
+        return None
+    if name == "ilp":
+        return IlpModel()
+    if name == "aie":
+        return AieModel(branch_model=branch_model)
+    if name == "doe":
+        return DoeModel(issue_width=width, branch_model=branch_model)
+    if name == "rtl":
+        return RtlPipeline(issue_width=width, branch_model=branch_model)
+    raise SystemExit(f"unknown cycle model {name!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as f:
+        elf = ElfFile.read(f.read())
+    program = load_executable(elf, KAHRISMA, isa_id=args.isa)
+    width = KAHRISMA.isa(program.state.isa_id).issue_width
+    branch_model = _make_branch_model(args.branch_predictor,
+                                      args.branch_penalty)
+    model = _make_model(args.model, width, branch_model)
+    tracer = None
+    trace_file = None
+    if args.trace:
+        trace_file = open(args.trace, "w", encoding="utf-8")
+        tracer = Tracer(stream=trace_file, keep_records=False)
+    interp = Interpreter(program.state, cycle_model=model, tracer=tracer)
+    stats = interp.run(max_instructions=args.max_instructions)
+    if trace_file is not None:
+        trace_file.close()
+    sys.stdout.write(program.output)
+    print("---")
+    print(f"instructions: {stats.executed_instructions}")
+    print(f"exit code:    {program.state.exit_code}")
+    print(f"mips:         {stats.mips:.3f}")
+    print(f"decode cache: {stats.decode_avoidance * 100:.3f}% decodes avoided")
+    print(f"prediction:   {stats.lookup_avoidance * 100:.3f}% lookups avoided")
+    if model is not None:
+        print(f"{args.model} cycles:   {model.cycles}")
+    if branch_model is not None:
+        print(f"branches:     {branch_model.summary()}")
+    return program.state.exit_code
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as f:
+        elf = ElfFile.read(f.read())
+    program = load_executable(elf, KAHRISMA)
+    text = elf.section(".text")
+    from .targetgen.optable import build_target
+
+    target = build_target(KAHRISMA)
+    optable = target.optable(elf.flags)
+    start = args.start if args.start is not None else text.addr
+    end = args.end if args.end is not None else text.addr + len(text.data)
+    for line in disassemble_range(optable, program.state.mem, start, end):
+        print(line)
+    return 0
+
+
+def cmd_ilp(args: argparse.Namespace) -> int:
+    source = _read_source(args.input)
+    built = build(source, isa="risc", filename=args.input)
+    attributor = profile_functions(built)
+    print(f"total: {attributor.model.ops} ops, {attributor.cycles} cycles, "
+          f"ILP {attributor.model.ops_per_cycle:.3f}")
+    print(f"{'function':<24} {'calls':>7} {'ops':>9} {'cycles':>9} {'ILP':>6}")
+    for profile in attributor.sorted_profiles():
+        if profile.instructions == 0:
+            continue
+        print(f"{profile.name:<24} {profile.calls:>7} {profile.ops:>9} "
+              f"{profile.cycles:>9} {profile.ilp:>6.2f}")
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    source = _read_source(args.input)
+    widths = tuple(int(w) for w in args.widths.split(","))
+    report = select_isas(source, widths=widths, filename=args.input)
+    print(report.format())
+    print()
+    pairs = ",".join(f"{fn}={isa}" for fn, isa in report.isa_map.items())
+    print(f"isa_map: --mixed '{pairs}'")
+    return 0
+
+
+def cmd_targetgen(args: argparse.Namespace) -> int:
+    if args.emit_sim:
+        write_simulator_module(KAHRISMA, args.emit_sim)
+        print(f"wrote {args.emit_sim}")
+    if args.emit_stubs:
+        with open(args.emit_stubs, "w", encoding="utf-8") as f:
+            f.write(generate_libc_stubs(KAHRISMA))
+        print(f"wrote {args.emit_stubs}")
+    if args.emit_doc:
+        write_isa_reference(KAHRISMA, args.emit_doc)
+        print(f"wrote {args.emit_doc}")
+    if not args.emit_sim and not args.emit_stubs and not args.emit_doc:
+        print("nothing to do: pass --emit-sim, --emit-stubs and/or "
+              "--emit-doc")
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .sim.tracecheck import (
+        diff_architectural_effects,
+        diff_traces,
+        parse_trace_file,
+    )
+
+    with open(args.left, "r", encoding="utf-8") as f:
+        left = parse_trace_file(f.read())
+    with open(args.right, "r", encoding="utf-8") as f:
+        right = parse_trace_file(f.read())
+    if args.effects_only:
+        mismatch = diff_architectural_effects(left, right)
+    else:
+        mismatch = diff_traces(left, right, compare_cycles=args.cycles)
+    if mismatch is None:
+        print(f"traces agree ({len(left)} records)")
+        return 0
+    print(mismatch.format())
+    return 1
+
+
+def cmd_programs(_args: argparse.Namespace) -> int:
+    for name, description in PROGRAMS.items():
+        print(f"{name:<10} {description}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="kahrisma",
+        description="Cycle-approximate, mixed-ISA simulator framework "
+                    "for the KAHRISMA architecture",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile KC source to an executable")
+    p.add_argument("input", help="KC source file or bundled program name")
+    p.add_argument("-o", "--output", default="a.elf")
+    p.add_argument("--isa", default="risc",
+                   choices=["risc", "vliw2", "vliw4", "vliw6", "vliw8"])
+    p.add_argument("--mixed", help="per-function ISA map: fn=isa,fn=isa,...")
+    p.add_argument("--emit-asm", help="also write the assembly file")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("asm", help="assemble + link an assembly file")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", default="a.elf")
+    p.add_argument("--entry", default="$risc$main")
+    p.add_argument("--entry-isa", type=int, default=0)
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("run", help="simulate an executable")
+    p.add_argument("input")
+    p.add_argument("--model", choices=["none", "ilp", "aie", "doe", "rtl"],
+                   default="none")
+    p.add_argument("--isa", type=int, default=None,
+                   help="override the initial ISA id")
+    p.add_argument("--trace", help="write a trace file")
+    p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.add_argument("--branch-predictor",
+                   choices=["perfect", "not-taken", "bimodal", "gshare"],
+                   default="perfect",
+                   help="branch misprediction extension (aie/doe/rtl)")
+    p.add_argument("--branch-penalty", type=int, default=3)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble an executable")
+    p.add_argument("input")
+    p.add_argument("--start", type=lambda v: int(v, 0), default=None)
+    p.add_argument("--end", type=lambda v: int(v, 0), default=None)
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("ilp", help="per-function theoretical ILP report")
+    p.add_argument("input")
+    p.set_defaults(func=cmd_ilp)
+
+    p = sub.add_parser("select", help="ILP-indicator ISA selection")
+    p.add_argument("input")
+    p.add_argument("--widths", default="1,2,4,6,8")
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("targetgen",
+                       help="emit generated simulator fragments")
+    p.add_argument("--emit-sim", help="write the simulator module")
+    p.add_argument("--emit-stubs", help="write the libc stub assembly")
+    p.add_argument("--emit-doc", help="write the Markdown ISA reference")
+    p.set_defaults(func=cmd_targetgen)
+
+    p = sub.add_parser("trace-diff",
+                       help="compare two trace files (ISA validation)")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--effects-only", action="store_true",
+                   help="compare only the memory-store sequences")
+    p.add_argument("--cycles", action="store_true",
+                   help="require identical cycle numbers too")
+    p.set_defaults(func=cmd_trace_diff)
+
+    p = sub.add_parser("programs", help="list bundled benchmark programs")
+    p.set_defaults(func=cmd_programs)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Cycle-approximation models: ILP, AIE, DOE + memory hierarchy."""
+
+from .aie import AieModel
+from .base import CycleModel
+from .branch import (
+    BackwardTakenPredictor,
+    BimodalPredictor,
+    BranchModel,
+    BranchPredictor,
+    GsharePredictor,
+    NotTakenPredictor,
+)
+from .doe import DoeModel
+from .ilp import IDEAL_MEMORY_DELAY, IlpModel
+from .memmodel import (
+    Cache,
+    ConnectionLimit,
+    HierarchyConfig,
+    MainMemory,
+    MemoryModule,
+    build_hierarchy,
+    find_cache,
+)
+
+__all__ = [
+    "AieModel",
+    "BackwardTakenPredictor",
+    "BimodalPredictor",
+    "BranchModel",
+    "BranchPredictor",
+    "GsharePredictor",
+    "NotTakenPredictor",
+    "Cache",
+    "ConnectionLimit",
+    "CycleModel",
+    "DoeModel",
+    "HierarchyConfig",
+    "IDEAL_MEMORY_DELAY",
+    "IlpModel",
+    "MainMemory",
+    "MemoryModule",
+    "build_hierarchy",
+    "find_cache",
+]

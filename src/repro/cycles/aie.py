@@ -1,0 +1,82 @@
+"""Atomic Instruction Execution cycle model (paper Section VI-B).
+
+All operations of an instruction are issued in the same cycle(s); the
+next instruction issues only after every operation of the previous one
+finished.  The instruction's delay is the maximum of its operations'
+delays, with memory operations routed through the memory hierarchy
+approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim.decoder import (
+    DecodedInstruction,
+    KIND_CTRL,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+)
+from .base import CycleModel
+from .branch import BranchModel
+from .memmodel import MASK32, MemoryModule, build_hierarchy
+
+
+class AieModel(CycleModel):
+    """Lock-step issue: instruction-atomic timing.
+
+    ``branch_model`` optionally adds the misprediction extension: a
+    mispredicted control operation charges the refill penalty before
+    the next instruction issues.
+    """
+
+    name = "AIE"
+
+    def __init__(
+        self,
+        memory: Optional[MemoryModule] = None,
+        num_regs: int = 32,
+        *,
+        branch_model: Optional[BranchModel] = None,
+    ) -> None:
+        super().__init__(num_regs)
+        self.memory = memory if memory is not None else build_hierarchy()
+        self.current_cycle = 0
+        self.branch_model = branch_model
+
+    def reset(self) -> None:
+        super().reset()
+        self.memory.reset()
+        self.current_cycle = 0
+        if self.branch_model is not None:
+            self.branch_model.reset()
+
+    def observe(self, dec: DecodedInstruction, regs: Sequence[int]) -> None:
+        self.instructions += 1
+        issue = self.current_cycle
+        max_completion = issue + 1  # an empty/NOP-only instruction still issues
+        penalty = 0
+        for op in dec.ops:
+            kind = op.kind_code
+            if kind == KIND_NOP:
+                continue
+            self.ops += 1
+            if kind == KIND_LOAD or kind == KIND_STORE:
+                addr = (regs[op.mem_base] + op.mem_imm) & MASK32
+                completion = self.memory.access(
+                    addr, kind == KIND_STORE, op.slot, issue
+                )
+            else:
+                completion = issue + op.delay
+            if completion > max_completion:
+                max_completion = completion
+            if self.branch_model is not None and kind == KIND_CTRL:
+                if self.branch_model.observe_op(op, regs, dec.addr,
+                                                dec.size):
+                    penalty = self.branch_model.penalty
+        self.current_cycle = max_completion + penalty
+
+    @property
+    def cycles(self) -> int:
+        return self.current_cycle

@@ -1,0 +1,56 @@
+"""Common interface of the cycle-approximation models (paper Section VI).
+
+A cycle model is attached to the interpreter and *observes* every
+executed instruction pre-commit (so source-register values, in
+particular memory-address base registers, are still the values the
+operations read).  It maintains its own notion of time; the simulator
+never models the pipeline structurally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.decoder import DecodedInstruction
+
+
+class CycleModel:
+    """Base class for ILP / AIE / DOE."""
+
+    name = "abstract"
+
+    def __init__(self, num_regs: int = 32) -> None:
+        self.num_regs = num_regs
+        #: Completion cycle of the last write to each register.
+        self.reg_write_cycle: List[int] = [0] * num_regs
+        #: Operations counted (non-NOP).
+        self.ops = 0
+        #: Instructions observed.
+        self.instructions = 0
+
+    def observe(self, dec: DecodedInstruction, regs: Sequence[int]) -> None:
+        """Account for one executed instruction (called pre-commit)."""
+        raise NotImplementedError
+
+    @property
+    def cycles(self) -> int:
+        """Approximated total cycle count so far."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.reg_write_cycle = [0] * self.num_regs
+        self.ops = 0
+        self.instructions = 0
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def ops_per_cycle(self) -> float:
+        c = self.cycles
+        return self.ops / c if c else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.cycles} cycles, {self.ops} ops, "
+            f"{self.ops_per_cycle:.3f} ops/cycle"
+        )

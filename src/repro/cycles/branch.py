@@ -1,0 +1,251 @@
+"""Branch-misprediction cycle approximation (the paper's future work).
+
+Section VIII: *"In future we plan to integrate cycle-approximation
+models for branch misprediction into our simulator."*  This module
+implements that extension.
+
+A :class:`BranchModel` owns a direction predictor for conditional
+branches, perfect target prediction for direct jumps/calls (a BTB with
+no conflict misses), and a return-address stack for ``jr``-style
+indirect returns.  Cycle models consult it per control operation; a
+misprediction charges a configurable pipeline-refill penalty and stalls
+instruction fetch until the branch resolves.
+
+Because the models observe the *functional* execution, the actual
+branch outcome is recomputed from the pre-commit register values — no
+interpreter changes are needed and perfect-prediction mode (the
+Table II setup) remains the default everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.decoder import DecodedOp
+
+MASK32 = 0xFFFFFFFF
+
+#: Conditional-branch evaluators: mnemonic -> f(a, b) -> taken.
+_CONDITIONS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _s32(a) < _s32(b),
+    "bge": lambda a, b: _s32(a) >= _s32(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+
+def _s32(x: int) -> int:
+    x &= MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+class BranchPredictor:
+    """Direction predictor interface for conditional branches."""
+
+    name = "abstract"
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all learned state."""
+
+
+class NotTakenPredictor(BranchPredictor):
+    """Static: always predict not-taken (fall-through fetch)."""
+
+    name = "static-not-taken"
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BackwardTakenPredictor(BranchPredictor):
+    """Static BTFN: backward branches (loops) taken, forward not.
+
+    Needs the branch displacement; the model passes it via
+    :meth:`set_displacement` before each prediction.
+    """
+
+    name = "static-btfn"
+
+    def __init__(self) -> None:
+        self._displacement = 0
+
+    def set_displacement(self, displacement: int) -> None:
+        self._displacement = displacement
+
+    def predict(self, pc: int) -> bool:
+        return self._displacement < 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit saturating counters (classic bimodal table)."""
+
+    name = "bimodal"
+
+    def __init__(self, table_bits: int = 10) -> None:
+        self.table_bits = table_bits
+        self._mask = (1 << table_bits) - 1
+        self._counters: List[int] = [2] * (1 << table_bits)  # weak taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+
+    def reset(self) -> None:
+        self._counters = [2] * (1 << self.table_bits)
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history predictor: 2-bit counters indexed by PC xor GHR."""
+
+    name = "gshare"
+
+    def __init__(self, table_bits: int = 10, history_bits: int = 8) -> None:
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters: List[int] = [2] * (1 << table_bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+        self._history = ((self._history << 1) | int(taken)) \
+            & self._history_mask
+
+    def reset(self) -> None:
+        self._counters = [2] * (1 << self.table_bits)
+        self._history = 0
+
+
+class BranchModel:
+    """Misprediction bookkeeping shared by the cycle models.
+
+    Per control operation, :meth:`observe_op` decides whether the
+    fetch unit would have followed the right path; on a misprediction
+    the caller charges ``penalty`` refill cycles after the branch
+    resolves (its issue cycle, since KAHRISMA branches resolve in one
+    cycle).
+    """
+
+    def __init__(
+        self,
+        predictor: Optional[BranchPredictor] = None,
+        *,
+        penalty: int = 3,
+        ras_depth: int = 16,
+    ) -> None:
+        self.predictor = predictor if predictor is not None \
+            else BimodalPredictor()
+        self.penalty = penalty
+        self.ras_depth = ras_depth
+        self._ras: List[int] = []
+        self.conditional_branches = 0
+        self.mispredictions = 0
+        self.ras_mispredictions = 0
+
+    def reset(self) -> None:
+        self.predictor.reset()
+        self._ras = []
+        self.conditional_branches = 0
+        self.mispredictions = 0
+        self.ras_mispredictions = 0
+
+    # -- per-operation hook -------------------------------------------------
+
+    def observe_op(
+        self, op: DecodedOp, regs: Sequence[int], addr: int, size: int
+    ) -> bool:
+        """Return True if this control op mispredicts.
+
+        ``addr``/``size`` locate the instruction (for RAS bookkeeping
+        of calls).  Non-control ops must not be passed in.
+        """
+        name = op.name
+        condition = _CONDITIONS.get(name)
+        if condition is not None:
+            self.conditional_branches += 1
+            a = regs[op.srcs[0]]
+            b = regs[op.srcs[1]]
+            taken = condition(a, b)
+            pc = addr + 4 * op.slot
+            if isinstance(self.predictor, BackwardTakenPredictor):
+                names = [f.name for f in op.entry.value_fields]
+                self.predictor.set_displacement(
+                    op.vals[names.index("imm")]
+                )
+            predicted = self.predictor.predict(pc)
+            self.predictor.update(pc, taken)
+            if predicted != taken:
+                self.mispredictions += 1
+                return True
+            return False
+        if name == "jal":
+            if len(self._ras) < self.ras_depth:
+                self._ras.append(addr + size)
+            return False  # direct target: perfect BTB
+        if name == "jalr":
+            # Indirect call: push the return address; the target is
+            # assumed BTB-predicted (calls go to stable targets).
+            if len(self._ras) < self.ras_depth:
+                self._ras.append(addr + size)
+            return False
+        if name == "jr":
+            target = regs[op.srcs[0]]
+            predicted = self._ras.pop() if self._ras else None
+            if predicted != target:
+                self.ras_mispredictions += 1
+                self.mispredictions += 1
+                return True
+            return False
+        # j, halt, switchtarget, simop: no speculation involved.
+        return False
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.conditional_branches:
+            return 0.0
+        return self.mispredictions / self.conditional_branches
+
+    def summary(self) -> str:
+        return (
+            f"branches={self.conditional_branches} "
+            f"mispredicted={self.mispredictions} "
+            f"({self.misprediction_rate * 100:.1f}%), "
+            f"ras misses={self.ras_mispredictions}, "
+            f"penalty={self.penalty}"
+        )

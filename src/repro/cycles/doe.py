@@ -1,0 +1,128 @@
+"""Dynamic Operation Execution cycle model (paper Section VI-C).
+
+Approximates the KAHRISMA microarchitecture: the slots of a VLIW
+instruction need not issue together — they *drift* against each other.
+An operation issues once the previous operation of its slot has issued
+and the true data dependencies of its input registers are fulfilled:
+
+* true data dependencies are modelled exactly like the ILP model (a
+  per-register last-write completion cycle);
+* per slot, the start cycle of the last issued operation is stored; a
+  successor in the same slot starts at least one cycle later (one
+  operation per slot and cycle);
+* memory operations are routed through the memory hierarchy
+  approximation in program order.
+
+The model is deliberately heuristic (paper's three simplifications):
+no functional-unit sharing between slots, unbounded drift, and
+program-order memory accesses.  The RTL reference model
+(:mod:`repro.rtl`) implements all three effects; Table II quantifies
+the resulting approximation error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim.decoder import (
+    DecodedInstruction,
+    KIND_CTRL,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+)
+from .base import CycleModel
+from .branch import BranchModel
+from .memmodel import MASK32, MemoryModule, build_hierarchy
+
+
+class DoeModel(CycleModel):
+    """Per-slot drifting issue with true-dependency tracking.
+
+    ``branch_model`` optionally attaches the misprediction extension
+    (the paper's future work): a mispredicted control operation stalls
+    instruction fetch until it resolves plus the refill penalty.  The
+    default (None) is the paper's perfect branch prediction.
+    """
+
+    name = "DOE"
+
+    def __init__(
+        self,
+        issue_width: int = 8,
+        memory: Optional[MemoryModule] = None,
+        num_regs: int = 32,
+        *,
+        count_nop_issue: bool = True,
+        branch_model: Optional[BranchModel] = None,
+    ) -> None:
+        super().__init__(num_regs)
+        self.issue_width = issue_width
+        self.memory = memory if memory is not None else build_hierarchy()
+        #: Start cycle of the last operation issued per slot.
+        self.slot_last_start: List[int] = [0] * issue_width
+        self.max_completion = 0
+        #: Whether NOP padding occupies its slot's issue stream (the
+        #: hardware issues NOPs like any operation; disable to model a
+        #: NOP-compressing fetch unit — used by the ablation bench).
+        self.count_nop_issue = count_nop_issue
+        self.branch_model = branch_model
+        #: Earliest cycle any operation may start (fetch refill floor
+        #: after a misprediction).
+        self.fetch_floor = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.memory.reset()
+        self.slot_last_start = [0] * self.issue_width
+        self.max_completion = 0
+        if self.branch_model is not None:
+            self.branch_model.reset()
+        self.fetch_floor = 0
+
+    def observe(self, dec: DecodedInstruction, regs: Sequence[int]) -> None:
+        self.instructions += 1
+        reg_cycle = self.reg_write_cycle
+        slot_last = self.slot_last_start
+        branch_model = self.branch_model
+        floor = self.fetch_floor
+        pending_floor = floor
+        for op in dec.ops:
+            kind = op.kind_code
+            slot = op.slot
+            if kind == KIND_NOP:
+                if self.count_nop_issue:
+                    slot_last[slot] += 1
+                continue
+            self.ops += 1
+            # One operation per slot and cycle, in slot order; never
+            # before the fetch-refill floor.
+            start = slot_last[slot] + 1
+            if floor > start:
+                start = floor
+            for src in op.srcs:
+                c = reg_cycle[src]
+                if c > start:
+                    start = c
+            if kind == KIND_LOAD or kind == KIND_STORE:
+                addr = (regs[op.mem_base] + op.mem_imm) & MASK32
+                completion = self.memory.access(
+                    addr, kind == KIND_STORE, slot, start
+                )
+            else:
+                completion = start + op.delay
+            slot_last[slot] = start
+            for dst in op.dsts:
+                reg_cycle[dst] = completion
+            if completion > self.max_completion:
+                self.max_completion = completion
+            if branch_model is not None and kind == KIND_CTRL:
+                if branch_model.observe_op(op, regs, dec.addr, dec.size):
+                    refill = completion + branch_model.penalty
+                    if refill > pending_floor:
+                        pending_floor = refill
+        self.fetch_floor = pending_floor
+
+    @property
+    def cycles(self) -> int:
+        return self.max_completion

@@ -1,0 +1,101 @@
+"""Theoretical instruction-level-parallelism measurement (Section VI-A).
+
+Predicts the performance of a KAHRISMA VLIW instance with an unlimited
+number of parallel operations, unlimited renaming registers and an
+ideal memory with the L1 delay (3 cycles) and unlimited ports.  In such
+a machine parallelism is limited only by true data dependencies:
+
+* each register records the completion cycle of its last write;
+* an instruction starts at the maximum write cycle of its sources;
+* ...but not before the completion of the last *branch* (on a VLIW only
+  operations up to the next branch can be scheduled together);
+* loads/stores are pessimistically serialised against the last store's
+  *start* cycle — the same no-alias-analysis model the compiler's
+  scheduler uses, so the measurement reflects exploitable parallelism;
+* completion = start + operation delay (3 cycles for memory).
+
+The input is the dynamic RISC instruction stream in compiler order.
+The resulting ops/cycle is the theoretical upper bound the paper uses
+as the ISA-selection indicator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.decoder import (
+    DecodedInstruction,
+    KIND_CTRL,
+    KIND_HALT,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+)
+from .base import CycleModel
+
+#: The ideal memory of the ILP model: the paper's L1 access delay.
+IDEAL_MEMORY_DELAY = 3
+
+
+class IlpModel(CycleModel):
+    """Upper-bound ILP measurement over the RISC stream.
+
+    ``pessimistic_memory`` enables the paper's default no-alias model
+    (loads/stores serialised against the last store); disabling it
+    models a compiler with perfect alias analysis — the ablation bench
+    quantifies how much ILP the pessimistic model hides.
+    """
+
+    name = "ILP"
+
+    def __init__(self, num_regs: int = 32,
+                 *, pessimistic_memory: bool = True) -> None:
+        super().__init__(num_regs)
+        self.pessimistic_memory = pessimistic_memory
+        self.last_branch_completion = 0
+        self.last_store_start = 0
+        self.max_completion = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.last_branch_completion = 0
+        self.last_store_start = 0
+        self.max_completion = 0
+
+    def observe(self, dec: DecodedInstruction, regs: Sequence[int]) -> None:
+        self.instructions += 1
+        reg_cycle = self.reg_write_cycle
+        for op in dec.ops:
+            kind = op.kind_code
+            if kind == KIND_NOP:
+                continue
+            self.ops += 1
+            start = self.last_branch_completion
+            for src in op.srcs:
+                c = reg_cycle[src]
+                if c > start:
+                    start = c
+            if kind == KIND_LOAD or kind == KIND_STORE:
+                if self.pessimistic_memory:
+                    if self.last_store_start > start:
+                        start = self.last_store_start
+                    if kind == KIND_STORE:
+                        self.last_store_start = start
+                completion = start + IDEAL_MEMORY_DELAY
+            else:
+                completion = start + op.delay
+            if kind == KIND_CTRL or kind == KIND_HALT:
+                self.last_branch_completion = completion
+            for dst in op.dsts:
+                reg_cycle[dst] = completion
+            if completion > self.max_completion:
+                self.max_completion = completion
+
+    @property
+    def cycles(self) -> int:
+        return self.max_completion
+
+    @property
+    def ilp(self) -> float:
+        """Theoretical operations per cycle (the Figure-4 y-value)."""
+        return self.ops_per_cycle

@@ -1,0 +1,277 @@
+"""Memory hierarchy approximation (paper Section VI-D).
+
+The delay of each memory access is approximated *in program order* (the
+order of the instruction stream executed by the behavioural model), not
+in the order the hardware would execute them.  The hierarchy is built
+from three module types sharing one interface — a function that maps a
+memory access to its completion cycle:
+
+* :class:`MainMemory` — fixed access delay;
+* :class:`Cache` — n-way set-associative, write-back, LRU.  Because the
+  delay function can be called out of order, every cache line stores the
+  cycle it was written; a hit completes no earlier than that;
+* :class:`ConnectionLimit` — models the limited number of access ports
+  of a cache/memory by pushing the start (and completion) cycle to the
+  next cycle with a free port.
+
+Cache and connection-limit modules hold a pointer to the submodule next
+in the hierarchy and pass misses/write-backs down the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+MASK32 = 0xFFFFFFFF
+
+
+class MemoryModule:
+    """Interface: compute the completion cycle of one memory access."""
+
+    def access(self, addr: int, is_write: bool, slot: int, start: int) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all timing/content state (new simulation run)."""
+
+
+class MainMemory(MemoryModule):
+    """Backing store with a fixed, configurable access delay."""
+
+    def __init__(self, delay: int = 18) -> None:
+        self.delay = delay
+        self.accesses = 0
+
+    def access(self, addr: int, is_write: bool, slot: int, start: int) -> int:
+        self.accesses += 1
+        return start + self.delay
+
+    def reset(self) -> None:
+        self.accesses = 0
+
+
+class _CacheLine:
+    __slots__ = ("tag", "valid", "dirty", "write_cycle", "lru")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        #: Cycle the line's data became available in this cache; a hit
+        #: cannot complete before it (out-of-order call tolerance).
+        self.write_cycle = 0
+        self.lru = 0
+
+
+class Cache(MemoryModule):
+    """n-way set-associative cache, write-back policy, LRU replacement."""
+
+    def __init__(
+        self,
+        *,
+        size: int,
+        line_size: int = 32,
+        assoc: int = 4,
+        delay: int = 3,
+        sub: Optional[MemoryModule] = None,
+        name: str = "cache",
+    ) -> None:
+        if size % (line_size * assoc) != 0:
+            raise ValueError("cache size must be a multiple of line*assoc")
+        self.size = size
+        self.line_size = line_size
+        self.assoc = assoc
+        self.delay = delay
+        self.sub = sub if sub is not None else MainMemory()
+        self.name = name
+        self.num_sets = size // (line_size * assoc)
+        self._sets: List[List[_CacheLine]] = [
+            [_CacheLine() for _ in range(assoc)] for _ in range(self.num_sets)
+        ]
+        self._lru_clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        for cache_set in self._sets:
+            for line in cache_set:
+                line.tag = -1
+                line.valid = False
+                line.dirty = False
+                line.write_cycle = 0
+                line.lru = 0
+        self._lru_clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.sub.reset()
+
+    # -- the delay function (paper Section VI-D) ---------------------------
+
+    def access(self, addr: int, is_write: bool, slot: int, start: int) -> int:
+        addr &= MASK32
+        block = addr // self.line_size
+        set_index = block % self.num_sets
+        tag = block // self.num_sets
+        cache_set = self._sets[set_index]
+        self._lru_clock += 1
+        current = start + self.delay
+
+        for line in cache_set:
+            if line.valid and line.tag == tag:
+                self.hits += 1
+                line.lru = self._lru_clock
+                if is_write:
+                    line.dirty = True
+                # Out-of-order tolerance: the hit cannot complete before
+                # the cycle the line was actually filled.
+                return max(current, line.write_cycle)
+
+        # Miss: fetch the line from the next hierarchy level.
+        self.misses += 1
+        victim = min(cache_set, key=lambda entry: entry.lru)
+        current = self.sub.access(addr, False, slot, current)
+        if victim.valid and victim.dirty:
+            # Write the evicted line back, a second subaccess.
+            self.writebacks += 1
+            victim_addr = (
+                (victim.tag * self.num_sets + set_index) * self.line_size
+            )
+            current = self.sub.access(victim_addr, True, slot, current)
+        # Store the fetched data into the cache: pay the delay again.
+        current += self.delay
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = is_write
+        victim.write_cycle = current
+        victim.lru = self._lru_clock
+        return current
+
+
+class ConnectionLimit(MemoryModule):
+    """Port-count limit in front of a cache or memory module.
+
+    Tracks per-cycle port usage; an access whose start cycle has no
+    free port is pushed to the next free cycle (Section VI-D).
+
+    ``reserve_completion`` selects the port semantics: the paper
+    applies the same mechanism to the completion cycle returned by the
+    submodule, which models a *blocking* single-ported array (request
+    and response occupy the port; sustained throughput 1 access per 2
+    cycles when saturated).  With ``False`` the cache is treated as
+    pipelined — one new request per port and cycle, responses free —
+    which is what the RTL reference implements; the ablation bench
+    quantifies the difference.
+    """
+
+    #: Prune bookkeeping when it grows past this many cycles.
+    _PRUNE_THRESHOLD = 1 << 16
+
+    def __init__(self, ports: int, sub: MemoryModule,
+                 *, reserve_completion: bool = False) -> None:
+        if ports < 1:
+            raise ValueError("a connection needs at least one port")
+        self.ports = ports
+        self.sub = sub
+        self.reserve_completion = reserve_completion
+        self._usage: Dict[int, int] = {}
+        self._horizon = 0  # highest start cycle seen (for pruning)
+        self.stalls = 0
+
+    def _reserve(self, cycle: int) -> int:
+        usage = self._usage
+        while usage.get(cycle, 0) >= self.ports:
+            cycle += 1
+            self.stalls += 1
+        usage[cycle] = usage.get(cycle, 0) + 1
+        return cycle
+
+    def _prune(self) -> None:
+        # Accesses arrive roughly in program order; entries far behind
+        # the horizon can never be queried again (register dependencies
+        # bound how far back an out-of-order call can reach).
+        if len(self._usage) > self._PRUNE_THRESHOLD:
+            floor = self._horizon - self._PRUNE_THRESHOLD // 2
+            self._usage = {c: n for c, n in self._usage.items() if c >= floor}
+
+    def access(self, addr: int, is_write: bool, slot: int, start: int) -> int:
+        start = self._reserve(start)
+        if start > self._horizon:
+            self._horizon = start
+            self._prune()
+        completion = self.sub.access(addr, is_write, slot, start)
+        if self.reserve_completion:
+            completion = self._reserve(completion)
+        return completion
+
+    def reset(self) -> None:
+        self._usage.clear()
+        self._horizon = 0
+        self.stalls = 0
+        self.sub.reset()
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Parameters of the three-level hierarchy used in the paper (§VII)."""
+
+    l1_size: int = 2 * 1024
+    l1_assoc: int = 4
+    l1_delay: int = 3
+    l1_ports: int = 1
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 4
+    l2_delay: int = 6
+    main_delay: int = 18
+    line_size: int = 32
+    #: Blocking (True, the paper's wording) vs pipelined (False) L1
+    #: port semantics; see :class:`ConnectionLimit`.
+    l1_blocking_port: bool = False
+
+
+def build_hierarchy(config: HierarchyConfig = HierarchyConfig()) -> MemoryModule:
+    """Build the paper's L1 / L2 / main-memory chain with an L1 port limit."""
+    main = MainMemory(config.main_delay)
+    l2 = Cache(
+        size=config.l2_size,
+        line_size=config.line_size,
+        assoc=config.l2_assoc,
+        delay=config.l2_delay,
+        sub=main,
+        name="L2",
+    )
+    l1 = Cache(
+        size=config.l1_size,
+        line_size=config.line_size,
+        assoc=config.l1_assoc,
+        delay=config.l1_delay,
+        sub=l2,
+        name="L1",
+    )
+    return ConnectionLimit(
+        config.l1_ports, l1,
+        reserve_completion=config.l1_blocking_port,
+    )
+
+
+def find_cache(module: MemoryModule, name: str) -> Optional[Cache]:
+    """Walk a hierarchy chain and return the cache called ``name``."""
+    current: Optional[MemoryModule] = module
+    while current is not None:
+        if isinstance(current, Cache) and current.name == name:
+            return current
+        current = getattr(current, "sub", None)
+    return None

@@ -1,0 +1,47 @@
+"""High-level framework API: build/run pipeline and ISA selection."""
+
+from .cost import (
+    CostParameters,
+    CostReport,
+    OpClassCounts,
+    estimate_width,
+    evaluate_widths,
+    select_isas_cost_aware,
+)
+from .pipeline import (
+    BuildResult,
+    RunResult,
+    build,
+    build_and_run,
+    build_benchmark,
+    run,
+)
+from .selection import (
+    FunctionAttributor,
+    FunctionProfile,
+    SelectionReport,
+    demangle,
+    profile_functions,
+    select_isas,
+)
+
+__all__ = [
+    "BuildResult",
+    "CostParameters",
+    "CostReport",
+    "OpClassCounts",
+    "estimate_width",
+    "evaluate_widths",
+    "select_isas_cost_aware",
+    "FunctionAttributor",
+    "FunctionProfile",
+    "RunResult",
+    "SelectionReport",
+    "build",
+    "build_and_run",
+    "build_benchmark",
+    "demangle",
+    "profile_functions",
+    "run",
+    "select_isas",
+]

@@ -1,0 +1,325 @@
+"""Energy / resource / reconfiguration cost model for ISA selection.
+
+The paper's outlook (Section VIII): ISA selection should weigh
+*reconfiguration overhead, resource consumption, energy consumption and
+performance*.  This module provides that cost side:
+
+* a per-operation-class dynamic energy model (counted on the functional
+  stream, so it is ISA-independent except for NOP fetch overhead);
+* static energy proportional to the EDPEs a configuration occupies
+  (Figure 1: an n-issue instance binds n EDPEs) times its runtime;
+* a reconfiguration charge per ISA switch (cycles and energy);
+* :func:`evaluate_widths` — the per-function width sweep combining the
+  ILP-based cycle estimate with the energy model;
+* :func:`select_isas_cost_aware` — selection minimising cycles, energy
+  or energy-delay product under an EDPE budget.
+
+Units are arbitrary but self-consistent (think pJ and cycles); all
+weights are configurable through :class:`CostParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..adl.kahrisma import KAHRISMA
+from ..adl.model import Architecture
+from ..sim.decoder import (
+    KIND_CTRL,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+)
+from .pipeline import build
+from .selection import (
+    DEFAULT_WIDTH_ISAS,
+    FunctionAttributor,
+    demangle,
+    profile_functions,
+)
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Energy and overhead weights (arbitrary consistent units)."""
+
+    energy_alu: float = 1.0
+    energy_mul: float = 3.0
+    energy_div: float = 8.0
+    energy_mem: float = 4.0
+    energy_ctrl: float = 1.0
+    #: A fetched-and-issued NOP still burns fetch/issue energy.
+    energy_nop: float = 0.2
+    #: Static/leakage energy per EDPE per cycle.
+    static_per_edpe: float = 0.05
+    #: Cycles to reconfigure the fabric to another instruction format.
+    reconfig_cycles: int = 32
+    #: Energy per reconfiguration.
+    reconfig_energy: float = 50.0
+
+
+@dataclass
+class OpClassCounts:
+    """Operation-class histogram of one function (functional stream)."""
+
+    alu: int = 0
+    mul: int = 0
+    div: int = 0
+    mem: int = 0
+    ctrl: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.alu + self.mul + self.div + self.mem + self.ctrl
+
+    def dynamic_energy(self, params: CostParameters) -> float:
+        return (
+            self.alu * params.energy_alu
+            + self.mul * params.energy_mul
+            + self.div * params.energy_div
+            + self.mem * params.energy_mem
+            + self.ctrl * params.energy_ctrl
+        )
+
+
+class ClassCountingAttributor(FunctionAttributor):
+    """Function attributor that additionally histograms op classes."""
+
+    def __init__(self, model, functions) -> None:
+        super().__init__(model, functions)
+        self.class_counts: Dict[str, OpClassCounts] = {
+            name: OpClassCounts() for name in self.profiles
+        }
+
+    def observe(self, dec, regs) -> None:
+        super().observe(dec, regs)
+        profile, _is_entry = self._profile_at(dec.addr)
+        counts = self.class_counts[profile.name]
+        for op in dec.ops:
+            kind = op.kind_code
+            if kind == KIND_NOP:
+                continue
+            if kind in (KIND_LOAD, KIND_STORE):
+                counts.mem += 1
+            elif kind == KIND_CTRL:
+                counts.ctrl += 1
+            elif op.fu_class == "mul":
+                counts.mul += 1
+            elif op.fu_class == "div":
+                counts.div += 1
+            else:
+                counts.alu += 1
+
+
+@dataclass
+class WidthEstimate:
+    """Estimated cost of running one function on one issue width."""
+
+    width: int
+    cycles: float
+    dynamic_energy: float
+    nop_energy: float
+    static_energy: float
+
+    @property
+    def energy(self) -> float:
+        return self.dynamic_energy + self.nop_energy + self.static_energy
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.cycles
+
+
+def estimate_width(
+    counts: OpClassCounts,
+    ilp: float,
+    width: int,
+    params: CostParameters,
+) -> WidthEstimate:
+    """Estimate cycles and energy of one function at one issue width.
+
+    Cycles follow the selection heuristic: effective parallelism is
+    ``min(width, ILP)``.  Energy adds NOP-slot fetch energy (wider
+    formats fetch more padding) and static energy for ``width`` EDPEs
+    over the estimated runtime.
+    """
+    ops = counts.total
+    effective = max(min(float(width), ilp), 1.0) if ops else 1.0
+    cycles = ops / effective if ops else 0.0
+    bundles = cycles  # one bundle issued per cycle per slot group
+    nop_slots = max(bundles * width - ops, 0.0)
+    return WidthEstimate(
+        width=width,
+        cycles=cycles,
+        dynamic_energy=counts.dynamic_energy(params),
+        nop_energy=nop_slots * params.energy_nop,
+        static_energy=cycles * width * params.static_per_edpe,
+    )
+
+
+def evaluate_widths(
+    counts: OpClassCounts,
+    ilp: float,
+    widths: Sequence[int],
+    params: CostParameters,
+) -> List[WidthEstimate]:
+    return [estimate_width(counts, ilp, w, params) for w in widths]
+
+
+@dataclass
+class CostChoice:
+    function: str
+    isa: str
+    width: int
+    estimate: WidthEstimate
+    reconfig_cost: float
+    objective_value: float
+
+
+@dataclass
+class CostReport:
+    """Outcome of cost-aware selection."""
+
+    objective: str
+    choices: List[CostChoice]
+    isa_map: Dict[str, str]
+    params: CostParameters
+    estimates: Dict[str, List[WidthEstimate]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [
+            f"objective: {self.objective}",
+            f"{'function':<20} {'ISA':>7} {'cycles':>10} {'energy':>10} "
+            f"{'EDP':>12} {'reconfig':>9}",
+            "-" * 74,
+        ]
+        for choice in self.choices:
+            est = choice.estimate
+            lines.append(
+                f"{choice.function:<20} {choice.isa:>7} "
+                f"{est.cycles:>10.0f} {est.energy:>10.1f} "
+                f"{est.edp:>12.0f} {choice.reconfig_cost:>9.1f}"
+            )
+        return "\n".join(lines)
+
+
+def select_isas_cost_aware(
+    source: str,
+    *,
+    arch: Architecture = KAHRISMA,
+    objective: str = "edp",
+    widths: Sequence[int] = (1, 2, 4, 6, 8),
+    params: CostParameters = CostParameters(),
+    edpe_budget: Optional[int] = None,
+    filename: str = "<kc>",
+    entry: str = "main",
+) -> CostReport:
+    """Pick an ISA per function minimising the chosen objective.
+
+    ``objective``: ``"cycles"``, ``"energy"`` or ``"edp"``.
+    ``edpe_budget`` caps the *widest* configuration any function may
+    use (resource consumption: an n-issue instance occupies n EDPEs).
+    Reconfiguration overhead is charged per call of each function whose
+    ISA differs from the entry function's (a switch in and out).
+    """
+    if objective not in ("cycles", "energy", "edp"):
+        raise ValueError(f"unknown objective {objective!r}")
+    built = build(source, arch=arch, isa="risc", filename=filename,
+                  entry=entry)
+    from ..binutils.loader import load_executable
+    from ..cycles.ilp import IlpModel
+    from ..sim.interpreter import Interpreter
+
+    program = load_executable(built.elf, built.arch)
+    attributor = ClassCountingAttributor(
+        IlpModel(), program.debug_info.functions
+    )
+    Interpreter(program.state, cycle_model=attributor).run()
+
+    usable_widths = [
+        w for w in widths
+        if w in DEFAULT_WIDTH_ISAS
+        and (edpe_budget is None or w <= edpe_budget)
+    ]
+    if not usable_widths:
+        raise ValueError("no usable issue widths under the EDPE budget")
+
+    user_functions = {
+        name for name in built.compile_result.functions
+    }
+    choices: List[CostChoice] = []
+    isa_map: Dict[str, str] = {}
+    estimates: Dict[str, List[WidthEstimate]] = {}
+    entry_width = None
+
+    # Decide the entry function first: every other function's
+    # reconfiguration charge is relative to the format it is entered
+    # from, and the entry function's format is the baseline.
+    ordered = sorted(
+        attributor.sorted_profiles(),
+        key=lambda p: demangle(p.name) != entry,
+    )
+    for profile in ordered:
+        name = demangle(profile.name)
+        if name not in user_functions or profile.instructions == 0:
+            continue
+        counts = attributor.class_counts[profile.name]
+        candidate_estimates = evaluate_widths(
+            counts, profile.ilp, usable_widths, params
+        )
+        estimates[name] = candidate_estimates
+
+        def objective_of(est: WidthEstimate, reconfig: float) -> float:
+            if objective == "cycles":
+                return est.cycles + reconfig
+            if objective == "energy":
+                return est.energy + reconfig
+            return (est.energy + reconfig) * (est.cycles + reconfig)
+
+        best = None
+        for est in candidate_estimates:
+            # Reconfiguration: entering and leaving the function's ISA
+            # once per call if it differs from the entry function's.
+            differs = (
+                name != entry
+                and est.width != (entry_width if entry_width else 1)
+            )
+            reconfig = 0.0
+            if differs:
+                switches = 2 * profile.calls
+                if objective == "cycles":
+                    reconfig = switches * params.reconfig_cycles
+                elif objective == "energy":
+                    reconfig = switches * params.reconfig_energy
+                else:
+                    reconfig = switches * (
+                        params.reconfig_cycles + params.reconfig_energy
+                    ) / 2.0
+            value = objective_of(est, reconfig)
+            if best is None or value < best[0]:
+                best = (value, est, reconfig)
+
+        value, est, reconfig = best
+        isa = DEFAULT_WIDTH_ISAS[est.width]
+        if name == entry:
+            entry_width = est.width
+        choices.append(
+            CostChoice(
+                function=name,
+                isa=isa,
+                width=est.width,
+                estimate=est,
+                reconfig_cost=reconfig,
+                objective_value=value,
+            )
+        )
+        isa_map[name] = isa
+
+    return CostReport(
+        objective=objective,
+        choices=choices,
+        isa_map=isa_map,
+        params=params,
+        estimates=estimates,
+    )

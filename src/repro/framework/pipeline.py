@@ -1,0 +1,170 @@
+"""One-call build/run pipeline over the whole toolchain.
+
+Mirrors the paper's framework flow (Figure 2): C source → compiler →
+assembler → linker → ELF executable → cycle-approximate simulation.
+This is the primary public API of the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..adl.kahrisma import KAHRISMA
+from ..adl.model import Architecture
+from ..binutils.assembler import Assembler
+from ..binutils.elf import ElfFile
+from ..binutils.linker import LinkInfo, link
+from ..binutils.loader import LoadedProgram, load_executable
+from ..lang.driver import CompileResult, compile_mixed, compile_source
+from ..programs import load_program
+from ..sim.interpreter import Interpreter
+from ..sim.stats import SimStats
+from ..sim.tracing import Tracer
+
+DEFAULT_MAX_INSTRUCTIONS = 100_000_000
+
+
+@dataclass
+class BuildResult:
+    """A linked executable plus everything known about it."""
+
+    elf: ElfFile
+    link_info: LinkInfo
+    compile_result: CompileResult
+    arch: Architecture
+
+    @property
+    def entry_symbol(self) -> str:
+        return self.compile_result.entry_symbol
+
+    @property
+    def entry_isa(self) -> int:
+        return self.compile_result.entry_isa
+
+    @property
+    def issue_width(self) -> int:
+        return self.arch.isa(self.entry_isa).issue_width
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation."""
+
+    output: str
+    stats: SimStats
+    program: LoadedProgram
+    cycle_model: object = None
+    tracer: Optional[Tracer] = None
+
+    @property
+    def cycles(self) -> Optional[int]:
+        if self.cycle_model is None:
+            return None
+        return self.cycle_model.cycles
+
+    @property
+    def exit_code(self) -> int:
+        return self.program.state.exit_code
+
+
+def build(
+    source: str,
+    *,
+    arch: Architecture = KAHRISMA,
+    isa: str = "risc",
+    isa_map: Optional[Dict[str, str]] = None,
+    filename: str = "<kc>",
+    optimize_ir: bool = True,
+    entry: str = "main",
+) -> BuildResult:
+    """Compile, assemble and link one KC source file.
+
+    ``isa`` sets the ISA for every function; ``isa_map`` overrides it
+    per function (cross-ISA calls get switchtarget thunks).
+    """
+    if isa_map:
+        compiled = compile_mixed(
+            source, arch, isa_map=isa_map, default_isa=isa,
+            filename=filename, optimize_ir=optimize_ir, entry=entry,
+        )
+    else:
+        compiled = compile_source(
+            source, arch, isa=isa, filename=filename,
+            optimize_ir=optimize_ir, entry=entry,
+        )
+    asm_name = filename.replace(".kc", ".s") if filename else "<asm>"
+    obj = Assembler(arch).assemble(compiled.assembly, asm_name)
+    elf, info = link(
+        [obj], arch,
+        entry_symbol=compiled.entry_symbol,
+        entry_isa=compiled.entry_isa,
+    )
+    return BuildResult(elf=elf, link_info=info, compile_result=compiled,
+                       arch=arch)
+
+
+def build_benchmark(
+    name: str,
+    *,
+    arch: Architecture = KAHRISMA,
+    isa: str = "risc",
+    isa_map: Optional[Dict[str, str]] = None,
+) -> BuildResult:
+    """Build one of the bundled benchmark programs (paper Section VII)."""
+    return build(
+        load_program(name), arch=arch, isa=isa, isa_map=isa_map,
+        filename=f"{name}.kc",
+    )
+
+
+def run(
+    built: BuildResult,
+    *,
+    cycle_model=None,
+    tracer: Optional[Tracer] = None,
+    use_decode_cache: bool = True,
+    use_prediction: bool = True,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    input_data: bytes = b"",
+    isa_id: Optional[int] = None,
+    ip_history: int = 0,
+) -> RunResult:
+    """Load and simulate a built executable."""
+    program = load_executable(
+        built.elf, built.arch, isa_id=isa_id, input_data=input_data
+    )
+    interpreter = Interpreter(
+        program.state,
+        cycle_model=cycle_model,
+        tracer=tracer,
+        use_decode_cache=use_decode_cache,
+        use_prediction=use_prediction,
+        ip_history=ip_history,
+    )
+    stats = interpreter.run(max_instructions=max_instructions)
+    return RunResult(
+        output=program.output,
+        stats=stats,
+        program=program,
+        cycle_model=cycle_model,
+        tracer=tracer,
+    )
+
+
+def build_and_run(
+    source: str,
+    *,
+    arch: Architecture = KAHRISMA,
+    isa: str = "risc",
+    isa_map: Optional[Dict[str, str]] = None,
+    cycle_model=None,
+    filename: str = "<kc>",
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> RunResult:
+    """Convenience wrapper: build() followed by run()."""
+    built = build(
+        source, arch=arch, isa=isa, isa_map=isa_map, filename=filename
+    )
+    return run(built, cycle_model=cycle_model,
+               max_instructions=max_instructions)

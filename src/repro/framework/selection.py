@@ -1,0 +1,253 @@
+"""Function-granularity ISA selection using the ILP indicator.
+
+The paper's motivation (Sections I, VIII): the reconfigurable
+instruction format raises the problem of selecting an appropriate ISA
+per function of an application, and the theoretical ILP measurement is
+the proposed indicator — it avoids simulating every (ISA, application)
+combination.
+
+This module implements that envisioned flow:
+
+1. run the application once on the RISC ISA with the ILP model,
+   attributing ops/cycles to functions (address ranges from the debug
+   information);
+2. for each function, estimate the speedup of each issue width as
+   ``min(width, ILP_f)`` and choose the narrowest width that reaches a
+   configurable fraction of the best achievable speedup — wider
+   formats cost EDPE resources (Figure 1), so "wide enough" wins;
+3. charge a reconfiguration overhead per ISA switch: functions whose
+   per-call work is small compared to the switch cost inherit their
+   caller's ISA rather than forcing reconfigurations.
+
+The result is an ``isa_map`` directly usable with
+:func:`repro.framework.pipeline.build`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..adl.kahrisma import KAHRISMA
+from ..adl.model import Architecture
+from ..binutils.loader import load_executable
+from ..cycles.ilp import IlpModel
+from ..sim.interpreter import Interpreter
+from .pipeline import BuildResult, build
+
+DEFAULT_WIDTH_ISAS = {1: "risc", 2: "vliw2", 4: "vliw4", 6: "vliw6", 8: "vliw8"}
+
+
+def demangle(symbol: str) -> str:
+    """``$risc$main`` → ``main``."""
+    if symbol.startswith("$"):
+        parts = symbol.split("$", 2)
+        if len(parts) == 3:
+            return parts[2]
+    return symbol
+
+
+@dataclass
+class FunctionProfile:
+    """Per-function measurement from the attribution run."""
+
+    name: str
+    instructions: int = 0
+    ops: int = 0
+    cycles: int = 0
+    calls: int = 0
+
+    @property
+    def ilp(self) -> float:
+        """Theoretical ILP of this function (the selection indicator)."""
+        return self.ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def ops_per_call(self) -> float:
+        return self.ops / self.calls if self.calls else float(self.ops)
+
+
+class FunctionAttributor:
+    """Cycle-model wrapper attributing model-cycle growth to functions.
+
+    Works with any model whose ``cycles`` is monotone in observations
+    (ILP, AIE, DOE all are).
+    """
+
+    def __init__(self, model, functions) -> None:
+        self.model = model
+        ranges = sorted(functions, key=lambda f: f.start)
+        self._starts = [f.start for f in ranges]
+        self._ranges = ranges
+        self.profiles: Dict[str, FunctionProfile] = {
+            f.name: FunctionProfile(name=f.name) for f in ranges
+        }
+        self._fallback = FunctionProfile(name="<unknown>")
+        self.profiles["<unknown>"] = self._fallback
+
+    def _profile_at(self, addr: int) -> Tuple[FunctionProfile, bool]:
+        pos = bisect.bisect_right(self._starts, addr) - 1
+        if pos >= 0:
+            fn = self._ranges[pos]
+            if addr < fn.end:
+                return self.profiles[fn.name], addr == fn.start
+        return self._fallback, False
+
+    def observe(self, dec, regs) -> None:
+        before = self.model.cycles
+        self.model.observe(dec, regs)
+        delta = self.model.cycles - before
+        profile, is_entry = self._profile_at(dec.addr)
+        profile.instructions += 1
+        profile.ops += dec.n_exec
+        profile.cycles += delta
+        if is_entry:
+            profile.calls += 1
+
+    @property
+    def cycles(self) -> int:
+        return self.model.cycles
+
+    def sorted_profiles(self) -> List[FunctionProfile]:
+        return sorted(
+            self.profiles.values(), key=lambda p: p.cycles, reverse=True
+        )
+
+
+@dataclass
+class FunctionChoice:
+    function: str
+    ilp: float
+    cycle_share: float
+    ops_per_call: float
+    width: int
+    isa: str
+    reason: str
+
+
+@dataclass
+class SelectionReport:
+    """Everything the selection produced, plus the usable isa_map."""
+
+    choices: List[FunctionChoice]
+    isa_map: Dict[str, str]
+    total_cycles: int
+    profiles: List[FunctionProfile] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            f"{'function':<20} {'ILP':>6} {'share':>7} {'ops/call':>9} "
+            f"{'ISA':>7}  reason",
+            "-" * 72,
+        ]
+        for choice in self.choices:
+            lines.append(
+                f"{choice.function:<20} {choice.ilp:>6.2f} "
+                f"{choice.cycle_share * 100:>6.1f}% "
+                f"{choice.ops_per_call:>9.1f} {choice.isa:>7}  "
+                f"{choice.reason}"
+            )
+        return "\n".join(lines)
+
+
+def profile_functions(
+    built: BuildResult,
+    *,
+    model=None,
+    max_instructions: int = 100_000_000,
+) -> FunctionAttributor:
+    """Run the application once, attributing cycles per function."""
+    program = load_executable(built.elf, built.arch)
+    attributor = FunctionAttributor(
+        model if model is not None else IlpModel(),
+        program.debug_info.functions,
+    )
+    Interpreter(program.state, cycle_model=attributor).run(
+        max_instructions=max_instructions
+    )
+    return attributor
+
+
+def select_isas(
+    source: str,
+    *,
+    arch: Architecture = KAHRISMA,
+    widths: Sequence[int] = (1, 2, 4, 6, 8),
+    speedup_threshold: float = 0.9,
+    reconfig_cost_ops: float = 64.0,
+    filename: str = "<kc>",
+    entry: str = "main",
+) -> SelectionReport:
+    """Select an ISA per function from one RISC profiling run.
+
+    ``speedup_threshold``: fraction of the best estimated speedup a
+    narrower width must reach to be preferred (resource efficiency).
+    ``reconfig_cost_ops``: functions doing less work per call than this
+    stay on the default ISA — an ISA switch would cost more than it
+    gains (the paper's reconfiguration-overhead concern).
+    """
+    built = build(source, arch=arch, isa="risc", filename=filename,
+                  entry=entry)
+    attributor = profile_functions(built)
+    total = max(attributor.cycles, 1)
+
+    width_isas = {
+        w: name for w, name in DEFAULT_WIDTH_ISAS.items() if w in set(widths)
+    }
+    max_width = max(width_isas)
+
+    choices: List[FunctionChoice] = []
+    isa_map: Dict[str, str] = {}
+    for profile in attributor.sorted_profiles():
+        name = demangle(profile.name)
+        if profile.name == "<unknown>" or profile.instructions == 0:
+            continue
+        if name not in _user_functions(built):
+            continue  # libc stubs and thunks are not selectable
+        ilp = profile.ilp
+        best_speedup = min(max_width, ilp) if ilp else 1.0
+        chosen_width = max_width
+        for width in sorted(width_isas):
+            estimated = min(width, ilp) if ilp else 1.0
+            if estimated >= speedup_threshold * best_speedup:
+                chosen_width = width
+                break
+        reason = f"ILP {ilp:.2f} -> width {chosen_width}"
+        if (
+            chosen_width > 1
+            and profile.ops_per_call < reconfig_cost_ops
+            and name != entry
+        ):
+            chosen_width = 1
+            reason = (
+                f"ILP {ilp:.2f} but only {profile.ops_per_call:.0f} "
+                f"ops/call < reconfiguration cost"
+            )
+        isa = width_isas[chosen_width]
+        choices.append(
+            FunctionChoice(
+                function=name,
+                ilp=ilp,
+                cycle_share=profile.cycles / total,
+                ops_per_call=profile.ops_per_call,
+                width=chosen_width,
+                isa=isa,
+                reason=reason,
+            )
+        )
+        isa_map[name] = isa
+
+    return SelectionReport(
+        choices=choices,
+        isa_map=isa_map,
+        total_cycles=attributor.cycles,
+        profiles=attributor.sorted_profiles(),
+    )
+
+
+def _user_functions(built: BuildResult) -> Dict[str, str]:
+    return {
+        name: symbol
+        for name, (_isa, symbol) in built.compile_result.functions.items()
+    }

@@ -1,0 +1,30 @@
+"""The KC retargetable compiler (paper Section IV)."""
+
+from .astnodes import Program, Type
+from .driver import CompileResult, compile_mixed, compile_source
+from .irgen import generate_ir
+from .lexer import LexError, tokenize
+from .opt import optimize
+from .parser import ParseError, parse_program
+from .regalloc import allocate_registers
+from .sched import schedule_block, schedule_function
+from .sema import SemaError, analyze
+
+__all__ = [
+    "CompileResult",
+    "LexError",
+    "ParseError",
+    "Program",
+    "SemaError",
+    "Type",
+    "allocate_registers",
+    "analyze",
+    "compile_mixed",
+    "compile_source",
+    "generate_ir",
+    "optimize",
+    "parse_program",
+    "schedule_block",
+    "schedule_function",
+    "tokenize",
+]

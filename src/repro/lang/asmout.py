@@ -1,0 +1,133 @@
+"""Machine-operation representation between codegen and the scheduler.
+
+The code generator produces :class:`MachineOp` objects — concrete
+KAHRISMA operations with physical registers and (possibly symbolic)
+immediates.  The RISC backend renders them one per line; the VLIW
+backend first runs the list scheduler over each basic block and renders
+bundles.  Definition/use sets come from the ADL operation description,
+so the scheduler reasons about exactly the dependences the hardware
+sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..adl.model import Operation
+
+#: Immediate operand: numeric, or a symbolic string such as
+#: "%hi(table+4)" or a branch label.
+Imm = Union[int, str]
+
+
+@dataclass
+class MachineOp:
+    """One concrete operation, pre-scheduling."""
+
+    op: Operation
+    #: Field name -> value (int for registers, Imm for immediates).
+    values: Dict[str, Imm]
+    line: int = 0
+    #: Calls/returns act as scheduling barriers.
+    is_barrier: bool = False
+
+    @property
+    def mnemonic(self) -> str:
+        return self.op.name
+
+    @property
+    def defs(self) -> Tuple[int, ...]:
+        regs = tuple(self.values[f] for f in self.op.dst_fields)
+        return tuple(r for r in regs + self.op.implicit_writes if r != 0)
+
+    @property
+    def uses(self) -> Tuple[int, ...]:
+        regs = tuple(self.values[f] for f in self.op.src_fields)
+        return regs + self.op.implicit_reads
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.kind == "load"
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.kind == "store"
+
+    @property
+    def is_control(self) -> bool:
+        return self.op.kind in ("branch", "halt", "switch", "simop")
+
+    def render(self) -> str:
+        operands: List[str] = []
+        for template in self.op.asm_operands:
+            if template.endswith("(rs1)"):
+                inner = template[:-5]
+                operands.append(
+                    f"{self.values[inner]}(r{self.values['rs1']})"
+                )
+            elif self.op.field(template).role in ("reg_dst", "reg_src"):
+                operands.append(f"r{self.values[template]}")
+            else:
+                operands.append(str(self.values[template]))
+        if operands:
+            return f"{self.mnemonic} " + ", ".join(operands)
+        return self.mnemonic
+
+
+@dataclass
+class AsmBlock:
+    """One basic block of machine operations with its label."""
+
+    label: str
+    ops: List[MachineOp] = field(default_factory=list)
+
+
+@dataclass
+class AsmFunction:
+    """Machine code of one function, pre-rendering."""
+
+    name: str
+    #: Mangled symbol, e.g. ``$risc$main``.
+    symbol: str
+    isa_name: str
+    blocks: List[AsmBlock] = field(default_factory=list)
+    source_file: str = ""
+    line: int = 0
+
+
+def render_risc(fn: AsmFunction, *, with_loc: bool = True) -> List[str]:
+    """Render a function as one operation per line (issue width 1)."""
+    lines: List[str] = []
+    last_line = 0
+    for block in fn.blocks:
+        if block.label:
+            lines.append(f"{block.label}:")
+        for op in block.ops:
+            if with_loc and op.line and op.line != last_line:
+                lines.append(f"    .loc 1 {op.line}")
+                last_line = op.line
+            lines.append(f"    {op.render()}")
+    return lines
+
+
+def render_bundles(
+    fn: AsmFunction,
+    bundles_per_block: Dict[str, List[List[MachineOp]]],
+    *,
+    with_loc: bool = True,
+) -> List[str]:
+    """Render a function as VLIW bundles produced by the scheduler."""
+    lines: List[str] = []
+    last_line = 0
+    for block in fn.blocks:
+        if block.label:
+            lines.append(f"{block.label}:")
+        for bundle in bundles_per_block[block.label]:
+            first = next((op.line for op in bundle if op.line), 0)
+            if with_loc and first and first != last_line:
+                lines.append(f"    .loc 1 {first}")
+                last_line = first
+            body = " ; ".join(op.render() for op in bundle)
+            lines.append(f"    {{ {body} }}")
+    return lines

@@ -1,0 +1,268 @@
+"""Abstract syntax tree of KC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Type:
+    """``int``, ``char``, or a pointer to either.
+
+    ``base`` is "int", "char" or "void"; ``pointers`` is the pointer
+    depth (0 = scalar).  ``unsigned`` only matters for ``int``; ``char``
+    is always unsigned in KC.
+    """
+
+    base: str
+    pointers: int = 0
+    unsigned: bool = False
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointers > 0
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and not self.pointers
+
+    @property
+    def element_size(self) -> int:
+        """Size of the pointed-to / element type in bytes."""
+        if self.pointers > 1:
+            return 4
+        return 1 if self.base == "char" else 4
+
+    @property
+    def size(self) -> int:
+        if self.is_pointer:
+            return 4
+        return 1 if self.base == "char" else 4
+
+    def deref(self) -> "Type":
+        if not self.is_pointer:
+            raise ValueError("dereference of non-pointer")
+        return Type(self.base, self.pointers - 1, self.unsigned)
+
+    def pointer_to(self) -> "Type":
+        return Type(self.base, self.pointers + 1, self.unsigned)
+
+    def __str__(self) -> str:
+        return ("unsigned " if self.unsigned else "") + self.base + "*" * self.pointers
+
+
+INT = Type("int")
+UINT = Type("int", unsigned=True)
+CHAR = Type("char")
+VOID = Type("void")
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    #: Filled by the semantic checker.
+    type: Optional[Type] = None
+
+
+@dataclass
+class NumberExpr(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringExpr(Expr):
+    value: str = ""
+
+
+@dataclass
+class NameExpr(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    #: "=" or a compound operator like "+=".
+    op: str = "="
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Expr = None
+    then: Expr = None
+    otherwise: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class DerefExpr(Expr):
+    pointer: Expr = None
+
+
+@dataclass
+class AddrOfExpr(Expr):
+    target: Expr = None
+
+
+@dataclass
+class IncDecExpr(Expr):
+    op: str = "++"
+    target: Expr = None
+    is_prefix: bool = True
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decl_type: Type = None
+    name: str = ""
+    #: Array length (None for scalars).
+    array_len: Optional[int] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    value: Expr = None
+    #: (case constant, statements) in source order.
+    cases: List[Tuple[int, List["Stmt"]]] = field(default_factory=list)
+    default: Optional[List["Stmt"]] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class BlockStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    type: Type
+    name: str
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    return_type: Type
+    params: List[Param]
+    body: BlockStmt
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: Type
+    array_len: Optional[int] = None
+    #: Scalar initializer / list initializer / string initializer.
+    init: Optional[int] = None
+    init_list: Optional[List[int]] = None
+    init_string: Optional[str] = None
+    is_const: bool = False
+    line: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        element = self.type.size
+        return element * (self.array_len if self.array_len is not None else 1)
+
+
+@dataclass
+class Program:
+    functions: List[FunctionDef] = field(default_factory=list)
+    globals: List[GlobalVar] = field(default_factory=list)
+    filename: str = "<kc>"
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

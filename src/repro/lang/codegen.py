@@ -1,0 +1,412 @@
+"""Code generation: IR → KAHRISMA machine operations.
+
+Lowers one :class:`~repro.lang.ir.IRFunction` (after register
+allocation) to a list of :class:`~repro.lang.asmout.MachineOp` basic
+blocks.  The result is rendered either directly (RISC) or after VLIW
+list scheduling (:mod:`repro.lang.sched`).
+
+Scratch-register discipline: r1 (the assembler-temporary role) and r3
+are never allocated; spilled operands are reloaded through them and
+out-of-range immediates materialised into them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..adl.kahrisma import REG_ARG_FIRST, REG_RA, REG_RV, REG_SP
+from ..adl.model import Architecture
+from ..targetgen.optable import OperationTable, TargetDescription, build_target
+from .asmout import AsmBlock, AsmFunction, Imm, MachineOp
+from .ir import (
+    IAddrGlobal,
+    IAddrStack,
+    IBin,
+    ICall,
+    ICondBr,
+    IConst,
+    ICopy,
+    IJmp,
+    ILoad,
+    IRet,
+    IRFunction,
+    IStore,
+    Operand,
+    VReg,
+)
+from .regalloc import AllocationResult, allocate_registers
+
+MASK32 = 0xFFFFFFFF
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+UIMM14_MAX = (1 << 14) - 1
+
+SCRATCH_A = 1  # r1: first reload / result staging
+SCRATCH_B = 3  # r3: second reload / immediate materialisation
+
+
+class CodegenError(Exception):
+    pass
+
+
+#: IBin op -> (register form, immediate form, signed immediate?).
+_BIN_LOWERING = {
+    "add": ("add", "addi", True),
+    "sub": ("sub", None, True),
+    "mul": ("mul", None, True),
+    "div": ("div", None, True),
+    "rem": ("rem", None, True),
+    "and": ("and", "andi", False),
+    "or": ("or", "ori", False),
+    "xor": ("xor", "xori", False),
+    "shl": ("sll", "slli", False),
+    "shr": ("srl", "srli", False),
+    "sar": ("sra", "srai", False),
+    "slt": ("slt", "slti", True),
+    "sltu": ("sltu", "sltiu", False),
+}
+
+#: ICondBr op -> (branch mnemonic, swap operands?).
+_BRANCH_LOWERING = {
+    "eq": ("beq", False), "ne": ("bne", False),
+    "lt": ("blt", False), "ge": ("bge", False),
+    "gt": ("blt", True), "le": ("bge", True),
+    "ltu": ("bltu", False), "geu": ("bgeu", False),
+    "gtu": ("bltu", True), "leu": ("bgeu", True),
+}
+
+_NEGATED_BRANCH = {
+    "eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+    "gt": "le", "le": "gt", "ltu": "geu", "geu": "ltu",
+    "gtu": "leu", "leu": "gtu",
+}
+
+_LOAD_MNEMONIC = {(4, False): "lw", (4, True): "lw",
+                  (2, False): "lhu", (2, True): "lh",
+                  (1, False): "lbu", (1, True): "lb"}
+_STORE_MNEMONIC = {4: "sw", 2: "sh", 1: "sb"}
+
+
+class FunctionCodegen:
+    """Lowers one IR function."""
+
+    def __init__(
+        self,
+        fn: IRFunction,
+        optable: OperationTable,
+        symbol: str,
+        isa_name: str,
+        callee_symbols: Dict[str, str],
+        source_file: str,
+    ) -> None:
+        self.fn = fn
+        self.optable = optable
+        self.symbol = symbol
+        self.isa_name = isa_name
+        self.callee_symbols = callee_symbols
+        self.alloc: AllocationResult = allocate_registers(fn)
+        self.has_calls = any(
+            isinstance(instr, ICall)
+            for block in fn.blocks
+            for instr in block.instrs
+        )
+        self.out = AsmFunction(
+            name=fn.name, symbol=symbol, isa_name=isa_name,
+            source_file=source_file, line=fn.line,
+        )
+        self.current: Optional[AsmBlock] = None
+        self._line = fn.line
+        self._layout_frame()
+
+    # -- frame ------------------------------------------------------------
+
+    def _layout_frame(self) -> None:
+        offset = 0
+        self.spill_base = offset
+        offset += 4 * self.alloc.num_spill_slots
+        self.array_offsets: Dict[int, int] = {}
+        for slot, size in self.fn.stack_slots.items():
+            self.array_offsets[slot] = offset
+            offset += (size + 3) & ~3
+        self.saved_offsets: Dict[int, int] = {}
+        for reg in self.alloc.used_callee_saved:
+            self.saved_offsets[reg] = offset
+            offset += 4
+        self.ra_offset: Optional[int] = None
+        if self.has_calls:
+            self.ra_offset = offset
+            offset += 4
+        self.frame_size = (offset + 7) & ~7
+
+    def _spill_offset(self, slot: int) -> int:
+        return self.spill_base + 4 * slot
+
+    # -- emission helpers -----------------------------------------------------
+
+    def emit(self, mnemonic: str, line: Optional[int] = None,
+             is_barrier: bool = False, **values: Imm) -> MachineOp:
+        entry = self.optable.by_name[mnemonic]
+        op = MachineOp(
+            op=entry.op, values=values,
+            line=self._line if line is None else line,
+            is_barrier=is_barrier,
+        )
+        self.current.ops.append(op)
+        return op
+
+    def emit_li(self, rd: int, value: int) -> None:
+        value &= MASK32
+        signed = value - (1 << 32) if value & 0x80000000 else value
+        if IMM14_MIN <= signed <= IMM14_MAX:
+            self.emit("addi", rd=rd, rs1=0, imm=signed)
+            return
+        high, low = value >> 14, value & 0x3FFF
+        self.emit("lui", rd=rd, imm=high)
+        if low:
+            self.emit("ori", rd=rd, rs1=rd, imm=low)
+
+    def emit_la(self, rd: int, symbol: str, offset: int = 0) -> None:
+        suffix = f"+{offset}" if offset > 0 else (str(offset) if offset else "")
+        ref = f"{symbol}{suffix}"
+        self.emit("lui", rd=rd, imm=f"%hi({ref})")
+        self.emit("ori", rd=rd, rs1=rd, imm=f"%lo({ref})")
+
+    def emit_move(self, rd: int, rs: int) -> None:
+        if rd != rs:
+            self.emit("addi", rd=rd, rs1=rs, imm=0)
+
+    # -- operand access ------------------------------------------------------
+
+    def read_operand(self, operand: Operand, scratch: int) -> int:
+        """Bring an operand into a register; returns the register."""
+        if isinstance(operand, int):
+            value = operand & MASK32
+            if value == 0:
+                return 0
+            self.emit_li(scratch, value)
+            return scratch
+        kind, payload = self.alloc.location(operand)
+        if kind == "reg":
+            return payload
+        self.emit("lw", rd=scratch, rs1=REG_SP, imm=self._spill_offset(payload))
+        return scratch
+
+    def dst_register(self, reg: VReg) -> int:
+        """Register the result should be computed into (may be scratch)."""
+        kind, payload = self.alloc.location(reg)
+        return payload if kind == "reg" else SCRATCH_A
+
+    def commit_dst(self, reg: VReg, holding: int) -> None:
+        """Store the result back if the vreg was spilled."""
+        kind, payload = self.alloc.location(reg)
+        if kind == "spill":
+            self.emit("sw", rt=holding, rs1=REG_SP,
+                      imm=self._spill_offset(payload))
+
+    def write_operand_to(self, operand: Operand, rd: int) -> None:
+        """Materialise an operand value into a specific register."""
+        if isinstance(operand, int):
+            self.emit_li(rd, operand)
+            return
+        kind, payload = self.alloc.location(operand)
+        if kind == "reg":
+            self.emit_move(rd, payload)
+        else:
+            self.emit("lw", rd=rd, rs1=REG_SP,
+                      imm=self._spill_offset(payload))
+
+    # -- function structure ---------------------------------------------------
+
+    def generate(self) -> AsmFunction:
+        entry_block = AsmBlock(label="")
+        self.out.blocks.append(entry_block)
+        self.current = entry_block
+        self._emit_prologue()
+
+        labels = [b.label for b in self.fn.blocks]
+        epilogue_label = f".L_{self.fn.name}_epilogue"
+        next_label: Dict[str, str] = {}
+        for i, label in enumerate(labels):
+            next_label[label] = labels[i + 1] if i + 1 < len(labels) else epilogue_label
+
+        for ir_block in self.fn.blocks:
+            block = AsmBlock(label=ir_block.label)
+            self.out.blocks.append(block)
+            self.current = block
+            for instr in ir_block.instrs:
+                if instr.line:
+                    self._line = instr.line
+                self._lower(instr, next_label[ir_block.label], epilogue_label)
+
+        epilogue = AsmBlock(label=epilogue_label)
+        self.out.blocks.append(epilogue)
+        self.current = epilogue
+        self._emit_epilogue()
+        return self.out
+
+    def _emit_prologue(self) -> None:
+        if self.frame_size:
+            self.emit("addi", rd=REG_SP, rs1=REG_SP, imm=-self.frame_size)
+        if self.ra_offset is not None:
+            self.emit("sw", rt=REG_RA, rs1=REG_SP, imm=self.ra_offset)
+        for reg, offset in self.saved_offsets.items():
+            self.emit("sw", rt=reg, rs1=REG_SP, imm=offset)
+        for index, param in enumerate(self.fn.param_regs):
+            source = REG_ARG_FIRST + index
+            kind, payload = self.alloc.location(param)
+            if kind == "reg":
+                self.emit_move(payload, source)
+            else:
+                self.emit("sw", rt=source, rs1=REG_SP,
+                          imm=self._spill_offset(payload))
+
+    def _emit_epilogue(self) -> None:
+        for reg, offset in self.saved_offsets.items():
+            self.emit("lw", rd=reg, rs1=REG_SP, imm=offset)
+        if self.ra_offset is not None:
+            self.emit("lw", rd=REG_RA, rs1=REG_SP, imm=self.ra_offset)
+        if self.frame_size:
+            self.emit("addi", rd=REG_SP, rs1=REG_SP, imm=self.frame_size)
+        self.emit("jr", rs1=REG_RA, is_barrier=True)
+
+    # -- instruction lowering ------------------------------------------------------
+
+    def _lower(self, instr, next_label: str, epilogue_label: str) -> None:
+        if isinstance(instr, IConst):
+            rd = self.dst_register(instr.dst)
+            self.emit_li(rd, instr.value)
+            self.commit_dst(instr.dst, rd)
+        elif isinstance(instr, ICopy):
+            rd = self.dst_register(instr.dst)
+            self.write_operand_to(instr.src, rd)
+            self.commit_dst(instr.dst, rd)
+        elif isinstance(instr, IBin):
+            self._lower_bin(instr)
+        elif isinstance(instr, ILoad):
+            base = self.read_operand(instr.base, SCRATCH_A)
+            base, offset = self._fit_mem_offset(base, instr.offset)
+            rd = self.dst_register(instr.dst)
+            mnemonic = _LOAD_MNEMONIC[(instr.size, instr.signed)]
+            self.emit(mnemonic, rd=rd, rs1=base, imm=offset)
+            self.commit_dst(instr.dst, rd)
+        elif isinstance(instr, IStore):
+            base = self.read_operand(instr.base, SCRATCH_A)
+            base, offset = self._fit_mem_offset(base, instr.offset)
+            value = self.read_operand(instr.value, SCRATCH_B)
+            self.emit(_STORE_MNEMONIC[instr.size], rt=value, rs1=base,
+                      imm=offset)
+        elif isinstance(instr, IAddrGlobal):
+            rd = self.dst_register(instr.dst)
+            self.emit_la(rd, instr.symbol, instr.offset)
+            self.commit_dst(instr.dst, rd)
+        elif isinstance(instr, IAddrStack):
+            rd = self.dst_register(instr.dst)
+            offset = self.array_offsets[instr.slot] + instr.offset
+            self.emit("addi", rd=rd, rs1=REG_SP, imm=offset)
+            self.commit_dst(instr.dst, rd)
+        elif isinstance(instr, ICall):
+            self._lower_call(instr)
+        elif isinstance(instr, IRet):
+            if instr.value is not None:
+                self.write_operand_to(instr.value, REG_RV)
+            if next_label != epilogue_label:
+                self.emit("j", imm=epilogue_label, is_barrier=True)
+        elif isinstance(instr, IJmp):
+            if instr.target != next_label:
+                self.emit("j", imm=instr.target, is_barrier=True)
+        elif isinstance(instr, ICondBr):
+            self._lower_branch(instr, next_label)
+        else:  # pragma: no cover
+            raise CodegenError(f"cannot lower {instr!r}")
+
+    def _fit_mem_offset(self, base: int, offset: int):
+        if IMM14_MIN <= offset <= IMM14_MAX:
+            return base, offset
+        self.emit_li(SCRATCH_B, offset)
+        self.emit("add", rd=SCRATCH_B, rs1=base, rs2=SCRATCH_B)
+        return SCRATCH_B, 0
+
+    def _lower_bin(self, instr: IBin) -> None:
+        reg_form, imm_form, signed_imm = _BIN_LOWERING[instr.op]
+        a, b = instr.a, instr.b
+        rd = self.dst_register(instr.dst)
+        # sub with constant right operand becomes addi of the negation.
+        if instr.op == "sub" and isinstance(b, int):
+            neg = -(b - (1 << 32) if b & 0x80000000 else b)
+            if IMM14_MIN <= neg <= IMM14_MAX:
+                ra = self.read_operand(a, SCRATCH_A)
+                self.emit("addi", rd=rd, rs1=ra, imm=neg)
+                self.commit_dst(instr.dst, rd)
+                return
+        if isinstance(b, int) and imm_form is not None:
+            value = b & MASK32
+            signed_value = value - (1 << 32) if value & 0x80000000 else value
+            fits = (
+                IMM14_MIN <= signed_value <= IMM14_MAX
+                if signed_imm
+                else 0 <= value <= UIMM14_MAX
+            )
+            if imm_form in ("slli", "srli", "srai"):
+                fits = 0 <= value <= 31
+            if fits:
+                ra = self.read_operand(a, SCRATCH_A)
+                self.emit(imm_form, rd=rd, rs1=ra,
+                          imm=signed_value if signed_imm else value)
+                self.commit_dst(instr.dst, rd)
+                return
+        ra = self.read_operand(a, SCRATCH_A)
+        rb = self.read_operand(b, SCRATCH_B)
+        self.emit(reg_form, rd=rd, rs1=ra, rs2=rb)
+        self.commit_dst(instr.dst, rd)
+
+    def _lower_call(self, instr: ICall) -> None:
+        for index, arg in enumerate(instr.args):
+            self.write_operand_to(arg, REG_ARG_FIRST + index)
+        symbol = self.callee_symbols.get(instr.callee)
+        if symbol is None:
+            raise CodegenError(
+                f"{self.fn.name}: call to unknown function {instr.callee!r}"
+            )
+        self.emit("jal", imm=symbol, is_barrier=True)
+        if instr.dst is not None:
+            rd = self.dst_register(instr.dst)
+            self.emit_move(rd, REG_RV)
+            self.commit_dst(instr.dst, rd)
+
+    def _lower_branch(self, instr: ICondBr, next_label: str) -> None:
+        op = instr.op
+        a, b = instr.a, instr.b
+        if instr.if_false == next_label:
+            target, cond = instr.if_true, op
+            fall_through = True
+        elif instr.if_true == next_label:
+            target, cond = instr.if_false, _NEGATED_BRANCH[op]
+            fall_through = True
+        else:
+            target, cond = instr.if_true, op
+            fall_through = False
+        mnemonic, swap = _BRANCH_LOWERING[cond]
+        ra = self.read_operand(a, SCRATCH_A)
+        rb = self.read_operand(b, SCRATCH_B)
+        if swap:
+            ra, rb = rb, ra
+        self.emit(mnemonic, rs1=ra, rs2=rb, imm=target, is_barrier=True)
+        if not fall_through:
+            self.emit("j", imm=instr.if_false, is_barrier=True)
+
+
+def generate_function(
+    fn: IRFunction,
+    arch: Architecture,
+    *,
+    symbol: str,
+    isa_name: str,
+    callee_symbols: Dict[str, str],
+    source_file: str = "",
+    target: Optional[TargetDescription] = None,
+) -> AsmFunction:
+    target = target if target is not None else build_target(arch)
+    # Operation encodings are identical across ISAs; use the RISC table.
+    optable = target.optable(arch.default_isa)
+    return FunctionCodegen(
+        fn, optable, symbol, isa_name, callee_symbols, source_file
+    ).generate()

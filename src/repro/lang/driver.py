@@ -1,0 +1,239 @@
+"""Compiler driver: KC source → mixed-ISA KAHRISMA assembly.
+
+Implements the three mixed-ISA features of the paper's compiler
+(Section IV): it can (1) switch the target ISA during code generation —
+here per function —, (2) emit the ``.isa`` pseudo directive so the
+assembler knows the active ISA, and (3) prefix function symbols with
+the target ISA identifier so one application can carry multiple
+implementations of the same function.
+
+Cross-ISA calls go through generated *thunks*: a thunk named for the
+caller's ISA switches the processor, calls the callee's implementation,
+switches back and returns — the runtime counterpart of the
+``switchtarget`` operation (Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..adl.model import Architecture
+from ..libc import LIBC_BY_NAME
+from ..targetgen.asmgen import mangle
+from .asmout import AsmFunction, render_bundles, render_risc
+from .astnodes import GlobalVar, Program
+from .codegen import generate_function
+from .irgen import generate_ir
+from .opt import optimize
+from .parser import parse_program
+from .sema import SemaError, analyze
+from .sched import schedule_function
+
+
+@dataclass
+class CompileResult:
+    """Assembly text plus the metadata the framework needs to link/run."""
+
+    assembly: str
+    entry_symbol: str
+    entry_isa: int
+    #: function name -> (isa name, mangled symbol)
+    functions: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def compile_source(
+    source: str,
+    arch: Architecture,
+    *,
+    isa: str = "risc",
+    filename: str = "<kc>",
+    optimize_ir: bool = True,
+    entry: str = "main",
+    disambiguate_offsets: bool = False,
+) -> CompileResult:
+    """Compile every function for a single ISA."""
+    return compile_mixed(
+        source, arch, isa_map={}, default_isa=isa, filename=filename,
+        optimize_ir=optimize_ir, entry=entry,
+        disambiguate_offsets=disambiguate_offsets,
+    )
+
+
+def compile_mixed(
+    source: str,
+    arch: Architecture,
+    *,
+    isa_map: Dict[str, str],
+    default_isa: str = "risc",
+    filename: str = "<kc>",
+    optimize_ir: bool = True,
+    entry: str = "main",
+    disambiguate_offsets: bool = False,
+) -> CompileResult:
+    """Compile with per-function ISA selection.
+
+    ``isa_map`` maps function names to ISA names; unmapped functions use
+    ``default_isa``.  Cross-ISA calls are bridged with switchtarget
+    thunks.  ``disambiguate_offsets`` lets the VLIW scheduler prove
+    same-base constant-offset memory accesses independent instead of
+    using the paper's fully pessimistic model.
+    """
+    program = parse_program(source, filename)
+    sema = analyze(program)
+    ir = generate_ir(program, sema)
+    if optimize_ir:
+        optimize(ir)
+
+    for name in isa_map:
+        if all(fn.name != name for fn in ir.functions):
+            raise SemaError(f"isa_map names unknown function {name!r}",
+                            filename, 0)
+
+    fn_isa: Dict[str, str] = {}
+    for fn in ir.functions:
+        isa_name = isa_map.get(fn.name, default_isa)
+        arch.isa_named(isa_name)  # validate
+        fn_isa[fn.name] = isa_name
+
+    lines: List[str] = [f'.file 1 "{filename}"']
+    result_functions: Dict[str, Tuple[str, str]] = {}
+    thunks: Set[Tuple[str, str]] = set()  # (caller isa, callee name)
+
+    for fn in ir.functions:
+        isa_name = fn_isa[fn.name]
+        symbol = mangle(isa_name, fn.name)
+        result_functions[fn.name] = (isa_name, symbol)
+        callee_symbols: Dict[str, str] = {}
+        for other in ir.functions:
+            callee_symbols[other.name] = mangle(isa_name, other.name)
+            if fn_isa[other.name] != isa_name:
+                thunks.add((isa_name, other.name))
+        for libc_name in LIBC_BY_NAME:
+            callee_symbols.setdefault(libc_name, mangle(isa_name, libc_name))
+
+        asm_fn = generate_function(
+            fn, arch, symbol=symbol, isa_name=isa_name,
+            callee_symbols=callee_symbols, source_file=filename,
+        )
+        width = arch.isa_named(isa_name).issue_width
+        lines.append("")
+        lines.append(f".isa {isa_name}")
+        lines.append(".text")
+        lines.append(f".global {symbol}")
+        lines.append(f".func {symbol}")
+        lines.append(f"{symbol}:")
+        if width == 1:
+            lines.extend(render_risc(asm_fn))
+        else:
+            bundles = schedule_function(
+                asm_fn, width, disambiguate_offsets=disambiguate_offsets
+            )
+            lines.extend(render_bundles(asm_fn, bundles))
+        lines.append(".endfunc")
+
+    for caller_isa, callee in sorted(thunks):
+        lines.extend(
+            _render_thunk(arch, caller_isa, fn_isa[callee], callee)
+        )
+
+    lines.extend(_render_globals(ir.globals))
+
+    if entry not in fn_isa:
+        raise SemaError(f"entry function {entry!r} not defined", filename, 0)
+    entry_isa_name = fn_isa[entry]
+    return CompileResult(
+        assembly="\n".join(lines) + "\n",
+        entry_symbol=mangle(entry_isa_name, entry),
+        entry_isa=arch.isa_named(entry_isa_name).ident,
+        functions=result_functions,
+    )
+
+
+def _render_thunk(
+    arch: Architecture, caller_isa: str, callee_isa: str, callee: str
+) -> List[str]:
+    """Cross-ISA call thunk: switch, call, switch back, return.
+
+    Entered in the caller's ISA under the caller-ISA-mangled name; the
+    body after the first ``switchtarget`` executes in the callee's ISA.
+    """
+    thunk_symbol = mangle(caller_isa, callee)
+    target_symbol = mangle(callee_isa, callee)
+    caller = arch.isa_named(caller_isa)
+    callee_desc = arch.isa_named(callee_isa)
+    lines = ["", f"# thunk: {caller_isa} -> {callee_isa} for {callee}"]
+    lines.append(f".isa {caller_isa}")
+    lines.append(".text")
+    lines.append(f".global {thunk_symbol}")
+    lines.append(f"{thunk_symbol}:")
+
+    def op(text: str, width: int) -> str:
+        return f"    {{ {text} }}" if width > 1 else f"    {text}"
+
+    lines.append(op(f"switchtarget {callee_desc.ident}", caller.issue_width))
+    lines.append(f".isa {callee_isa}")
+    width = callee_desc.issue_width
+    lines.append(op("addi sp, sp, -8", width))
+    lines.append(op("sw ra, 4(sp)", width))
+    lines.append(op(f"jal {target_symbol}", width))
+    lines.append(op("lw ra, 4(sp)", width))
+    lines.append(op("addi sp, sp, 8", width))
+    lines.append(op(f"switchtarget {caller.ident}", width))
+    lines.append(f".isa {caller_isa}")
+    lines.append(op("jr ra", caller.issue_width))
+    return lines
+
+
+def _render_globals(global_vars: List[GlobalVar]) -> List[str]:
+    lines: List[str] = []
+    data: List[str] = []
+    bss: List[str] = []
+    for var in global_vars:
+        initialised = (
+            var.init is not None
+            or var.init_list is not None
+            or var.init_string is not None
+        )
+        target = data if initialised else bss
+        element = var.type.size
+        if element >= 4:
+            target.append("    .align 4")
+        elif element == 2:
+            target.append("    .align 2")
+        if not var.name.startswith(".L"):
+            # Export user globals so debuggers and tools can resolve
+            # them by name (string-literal pool symbols stay local).
+            target.append(f"    .global {var.name}")
+        target.append(f"{var.name}:")
+        length = var.array_len if var.array_len is not None else 1
+        if not initialised:
+            target.append(f"    .space {element * length}")
+            continue
+        if var.init_string is not None:
+            data_directive = ".asciiz"
+            escaped = (
+                var.init_string.replace("\\", "\\\\").replace('"', '\\"')
+                .replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+            )
+            target.append(f'    {data_directive} "{escaped}"')
+            pad = length - (len(var.init_string) + 1)
+            if pad > 0:
+                target.append(f"    .space {pad}")
+            continue
+        values = var.init_list if var.init_list is not None else [var.init]
+        values = list(values) + [0] * (length - len(values))
+        directive = {4: ".word", 2: ".half", 1: ".byte"}[element]
+        for start in range(0, len(values), 8):
+            chunk = values[start:start + 8]
+            masked = [v & 0xFFFFFFFF for v in chunk]
+            target.append(f"    {directive} " + ", ".join(map(str, masked)))
+    if data:
+        lines.append("")
+        lines.append(".data")
+        lines.extend(data)
+    if bss:
+        lines.append("")
+        lines.append(".bss")
+        lines.extend(bss)
+    return lines

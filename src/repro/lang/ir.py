@@ -1,0 +1,416 @@
+"""Three-address intermediate representation of the KC compiler.
+
+Functions are graphs of basic blocks over an infinite set of virtual
+registers.  Operands are either :class:`VReg` or Python ints (immediate
+constants); the optimiser folds aggressively and the code generator
+picks immediate instruction forms where the ISA allows.
+
+The IR is deliberately close to the KAHRISMA operation set so that
+RISC code generation is a thin lowering and the VLIW scheduler can
+reason about the same dependences the hardware sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class VReg:
+    index: int
+
+    def __repr__(self) -> str:
+        return f"%{self.index}"
+
+
+Operand = Union[VReg, int]
+
+#: Arithmetic/logic IBin operators.
+BIN_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "rem",
+        "and", "or", "xor", "shl", "shr", "sar",
+        "slt", "sltu",
+    }
+)
+
+#: ICondBr comparison operators.
+COND_OPS = frozenset(
+    {"eq", "ne", "lt", "le", "gt", "ge", "ltu", "leu", "gtu", "geu"}
+)
+
+#: Negation map for branch inversion.
+COND_NEGATE = {
+    "eq": "ne", "ne": "eq",
+    "lt": "ge", "ge": "lt", "le": "gt", "gt": "le",
+    "ltu": "geu", "geu": "ltu", "leu": "gtu", "gtu": "leu",
+}
+
+#: Operand-swapped equivalents (a OP b == b SWAP(OP) a).
+COND_SWAP = {
+    "eq": "eq", "ne": "ne",
+    "lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
+    "ltu": "gtu", "gtu": "ltu", "leu": "geu", "geu": "leu",
+}
+
+
+class Instr:
+    """Base class; every instruction records its source line."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+    # Subclasses override the introspection helpers used by the
+    # optimiser, liveness analysis and register allocator.
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return ()
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return ()
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        """Substitute operands (copy/constant propagation)."""
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+    @property
+    def has_side_effects(self) -> bool:
+        return False
+
+
+def _as_uses(*operands: Operand) -> Tuple[VReg, ...]:
+    return tuple(op for op in operands if isinstance(op, VReg))
+
+
+def _subst(op: Operand, mapping: Dict[VReg, Operand]) -> Operand:
+    while isinstance(op, VReg) and op in mapping:
+        op = mapping[op]
+    return op
+
+
+class IConst(Instr):
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: VReg, value: int, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.value = value
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = const {self.value}"
+
+
+class IBin(Instr):
+    __slots__ = ("dst", "op", "a", "b")
+
+    def __init__(self, dst: VReg, op: str, a: Operand, b: Operand,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        assert op in BIN_OPS, op
+        self.dst = dst
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def defs(self):
+        return (self.dst,)
+
+    def uses(self):
+        return _as_uses(self.a, self.b)
+
+    def replace_uses(self, mapping):
+        self.a = _subst(self.a, mapping)
+        self.b = _subst(self.b, mapping)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.op} {self.a}, {self.b}"
+
+
+class ICopy(Instr):
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: VReg, src: Operand, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.src = src
+
+    def defs(self):
+        return (self.dst,)
+
+    def uses(self):
+        return _as_uses(self.src)
+
+    def replace_uses(self, mapping):
+        self.src = _subst(self.src, mapping)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.src}"
+
+
+class ILoad(Instr):
+    __slots__ = ("dst", "base", "offset", "size", "signed")
+
+    def __init__(self, dst: VReg, base: VReg, offset: int, size: int,
+                 signed: bool = False, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.base = base
+        self.offset = offset
+        self.size = size
+        self.signed = signed
+
+    def defs(self):
+        return (self.dst,)
+
+    def uses(self):
+        return (self.base,)
+
+    def replace_uses(self, mapping):
+        new = _subst(self.base, mapping)
+        if isinstance(new, VReg):
+            self.base = new
+
+    def __repr__(self):
+        return f"{self.dst} = load{self.size} [{self.base}+{self.offset}]"
+
+
+class IStore(Instr):
+    __slots__ = ("base", "offset", "value", "size")
+
+    def __init__(self, base: VReg, offset: int, value: Operand, size: int,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.base = base
+        self.offset = offset
+        self.value = value
+        self.size = size
+
+    def uses(self):
+        return _as_uses(self.base, self.value)
+
+    def replace_uses(self, mapping):
+        new = _subst(self.base, mapping)
+        if isinstance(new, VReg):
+            self.base = new
+        self.value = _subst(self.value, mapping)
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return f"store{self.size} [{self.base}+{self.offset}] = {self.value}"
+
+
+class IAddrGlobal(Instr):
+    __slots__ = ("dst", "symbol", "offset")
+
+    def __init__(self, dst: VReg, symbol: str, offset: int = 0,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.symbol = symbol
+        self.offset = offset
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = &{self.symbol}+{self.offset}"
+
+
+class IAddrStack(Instr):
+    __slots__ = ("dst", "slot", "offset")
+
+    def __init__(self, dst: VReg, slot: int, offset: int = 0,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.slot = slot
+        self.offset = offset
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = &stack[{self.slot}]+{self.offset}"
+
+
+class ICall(Instr):
+    __slots__ = ("dst", "callee", "args")
+
+    def __init__(self, dst: Optional[VReg], callee: str,
+                 args: List[Operand], line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.callee = callee
+        self.args = args
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+    def uses(self):
+        return _as_uses(*self.args)
+
+    def replace_uses(self, mapping):
+        self.args = [_subst(a, mapping) for a in self.args]
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        prefix = f"{self.dst} = " if self.dst else ""
+        return f"{prefix}call {self.callee}({', '.join(map(str, self.args))})"
+
+
+class IRet(Instr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Operand] = None, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+    def uses(self):
+        return _as_uses(self.value) if self.value is not None else ()
+
+    def replace_uses(self, mapping):
+        if self.value is not None:
+            self.value = _subst(self.value, mapping)
+
+    @property
+    def is_terminator(self):
+        return True
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+class IJmp(Instr):
+    __slots__ = ("target",)
+
+    def __init__(self, target: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.target = target
+
+    @property
+    def is_terminator(self):
+        return True
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return f"jmp {self.target}"
+
+
+class ICondBr(Instr):
+    __slots__ = ("op", "a", "b", "if_true", "if_false")
+
+    def __init__(self, op: str, a: Operand, b: Operand,
+                 if_true: str, if_false: str, line: int = 0) -> None:
+        super().__init__(line)
+        assert op in COND_OPS, op
+        self.op = op
+        self.a = a
+        self.b = b
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self):
+        return _as_uses(self.a, self.b)
+
+    def replace_uses(self, mapping):
+        self.a = _subst(self.a, mapping)
+        self.b = _subst(self.b, mapping)
+
+    @property
+    def is_terminator(self):
+        return True
+
+    @property
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return (f"br {self.op} {self.a}, {self.b} ? {self.if_true} "
+                f": {self.if_false}")
+
+
+@dataclass
+class Block:
+    label: str
+    instrs: List[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> Tuple[str, ...]:
+        term = self.terminator
+        if isinstance(term, IJmp):
+            return (term.target,)
+        if isinstance(term, ICondBr):
+            return (term.if_true, term.if_false)
+        return ()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        body = "\n  ".join(map(repr, self.instrs))
+        return f"{self.label}:\n  {body}"
+
+
+@dataclass
+class IRFunction:
+    name: str
+    num_params: int
+    param_regs: List[VReg]
+    blocks: List[Block] = field(default_factory=list)
+    #: Stack slot id -> size in bytes (local arrays and spills).
+    stack_slots: Dict[int, int] = field(default_factory=dict)
+    vreg_count: int = 0
+    returns_value: bool = True
+    line: int = 0
+
+    def new_vreg(self) -> VReg:
+        reg = VReg(self.vreg_count)
+        self.vreg_count += 1
+        return reg
+
+    def new_slot(self, size: int) -> int:
+        slot = len(self.stack_slots)
+        self.stack_slots[slot] = size
+        return slot
+
+    def block(self, label: str) -> Block:
+        for b in self.blocks:
+            if b.label == label:
+                return b
+        raise KeyError(label)
+
+    def dump(self) -> str:
+        header = f"function {self.name}({self.num_params} params)"
+        return header + "\n" + "\n".join(map(repr, self.blocks))
+
+
+@dataclass
+class IRProgram:
+    functions: List[IRFunction] = field(default_factory=list)
+    #: Global variables in AST form (layout happens at codegen).
+    globals: list = field(default_factory=list)
+    filename: str = "<kc>"

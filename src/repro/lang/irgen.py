@@ -1,0 +1,731 @@
+"""IR generation: typed AST → three-address code.
+
+Scalar locals live in virtual registers (KC has no address-of on
+locals), local arrays in stack slots, globals/string literals in data
+sections.  Conditions compile to fused compare-and-branch IR, matching
+the KAHRISMA branch operations one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .astnodes import (
+    AddrOfExpr,
+    AssignExpr,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DeclStmt,
+    DerefExpr,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GlobalVar,
+    IfStmt,
+    IncDecExpr,
+    IndexExpr,
+    NameExpr,
+    NumberExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StringExpr,
+    SwitchStmt,
+    TernaryExpr,
+    Type,
+    UnaryExpr,
+    WhileStmt,
+)
+from .ir import (
+    Block,
+    IAddrGlobal,
+    IAddrStack,
+    IBin,
+    ICall,
+    ICondBr,
+    IConst,
+    ICopy,
+    IJmp,
+    ILoad,
+    IRet,
+    IRFunction,
+    IRProgram,
+    IStore,
+    Operand,
+    VReg,
+)
+from .sema import SemaError, SemanticChecker
+
+MASK32 = 0xFFFFFFFF
+
+_CMP_TO_COND = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                ">": "gt", ">=": "ge"}
+
+
+class _PreEvaluated(Expr):
+    """Wraps an already-computed operand so compound assignments can
+    re-enter the binary-expression generator without re-evaluating the
+    lvalue."""
+
+    def __init__(self, operand: Operand, expr_type, line: int) -> None:
+        super().__init__(line=line, type=expr_type)
+        self.operand = operand
+
+#: name -> ("reg", VReg, Type) | ("slot", slot_id, Type) | ("global", GlobalVar)
+_Binding = Tuple[str, object, Optional[Type]]
+
+
+class IRGenerator:
+    def __init__(self, program: Program, sema: SemanticChecker) -> None:
+        self.program = program
+        self.sema = sema
+        self.filename = program.filename
+        self.ir = IRProgram(filename=program.filename)
+        self.ir.globals = list(program.globals)
+        self._string_pool: Dict[str, str] = {}
+        self._label_counter = 0
+        # per-function state
+        self.fn: Optional[IRFunction] = None
+        self.block: Optional[Block] = None
+        self._scopes: List[Dict[str, _Binding]] = []
+        self._breaks: List[str] = []
+        self._continues: List[str] = []
+        self._line = 0
+
+    # -- program ------------------------------------------------------------
+
+    def generate(self) -> IRProgram:
+        for fn in self.program.functions:
+            self.ir.functions.append(self._gen_function(fn))
+        return self.ir
+
+    def _intern_string(self, text: str) -> str:
+        symbol = self._string_pool.get(text)
+        if symbol is None:
+            symbol = f".Lstr{len(self._string_pool)}"
+            self._string_pool[symbol] = text
+            # Strings become const char arrays in the data image.
+            self.ir.globals.append(
+                GlobalVar(
+                    name=symbol,
+                    type=Type("char"),
+                    array_len=len(text) + 1,
+                    init_string=text,
+                    is_const=True,
+                )
+            )
+            self._string_pool[text] = symbol
+        return symbol
+
+    # -- function ------------------------------------------------------------
+
+    def _gen_function(self, fn_ast: FunctionDef) -> IRFunction:
+        fn = IRFunction(
+            name=fn_ast.name,
+            num_params=len(fn_ast.params),
+            param_regs=[],
+            returns_value=not fn_ast.return_type.is_void,
+            line=fn_ast.line,
+        )
+        self.fn = fn
+        self._label_counter = 0
+        self._scopes = [{}]
+        entry = self._new_block("entry")
+        self.block = entry
+        for param in fn_ast.params:
+            reg = fn.new_vreg()
+            fn.param_regs.append(reg)
+            self._scopes[0][param.name] = ("reg", reg, param.type)
+        self._gen_block(fn_ast.body)
+        if self.block.terminator is None:
+            # Implicit return (0 for value-returning functions, as for
+            # C's main).
+            self._emit(IRet(0 if fn.returns_value else None, line=self._line))
+        self._scopes = []
+        self.fn = None
+        result = fn
+        self.block = None
+        return result
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _new_block(self, hint: str) -> Block:
+        label = f".L{self.fn.name}_{self._label_counter}_{hint}"
+        self._label_counter += 1
+        block = Block(label)
+        self.fn.blocks.append(block)
+        return block
+
+    def _emit(self, instr) -> None:
+        if instr.line == 0:
+            instr.line = self._line
+        self.block.instrs.append(instr)
+
+    def _set_block(self, block: Block) -> None:
+        self.block = block
+
+    def _jump(self, target: Block) -> None:
+        if self.block.terminator is None:
+            self._emit(IJmp(target.label))
+
+    def _materialize(self, operand: Operand) -> VReg:
+        if isinstance(operand, VReg):
+            return operand
+        reg = self.fn.new_vreg()
+        self._emit(IConst(reg, operand & MASK32))
+        return reg
+
+    def error(self, message: str, line: int) -> SemaError:
+        return SemaError(message, self.filename, line)
+
+    def _lookup(self, name: str, line: int) -> _Binding:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        for var in self.ir.globals:
+            if var.name == name:
+                return ("global", var, var.type)
+        raise self.error(f"undeclared identifier {name!r}", line)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _gen_block(self, block_ast: BlockStmt) -> None:
+        self._scopes.append({})
+        for stmt in block_ast.body:
+            self._gen_stmt(stmt)
+        self._scopes.pop()
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        self._line = stmt.line or self._line
+        if isinstance(stmt, BlockStmt):
+            self._gen_block(stmt)
+        elif isinstance(stmt, DeclStmt):
+            self._gen_decl(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self._gen_if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self._gen_while(stmt)
+        elif isinstance(stmt, DoWhileStmt):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._gen_for(stmt)
+        elif isinstance(stmt, SwitchStmt):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ReturnStmt):
+            value = None
+            if stmt.value is not None:
+                value = self._gen_expr(stmt.value)
+            self._emit(IRet(value, line=stmt.line))
+            self._set_block(self._new_block("dead"))
+        elif isinstance(stmt, BreakStmt):
+            self._emit(IJmp(self._breaks[-1], line=stmt.line))
+            self._set_block(self._new_block("dead"))
+        elif isinstance(stmt, ContinueStmt):
+            self._emit(IJmp(self._continues[-1], line=stmt.line))
+            self._set_block(self._new_block("dead"))
+        else:  # pragma: no cover
+            raise self.error(f"unsupported statement {type(stmt).__name__}",
+                             stmt.line)
+
+    def _gen_decl(self, stmt: DeclStmt) -> None:
+        scope = self._scopes[-1]
+        if stmt.array_len is not None:
+            elem = stmt.decl_type.size
+            slot = self.fn.new_slot(elem * stmt.array_len)
+            scope[stmt.name] = ("slot", slot, stmt.decl_type)
+            if stmt.init_list:
+                base = self.fn.new_vreg()
+                self._emit(IAddrStack(base, slot, 0))
+                for i, expr in enumerate(stmt.init_list):
+                    value = self._gen_expr(expr)
+                    self._emit(IStore(base, i * elem, value, elem))
+        else:
+            reg = self.fn.new_vreg()
+            scope[stmt.name] = ("reg", reg, stmt.decl_type)
+            if stmt.init is not None:
+                value = self._gen_expr(stmt.init)
+                self._emit(ICopy(reg, value))
+            else:
+                self._emit(IConst(reg, 0))
+
+    def _gen_if(self, stmt: IfStmt) -> None:
+        then_b = self._new_block("then")
+        end_b = self._new_block("endif")
+        else_b = self._new_block("else") if stmt.otherwise else end_b
+        self._gen_cond(stmt.cond, then_b, else_b)
+        self._set_block(then_b)
+        self._gen_stmt(stmt.then)
+        self._jump(end_b)
+        if stmt.otherwise is not None:
+            self._set_block(else_b)
+            self._gen_stmt(stmt.otherwise)
+            self._jump(end_b)
+        self._set_block(end_b)
+
+    def _gen_while(self, stmt: WhileStmt) -> None:
+        head = self._new_block("while")
+        body = self._new_block("body")
+        end = self._new_block("endwhile")
+        self._jump(head)
+        self._set_block(head)
+        self._gen_cond(stmt.cond, body, end)
+        self._breaks.append(end.label)
+        self._continues.append(head.label)
+        self._set_block(body)
+        self._gen_stmt(stmt.body)
+        self._jump(head)
+        self._breaks.pop()
+        self._continues.pop()
+        self._set_block(end)
+
+    def _gen_do_while(self, stmt: DoWhileStmt) -> None:
+        body = self._new_block("do")
+        cond_b = self._new_block("docond")
+        end = self._new_block("enddo")
+        self._jump(body)
+        self._breaks.append(end.label)
+        self._continues.append(cond_b.label)
+        self._set_block(body)
+        self._gen_stmt(stmt.body)
+        self._jump(cond_b)
+        self._breaks.pop()
+        self._continues.pop()
+        self._set_block(cond_b)
+        self._gen_cond(stmt.cond, body, end)
+        self._set_block(end)
+
+    def _gen_for(self, stmt: ForStmt) -> None:
+        self._scopes.append({})
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        head = self._new_block("for")
+        body = self._new_block("forbody")
+        step_b = self._new_block("forstep")
+        end = self._new_block("endfor")
+        self._jump(head)
+        self._set_block(head)
+        if stmt.cond is not None:
+            self._gen_cond(stmt.cond, body, end)
+        else:
+            self._jump(body)
+        self._breaks.append(end.label)
+        self._continues.append(step_b.label)
+        self._set_block(body)
+        self._gen_stmt(stmt.body)
+        self._jump(step_b)
+        self._set_block(step_b)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+        self._jump(head)
+        self._breaks.pop()
+        self._continues.pop()
+        self._scopes.pop()
+        self._set_block(end)
+
+    def _gen_switch(self, stmt: SwitchStmt) -> None:
+        """C semantics: sequential case compare, fall-through bodies,
+        ``break`` exits to the end block."""
+        value = self._gen_expr(stmt.value)
+        value_reg = self._materialize(value)
+        end = self._new_block("endswitch")
+        case_blocks = [
+            self._new_block(f"case{i}") for i in range(len(stmt.cases))
+        ]
+        default_block = (
+            self._new_block("default") if stmt.default is not None else end
+        )
+
+        # Dispatch chain: one equality test per case label.
+        for i, (const, _body) in enumerate(stmt.cases):
+            next_check = (
+                self._new_block(f"check{i + 1}")
+                if i + 1 < len(stmt.cases)
+                else default_block
+            )
+            self._emit(
+                ICondBr("eq", value_reg, const & MASK32,
+                        case_blocks[i].label, next_check.label,
+                        line=stmt.line)
+            )
+            self._set_block(next_check)
+        if not stmt.cases:
+            self._jump(default_block)
+
+        # Bodies with fall-through; break exits the switch.
+        self._breaks.append(end.label)
+        bodies = list(zip(case_blocks, [b for _c, b in stmt.cases]))
+        if stmt.default is not None:
+            bodies.append((default_block, stmt.default))
+        for index, (block, body) in enumerate(bodies):
+            self._set_block(block)
+            for inner in body:
+                self._gen_stmt(inner)
+            if self.block.terminator is None:
+                fallthrough = (
+                    bodies[index + 1][0] if index + 1 < len(bodies) else end
+                )
+                self._jump(fallthrough)
+        self._breaks.pop()
+        self._set_block(end)
+
+    # -- conditions ---------------------------------------------------------------
+
+    def _gen_cond(self, expr: Expr, if_true: Block, if_false: Block) -> None:
+        self._line = expr.line or self._line
+        if isinstance(expr, BinaryExpr):
+            if expr.op == "&&":
+                mid = self._new_block("and")
+                self._gen_cond(expr.left, mid, if_false)
+                self._set_block(mid)
+                self._gen_cond(expr.right, if_true, if_false)
+                return
+            if expr.op == "||":
+                mid = self._new_block("or")
+                self._gen_cond(expr.left, if_true, mid)
+                self._set_block(mid)
+                self._gen_cond(expr.right, if_true, if_false)
+                return
+            if expr.op in _CMP_TO_COND:
+                cond = _CMP_TO_COND[expr.op]
+                if self._is_unsigned_cmp(expr) and cond not in ("eq", "ne"):
+                    cond += "u"
+                a = self._gen_expr(expr.left)
+                b = self._gen_expr(expr.right)
+                self._emit(
+                    ICondBr(cond, a, b, if_true.label, if_false.label,
+                            line=expr.line)
+                )
+                return
+        if isinstance(expr, UnaryExpr) and expr.op == "!":
+            self._gen_cond(expr.operand, if_false, if_true)
+            return
+        value = self._gen_expr(expr)
+        self._emit(
+            ICondBr("ne", value, 0, if_true.label, if_false.label,
+                    line=expr.line)
+        )
+
+    @staticmethod
+    def _is_unsigned_cmp(expr: BinaryExpr) -> bool:
+        for side in (expr.left.type, expr.right.type):
+            if side is not None and (side.is_pointer or side.unsigned):
+                return True
+        return False
+
+    def _cond_value(self, expr: Expr) -> Operand:
+        """Materialise a boolean expression as 0/1."""
+        result = self.fn.new_vreg()
+        true_b = self._new_block("tval")
+        false_b = self._new_block("fval")
+        end = self._new_block("bval")
+        self._gen_cond(expr, true_b, false_b)
+        self._set_block(true_b)
+        self._emit(IConst(result, 1))
+        self._jump(end)
+        self._set_block(false_b)
+        self._emit(IConst(result, 0))
+        self._jump(end)
+        self._set_block(end)
+        return result
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _gen_expr(self, expr: Expr) -> Operand:
+        self._line = expr.line or self._line
+        if isinstance(expr, _PreEvaluated):
+            return expr.operand
+        if isinstance(expr, NumberExpr):
+            return expr.value & MASK32
+        if isinstance(expr, StringExpr):
+            symbol = self._intern_string(expr.value)
+            reg = self.fn.new_vreg()
+            self._emit(IAddrGlobal(reg, symbol))
+            return reg
+        if isinstance(expr, NameExpr):
+            return self._gen_name(expr)
+        if isinstance(expr, UnaryExpr):
+            return self._gen_unary(expr)
+        if isinstance(expr, BinaryExpr):
+            return self._gen_binary(expr)
+        if isinstance(expr, AssignExpr):
+            return self._gen_assign(expr)
+        if isinstance(expr, TernaryExpr):
+            result = self.fn.new_vreg()
+            then_b = self._new_block("tern_t")
+            else_b = self._new_block("tern_f")
+            end = self._new_block("tern_e")
+            self._gen_cond(expr.cond, then_b, else_b)
+            self._set_block(then_b)
+            self._emit(ICopy(result, self._gen_expr(expr.then)))
+            self._jump(end)
+            self._set_block(else_b)
+            self._emit(ICopy(result, self._gen_expr(expr.otherwise)))
+            self._jump(end)
+            self._set_block(end)
+            return result
+        if isinstance(expr, CallExpr):
+            args = [self._gen_expr(a) for a in expr.args]
+            sig = self.sema.functions[expr.callee]
+            dst = self.fn.new_vreg() if not sig.return_type.is_void else None
+            self._emit(ICall(dst, expr.callee, args, line=expr.line))
+            return dst if dst is not None else 0
+        if isinstance(expr, IndexExpr):
+            base, offset, size, signed = self._gen_lvalue_addr(expr)
+            dst = self.fn.new_vreg()
+            self._emit(ILoad(dst, base, offset, size, signed))
+            return dst
+        if isinstance(expr, DerefExpr):
+            base, offset, size, signed = self._gen_lvalue_addr(expr)
+            dst = self.fn.new_vreg()
+            self._emit(ILoad(dst, base, offset, size, signed))
+            return dst
+        if isinstance(expr, AddrOfExpr):
+            return self._gen_addr_of(expr)
+        if isinstance(expr, IncDecExpr):
+            return self._gen_incdec(expr)
+        raise self.error(f"unsupported expression {type(expr).__name__}",
+                         expr.line)
+
+    def _gen_name(self, expr: NameExpr) -> Operand:
+        kind, payload, var_type = self._lookup(expr.name, expr.line)
+        if kind == "reg":
+            return payload
+        if kind == "slot":
+            reg = self.fn.new_vreg()
+            self._emit(IAddrStack(reg, payload, 0))
+            return reg
+        var: GlobalVar = payload
+        reg = self.fn.new_vreg()
+        if var.array_len is not None:
+            self._emit(IAddrGlobal(reg, var.name))
+            return reg
+        addr = self.fn.new_vreg()
+        self._emit(IAddrGlobal(addr, var.name))
+        self._emit(
+            ILoad(reg, addr, 0, var.type.size, signed=False)
+        )
+        return reg
+
+    def _gen_unary(self, expr: UnaryExpr) -> Operand:
+        if expr.op == "!":
+            return self._cond_value(expr)
+        value = self._gen_expr(expr.operand)
+        dst = self.fn.new_vreg()
+        if expr.op == "-":
+            self._emit(IBin(dst, "sub", 0, value))
+        else:  # "~"
+            self._emit(IBin(dst, "xor", value, 0xFFFFFFFF))
+        return dst
+
+    _BIN_TO_IR = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+        "&": "and", "|": "or", "^": "xor", "<<": "shl",
+    }
+
+    def _gen_binary(self, expr: BinaryExpr) -> Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._cond_value(expr)
+        if op in _CMP_TO_COND:
+            return self._gen_compare(expr)
+        left_t = expr.left.type
+        right_t = expr.right.type
+        a = self._gen_expr(expr.left)
+        b = self._gen_expr(expr.right)
+        if op == ">>":
+            is_signed = not (
+                left_t is not None and (left_t.unsigned or left_t.is_pointer)
+            )
+            dst = self.fn.new_vreg()
+            self._emit(IBin(dst, "sar" if is_signed else "shr", a, b))
+            return dst
+        if op in ("+", "-"):
+            left_ptr = left_t is not None and left_t.is_pointer
+            right_ptr = right_t is not None and right_t.is_pointer
+            if op == "+" and (left_ptr or right_ptr):
+                if right_ptr:
+                    a, b = b, a
+                    left_t = right_t
+                scale = left_t.element_size
+                b = self._scale(b, scale)
+            elif op == "-" and left_ptr and right_ptr:
+                diff = self.fn.new_vreg()
+                self._emit(IBin(diff, "sub", a, b))
+                return self._unscale(diff, left_t.element_size)
+            elif op == "-" and left_ptr:
+                b = self._scale(b, left_t.element_size)
+        dst = self.fn.new_vreg()
+        self._emit(IBin(dst, self._BIN_TO_IR[op], a, b))
+        return dst
+
+    def _scale(self, operand: Operand, scale: int) -> Operand:
+        if scale == 1:
+            return operand
+        if isinstance(operand, int):
+            return (operand * scale) & MASK32
+        dst = self.fn.new_vreg()
+        if scale & (scale - 1) == 0:
+            self._emit(IBin(dst, "shl", operand, scale.bit_length() - 1))
+        else:
+            self._emit(IBin(dst, "mul", operand, scale))
+        return dst
+
+    def _unscale(self, operand: VReg, scale: int) -> Operand:
+        if scale == 1:
+            return operand
+        dst = self.fn.new_vreg()
+        if scale & (scale - 1) == 0:
+            self._emit(IBin(dst, "sar", operand, scale.bit_length() - 1))
+        else:
+            self._emit(IBin(dst, "div", operand, scale))
+        return dst
+
+    def _gen_compare(self, expr: BinaryExpr) -> Operand:
+        cond = _CMP_TO_COND[expr.op]
+        unsigned = self._is_unsigned_cmp(expr)
+        a = self._gen_expr(expr.left)
+        b = self._gen_expr(expr.right)
+        dst = self.fn.new_vreg()
+        slt = "sltu" if unsigned else "slt"
+        if cond == "eq":
+            diff = self.fn.new_vreg()
+            self._emit(IBin(diff, "sub", a, b))
+            self._emit(IBin(dst, "sltu", diff, 1))
+        elif cond == "ne":
+            diff = self.fn.new_vreg()
+            self._emit(IBin(diff, "sub", a, b))
+            self._emit(IBin(dst, "sltu", 0, diff))
+        elif cond == "lt":
+            self._emit(IBin(dst, slt, a, b))
+        elif cond == "gt":
+            self._emit(IBin(dst, slt, b, a))
+        elif cond == "le":
+            tmp = self.fn.new_vreg()
+            self._emit(IBin(tmp, slt, b, a))
+            self._emit(IBin(dst, "xor", tmp, 1))
+        else:  # ge
+            tmp = self.fn.new_vreg()
+            self._emit(IBin(tmp, slt, a, b))
+            self._emit(IBin(dst, "xor", tmp, 1))
+        return dst
+
+    # -- lvalues -------------------------------------------------------------------
+
+    def _gen_lvalue_addr(self, expr: Expr) -> Tuple[VReg, int, int, bool]:
+        """Return (base vreg, const offset, access size, signed load)."""
+        if isinstance(expr, IndexExpr):
+            elem_t: Type = expr.type
+            size = elem_t.size if not elem_t.is_pointer else 4
+            base = self._materialize(self._gen_expr(expr.base))
+            index = self._gen_expr(expr.index)
+            if isinstance(index, int):
+                signed_index = index - (1 << 32) if index & 0x80000000 else index
+                return base, signed_index * size, size, False
+            scaled = self._scale(index, size)
+            addr = self.fn.new_vreg()
+            self._emit(IBin(addr, "add", base, scaled))
+            return addr, 0, size, False
+        if isinstance(expr, DerefExpr):
+            elem_t = expr.type
+            size = elem_t.size if not elem_t.is_pointer else 4
+            base = self._materialize(self._gen_expr(expr.pointer))
+            return base, 0, size, False
+        if isinstance(expr, NameExpr):
+            kind, payload, _t = self._lookup(expr.name, expr.line)
+            if kind == "global":
+                var: GlobalVar = payload
+                addr = self.fn.new_vreg()
+                self._emit(IAddrGlobal(addr, var.name))
+                return addr, 0, var.type.size, False
+        raise self.error("expression is not addressable", expr.line)
+
+    def _gen_addr_of(self, expr: AddrOfExpr) -> Operand:
+        target = expr.target
+        if isinstance(target, IndexExpr):
+            base, offset, size, _signed = self._gen_lvalue_addr(target)
+            if offset == 0:
+                return base
+            dst = self.fn.new_vreg()
+            self._emit(IBin(dst, "add", base, offset & MASK32))
+            return dst
+        if isinstance(target, NameExpr):
+            kind, payload, _t = self._lookup(target.name, target.line)
+            if kind == "slot":
+                reg = self.fn.new_vreg()
+                self._emit(IAddrStack(reg, payload, 0))
+                return reg
+            if kind == "global":
+                reg = self.fn.new_vreg()
+                self._emit(IAddrGlobal(reg, payload.name))
+                return reg
+            raise self.error("address-of on register local", expr.line)
+        if isinstance(target, DerefExpr):
+            return self._gen_expr(target.pointer)
+        raise self.error("invalid operand of &", expr.line)
+
+    # -- assignment ----------------------------------------------------------------
+
+    def _gen_assign(self, expr: AssignExpr) -> Operand:
+        target = expr.target
+        if expr.op == "=":
+            value = self._gen_expr(expr.value)
+            self._store_lvalue(target, value)
+            return value
+        # Compound assignment: load, apply, store.
+        base_op = expr.op[:-1]
+        current = self._gen_expr(target)
+        synthetic = BinaryExpr(line=expr.line, op=base_op,
+                               left=target, right=expr.value)
+        synthetic.left = _PreEvaluated(current, target.type, expr.line)
+        result = self._gen_binary(synthetic)
+        self._store_lvalue(target, result)
+        return result
+
+    def _gen_incdec(self, expr: IncDecExpr) -> Operand:
+        target = expr.target
+        step = 1
+        target_t = target.type
+        if target_t is not None and target_t.is_pointer:
+            step = target_t.element_size
+        current = self._gen_expr(target)
+        if not expr.is_prefix:
+            # Snapshot the pre-update value: ``current`` may alias the
+            # variable's own vreg, which the store below overwrites.
+            snapshot = self.fn.new_vreg()
+            self._emit(ICopy(snapshot, current))
+            current = snapshot
+        updated = self.fn.new_vreg()
+        op = "add" if expr.op == "++" else "sub"
+        self._emit(IBin(updated, op, current, step))
+        self._store_lvalue(target, updated)
+        return updated if expr.is_prefix else current
+
+    def _store_lvalue(self, target: Expr, value: Operand) -> None:
+        if isinstance(target, NameExpr):
+            kind, payload, _t = self._lookup(target.name, target.line)
+            if kind == "reg":
+                self._emit(ICopy(payload, value))
+                return
+            if kind == "global":
+                var: GlobalVar = payload
+                addr = self.fn.new_vreg()
+                self._emit(IAddrGlobal(addr, var.name))
+                self._emit(IStore(addr, 0, value, var.type.size))
+                return
+            raise self.error("array is not assignable", target.line)
+        if isinstance(target, (IndexExpr, DerefExpr)):
+            base, offset, size, _signed = self._gen_lvalue_addr(target)
+            self._emit(IStore(base, offset, value, size))
+            return
+        raise self.error("expression is not assignable", target.line)
+
+
+def generate_ir(program: Program, sema: SemanticChecker) -> IRProgram:
+    return IRGenerator(program, sema).generate()

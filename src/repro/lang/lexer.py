@@ -1,0 +1,138 @@
+"""Lexer for KC, the C subset of the retargetable compiler.
+
+KC stands in for the paper's C/C++ front end (Section IV): 32-bit
+integers, chars, one-dimensional arrays, pointers, functions with
+recursion, and the usual statement/expression forms — enough to express
+the paper's five benchmark kernels idiomatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset(
+    {
+        "int", "char", "void", "const", "unsigned",
+        "if", "else", "while", "for", "do", "return",
+        "break", "continue", "switch", "case", "default",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "[", "]", "{", "}", ",", ";", "?", ":",
+)
+
+
+class LexError(Exception):
+    def __init__(self, message: str, filename: str, line: int) -> None:
+        super().__init__(f"{filename}:{line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "num" | "ident" | "kw" | "op" | "string" | "eof"
+    text: str
+    value: int = 0
+    line: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source: str, filename: str = "<kc>") -> List[Token]:
+    tokens = list(_scan(source, filename))
+    return tokens
+
+
+def _scan(source: str, filename: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", filename, line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            yield Token("num", source[i:j], value, line)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            yield Token(kind, text, 0, line)
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                body = source[i + 1:i + 3]
+                j = i + 3
+            else:
+                body = source[i + 1:i + 2]
+                j = i + 2
+            if j >= n or source[j] != "'":
+                raise LexError("bad character literal", filename, line)
+            value = ord(body.encode().decode("unicode_escape"))
+            yield Token("num", source[i:j + 1], value, line)
+            i = j + 1
+            continue
+        if ch == '"':
+            j = i + 1
+            out = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    out.append(source[j:j + 2])
+                    j += 2
+                else:
+                    out.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", filename, line)
+            text = "".join(out).encode().decode("unicode_escape")
+            yield Token("string", text, 0, line)
+            i = j + 1
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, 0, line)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", filename, line)
+    yield Token("eof", "", 0, line)

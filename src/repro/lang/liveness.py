@@ -1,0 +1,126 @@
+"""Backward liveness dataflow over virtual registers.
+
+Produces per-block live-in/live-out sets and, for the linear-scan
+allocator, live intervals over a linearised instruction numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .ir import Block, ICall, IRFunction, VReg
+
+
+@dataclass
+class LivenessInfo:
+    live_in: Dict[str, Set[VReg]]
+    live_out: Dict[str, Set[VReg]]
+
+
+def compute_liveness(fn: IRFunction) -> LivenessInfo:
+    preds: Dict[str, List[str]] = {b.label: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds.setdefault(succ, []).append(block.label)
+
+    use_sets: Dict[str, Set[VReg]] = {}
+    def_sets: Dict[str, Set[VReg]] = {}
+    for block in fn.blocks:
+        uses: Set[VReg] = set()
+        defs: Set[VReg] = set()
+        for instr in block.instrs:
+            for u in instr.uses():
+                if u not in defs:
+                    uses.add(u)
+            defs.update(instr.defs())
+        use_sets[block.label] = uses
+        def_sets[block.label] = defs
+
+    live_in: Dict[str, Set[VReg]] = {b.label: set() for b in fn.blocks}
+    live_out: Dict[str, Set[VReg]] = {b.label: set() for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(fn.blocks):
+            label = block.label
+            out: Set[VReg] = set()
+            for succ in block.successors():
+                out |= live_in.get(succ, set())
+            new_in = use_sets[label] | (out - def_sets[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return LivenessInfo(live_in=live_in, live_out=live_out)
+
+
+@dataclass
+class Interval:
+    """Live interval of one virtual register over the linearised body."""
+
+    reg: VReg
+    start: int
+    end: int
+    #: True when a call instruction lies strictly inside the interval —
+    #: such intervals must live in callee-saved registers (or spill).
+    crosses_call: bool = False
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+def build_intervals(
+    fn: IRFunction,
+) -> Tuple[List[Interval], Dict[str, Tuple[int, int]]]:
+    """Compute conservative live intervals.
+
+    Returns the intervals (sorted by start) and the [start, end) position
+    range of each block in the linear numbering.  Positions count one
+    slot per instruction; a register live-out of a block extends to the
+    block's end, live-in extends from the block's start — conservative
+    but correct for loops.
+    """
+    liveness = compute_liveness(fn)
+    block_range: Dict[str, Tuple[int, int]] = {}
+    position = 0
+    for block in fn.blocks:
+        start = position
+        position += max(len(block.instrs), 1)
+        block_range[block.label] = (start, position)
+
+    starts: Dict[VReg, int] = {}
+    ends: Dict[VReg, int] = {}
+    call_positions: List[int] = []
+
+    def extend(reg: VReg, pos: int) -> None:
+        if reg not in starts or pos < starts[reg]:
+            starts[reg] = pos
+        if reg not in ends or pos > ends[reg]:
+            ends[reg] = pos
+
+    for param in fn.param_regs:
+        extend(param, 0)
+
+    for block in fn.blocks:
+        begin, finish = block_range[block.label]
+        for reg in liveness.live_in[block.label]:
+            extend(reg, begin)
+        for reg in liveness.live_out[block.label]:
+            extend(reg, finish)
+        for offset, instr in enumerate(block.instrs):
+            pos = begin + offset
+            if isinstance(instr, ICall):
+                call_positions.append(pos)
+            for reg in instr.uses():
+                extend(reg, pos)
+            for reg in instr.defs():
+                extend(reg, pos)
+
+    intervals: List[Interval] = []
+    for reg, start in starts.items():
+        end = ends[reg] + 1
+        crosses = any(start < c < end - 1 for c in call_positions)
+        intervals.append(Interval(reg, start, end, crosses))
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, block_range

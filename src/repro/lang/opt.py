@@ -1,0 +1,281 @@
+"""IR optimisation passes.
+
+The compiler applies, in order and to a fixpoint: local constant
+folding and copy propagation, algebraic simplification (including
+strength reduction of multiplications by powers of two — relevant
+because ``mul`` costs three cycles on the KAHRISMA EDPE), dead code
+elimination and control-flow simplification (jump threading plus
+unreachable-block removal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .ir import (
+    Block,
+    COND_OPS,
+    IAddrGlobal,
+    IAddrStack,
+    IBin,
+    ICall,
+    ICondBr,
+    IConst,
+    ICopy,
+    IJmp,
+    ILoad,
+    IRet,
+    IRFunction,
+    IStore,
+    Instr,
+    Operand,
+    VReg,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+def _s32(x: int) -> int:
+    x &= MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def _eval_bin(op: str, a: int, b: int) -> Optional[int]:
+    """Evaluate an IBin over 32-bit semantics; None if undefined."""
+    if op == "add":
+        return (a + b) & MASK32
+    if op == "sub":
+        return (a - b) & MASK32
+    if op == "mul":
+        return (_s32(a) * _s32(b)) & MASK32
+    if op == "div":
+        if _s32(b) == 0:
+            return None
+        q = abs(_s32(a)) // abs(_s32(b))
+        if (_s32(a) < 0) != (_s32(b) < 0):
+            q = -q
+        return q & MASK32
+    if op == "rem":
+        if _s32(b) == 0:
+            return None
+        d = _eval_bin("div", a, b)
+        return (_s32(a) - _s32(d) * _s32(b)) & MASK32
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << (b & 31)) & MASK32
+    if op == "shr":
+        return (a & MASK32) >> (b & 31)
+    if op == "sar":
+        return (_s32(a) >> (b & 31)) & MASK32
+    if op == "slt":
+        return 1 if _s32(a) < _s32(b) else 0
+    if op == "sltu":
+        return 1 if (a & MASK32) < (b & MASK32) else 0
+    return None
+
+
+def _eval_cond(op: str, a: int, b: int) -> bool:
+    a &= MASK32
+    b &= MASK32
+    sa, sb = _s32(a), _s32(b)
+    return {
+        "eq": a == b, "ne": a != b,
+        "lt": sa < sb, "le": sa <= sb, "gt": sa > sb, "ge": sa >= sb,
+        "ltu": a < b, "leu": a <= b, "gtu": a > b, "geu": a >= b,
+    }[op]
+
+
+def fold_block(block: Block) -> bool:
+    """Local constant folding + copy propagation within one block."""
+    changed = False
+    consts: Dict[VReg, int] = {}
+    copies: Dict[VReg, VReg] = {}
+    new_instrs: List[Instr] = []
+
+    def invalidate(reg: VReg) -> None:
+        consts.pop(reg, None)
+        copies.pop(reg, None)
+        for key, value in list(copies.items()):
+            if value == reg:
+                del copies[key]
+
+    def resolve(op: Operand) -> Operand:
+        seen = set()
+        while isinstance(op, VReg) and op not in seen:
+            seen.add(op)
+            if op in consts:
+                return consts[op]
+            if op in copies:
+                op = copies[op]
+            else:
+                break
+        return op
+
+    for instr in block.instrs:
+        # Substitute known constants/copies into the operands.
+        mapping: Dict[VReg, Operand] = {}
+        for use in instr.uses():
+            resolved = resolve(use)
+            if resolved != use:
+                mapping[use] = resolved
+        if mapping:
+            instr.replace_uses(mapping)
+            changed = True
+
+        replacement = instr
+        if isinstance(instr, IBin):
+            replacement = _simplify_bin(instr)
+            if replacement is not instr:
+                changed = True
+        elif isinstance(instr, ICondBr) and isinstance(instr.a, int) \
+                and isinstance(instr.b, int):
+            taken = _eval_cond(instr.op, instr.a, instr.b)
+            replacement = IJmp(
+                instr.if_true if taken else instr.if_false, line=instr.line
+            )
+            changed = True
+
+        for reg in replacement.defs():
+            invalidate(reg)
+        if isinstance(replacement, IConst):
+            consts[replacement.dst] = replacement.value & MASK32
+        elif isinstance(replacement, ICopy):
+            if isinstance(replacement.src, int):
+                consts[replacement.dst] = replacement.src & MASK32
+            elif replacement.src != replacement.dst:
+                copies[replacement.dst] = replacement.src
+        new_instrs.append(replacement)
+    block.instrs = new_instrs
+    return changed
+
+
+def _simplify_bin(instr: IBin) -> Instr:
+    a, b = instr.a, instr.b
+    op = instr.op
+    if isinstance(a, int) and isinstance(b, int):
+        value = _eval_bin(op, a, b)
+        if value is not None:
+            return IConst(instr.dst, value, line=instr.line)
+        return instr
+    # Commutative ops: keep the constant on the right for the
+    # immediate instruction forms.
+    if isinstance(a, int) and op in ("add", "mul", "and", "or", "xor"):
+        a, b = b, a
+        instr.a, instr.b = a, b
+    if isinstance(b, int):
+        b &= MASK32
+        if op in ("add", "sub", "or", "xor", "shl", "shr", "sar") and b == 0:
+            return ICopy(instr.dst, a, line=instr.line)
+        if op == "and" and b == 0:
+            return IConst(instr.dst, 0, line=instr.line)
+        if op == "mul":
+            if b == 0:
+                return IConst(instr.dst, 0, line=instr.line)
+            if b == 1:
+                return ICopy(instr.dst, a, line=instr.line)
+            if b & (b - 1) == 0:
+                return IBin(instr.dst, "shl", a, b.bit_length() - 1,
+                            line=instr.line)
+        if op == "div" and b == 1:
+            return ICopy(instr.dst, a, line=instr.line)
+    return instr
+
+
+def eliminate_dead_code(fn: IRFunction) -> bool:
+    """Remove pure instructions whose results are never used."""
+    changed = False
+    while True:
+        used: Set[VReg] = set()
+        for block in fn.blocks:
+            for instr in block.instrs:
+                used.update(instr.uses())
+        removed = False
+        for block in fn.blocks:
+            kept: List[Instr] = []
+            for instr in block.instrs:
+                defs = instr.defs()
+                if (
+                    defs
+                    and not instr.has_side_effects
+                    and not any(d in used for d in defs)
+                ):
+                    removed = True
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+        changed |= removed
+        if not removed:
+            return changed
+
+
+def simplify_cfg(fn: IRFunction) -> bool:
+    """Jump threading and unreachable-block removal."""
+    changed = False
+    # Thread jumps through trivial forwarder blocks.
+    forwards: Dict[str, str] = {}
+    for block in fn.blocks:
+        if len(block.instrs) == 1 and isinstance(block.instrs[0], IJmp):
+            forwards[block.label] = block.instrs[0].target
+
+    def final_target(label: str) -> str:
+        seen = set()
+        while label in forwards and label not in seen:
+            seen.add(label)
+            label = forwards[label]
+        return label
+
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, IJmp):
+            target = final_target(term.target)
+            if target != term.target:
+                term.target = target
+                changed = True
+        elif isinstance(term, ICondBr):
+            t = final_target(term.if_true)
+            f = final_target(term.if_false)
+            if (t, f) != (term.if_true, term.if_false):
+                term.if_true, term.if_false = t, f
+                changed = True
+            if term.if_true == term.if_false:
+                block.instrs[-1] = IJmp(term.if_true, line=term.line)
+                changed = True
+
+    # Drop blocks unreachable from the entry.
+    if fn.blocks:
+        reachable: Set[str] = set()
+        stack = [fn.blocks[0].label]
+        by_label = {b.label: b for b in fn.blocks}
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            stack.extend(by_label[label].successors())
+        kept_blocks = [b for b in fn.blocks if b.label in reachable]
+        if len(kept_blocks) != len(fn.blocks):
+            fn.blocks = kept_blocks
+            changed = True
+    return changed
+
+
+def optimize_function(fn: IRFunction, *, max_iterations: int = 8) -> None:
+    """Run all passes to a fixpoint (bounded)."""
+    for _ in range(max_iterations):
+        changed = False
+        for block in fn.blocks:
+            changed |= fold_block(block)
+        changed |= eliminate_dead_code(fn)
+        changed |= simplify_cfg(fn)
+        if not changed:
+            return
+
+
+def optimize(ir_program) -> None:
+    for fn in ir_program.functions:
+        optimize_function(fn)

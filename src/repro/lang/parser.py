@@ -1,0 +1,526 @@
+"""Recursive-descent parser for KC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .astnodes import (
+    AddrOfExpr,
+    AssignExpr,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DeclStmt,
+    DerefExpr,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GlobalVar,
+    IfStmt,
+    IncDecExpr,
+    IndexExpr,
+    NameExpr,
+    NumberExpr,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StringExpr,
+    SwitchStmt,
+    TernaryExpr,
+    Type,
+    UnaryExpr,
+    WhileStmt,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, filename: str, line: int) -> None:
+        super().__init__(f"{filename}:{line}: {message}")
+        self.line = line
+
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<kc>") -> None:
+        self.filename = filename
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.filename, self.tok.line)
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.tok
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise self.error(f"expected {want!r}, got {tok.text!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.tok
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    # -- top level -----------------------------------------------------------
+
+    def parse(self) -> Program:
+        program = Program(filename=self.filename)
+        while self.tok.kind != "eof":
+            is_const = bool(self.accept("kw", "const"))
+            decl_type = self._parse_type(allow_void=True)
+            name_tok = self.expect("ident")
+            if self.tok.kind == "op" and self.tok.text == "(":
+                program.functions.append(
+                    self._parse_function(decl_type, name_tok)
+                )
+            else:
+                program.globals.append(
+                    self._parse_global(decl_type, name_tok, is_const)
+                )
+        return program
+
+    def _parse_type(self, allow_void: bool = False) -> Type:
+        unsigned = bool(self.accept("kw", "unsigned"))
+        tok = self.tok
+        if tok.kind == "kw" and tok.text in ("int", "char", "void"):
+            self.advance()
+            base = tok.text
+        elif unsigned:
+            base = "int"  # plain "unsigned"
+        else:
+            raise self.error(f"expected type, got {tok.text!r}")
+        if base == "void" and not allow_void:
+            raise self.error("void only allowed as return type")
+        pointers = 0
+        while self.accept("op", "*"):
+            pointers += 1
+        return Type(base, pointers, unsigned)
+
+    def _parse_function(self, return_type: Type, name_tok: Token) -> FunctionDef:
+        self.expect("op", "(")
+        params: List[Param] = []
+        if not self.accept("op", ")"):
+            if self.tok.kind == "kw" and self.tok.text == "void" and \
+                    self.tokens[self.pos + 1].text == ")":
+                self.advance()
+            else:
+                while True:
+                    self.accept("kw", "const")
+                    ptype = self._parse_type()
+                    pname = self.expect("ident")
+                    if self.accept("op", "["):
+                        # Array parameter decays to a pointer.
+                        self.accept("num")
+                        self.expect("op", "]")
+                        ptype = ptype.pointer_to()
+                    params.append(Param(ptype, pname.text, pname.line))
+                    if not self.accept("op", ","):
+                        break
+            if self.tokens[self.pos - 1].text != ")":
+                self.expect("op", ")")
+        body = self._parse_block()
+        return FunctionDef(
+            name=name_tok.text,
+            return_type=return_type,
+            params=params,
+            body=body,
+            line=name_tok.line,
+        )
+
+    def _parse_global(
+        self, decl_type: Type, name_tok: Token, is_const: bool
+    ) -> GlobalVar:
+        array_len: Optional[int] = None
+        if self.accept("op", "["):
+            if self.tok.kind == "num":
+                array_len = self.advance().value
+            else:
+                array_len = None  # size from the initializer
+            self.expect("op", "]")
+        var = GlobalVar(
+            name=name_tok.text,
+            type=decl_type,
+            array_len=array_len,
+            is_const=is_const,
+            line=name_tok.line,
+        )
+        if self.accept("op", "="):
+            if self.tok.kind == "string":
+                var.init_string = self.advance().text
+                if var.array_len is None:
+                    var.array_len = len(var.init_string) + 1
+            elif self.accept("op", "{"):
+                values: List[int] = []
+                while not self.accept("op", "}"):
+                    values.append(self._parse_const_expr())
+                    if not self.accept("op", ","):
+                        self.expect("op", "}")
+                        break
+                var.init_list = values
+                if var.array_len is None:
+                    var.array_len = len(values)
+            else:
+                var.init = self._parse_const_expr()
+        if var.array_len is None and (var.init_list or var.init_string):
+            pass
+        self.expect("op", ";")
+        return var
+
+    def _parse_const_expr(self) -> int:
+        """Constant expression for initializers: literals with +,-,<<,|."""
+        expr = self._parse_expr()
+        value = _const_eval(expr)
+        if value is None:
+            raise ParseError(
+                "initializer must be a constant expression",
+                self.filename, expr.line,
+            )
+        return value
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_block(self) -> BlockStmt:
+        open_tok = self.expect("op", "{")
+        body: List[Stmt] = []
+        while not self.accept("op", "}"):
+            if self.tok.kind == "eof":
+                raise self.error("unexpected end of file in block")
+            body.append(self._parse_stmt())
+        return BlockStmt(line=open_tok.line, body=body)
+
+    def _parse_stmt(self):
+        tok = self.tok
+        if tok.kind == "op" and tok.text == "{":
+            return self._parse_block()
+        if tok.kind == "op" and tok.text == ";":
+            self.advance()
+            return BlockStmt(line=tok.line, body=[])
+        if tok.kind == "kw":
+            if tok.text in ("int", "char", "const", "unsigned"):
+                return self._parse_decl_stmt()
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "do":
+                return self._parse_do_while()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "switch":
+                return self._parse_switch()
+            if tok.text == "return":
+                self.advance()
+                value = None
+                if not (self.tok.kind == "op" and self.tok.text == ";"):
+                    value = self._parse_expr()
+                self.expect("op", ";")
+                return ReturnStmt(line=tok.line, value=value)
+            if tok.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return BreakStmt(line=tok.line)
+            if tok.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ContinueStmt(line=tok.line)
+        expr = self._parse_expr()
+        self.expect("op", ";")
+        return ExprStmt(line=expr.line, expr=expr)
+
+    def _parse_decl_stmt(self) -> DeclStmt:
+        line = self.tok.line
+        self.accept("kw", "const")
+        decl_type = self._parse_type()
+        name = self.expect("ident").text
+        array_len: Optional[int] = None
+        if self.accept("op", "["):
+            array_len = self.expect("num").value
+            self.expect("op", "]")
+        stmt = DeclStmt(
+            line=line, decl_type=decl_type, name=name, array_len=array_len
+        )
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                values: List[Expr] = []
+                while not self.accept("op", "}"):
+                    values.append(self._parse_assignment())
+                    if not self.accept("op", ","):
+                        self.expect("op", "}")
+                        break
+                stmt.init_list = values
+                if stmt.array_len is None:
+                    stmt.array_len = len(values)
+            else:
+                stmt.init = self._parse_assignment()
+        self.expect("op", ";")
+        return stmt
+
+    def _parse_switch(self) -> SwitchStmt:
+        line = self.advance().line
+        self.expect("op", "(")
+        value = self._parse_expr()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        stmt = SwitchStmt(line=line, value=value)
+        current: Optional[List] = None
+        while not self.accept("op", "}"):
+            if self.tok.kind == "eof":
+                raise self.error("unexpected end of file in switch")
+            if self.accept("kw", "case"):
+                const = self._parse_const_expr()
+                self.expect("op", ":")
+                current = []
+                stmt.cases.append((const, current))
+                continue
+            if self.accept("kw", "default"):
+                self.expect("op", ":")
+                current = []
+                if stmt.default is not None:
+                    raise self.error("duplicate default label")
+                stmt.default = current
+                continue
+            if current is None:
+                raise self.error("statement before first case label")
+            current.append(self._parse_stmt())
+        seen = set()
+        for const, _body in stmt.cases:
+            if const in seen:
+                raise ParseError(f"duplicate case {const}",
+                                 self.filename, line)
+            seen.add(const)
+        return stmt
+
+    def _parse_if(self) -> IfStmt:
+        line = self.advance().line
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        then = self._parse_stmt()
+        otherwise = None
+        if self.accept("kw", "else"):
+            otherwise = self._parse_stmt()
+        return IfStmt(line=line, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self) -> WhileStmt:
+        line = self.advance().line
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        body = self._parse_stmt()
+        return WhileStmt(line=line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> DoWhileStmt:
+        line = self.advance().line
+        body = self._parse_stmt()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return DoWhileStmt(line=line, body=body, cond=cond)
+
+    def _parse_for(self) -> ForStmt:
+        line = self.advance().line
+        self.expect("op", "(")
+        init = None
+        if not self.accept("op", ";"):
+            if self.tok.kind == "kw" and self.tok.text in (
+                "int", "char", "const", "unsigned"
+            ):
+                init = self._parse_decl_stmt()
+            else:
+                expr = self._parse_expr()
+                self.expect("op", ";")
+                init = ExprStmt(line=expr.line, expr=expr)
+        cond = None
+        if not self.accept("op", ";"):
+            cond = self._parse_expr()
+            self.expect("op", ";")
+        step = None
+        if not (self.tok.kind == "op" and self.tok.text == ")"):
+            step = self._parse_expr()
+        self.expect("op", ")")
+        body = self._parse_stmt()
+        return ForStmt(line=line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_ternary()
+        tok = self.tok
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.advance()
+            value = self._parse_assignment()
+            return AssignExpr(line=tok.line, op=tok.text, target=left,
+                              value=value)
+        return left
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_binary(1)
+        if self.accept("op", "?"):
+            then = self._parse_expr()
+            self.expect("op", ":")
+            otherwise = self._parse_ternary()
+            return TernaryExpr(line=cond.line, cond=cond, then=then,
+                               otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self.tok
+            if tok.kind != "op":
+                return left
+            prec = _PRECEDENCE.get(tok.text, 0)
+            if prec < min_prec:
+                return left
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            left = BinaryExpr(line=tok.line, op=tok.text, left=left,
+                              right=right)
+
+    def _parse_unary(self) -> Expr:
+        tok = self.tok
+        if tok.kind == "op":
+            if tok.text in ("-", "!", "~"):
+                self.advance()
+                operand = self._parse_unary()
+                return UnaryExpr(line=tok.line, op=tok.text, operand=operand)
+            if tok.text == "+":
+                self.advance()
+                return self._parse_unary()
+            if tok.text == "*":
+                self.advance()
+                return DerefExpr(line=tok.line, pointer=self._parse_unary())
+            if tok.text == "&":
+                self.advance()
+                return AddrOfExpr(line=tok.line, target=self._parse_unary())
+            if tok.text in ("++", "--"):
+                self.advance()
+                return IncDecExpr(line=tok.line, op=tok.text,
+                                  target=self._parse_unary(), is_prefix=True)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.tok
+            if tok.kind != "op":
+                return expr
+            if tok.text == "[":
+                self.advance()
+                index = self._parse_expr()
+                self.expect("op", "]")
+                expr = IndexExpr(line=tok.line, base=expr, index=index)
+            elif tok.text in ("++", "--"):
+                self.advance()
+                expr = IncDecExpr(line=tok.line, op=tok.text, target=expr,
+                                  is_prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self.tok
+        if tok.kind == "num":
+            self.advance()
+            return NumberExpr(line=tok.line, value=tok.value)
+        if tok.kind == "string":
+            self.advance()
+            return StringExpr(line=tok.line, value=tok.text)
+        if tok.kind == "ident":
+            self.advance()
+            if self.tok.kind == "op" and self.tok.text == "(":
+                self.advance()
+                args: List[Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return CallExpr(line=tok.line, callee=tok.text, args=args)
+            return NameExpr(line=tok.line, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            expr = self._parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"unexpected token {tok.text!r}")
+
+
+def _const_eval(expr: Expr) -> Optional[int]:
+    if isinstance(expr, NumberExpr):
+        return expr.value
+    if isinstance(expr, UnaryExpr):
+        value = _const_eval(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "!":
+            return int(not value)
+    if isinstance(expr, BinaryExpr):
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left // right if right else None,
+                "%": lambda: left % right if right else None,
+                "<<": lambda: left << right,
+                ">>": lambda: left >> right,
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+            }[expr.op]()
+        except KeyError:
+            return None
+    return None
+
+
+def parse_program(source: str, filename: str = "<kc>") -> Program:
+    return Parser(source, filename).parse()

@@ -1,0 +1,116 @@
+"""Linear-scan register allocation.
+
+Physical register classes (KAHRISMA calling convention):
+
+* caller-saved pool: r8..r15, r24..r27 — intervals not crossing calls;
+* callee-saved pool: r16..r23 — intervals live across a call (saved and
+  restored in the prologue/epilogue);
+* reserved: r0 zero, r1/r3 codegen scratch, r2 return value, r4..r7
+  argument registers (never allocated: argument marshalling writes
+  them freely), r28..r31 gp/fp/sp/ra.
+
+Intervals that cannot get a register are spilled to the stack frame;
+the code generator rewrites spilled operands through the scratch
+registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ir import IRFunction, VReg
+from .liveness import Interval, build_intervals
+
+CALLER_SAVED = tuple(range(8, 16)) + tuple(range(24, 28))
+CALLEE_SAVED = tuple(range(16, 24))
+
+#: Allocation result for one virtual register.
+Location = Tuple[str, int]  # ("reg", phys) or ("spill", slot)
+
+
+@dataclass
+class AllocationResult:
+    #: VReg -> ("reg", physical index) | ("spill", spill slot id)
+    locations: Dict[VReg, Location]
+    #: Callee-saved registers the function must preserve.
+    used_callee_saved: List[int]
+    #: Number of 4-byte spill slots.
+    num_spill_slots: int
+    intervals: List[Interval] = field(default_factory=list)
+
+    def location(self, reg: VReg) -> Location:
+        return self.locations[reg]
+
+
+def allocate_registers(fn: IRFunction) -> AllocationResult:
+    intervals, _ranges = build_intervals(fn)
+    locations: Dict[VReg, Location] = {}
+    used_callee: Set[int] = set()
+    num_spills = 0
+
+    free_caller: List[int] = list(CALLER_SAVED)
+    free_callee: List[int] = list(CALLEE_SAVED)
+    #: Active intervals sorted by end, with their physical register.
+    active: List[Tuple[Interval, int]] = []
+
+    def expire(position: int) -> None:
+        while active and active[0][0].end <= position:
+            interval, phys = active.pop(0)
+            if phys in CALLEE_SAVED:
+                free_callee.append(phys)
+            else:
+                free_caller.append(phys)
+
+    def insert_active(interval: Interval, phys: int) -> None:
+        index = 0
+        while index < len(active) and active[index][0].end <= interval.end:
+            index += 1
+        active.insert(index, (interval, phys))
+
+    for interval in intervals:
+        expire(interval.start)
+        phys: Optional[int] = None
+        if interval.crosses_call:
+            if free_callee:
+                phys = free_callee.pop(0)
+        else:
+            if free_caller:
+                phys = free_caller.pop(0)
+            elif free_callee:
+                # Borrow a callee-saved register rather than spilling.
+                phys = free_callee.pop(0)
+        if phys is not None:
+            locations[interval.reg] = ("reg", phys)
+            if phys in CALLEE_SAVED:
+                used_callee.add(phys)
+            insert_active(interval, phys)
+            continue
+        # Spill: evict the compatible active interval ending last if it
+        # outlives the current one, else spill the current interval.
+        victim_index = None
+        for index in range(len(active) - 1, -1, -1):
+            candidate, candidate_phys = active[index]
+            if interval.crosses_call and candidate_phys not in CALLEE_SAVED:
+                continue
+            victim_index = index
+            break
+        if victim_index is not None and \
+                active[victim_index][0].end > interval.end:
+            victim, victim_phys = active.pop(victim_index)
+            locations[victim.reg] = ("spill", num_spills)
+            num_spills += 1
+            locations[interval.reg] = ("reg", victim_phys)
+            if victim_phys in CALLEE_SAVED:
+                used_callee.add(victim_phys)
+            insert_active(interval, victim_phys)
+        else:
+            locations[interval.reg] = ("spill", num_spills)
+            num_spills += 1
+
+    return AllocationResult(
+        locations=locations,
+        used_callee_saved=sorted(used_callee),
+        num_spill_slots=num_spills,
+        intervals=intervals,
+    )

@@ -1,0 +1,267 @@
+"""VLIW list scheduler (compiler back end for the n-issue formats).
+
+Packs the machine operations of each basic block into issue-width-sized
+bundles, honouring:
+
+* true dependences (write → read): consumer in a strictly later bundle;
+* anti dependences (read → write): same bundle allowed — KAHRISMA VLIW
+  semantics read all sources before any write-back (paper Section V-B);
+* output dependences (write → write): strictly later bundle;
+* memory dependences with the paper's *pessimistic* model (Section
+  VI-A: the compiler has no alias analysis): every memory operation
+  depends on the last store, every store on all memory operations since;
+* barriers (calls, returns, simop, switchtarget): bundle of their own,
+  ordered against everything;
+* at most one control operation per bundle, placed last in the block.
+
+Priorities follow the critical path measured in operation delays, so
+multiplies and loads schedule early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .asmout import AsmBlock, AsmFunction, MachineOp
+
+
+@dataclass
+class _Node:
+    op: MachineOp
+    index: int
+    #: (successor index, latency-in-bundles) pairs.
+    succs: List[Tuple[int, int]] = field(default_factory=list)
+    num_preds: int = 0
+    priority: int = 0
+    #: Earliest bundle this op may issue in (updated as preds schedule).
+    earliest: int = 0
+
+
+_MEM_SIZES = {"lw": 4, "sw": 4, "lh": 2, "lhu": 2, "sh": 2,
+              "lb": 1, "lbu": 1, "sb": 1}
+
+
+def _mem_footprint(op: MachineOp, base_version: int):
+    """(base reg, base version, offset, size) of a memory op, or None.
+
+    Two accesses through the *same, unredefined* base register with
+    disjoint constant offset ranges cannot alias — this needs no alias
+    analysis, only the offsets the instruction encodes.  Symbolic
+    offsets (%lo relocations) stay pessimistic.
+    """
+    offset = op.values.get("imm")
+    if not isinstance(offset, int):
+        return None
+    base = op.values.get("rs1")
+    if not isinstance(base, int):
+        return None
+    return (base, base_version, offset, _MEM_SIZES[op.mnemonic])
+
+
+def _may_alias(a, b) -> bool:
+    if a is None or b is None:
+        return True
+    base_a, ver_a, off_a, size_a = a
+    base_b, ver_b, off_b, size_b = b
+    if base_a != base_b or ver_a != ver_b:
+        # Different or redefined base registers: unknown relation.
+        return True
+    return not (off_a + size_a <= off_b or off_b + size_b <= off_a)
+
+
+def _build_dag(ops: List[MachineOp],
+               disambiguate_offsets: bool = False) -> List[_Node]:
+    nodes = [_Node(op, i) for i, op in enumerate(ops)]
+    last_def: Dict[int, int] = {}
+    last_uses: Dict[int, List[int]] = {}
+    reg_version: Dict[int, int] = {}
+    #: (index, footprint) of stores / loads since the last barrier.
+    stores: List[Tuple[int, object]] = []
+    loads: List[Tuple[int, object]] = []
+    last_barrier = -1
+    since_barrier: List[int] = []
+
+    def add_edge(src: int, dst: int, latency: int) -> None:
+        if src < 0 or src == dst:
+            return
+        nodes[src].succs.append((dst, latency))
+        nodes[dst].num_preds += 1
+
+    for i, op in enumerate(ops):
+        # True dependences.
+        for reg in op.uses:
+            if reg in last_def:
+                add_edge(last_def[reg], i, 1)
+        # Anti dependences (same-bundle legal: latency 0).
+        for reg in op.defs:
+            for reader in last_uses.get(reg, ()):
+                add_edge(reader, i, 0)
+            if reg in last_def:
+                add_edge(last_def[reg], i, 1)  # output dependence
+        # Memory dependences: pessimistic by default (the compiler has
+        # no alias analysis, Section VI-A).  With
+        # ``disambiguate_offsets`` same-base constant-offset accesses
+        # are proven disjoint instead (ablation bench).
+        if op.is_load or op.is_store:
+            if disambiguate_offsets:
+                footprint = _mem_footprint(
+                    op, reg_version.get(op.values.get("rs1"), 0)
+                )
+            else:
+                footprint = None  # _may_alias: always aliases
+            for store_index, store_fp in stores:
+                if _may_alias(footprint, store_fp):
+                    add_edge(store_index, i, 1)
+            if op.is_store:
+                for load_index, load_fp in loads:
+                    if _may_alias(footprint, load_fp):
+                        add_edge(load_index, i, 0)
+        # Barriers order everything.
+        if op.is_barrier:
+            for j in since_barrier:
+                add_edge(j, i, 1)
+            add_edge(last_barrier, i, 1)
+        else:
+            add_edge(last_barrier, i, 1)
+
+        # Update bookkeeping.
+        for reg in op.uses:
+            last_uses.setdefault(reg, []).append(i)
+        for reg in op.defs:
+            last_def[reg] = i
+            last_uses[reg] = []
+            reg_version[reg] = reg_version.get(reg, 0) + 1
+        if op.is_store:
+            fp = None
+            if disambiguate_offsets:
+                fp = _mem_footprint(
+                    op, reg_version.get(op.values.get("rs1"), 0)
+                )
+            stores.append((i, fp))
+        elif op.is_load:
+            fp = None
+            if disambiguate_offsets:
+                fp = _mem_footprint(
+                    op, reg_version.get(op.values.get("rs1"), 0)
+                )
+            loads.append((i, fp))
+        if op.is_barrier:
+            last_barrier = i
+            since_barrier = []
+            last_def = {}
+            last_uses = {}
+            stores = []
+            loads = []
+        else:
+            since_barrier.append(i)
+
+    # Critical-path priorities (longest path, weighted by op delay).
+    for node in reversed(nodes):
+        longest = 0
+        for succ, _lat in node.succs:
+            longest = max(longest, nodes[succ].priority)
+        node.priority = longest + max(node.op.op.delay, 1)
+    return nodes
+
+
+def schedule_block(
+    ops: List[MachineOp], width: int,
+    *, disambiguate_offsets: bool = False,
+) -> List[List[MachineOp]]:
+    """Greedy cycle-driven list scheduling into ``width``-slot bundles."""
+    if not ops:
+        return []
+    nodes = _build_dag(ops, disambiguate_offsets)
+    unscheduled = set(range(len(nodes)))
+    pred_count = [n.num_preds for n in nodes]
+    bundles: List[List[MachineOp]] = []
+    bundle_index = 0
+
+    # The trailing branch operations of the block (conditional branch
+    # plus possibly an unconditional jump) must end up in the final
+    # bundles: an operation scheduled *after* the branch would execute
+    # speculatively.  They may share a bundle with the last body
+    # operations, though.
+    tail = set()
+    for i in range(len(ops) - 1, -1, -1):
+        if ops[i].op.kind == "branch" and ops[i].mnemonic != "jal":
+            tail.add(i)
+        else:
+            break
+
+    while unscheduled:
+        current: List[MachineOp] = []
+        control_used = False
+        scheduled_now: List[int] = []
+        # Ops ready in this bundle, highest priority first.
+        while len(current) < width:
+            remaining_body = any(
+                i not in tail and i not in scheduled_now
+                for i in unscheduled
+            )
+            candidates = [
+                i for i in unscheduled
+                if pred_count[i] == 0
+                and nodes[i].earliest <= bundle_index
+                and i not in scheduled_now
+            ]
+            candidates = [
+                i for i in candidates
+                if not (nodes[i].op.is_control and control_used)
+                and not (i in tail and remaining_body)
+                and not (
+                    nodes[i].op.is_barrier and i not in tail and current
+                )
+            ]
+            if not candidates:
+                break
+            best = max(candidates, key=lambda i: (nodes[i].priority, -i))
+            node = nodes[best]
+            current.append(node.op)
+            scheduled_now.append(best)
+            if node.op.is_control:
+                control_used = True
+            if node.op.is_barrier:
+                break
+        for i in scheduled_now:
+            unscheduled.discard(i)
+            for succ, latency in nodes[i].succs:
+                pred_count[succ] -= 1
+                earliest = bundle_index + latency
+                if earliest > nodes[succ].earliest:
+                    nodes[succ].earliest = earliest
+        if current:
+            bundles.append(current)
+        bundle_index += 1
+        if not current and not any(
+            pred_count[i] == 0 for i in unscheduled
+        ):
+            raise RuntimeError("scheduler deadlock: cyclic dependence graph")
+    return bundles
+
+
+def schedule_function(
+    fn: AsmFunction, width: int,
+    *, disambiguate_offsets: bool = False,
+) -> Dict[str, List[List[MachineOp]]]:
+    """Schedule every block of ``fn`` for a ``width``-issue VLIW ISA."""
+    result: Dict[str, List[List[MachineOp]]] = {}
+    for block in fn.blocks:
+        result[block.label] = schedule_block(
+            block.ops, width, disambiguate_offsets=disambiguate_offsets
+        )
+    return result
+
+
+def schedule_stats(
+    bundles_per_block: Dict[str, List[List[MachineOp]]]
+) -> Tuple[int, int]:
+    """(total operations, total bundles) over a scheduled function."""
+    ops = sum(
+        len(bundle)
+        for bundles in bundles_per_block.values()
+        for bundle in bundles
+    )
+    slots = sum(len(bundles) for bundles in bundles_per_block.values())
+    return ops, slots

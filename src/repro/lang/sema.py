@@ -1,0 +1,393 @@
+"""Semantic analysis: name resolution, type annotation and checks.
+
+Runs between parser and IR generation.  Annotates every expression with
+its :class:`~repro.lang.astnodes.Type` (used for pointer-arithmetic
+scaling and load widths), resolves calls against defined functions and
+the emulated C library, and rejects the constructs KC does not support
+with source-located errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..libc import LIBC_BY_NAME
+from .astnodes import (
+    AddrOfExpr,
+    AssignExpr,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    CHAR,
+    ContinueStmt,
+    DeclStmt,
+    DerefExpr,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GlobalVar,
+    IfStmt,
+    IncDecExpr,
+    IndexExpr,
+    INT,
+    NameExpr,
+    NumberExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StringExpr,
+    SwitchStmt,
+    TernaryExpr,
+    Type,
+    UnaryExpr,
+    WhileStmt,
+)
+
+MAX_REG_ARGS = 4
+
+
+class SemaError(Exception):
+    def __init__(self, message: str, filename: str, line: int) -> None:
+        super().__init__(f"{filename}:{line}: {message}")
+        self.line = line
+
+
+@dataclass
+class VarInfo:
+    type: Type
+    #: True for variables that denote storage addressable as an array
+    #: (global arrays, local arrays) — their name decays to a pointer.
+    is_array: bool = False
+    is_global: bool = False
+
+
+@dataclass
+class FuncSig:
+    name: str
+    return_type: Type
+    param_types: List[Type]
+    is_libc: bool = False
+
+
+class SemanticChecker:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.filename = program.filename
+        self.functions: Dict[str, FuncSig] = {}
+        self.globals: Dict[str, VarInfo] = {}
+        self._scopes: List[Dict[str, VarInfo]] = []
+        self._current: Optional[FunctionDef] = None
+        self._loop_depth = 0
+        self._switch_depth = 0
+
+    def error(self, message: str, line: int) -> SemaError:
+        return SemaError(message, self.filename, line)
+
+    # -- entry point -----------------------------------------------------
+
+    def check(self) -> None:
+        for name, libc_fn in LIBC_BY_NAME.items():
+            self.functions[name] = FuncSig(
+                name=name,
+                return_type=INT if libc_fn.returns_value else Type("void"),
+                param_types=[INT] * libc_fn.num_args,
+                is_libc=True,
+            )
+        for var in self.program.globals:
+            if var.name in self.globals:
+                raise self.error(f"duplicate global {var.name!r}", var.line)
+            if var.type.is_void:
+                raise self.error("void variable", var.line)
+            self.globals[var.name] = VarInfo(
+                var.type, is_array=var.array_len is not None, is_global=True
+            )
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise self.error(f"duplicate function {fn.name!r}", fn.line)
+            if len(fn.params) > MAX_REG_ARGS:
+                raise self.error(
+                    f"function {fn.name!r} has {len(fn.params)} parameters; "
+                    f"KC passes at most {MAX_REG_ARGS} (in registers)",
+                    fn.line,
+                )
+            self.functions[fn.name] = FuncSig(
+                name=fn.name,
+                return_type=fn.return_type,
+                param_types=[p.type for p in fn.params],
+            )
+        for fn in self.program.functions:
+            self._check_function(fn)
+
+    # -- functions ----------------------------------------------------------
+
+    def _check_function(self, fn: FunctionDef) -> None:
+        self._current = fn
+        scope: Dict[str, VarInfo] = {}
+        for param in fn.params:
+            if param.name in scope:
+                raise self.error(f"duplicate parameter {param.name!r}",
+                                 param.line)
+            scope[param.name] = VarInfo(param.type)
+        self._scopes = [scope]
+        self._check_block(fn.body)
+        self._scopes = []
+        self._current = None
+
+    # -- statements --------------------------------------------------------------
+
+    def _check_block(self, block: BlockStmt) -> None:
+        self._scopes.append({})
+        for stmt in block.body:
+            self._check_stmt(stmt)
+        self._scopes.pop()
+
+    def _check_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, BlockStmt):
+            self._check_block(stmt)
+        elif isinstance(stmt, DeclStmt):
+            self._check_decl(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self._check_expr(stmt.cond)
+            self._check_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise)
+        elif isinstance(stmt, WhileStmt):
+            self._check_expr(stmt.cond)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, DoWhileStmt):
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._check_expr(stmt.cond)
+        elif isinstance(stmt, ForStmt):
+            self._scopes.append({})
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            if stmt.step is not None:
+                self._check_expr(stmt.step)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._scopes.pop()
+        elif isinstance(stmt, ReturnStmt):
+            fn = self._current
+            if stmt.value is not None:
+                if fn.return_type.is_void:
+                    raise self.error("return with value in void function",
+                                     stmt.line)
+                self._check_expr(stmt.value)
+            elif not fn.return_type.is_void:
+                raise self.error("return without value", stmt.line)
+        elif isinstance(stmt, SwitchStmt):
+            self._check_expr(stmt.value)
+            self._switch_depth += 1
+            for _const, body in stmt.cases:
+                self._scopes.append({})
+                for inner in body:
+                    self._check_stmt(inner)
+                self._scopes.pop()
+            if stmt.default is not None:
+                self._scopes.append({})
+                for inner in stmt.default:
+                    self._check_stmt(inner)
+                self._scopes.pop()
+            self._switch_depth -= 1
+        elif isinstance(stmt, BreakStmt):
+            if self._loop_depth == 0 and self._switch_depth == 0:
+                raise self.error("break outside a loop or switch",
+                                 stmt.line)
+        elif isinstance(stmt, ContinueStmt):
+            if self._loop_depth == 0:
+                raise self.error("continue outside a loop", stmt.line)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self.error(f"unsupported statement {type(stmt).__name__}",
+                             stmt.line)
+
+    def _check_decl(self, stmt: DeclStmt) -> None:
+        scope = self._scopes[-1]
+        if stmt.name in scope:
+            raise self.error(f"redeclaration of {stmt.name!r}", stmt.line)
+        if stmt.decl_type.is_void:
+            raise self.error("void variable", stmt.line)
+        if stmt.array_len is not None:
+            if stmt.array_len <= 0:
+                raise self.error("array length must be positive", stmt.line)
+            if stmt.init is not None:
+                raise self.error("array initialised with scalar", stmt.line)
+            scope[stmt.name] = VarInfo(stmt.decl_type, is_array=True)
+            if stmt.init_list is not None:
+                if len(stmt.init_list) > stmt.array_len:
+                    raise self.error("too many initializers", stmt.line)
+                for expr in stmt.init_list:
+                    self._check_expr(expr)
+        else:
+            if stmt.init_list is not None:
+                raise self.error("scalar initialised with list", stmt.line)
+            scope[stmt.name] = VarInfo(stmt.decl_type)
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def lookup(self, name: str, line: int) -> VarInfo:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        info = self.globals.get(name)
+        if info is None:
+            raise self.error(f"undeclared identifier {name!r}", line)
+        return info
+
+    def _check_expr(self, expr: Expr) -> Type:
+        result = self._infer(expr)
+        expr.type = result
+        return result
+
+    def _infer(self, expr: Expr) -> Type:
+        if isinstance(expr, NumberExpr):
+            return INT
+        if isinstance(expr, StringExpr):
+            return CHAR.pointer_to()
+        if isinstance(expr, NameExpr):
+            info = self.lookup(expr.name, expr.line)
+            if info.is_array:
+                return info.type.pointer_to()  # decay
+            return info.type
+        if isinstance(expr, UnaryExpr):
+            inner = self._check_expr(expr.operand)
+            if expr.op in ("-", "~") and inner.is_pointer:
+                raise self.error(f"{expr.op} on pointer", expr.line)
+            return INT
+        if isinstance(expr, BinaryExpr):
+            return self._infer_binary(expr)
+        if isinstance(expr, AssignExpr):
+            target_t = self._check_lvalue(expr.target)
+            self._check_expr(expr.value)
+            if expr.op != "=" and target_t.is_pointer and \
+                    expr.op not in ("+=", "-="):
+                raise self.error(f"{expr.op} on pointer", expr.line)
+            return target_t
+        if isinstance(expr, TernaryExpr):
+            self._check_expr(expr.cond)
+            then_t = self._check_expr(expr.then)
+            self._check_expr(expr.otherwise)
+            return then_t
+        if isinstance(expr, CallExpr):
+            sig = self.functions.get(expr.callee)
+            if sig is None:
+                raise self.error(f"call to undefined function "
+                                 f"{expr.callee!r}", expr.line)
+            if not sig.is_libc and len(expr.args) != len(sig.param_types):
+                raise self.error(
+                    f"{expr.callee}: expected {len(sig.param_types)} "
+                    f"arguments, got {len(expr.args)}", expr.line,
+                )
+            if sig.is_libc and len(expr.args) != len(sig.param_types):
+                raise self.error(
+                    f"{expr.callee}: C library function takes "
+                    f"{len(sig.param_types)} arguments", expr.line,
+                )
+            for arg in expr.args:
+                self._check_expr(arg)
+            return sig.return_type
+        if isinstance(expr, IndexExpr):
+            base_t = self._check_expr(expr.base)
+            if not base_t.is_pointer:
+                raise self.error("indexing a non-pointer", expr.line)
+            self._check_expr(expr.index)
+            return base_t.deref()
+        if isinstance(expr, DerefExpr):
+            inner = self._check_expr(expr.pointer)
+            if not inner.is_pointer:
+                raise self.error("dereference of non-pointer", expr.line)
+            return inner.deref()
+        if isinstance(expr, AddrOfExpr):
+            target = expr.target
+            if isinstance(target, IndexExpr):
+                elem_t = self._check_expr(target)
+                return elem_t.pointer_to()
+            if isinstance(target, NameExpr):
+                info = self.lookup(target.name, expr.line)
+                if info.is_array:
+                    self._check_expr(target)
+                    return info.type.pointer_to()
+                if info.is_global:
+                    self._check_expr(target)
+                    return info.type.pointer_to()
+                raise self.error(
+                    "address-of on register-allocated local (only globals "
+                    "and array elements are addressable in KC)", expr.line,
+                )
+            if isinstance(target, DerefExpr):
+                return self._check_expr(target.pointer)
+            raise self.error("invalid operand of &", expr.line)
+        if isinstance(expr, IncDecExpr):
+            return self._check_lvalue(expr.target)
+        raise self.error(f"unsupported expression {type(expr).__name__}",
+                         expr.line)
+
+    def _infer_binary(self, expr: BinaryExpr) -> Type:
+        left = self._check_expr(expr.left)
+        right = self._check_expr(expr.right)
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return INT
+        if op == "+":
+            if left.is_pointer and right.is_pointer:
+                raise self.error("pointer + pointer", expr.line)
+            if left.is_pointer:
+                return left
+            if right.is_pointer:
+                return right
+            return self._arith_type(left, right)
+        if op == "-":
+            if left.is_pointer and right.is_pointer:
+                if left.element_size != right.element_size:
+                    raise self.error("pointer difference of distinct "
+                                     "element types", expr.line)
+                return INT
+            if left.is_pointer:
+                return left
+            if right.is_pointer:
+                raise self.error("int - pointer", expr.line)
+            return self._arith_type(left, right)
+        if left.is_pointer or right.is_pointer:
+            raise self.error(f"{op} on pointer", expr.line)
+        return self._arith_type(left, right)
+
+    @staticmethod
+    def _arith_type(left: Type, right: Type) -> Type:
+        unsigned = (left.base == "int" and left.unsigned) or (
+            right.base == "int" and right.unsigned
+        )
+        return Type("int", unsigned=unsigned)
+
+    def _check_lvalue(self, expr: Expr) -> Type:
+        if isinstance(expr, NameExpr):
+            info = self.lookup(expr.name, expr.line)
+            if info.is_array:
+                raise self.error("array is not assignable", expr.line)
+            expr.type = info.type
+            return info.type
+        if isinstance(expr, (IndexExpr, DerefExpr)):
+            return self._check_expr(expr)
+        raise self.error("expression is not assignable", expr.line)
+
+
+def analyze(program: Program) -> SemanticChecker:
+    """Run semantic analysis; returns the checker (symbol tables)."""
+    checker = SemanticChecker(program)
+    checker.check()
+    return checker

@@ -1,0 +1,60 @@
+"""Registry of emulated C standard library functions (paper Section V-E).
+
+The simulator provides required C library functionality *natively*: a
+special ``simop`` operation carries the library function id as an
+immediate, and the simulator reads arguments from registers/stack per
+the calling convention, runs the function natively, and writes the
+result back.  TargetGen makes each function visible to the linker by
+generating a small assembly stub (``simop #id; jr r31``) per ISA.
+
+This module is the single source of truth for the id ↔ name mapping,
+shared by the stub generator (:mod:`repro.targetgen.asmgen`), the
+compiler (which treats these names as externs) and the simulator's
+syscall handlers (:mod:`repro.sim.syscalls`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class LibcFunction:
+    """One emulated library function."""
+
+    ident: int
+    name: str
+    #: Number of register-passed arguments (r4..r7).
+    num_args: int
+    #: Whether the function produces a result in r2.
+    returns_value: bool
+    #: Cycles charged by the cycle models.  The paper's default is that
+    #: natively executed library functions are *not* counted; we default
+    #: to the 1-cycle simop issue and make the cost configurable.
+    cycle_cost: int = 1
+
+
+LIBC_FUNCTIONS: Tuple[LibcFunction, ...] = (
+    LibcFunction(0, "exit", 1, False),
+    LibcFunction(1, "putchar", 1, True),
+    LibcFunction(2, "getchar", 0, True),
+    LibcFunction(3, "puts", 1, True),
+    LibcFunction(4, "print_int", 1, False),
+    LibcFunction(5, "print_uint", 1, False),
+    LibcFunction(6, "print_hex", 1, False),
+    LibcFunction(7, "malloc", 1, True),
+    LibcFunction(8, "free", 1, False),
+    LibcFunction(9, "memcpy", 3, True),
+    LibcFunction(10, "memset", 3, True),
+    LibcFunction(11, "strlen", 1, True),
+    LibcFunction(12, "strcmp", 2, True),
+    LibcFunction(13, "rand", 0, True),
+    LibcFunction(14, "srand", 1, False),
+    LibcFunction(15, "clock", 0, True),
+    LibcFunction(16, "abs", 1, True),
+    LibcFunction(17, "write", 2, True),
+)
+
+LIBC_BY_NAME: Dict[str, LibcFunction] = {f.name: f for f in LIBC_FUNCTIONS}
+LIBC_BY_ID: Dict[int, LibcFunction] = {f.ident: f for f in LIBC_FUNCTIONS}

@@ -1,0 +1,5 @@
+"""Cycle-accurate DOE microarchitecture reference (the paper's "RTL")."""
+
+from .pipeline import RtlConfig, RtlPipeline
+
+__all__ = ["RtlConfig", "RtlPipeline"]

@@ -1,0 +1,298 @@
+"""Cycle-accurate reference model of the DOE microarchitecture.
+
+The paper validates its heuristic DOE cycle model against an RTL
+simulation of the KAHRISMA hardware (Table II).  The RTL itself is not
+available, so this module implements the microarchitecture at
+cycle-accurate level from the description in Section III/VI-C — in
+particular, it models exactly the three effects the heuristic model
+ignores:
+
+1. **Resource constraints** — each slot has its own ALU (the EDPE), but
+   a multiplier is shared between each *pair* of slots, a single
+   divider serves all slots, and the L1 cache has a limited number of
+   access ports;
+2. **Bounded drift** — the slots of consecutive VLIW instructions may
+   drift against each other only up to a configurable window (the
+   hardware bounds drift to enable precise interrupts);
+3. **Memory in issue order** — memory operations reach the cache
+   hierarchy in the order the hardware issues them, not in program
+   order.
+
+Like the heuristic models it consumes the dynamic instruction stream of
+the functional simulator (perfect branch prediction for both, as in the
+paper's comparison).  Timing is simulated cycle by cycle: one bundle is
+fetched per cycle into per-slot issue queues; the head operation of a
+slot issues when its sources are ready and its functional unit and
+(for memory operations) an L1 port are free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..cycles.branch import BranchModel
+from ..cycles.memmodel import (
+    Cache,
+    HierarchyConfig,
+    MainMemory,
+    MASK32,
+    MemoryModule,
+)
+from ..sim.decoder import (
+    DecodedInstruction,
+    KIND_CTRL,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+)
+
+
+@dataclass(frozen=True)
+class RtlConfig:
+    """Microarchitecture parameters of the reference pipeline."""
+
+    #: Maximum inter-slot drift in instructions (issue-queue depth).
+    drift_limit: int = 8
+    #: One multiplier shared per pair of adjacent slots.
+    share_mul_per_pair: bool = True
+    #: Number of dividers serving all slots.
+    div_units: int = 1
+    #: L1 access ports (memory operations issued per cycle).
+    mem_ports: int = 1
+    #: Blocking port: the response occupies the port as well (see
+    #: ConnectionLimit.reserve_completion — keep both models on the
+    #: same semantics when comparing).
+    blocking_port: bool = False
+    #: Bundles fetched per cycle.
+    fetch_per_cycle: int = 1
+    memory: HierarchyConfig = HierarchyConfig()
+
+
+@dataclass
+class _OpRecord:
+    """One dynamic operation with everything timing needs."""
+
+    slot: int
+    kind: int
+    delay: int
+    fu_class: str
+    srcs: Tuple[int, ...]
+    dsts: Tuple[int, ...]
+    mem_addr: int
+    #: Program-order sequence number (for misprediction refetch).
+    seq: int = 0
+    #: This control operation was mispredicted (branch-model extension).
+    mispredict: bool = False
+
+
+def _build_hierarchy(config: HierarchyConfig) -> MemoryModule:
+    """Cache chain without a ConnectionLimit — the pipeline models the
+    L1 ports explicitly, per cycle, in issue order."""
+    main = MainMemory(config.main_delay)
+    l2 = Cache(size=config.l2_size, line_size=config.line_size,
+               assoc=config.l2_assoc, delay=config.l2_delay, sub=main,
+               name="L2")
+    return Cache(size=config.l1_size, line_size=config.line_size,
+                 assoc=config.l1_assoc, delay=config.l1_delay, sub=l2,
+                 name="L1")
+
+
+class RtlPipeline:
+    """Cycle-accurate DOE timing over a recorded instruction stream.
+
+    Shares the observer interface of the heuristic cycle models so it
+    can be attached to the same interpreter run:  ``observe`` records
+    the stream (with resolved memory addresses), ``cycles`` runs the
+    timing simulation.
+    """
+
+    name = "RTL"
+
+    def __init__(self, issue_width: int,
+                 config: Optional[RtlConfig] = None,
+                 *, branch_model: Optional[BranchModel] = None) -> None:
+        self.issue_width = issue_width
+        self.config = config if config is not None else RtlConfig()
+        self.branch_model = branch_model
+        self._stream: List[List[_OpRecord]] = []
+        self.instructions = 0
+        self.ops = 0
+        self._seq = 0
+        self._cycles: Optional[int] = None
+
+    # -- recording (interpreter hook) ------------------------------------
+
+    def observe(self, dec: DecodedInstruction, regs: Sequence[int]) -> None:
+        self.instructions += 1
+        bundle: List[_OpRecord] = []
+        for op in dec.ops:
+            self._seq += 1
+            if op.kind_code == KIND_NOP:
+                # NOPs occupy their issue slot like any operation.
+                bundle.append(
+                    _OpRecord(op.slot, KIND_NOP, 1, "none", (), (), 0,
+                              seq=self._seq)
+                )
+                continue
+            self.ops += 1
+            addr = 0
+            if op.kind_code in (KIND_LOAD, KIND_STORE):
+                addr = (regs[op.mem_base] + op.mem_imm) & MASK32
+            mispredict = False
+            if self.branch_model is not None and op.kind_code == KIND_CTRL:
+                mispredict = self.branch_model.observe_op(
+                    op, regs, dec.addr, dec.size
+                )
+            bundle.append(
+                _OpRecord(op.slot, op.kind_code, op.delay, op.fu_class,
+                          op.srcs, op.dsts, addr, seq=self._seq,
+                          mispredict=mispredict)
+            )
+        self._stream.append(bundle)
+        self._cycles = None
+
+    def reset(self) -> None:
+        self._stream = []
+        self.instructions = 0
+        self.ops = 0
+        self._seq = 0
+        if self.branch_model is not None:
+            self.branch_model.reset()
+        self._cycles = None
+
+    # -- timing simulation ---------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        if self._cycles is None:
+            self._cycles = self._simulate()
+        return self._cycles
+
+    def _mul_unit(self, slot: int) -> int:
+        if self.config.share_mul_per_pair:
+            return slot // 2
+        return slot
+
+    def _simulate(self) -> int:
+        width = self.issue_width
+        config = self.config
+        memory = _build_hierarchy(config.memory)
+        queues: List[Deque[_OpRecord]] = [deque() for _ in range(width)]
+        reg_ready = [0] * 64  # generous; registers index < 32
+        num_muls = (width + 1) // 2 if config.share_mul_per_pair else width
+        mul_busy = [0] * max(num_muls, 1)
+        div_busy = [0] * max(config.div_units, 1)
+        # Single-ported cache semantics: the L1 port is occupied both
+        # when a request is accepted and when its response is delivered
+        # (one usage table for both, as in the hardware's port
+        # arbitration).
+        mem_port_usage: dict = {}
+        fetch_index = 0
+        stream = self._stream
+        total = len(stream)
+        cycle = 0
+        last_completion = 0
+        # Misprediction refetch floors: (seq, cycle) — operations with
+        # a larger program-order seq may not issue before that cycle.
+        refetch_floors: List[Tuple[int, int]] = []
+        penalty = self.branch_model.penalty if self.branch_model else 0
+        # Safety net: a timing bug must not hang the host.
+        max_cycles = 64 * (sum(len(b) for b in stream) + 16) + 1024
+
+        while fetch_index < total or any(queues):
+            # -- fetch: one bundle per cycle into the issue queues when
+            #    the drift window has room.
+            for _ in range(config.fetch_per_cycle):
+                if fetch_index >= total:
+                    break
+                if any(len(q) >= config.drift_limit for q in queues):
+                    break
+                for record in stream[fetch_index]:
+                    queues[record.slot].append(record)
+                fetch_index += 1
+
+            # -- issue: head of each slot queue, at most one per slot.
+            for slot in range(width):
+                queue = queues[slot]
+                if not queue:
+                    continue
+                record = queue[0]
+                if record.kind == KIND_NOP:
+                    queue.popleft()
+                    continue
+                # Misprediction refetch: wrong-path fetches restart.
+                if refetch_floors:
+                    refetch_floors = [
+                        (s, c) for s, c in refetch_floors if c > cycle
+                    ]
+                    if any(record.seq > s for s, c in refetch_floors):
+                        continue
+                # True data dependencies (scoreboard).
+                if any(reg_ready[s] > cycle for s in record.srcs):
+                    continue
+                # Functional-unit constraints.
+                if record.fu_class == "mul":
+                    unit = self._mul_unit(slot)
+                    if mul_busy[unit] > cycle:
+                        continue
+                    mul_busy[unit] = cycle + 1  # pipelined: 1 issue/cycle
+                elif record.fu_class == "div":
+                    free = None
+                    for i, busy in enumerate(div_busy):
+                        if busy <= cycle:
+                            free = i
+                            break
+                    if free is None:
+                        continue
+                    div_busy[free] = cycle + record.delay  # not pipelined
+                elif record.kind in (KIND_LOAD, KIND_STORE):
+                    if mem_port_usage.get(cycle, 0) >= config.mem_ports:
+                        continue
+                # Issue now.
+                queue.popleft()
+                if record.kind in (KIND_LOAD, KIND_STORE):
+                    mem_port_usage[cycle] = mem_port_usage.get(cycle, 0) + 1
+                    completion = memory.access(
+                        record.mem_addr, record.kind == KIND_STORE,
+                        slot, cycle,
+                    )
+                    if config.blocking_port:
+                        # Response delivery occupies the port too.
+                        while (
+                            mem_port_usage.get(completion, 0)
+                            >= config.mem_ports
+                        ):
+                            completion += 1
+                        mem_port_usage[completion] = \
+                            mem_port_usage.get(completion, 0) + 1
+                else:
+                    completion = cycle + record.delay
+                for dst in record.dsts:
+                    if completion > reg_ready[dst]:
+                        reg_ready[dst] = completion
+                if record.mispredict:
+                    refetch_floors.append((record.seq, completion + penalty))
+                if completion > last_completion:
+                    last_completion = completion
+
+            cycle += 1
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    "RTL timing simulation exceeded the cycle safety bound"
+                )
+        return max(last_completion, cycle - 1)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def ops_per_cycle(self) -> float:
+        c = self.cycles
+        return self.ops / c if c else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"RTL: {self.cycles} cycles, {self.ops} ops, "
+            f"{self.ops_per_cycle:.3f} ops/cycle"
+        )

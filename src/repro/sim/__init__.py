@@ -1,0 +1,89 @@
+"""The cycle-approximate, mixed-ISA instruction set simulator."""
+
+from .debugger import (
+    Debugger,
+    STOP_BREAKPOINT,
+    STOP_BUDGET,
+    STOP_HALTED,
+    STOP_STEPPED,
+    STOP_WATCHPOINT,
+)
+from .decode_cache import DecodeCache
+from .decoder import (
+    DecodedInstruction,
+    DecodedOp,
+    KIND_ALU,
+    KIND_CTRL,
+    KIND_HALT,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_SIMOP,
+    KIND_STORE,
+    KIND_SWITCH,
+    decode_instruction,
+)
+from .debuginfo import DebugInfo, LineMap, Location
+from .disasm import disassemble_range, format_instruction, format_op
+from .errors import DecodeError, SimulationError
+from .interpreter import Interpreter
+from .memory import Memory
+from .state import (
+    EXIT_ADDRESS,
+    ProcessorState,
+    STACK_TOP,
+    TEXT_BASE,
+)
+from .stats import SimStats
+from .syscalls import Syscalls
+from .tracecheck import (
+    TraceMismatch,
+    diff_architectural_effects,
+    diff_traces,
+    memory_effects,
+    parse_trace_file,
+)
+from .tracing import TraceRecord, Tracer
+
+__all__ = [
+    "Debugger",
+    "DecodeCache",
+    "STOP_BREAKPOINT",
+    "STOP_BUDGET",
+    "STOP_HALTED",
+    "STOP_STEPPED",
+    "STOP_WATCHPOINT",
+    "DecodeError",
+    "DecodedInstruction",
+    "DecodedOp",
+    "DebugInfo",
+    "EXIT_ADDRESS",
+    "Interpreter",
+    "KIND_ALU",
+    "KIND_CTRL",
+    "KIND_HALT",
+    "KIND_LOAD",
+    "KIND_NOP",
+    "KIND_SIMOP",
+    "KIND_STORE",
+    "KIND_SWITCH",
+    "LineMap",
+    "Location",
+    "Memory",
+    "ProcessorState",
+    "STACK_TOP",
+    "SimStats",
+    "SimulationError",
+    "Syscalls",
+    "TEXT_BASE",
+    "TraceMismatch",
+    "TraceRecord",
+    "Tracer",
+    "diff_architectural_effects",
+    "diff_traces",
+    "memory_effects",
+    "parse_trace_file",
+    "decode_instruction",
+    "disassemble_range",
+    "format_instruction",
+    "format_op",
+]

@@ -1,0 +1,185 @@
+"""Programmatic debugger over the simulator (paper Section V, goal 4).
+
+The paper lists debugging as a primary simulator use: during compiler
+development, "malicious code" must be diagnosed via instruction-address
+→ source mapping, an instruction-pointer history and trace data.  This
+module packages those facilities behind a breakpoint/step interface:
+
+    dbg = Debugger(program)
+    dbg.break_at("quicksort")         # function name or address
+    reason = dbg.cont()               # "breakpoint"
+    print(dbg.where())                # addr, function, source line
+    dbg.step(10)
+    print(dbg.read_reg("a0"), hex(dbg.read_word(0x2000)))
+    dbg.watch(0x2000)                 # data watchpoint
+    dbg.cont()                        # "watchpoint" when 0x2000 changes
+
+Everything is plain method calls — usable from tests, notebooks or an
+interactive shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..binutils.loader import LoadedProgram
+from .interpreter import Interpreter
+
+#: cont()/step() outcomes.
+STOP_BREAKPOINT = "breakpoint"
+STOP_WATCHPOINT = "watchpoint"
+STOP_HALTED = "halted"
+STOP_STEPPED = "stepped"
+STOP_BUDGET = "budget"
+
+class Debugger:
+    """Breakpoints, single-stepping and watchpoints over one program."""
+
+    def __init__(self, program: LoadedProgram, *,
+                 ip_history: int = 64) -> None:
+        self.program = program
+        self.state = program.state
+        self.debug_info = program.debug_info
+        self.interpreter = Interpreter(
+            program.state, ip_history=ip_history, breakpoints=set()
+        )
+        #: address -> (size, last known value)
+        self._watchpoints: Dict[int, Tuple[int, int]] = {}
+        self.last_stop = None
+
+    # -- breakpoints -------------------------------------------------------
+
+    def resolve(self, location: Union[int, str]) -> int:
+        """Address of a location: an int, a function name (optionally
+        without its ISA mangling), or a mangled symbol."""
+        if isinstance(location, int):
+            return location
+        for fn in self.debug_info.functions:
+            if fn.name == location:
+                return fn.start
+        # Unmangled name: $isa$name suffix match.
+        for fn in self.debug_info.functions:
+            if fn.name.endswith(f"${location}"):
+                return fn.start
+        raise KeyError(f"no function named {location!r}")
+
+    def break_at(self, location: Union[int, str]) -> int:
+        addr = self.resolve(location)
+        self.interpreter.breakpoints.add(addr)
+        return addr
+
+    def clear_break(self, location: Union[int, str]) -> None:
+        self.interpreter.breakpoints.discard(self.resolve(location))
+
+    @property
+    def breakpoints(self) -> List[int]:
+        return sorted(self.interpreter.breakpoints)
+
+    # -- watchpoints -----------------------------------------------------------
+
+    def watch(self, addr: int, size: int = 4) -> None:
+        """Stop when the value at ``addr`` changes."""
+        self._watchpoints[addr] = (size, self._read(addr, size))
+
+    def clear_watch(self, addr: int) -> None:
+        self._watchpoints.pop(addr, None)
+
+    def _read(self, addr: int, size: int) -> int:
+        mem = self.state.mem
+        if size == 4:
+            return mem.load4(addr)
+        if size == 2:
+            return mem.load2(addr)
+        return mem.load1(addr)
+
+    def _watch_hit(self) -> Optional[int]:
+        for addr, (size, old) in self._watchpoints.items():
+            new = self._read(addr, size)
+            if new != old:
+                self._watchpoints[addr] = (size, new)
+                return addr
+        return None
+
+    # -- execution -----------------------------------------------------------------
+
+    def step(self, count: int = 1) -> str:
+        """Execute ``count`` instructions (stops earlier on halt,
+        breakpoint or watchpoint)."""
+        for _ in range(count):
+            if self.state.halted:
+                return self._stopped(STOP_HALTED)
+            self.interpreter.run(max_instructions=1)
+            if self._watchpoints and self._watch_hit() is not None:
+                return self._stopped(STOP_WATCHPOINT)
+            if self.interpreter.stopped_at_breakpoint:
+                return self._stopped(STOP_BREAKPOINT)
+            if self.state.halted:
+                return self._stopped(STOP_HALTED)
+        return self._stopped(STOP_STEPPED)
+
+    def cont(self, max_instructions: int = 100_000_000) -> str:
+        """Run until a breakpoint, watchpoint, halt, or the budget."""
+        if self._watchpoints:
+            # Watchpoints need per-instruction checks.
+            remaining = max_instructions
+            while remaining > 0:
+                outcome = self.step(1)
+                if outcome != STOP_STEPPED:
+                    return outcome
+                remaining -= 1
+            return self._stopped(STOP_BUDGET)
+        stats_before = self.interpreter.stats.executed_instructions
+        self.interpreter.run(max_instructions=max_instructions)
+        if self.interpreter.stopped_at_breakpoint:
+            return self._stopped(STOP_BREAKPOINT)
+        if self.state.halted:
+            return self._stopped(STOP_HALTED)
+        executed = (
+            self.interpreter.stats.executed_instructions - stats_before
+        )
+        return self._stopped(
+            STOP_BUDGET if executed >= max_instructions else STOP_HALTED
+        )
+
+    def _stopped(self, reason: str) -> str:
+        self.last_stop = reason
+        return reason
+
+    # -- inspection ---------------------------------------------------------------
+
+    def read_reg(self, name_or_index: Union[int, str]) -> int:
+        if isinstance(name_or_index, int):
+            return self.state.regs[name_or_index]
+        from ..binutils.assembler import REGISTER_ALIASES
+
+        text = name_or_index.lower()
+        if text in REGISTER_ALIASES:
+            return self.state.regs[REGISTER_ALIASES[text]]
+        if text.startswith("r") and text[1:].isdigit():
+            return self.state.regs[int(text[1:])]
+        raise KeyError(f"unknown register {name_or_index!r}")
+
+    def read_word(self, addr: int) -> int:
+        return self.state.mem.load4(addr)
+
+    def where(self):
+        """Location of the current IP (function, asm line, source line)."""
+        return self.debug_info.lookup(self.state.ip)
+
+    def backtrace_ips(self) -> List[int]:
+        """The recorded instruction-pointer history, oldest first."""
+        history = self.interpreter.ip_history
+        return list(history) if history is not None else []
+
+    def disassemble_here(self, count: int = 4) -> List[str]:
+        from .decoder import decode_instruction
+        from .disasm import format_instruction
+
+        table = self.interpreter.target.optable(self.state.isa_id)
+        lines = []
+        addr = self.state.ip
+        for _ in range(count):
+            dec = decode_instruction(table, self.state.mem, addr)
+            lines.append(f"{addr:#010x}:  {format_instruction(dec)}")
+            addr += dec.size
+        return lines

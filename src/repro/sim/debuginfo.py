@@ -1,0 +1,179 @@
+"""Address-to-source mapping for debugging (paper Section V-C).
+
+The simulator can map an instruction address to the corresponding
+assembler file line, C source file line, or function name.  The
+assembler stores the assembly line map in a custom ELF section
+(``.kahrisma.asmmap``); the compiler emits source line directives that
+end up in a second custom section (``.kdbg.lines``, our compact
+stand-in for DWARF); function start/end addresses come from the symbol
+table.
+
+This module owns the binary encoding of the line-map sections and the
+lookup structures; :mod:`repro.binutils` reads/writes the sections.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LineEntry:
+    addr: int
+    file: str
+    line: int
+
+
+class LineMap:
+    """Sorted address → (file, line) map with range semantics.
+
+    An entry covers addresses from its own address up to (excluding)
+    the next entry's address.
+    """
+
+    def __init__(self) -> None:
+        self._addrs: List[int] = []
+        self._entries: List[LineEntry] = []
+
+    def add(self, addr: int, file: str, line: int) -> None:
+        entry = LineEntry(addr, file, line)
+        pos = bisect.bisect_left(self._addrs, addr)
+        if pos < len(self._addrs) and self._addrs[pos] == addr:
+            self._entries[pos] = entry
+        else:
+            self._addrs.insert(pos, addr)
+            self._entries.insert(pos, entry)
+
+    def lookup(self, addr: int) -> Optional[LineEntry]:
+        pos = bisect.bisect_right(self._addrs, addr) - 1
+        if pos < 0:
+            return None
+        return self._entries[pos]
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    # -- binary encoding (the custom ELF section payload) ----------------
+
+    def encode(self) -> bytes:
+        files: List[str] = []
+        file_ids: Dict[str, int] = {}
+        for entry in self._entries:
+            if entry.file not in file_ids:
+                file_ids[entry.file] = len(files)
+                files.append(entry.file)
+        out = bytearray()
+        out += struct.pack("<I", len(self._entries))
+        for entry in self._entries:
+            out += struct.pack(
+                "<IHI", entry.addr, file_ids[entry.file], entry.line
+            )
+        out += struct.pack("<H", len(files))
+        for name in files:
+            raw = name.encode("utf-8")
+            out += struct.pack("<H", len(raw)) + raw
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LineMap":
+        (count,) = struct.unpack_from("<I", data, 0)
+        offset = 4
+        raw_entries: List[Tuple[int, int, int]] = []
+        for _ in range(count):
+            addr, file_id, line = struct.unpack_from("<IHI", data, offset)
+            raw_entries.append((addr, file_id, line))
+            offset += 10
+        (nfiles,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        files: List[str] = []
+        for _ in range(nfiles):
+            (length,) = struct.unpack_from("<H", data, offset)
+            offset += 2
+            files.append(data[offset:offset + length].decode("utf-8"))
+            offset += length
+        result = cls()
+        for addr, file_id, line in raw_entries:
+            result.add(addr, files[file_id], line)
+        return result
+
+    def shifted(self, delta: int) -> "LineMap":
+        """A copy with every address moved by ``delta`` (link-time)."""
+        result = LineMap()
+        for entry in self._entries:
+            result.add(entry.addr + delta, entry.file, entry.line)
+        return result
+
+
+@dataclass(frozen=True)
+class FunctionRange:
+    name: str
+    start: int
+    end: int  # exclusive
+
+
+@dataclass(frozen=True)
+class Location:
+    """Everything the simulator knows about one instruction address."""
+
+    addr: int
+    function: Optional[str] = None
+    asm_file: Optional[str] = None
+    asm_line: Optional[int] = None
+    src_file: Optional[str] = None
+    src_line: Optional[int] = None
+
+    def format(self) -> str:
+        parts = [f"{self.addr:#010x}"]
+        if self.function:
+            parts.append(f"in {self.function}")
+        if self.src_file is not None:
+            parts.append(f"{self.src_file}:{self.src_line}")
+        if self.asm_file is not None:
+            parts.append(f"[{self.asm_file}:{self.asm_line}]")
+        return " ".join(parts)
+
+
+class DebugInfo:
+    """Aggregated debug metadata of one linked executable."""
+
+    def __init__(self) -> None:
+        self.asm_map = LineMap()
+        self.src_map = LineMap()
+        self._fn_starts: List[int] = []
+        self._functions: List[FunctionRange] = []
+
+    def add_function(self, name: str, start: int, size: int) -> None:
+        fn = FunctionRange(name, start, start + size)
+        pos = bisect.bisect_left(self._fn_starts, start)
+        self._fn_starts.insert(pos, start)
+        self._functions.insert(pos, fn)
+
+    def function_at(self, addr: int) -> Optional[FunctionRange]:
+        pos = bisect.bisect_right(self._fn_starts, addr) - 1
+        if pos < 0:
+            return None
+        fn = self._functions[pos]
+        return fn if addr < fn.end else None
+
+    @property
+    def functions(self) -> Tuple[FunctionRange, ...]:
+        return tuple(self._functions)
+
+    def lookup(self, addr: int) -> Location:
+        fn = self.function_at(addr)
+        asm = self.asm_map.lookup(addr)
+        src = self.src_map.lookup(addr)
+        return Location(
+            addr=addr,
+            function=fn.name if fn else None,
+            asm_file=asm.file if asm else None,
+            asm_line=asm.line if asm else None,
+            src_file=src.file if src else None,
+            src_line=src.line if src else None,
+        )

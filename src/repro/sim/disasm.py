@@ -1,0 +1,55 @@
+"""Disassembler for decoded instructions.
+
+Used by error messages, the trace tooling and the CLI; the inverse of
+the assembler's operand syntax so that disassembled text re-assembles
+to the original encoding (round-trip tested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..targetgen.optable import OperationTable
+from .decoder import DecodedInstruction, DecodedOp
+from .memory import Memory
+
+
+def format_op(op: DecodedOp) -> str:
+    """Render one operation in assembler operand syntax."""
+    values = {
+        f.name: op.vals[i] for i, f in enumerate(op.entry.value_fields)
+    }
+    operands: List[str] = []
+    for template in op.entry.op.asm_operands:
+        if template.endswith("(rs1)"):
+            inner = template[:-5]
+            operands.append(f"{values[inner]}(r{values['rs1']})")
+        elif op.entry.op.field(template).role in ("reg_dst", "reg_src"):
+            operands.append(f"r{values[template]}")
+        else:
+            operands.append(str(values[template]))
+    if operands:
+        return f"{op.name} " + ", ".join(operands)
+    return op.name
+
+
+def format_instruction(dec: DecodedInstruction) -> str:
+    """Render a full (possibly VLIW) instruction."""
+    if dec.single is not None:
+        return format_op(dec.single)
+    return "{ " + " ; ".join(format_op(op) for op in dec.ops) + " }"
+
+
+def disassemble_range(
+    optable: OperationTable, mem: Memory, start: int, end: int
+) -> List[str]:
+    """Disassemble [start, end) as instructions of ``optable``'s ISA."""
+    from .decoder import decode_instruction
+
+    lines = []
+    addr = start
+    while addr < end:
+        dec = decode_instruction(optable, mem, addr)
+        lines.append(f"{addr:#010x}:  {format_instruction(dec)}")
+        addr += dec.size
+    return lines

@@ -1,0 +1,43 @@
+"""Simulator error types.
+
+The paper stresses error detection during compiler development
+(Section V, goal 4): when malicious code is generated, the simulator
+must point back at the instruction address, assembly line and source
+line.  :class:`SimulationError` carries that context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SimulationError(Exception):
+    """A fault detected while simulating (bad opcode, bad access...)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        ip: Optional[int] = None,
+        isa: Optional[str] = None,
+        location: Optional[str] = None,
+    ) -> None:
+        parts = [message]
+        if ip is not None:
+            parts.append(f"ip={ip:#010x}")
+        if isa is not None:
+            parts.append(f"isa={isa}")
+        if location:
+            parts.append(f"at {location}")
+        super().__init__(" ".join(parts))
+        self.ip = ip
+        self.isa = isa
+        self.location = location
+
+
+class DecodeError(SimulationError):
+    """No operation of the active ISA matches the fetched word."""
+
+
+class MemoryError_(SimulationError):
+    """Access outside the simulated address space."""

@@ -1,0 +1,427 @@
+"""The interpretation-based simulation loop (paper Sections V, V-A, V-B).
+
+The interpreter fetches, detects, decodes and executes instructions of
+the currently active ISA.  Three loop variants mirror the paper's
+performance experiment (Table I / Section VII-A):
+
+* no decode cache        — every instruction is detected and decoded,
+* decode cache           — hash-map lookups only,
+* cache + prediction     — the 1-bit-predictor-style instruction
+                           prediction skips most hash lookups.
+
+Parallel operations of a VLIW instruction are executed with
+read-before-write semantics: every generated simulation function buffers
+its register/memory writes, and the interpreter commits them only after
+all slots have computed (equivalent to the paper's recursive
+simulation-function scheme, Section V-B).
+
+A cycle model (:mod:`repro.cycles`) can observe every executed
+instruction pre-commit; a tracer records the per-operation behaviour
+for RTL validation (Section V, goal 3).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Optional
+
+from ..targetgen.optable import TargetDescription, build_target
+from .decode_cache import DecodeCache
+from .decoder import KIND_NOP, decode_instruction
+from .errors import SimulationError
+from .state import ProcessorState
+from .stats import SimStats
+
+_UNLIMITED = 1 << 62
+
+
+class Interpreter:
+    """Drives one :class:`ProcessorState` to completion."""
+
+    def __init__(
+        self,
+        state: ProcessorState,
+        target: Optional[TargetDescription] = None,
+        *,
+        cycle_model=None,
+        tracer=None,
+        use_decode_cache: bool = True,
+        use_prediction: bool = True,
+        ip_history: int = 0,
+        breakpoints=None,
+    ) -> None:
+        self.state = state
+        self.target = target if target is not None else build_target(state.arch)
+        self.cycle_model = cycle_model
+        self.tracer = tracer
+        self.use_decode_cache = use_decode_cache
+        self.use_prediction = use_prediction
+        self.cache = DecodeCache(self.target)
+        self.ip_history = (
+            deque(maxlen=ip_history) if ip_history > 0 else None
+        )
+        #: Instruction addresses that pause execution *before* the
+        #: instruction runs (debugging, paper Section V goal 4).  With
+        #: breakpoints set, the featureful slow loop is used.
+        self.breakpoints = set(breakpoints) if breakpoints else set()
+        #: Set when run() returned because a breakpoint was reached.
+        self.stopped_at_breakpoint = False
+        self._resume_over_breakpoint = False
+        self.stats = SimStats()
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> SimStats:
+        """Run until ``halt`` (or the instruction budget is exhausted).
+
+        Returns the accumulated statistics; also available as
+        :attr:`stats` afterwards.
+        """
+        budget = _UNLIMITED if max_instructions is None else max_instructions
+        if self.stopped_at_breakpoint:
+            # Resuming from a breakpoint executes its instruction once.
+            self._resume_over_breakpoint = True
+        self.stopped_at_breakpoint = False
+        start = time.perf_counter()
+        try:
+            if (
+                self.tracer is not None
+                or self.ip_history is not None
+                or self.breakpoints
+            ):
+                self._loop_full(budget)
+            elif not self.use_decode_cache:
+                self._loop_nocache(budget)
+            elif not self.use_prediction:
+                self._loop_cache(budget)
+            else:
+                self._loop_predict(budget)
+        except SimulationError:
+            raise
+        except Exception as exc:  # annotate unexpected faults with the IP
+            raise SimulationError(
+                f"internal fault: {exc!r}",
+                ip=self.state.ip,
+                isa=self.state.isa.name,
+            ) from exc
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        self.stats.simops = self.state.simop_count
+        self.stats.isa_switches = self.state.isa_switches
+        self.stats.exit_code = self.state.exit_code
+        return self.stats
+
+    # -- loop variants -----------------------------------------------------
+
+    def _loop_predict(self, budget: int) -> None:
+        """Decode cache + instruction prediction (the paper's fastest)."""
+        state = self.state
+        mem = state.mem
+        regs = state.regs
+        cache = self.cache.entries
+        optables = self.target.optables
+        model = self.cycle_model
+        s4, s2, s1 = mem.store4, mem.store2, mem.store1
+        regwr: list = []
+        memwr: list = []
+        executed = slots = ops_exec = decodes = lookups = 0
+        pred_hits = mem_instr = mem_ops = 0
+        prev = None
+        while not state.halted and executed < budget:
+            ip = state.ip
+            if prev is not None and prev.pred_ip == ip:
+                dec = prev.pred_dec
+                pred_hits += 1
+            else:
+                isa_id = state.isa_id
+                key = (isa_id, ip)
+                lookups += 1
+                dec = cache.get(key)
+                if dec is None:
+                    dec = decode_instruction(optables[isa_id], mem, ip)
+                    cache[key] = dec
+                    decodes += 1
+                if prev is not None:
+                    prev.pred_ip = ip
+                    prev.pred_dec = dec
+            prev = dec
+            next_ip = ip + dec.size
+            new_ip = None
+            single = dec.single
+            if single is not None:
+                if single.kind_code != KIND_NOP:
+                    new_ip = single.sim_fn(
+                        state, single.vals, ip, next_ip, regwr, memwr
+                    )
+            else:
+                for fn, vals in dec.exec_ops:
+                    r = fn(state, vals, ip, next_ip, regwr, memwr)
+                    if r is not None:
+                        new_ip = r
+            if model is not None:
+                model.observe(dec, regs)
+            if regwr:
+                for reg, val in regwr:
+                    regs[reg] = val
+                regs[0] = 0
+                del regwr[:]
+            if memwr:
+                for size, addr, val in memwr:
+                    if size == 4:
+                        s4(addr, val)
+                    elif size == 2:
+                        s2(addr, val)
+                    else:
+                        s1(addr, val)
+                del memwr[:]
+            state.ip = next_ip if new_ip is None else new_ip
+            executed += 1
+            slots += dec.n_slots
+            ops_exec += dec.n_exec
+            if dec.has_mem:
+                mem_instr += 1
+                mem_ops += dec.n_mem
+        self._flush(
+            executed, slots, ops_exec, decodes, lookups, pred_hits,
+            mem_instr, mem_ops,
+        )
+
+    def _loop_cache(self, budget: int) -> None:
+        """Decode cache without instruction prediction."""
+        state = self.state
+        mem = state.mem
+        regs = state.regs
+        cache = self.cache.entries
+        optables = self.target.optables
+        model = self.cycle_model
+        s4, s2, s1 = mem.store4, mem.store2, mem.store1
+        regwr: list = []
+        memwr: list = []
+        executed = slots = ops_exec = decodes = 0
+        mem_instr = mem_ops = 0
+        while not state.halted and executed < budget:
+            ip = state.ip
+            isa_id = state.isa_id
+            key = (isa_id, ip)
+            dec = cache.get(key)
+            if dec is None:
+                dec = decode_instruction(optables[isa_id], mem, ip)
+                cache[key] = dec
+                decodes += 1
+            next_ip = ip + dec.size
+            new_ip = None
+            single = dec.single
+            if single is not None:
+                if single.kind_code != KIND_NOP:
+                    new_ip = single.sim_fn(
+                        state, single.vals, ip, next_ip, regwr, memwr
+                    )
+            else:
+                for fn, vals in dec.exec_ops:
+                    r = fn(state, vals, ip, next_ip, regwr, memwr)
+                    if r is not None:
+                        new_ip = r
+            if model is not None:
+                model.observe(dec, regs)
+            if regwr:
+                for reg, val in regwr:
+                    regs[reg] = val
+                regs[0] = 0
+                del regwr[:]
+            if memwr:
+                for size, addr, val in memwr:
+                    if size == 4:
+                        s4(addr, val)
+                    elif size == 2:
+                        s2(addr, val)
+                    else:
+                        s1(addr, val)
+                del memwr[:]
+            state.ip = next_ip if new_ip is None else new_ip
+            executed += 1
+            slots += dec.n_slots
+            ops_exec += dec.n_exec
+            if dec.has_mem:
+                mem_instr += 1
+                mem_ops += dec.n_mem
+        self._flush(
+            executed, slots, ops_exec, decodes, executed, 0,
+            mem_instr, mem_ops,
+        )
+
+    def _loop_nocache(self, budget: int) -> None:
+        """Detect and decode every executed instruction (slowest)."""
+        state = self.state
+        mem = state.mem
+        regs = state.regs
+        optables = self.target.optables
+        model = self.cycle_model
+        s4, s2, s1 = mem.store4, mem.store2, mem.store1
+        regwr: list = []
+        memwr: list = []
+        executed = slots = ops_exec = 0
+        mem_instr = mem_ops = 0
+        while not state.halted and executed < budget:
+            ip = state.ip
+            dec = decode_instruction(optables[state.isa_id], mem, ip)
+            next_ip = ip + dec.size
+            new_ip = None
+            single = dec.single
+            if single is not None:
+                if single.kind_code != KIND_NOP:
+                    new_ip = single.sim_fn(
+                        state, single.vals, ip, next_ip, regwr, memwr
+                    )
+            else:
+                for fn, vals in dec.exec_ops:
+                    r = fn(state, vals, ip, next_ip, regwr, memwr)
+                    if r is not None:
+                        new_ip = r
+            if model is not None:
+                model.observe(dec, regs)
+            if regwr:
+                for reg, val in regwr:
+                    regs[reg] = val
+                regs[0] = 0
+                del regwr[:]
+            if memwr:
+                for size, addr, val in memwr:
+                    if size == 4:
+                        s4(addr, val)
+                    elif size == 2:
+                        s2(addr, val)
+                    else:
+                        s1(addr, val)
+                del memwr[:]
+            state.ip = next_ip if new_ip is None else new_ip
+            executed += 1
+            slots += dec.n_slots
+            ops_exec += dec.n_exec
+            if dec.has_mem:
+                mem_instr += 1
+                mem_ops += dec.n_mem
+        self._flush(
+            executed, slots, ops_exec, executed, 0, 0, mem_instr, mem_ops
+        )
+
+    def _loop_full(self, budget: int) -> None:
+        """Featureful slow loop: tracing, IP history, per-op bookkeeping."""
+        state = self.state
+        mem = state.mem
+        regs = state.regs
+        cache = self.cache.entries
+        optables = self.target.optables
+        model = self.cycle_model
+        tracer = self.tracer
+        history = self.ip_history
+        s4, s2, s1 = mem.store4, mem.store2, mem.store1
+        executed = slots = ops_exec = decodes = lookups = pred_hits = 0
+        mem_instr = mem_ops = 0
+        breakpoints = self.breakpoints
+        prev = None
+        while not state.halted and executed < budget:
+            ip = state.ip
+            if breakpoints and ip in breakpoints:
+                if self._resume_over_breakpoint:
+                    self._resume_over_breakpoint = False
+                else:
+                    self.stopped_at_breakpoint = True
+                    break
+            if history is not None:
+                history.append(ip)
+            if self.use_decode_cache:
+                if (
+                    self.use_prediction
+                    and prev is not None
+                    and prev.pred_ip == ip
+                ):
+                    dec = prev.pred_dec
+                    pred_hits += 1
+                else:
+                    key = (state.isa_id, ip)
+                    lookups += 1
+                    dec = cache.get(key)
+                    if dec is None:
+                        dec = decode_instruction(
+                            optables[state.isa_id], mem, ip
+                        )
+                        cache[key] = dec
+                        decodes += 1
+                    if prev is not None:
+                        prev.pred_ip = ip
+                        prev.pred_dec = dec
+                prev = dec
+            else:
+                dec = decode_instruction(optables[state.isa_id], mem, ip)
+                decodes += 1
+            next_ip = ip + dec.size
+            new_ip = None
+            regwr: list = []
+            memwr: list = []
+            for op in dec.ops:
+                if op.kind_code == KIND_NOP:
+                    continue
+                op_reg_start = len(regwr)
+                op_mem_start = len(memwr)
+                in_regs = tuple((r, regs[r]) for r in op.srcs)
+                r = op.sim_fn(state, op.vals, ip, next_ip, regwr, memwr)
+                if r is not None:
+                    new_ip = r
+                if tracer is not None:
+                    cycle = (
+                        model.cycles if model is not None else executed
+                    )
+                    tracer.record(
+                        cycle,
+                        dec,
+                        op,
+                        in_regs,
+                        tuple(regwr[op_reg_start:]),
+                        tuple(memwr[op_mem_start:]),
+                    )
+            if model is not None:
+                model.observe(dec, regs)
+            for reg, val in regwr:
+                regs[reg] = val
+            regs[0] = 0
+            for size, addr, val in memwr:
+                if size == 4:
+                    s4(addr, val)
+                elif size == 2:
+                    s2(addr, val)
+                else:
+                    s1(addr, val)
+            state.ip = next_ip if new_ip is None else new_ip
+            executed += 1
+            slots += dec.n_slots
+            ops_exec += dec.n_exec
+            if dec.has_mem:
+                mem_instr += 1
+                mem_ops += dec.n_mem
+        self._flush(
+            executed, slots, ops_exec, decodes, lookups, pred_hits,
+            mem_instr, mem_ops,
+        )
+
+    def _flush(
+        self,
+        executed: int,
+        slots: int,
+        ops_exec: int,
+        decodes: int,
+        lookups: int,
+        pred_hits: int,
+        mem_instr: int,
+        mem_ops: int,
+    ) -> None:
+        st = self.stats
+        st.executed_instructions += executed
+        st.executed_slots += slots
+        st.executed_ops += ops_exec
+        st.decoded_instructions += decodes
+        st.cache_lookups += lookups
+        st.prediction_hits += pred_hits
+        st.memory_instructions += mem_instr
+        st.memory_ops += mem_ops
+        self.cache.decodes += decodes
+        self.cache.lookups += lookups

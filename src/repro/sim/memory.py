@@ -1,0 +1,143 @@
+"""Sparse byte-addressable simulated memory.
+
+The ELF loader copies segments into this memory and the simulation
+functions access it through the ``load*``/``store*`` methods referenced
+by the generated code.  The address space is a full 32-bit space backed
+lazily by fixed-size pages, so a 16 MiB stack at the top and code at
+the bottom cost only the pages actually touched.
+
+All values are little-endian, matching the ELF encoding we emit.
+Addresses are masked to 32 bits; unaligned and page-crossing accesses
+are supported (the KAHRISMA compiler never emits them, but hand-written
+assembly and error cases may).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+MASK32 = 0xFFFFFFFF
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    """Paged sparse memory with word/half/byte accessors."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    # -- word access (hot path of the interpreter) ----------------------
+
+    def load4(self, addr: int) -> int:
+        addr &= MASK32
+        off = addr & PAGE_MASK
+        if off <= PAGE_SIZE - 4:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[off:off + 4], "little")
+        return int.from_bytes(self.load_bytes(addr, 4), "little")
+
+    def store4(self, addr: int, value: int) -> None:
+        addr &= MASK32
+        off = addr & PAGE_MASK
+        if off <= PAGE_SIZE - 4:
+            self._page(addr >> PAGE_SHIFT)[off:off + 4] = (
+                value & MASK32
+            ).to_bytes(4, "little")
+        else:
+            self.store_bytes(addr, (value & MASK32).to_bytes(4, "little"))
+
+    def load2(self, addr: int) -> int:
+        addr &= MASK32
+        off = addr & PAGE_MASK
+        if off <= PAGE_SIZE - 2:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return page[off] | (page[off + 1] << 8)
+        return int.from_bytes(self.load_bytes(addr, 2), "little")
+
+    def store2(self, addr: int, value: int) -> None:
+        addr &= MASK32
+        off = addr & PAGE_MASK
+        if off <= PAGE_SIZE - 2:
+            page = self._page(addr >> PAGE_SHIFT)
+            page[off] = value & 0xFF
+            page[off + 1] = (value >> 8) & 0xFF
+        else:
+            self.store_bytes(addr, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def load1(self, addr: int) -> int:
+        addr &= MASK32
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[addr & PAGE_MASK]
+
+    def store1(self, addr: int, value: int) -> None:
+        addr &= MASK32
+        self._page(addr >> PAGE_SHIFT)[addr & PAGE_MASK] = value & 0xFF
+
+    # -- bulk access (loader, syscalls) ---------------------------------
+
+    def load_bytes(self, addr: int, length: int) -> bytes:
+        addr &= MASK32
+        out = bytearray()
+        while length > 0:
+            off = addr & PAGE_MASK
+            chunk = min(length, PAGE_SIZE - off)
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                out.extend(b"\x00" * chunk)
+            else:
+                out.extend(page[off:off + chunk])
+            addr = (addr + chunk) & MASK32
+            length -= chunk
+        return bytes(out)
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        addr &= MASK32
+        view = memoryview(data)
+        while view:
+            off = addr & PAGE_MASK
+            chunk = min(len(view), PAGE_SIZE - off)
+            self._page(addr >> PAGE_SHIFT)[off:off + chunk] = view[:chunk]
+            addr = (addr + chunk) & MASK32
+            view = view[chunk:]
+
+    def load_cstring(self, addr: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated string (for the libc emulation)."""
+        out = bytearray()
+        while len(out) < limit:
+            b = self.load1(addr)
+            if b == 0:
+                break
+            out.append(b)
+            addr = (addr + 1) & MASK32
+        return bytes(out)
+
+    def store_cstring(self, addr: int, data: bytes) -> None:
+        self.store_bytes(addr, data + b"\x00")
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def pages(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield (base address, page bytes) for every resident page."""
+        for index in sorted(self._pages):
+            yield index << PAGE_SHIFT, bytes(self._pages[index])

@@ -1,0 +1,113 @@
+"""Processor state: register file, memory, IP and the active ISA.
+
+Paper Section V-D: to support runtime reconfiguration, the processor
+state is extended beyond register file and memory to also contain the
+*currently active ISA*.  ``switchtarget`` updates it through
+:meth:`ProcessorState.switch_isa`; instruction detection always uses
+the operation table of the active ISA.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..adl.model import Architecture
+from .errors import SimulationError
+from .memory import Memory
+
+MASK32 = 0xFFFFFFFF
+
+#: Default memory layout of a simulated process.
+TEXT_BASE = 0x00001000
+STACK_TOP = 0x00F00000
+STACK_SIZE = 0x00100000
+#: Return address installed for the entry function; holds a ``halt``
+#: operation word followed by NOP words so it decodes as a halting
+#: instruction under every issue width.
+EXIT_ADDRESS = 0x00000100
+
+
+class ProcessorState:
+    """Architectural state of one simulated hardware thread."""
+
+    __slots__ = (
+        "arch",
+        "regs",
+        "mem",
+        "ip",
+        "isa_id",
+        "halted",
+        "exit_code",
+        "syscall_handler",
+        "isa_switches",
+        "simop_count",
+    )
+
+    def __init__(self, arch: Architecture, *, isa_id: Optional[int] = None) -> None:
+        self.arch = arch
+        self.regs: List[int] = [0] * len(arch.register_file)
+        self.mem = Memory()
+        self.ip = 0
+        #: Initial ISA: optional parameter, else the ADL default
+        #: (Section V-D start-up rule).
+        self.isa_id = arch.default_isa if isa_id is None else isa_id
+        if self.isa_id not in arch.isa_by_id:
+            raise SimulationError(f"unknown initial ISA {self.isa_id}")
+        self.halted = False
+        self.exit_code = 0
+        #: Installed by the Syscalls object; called by generated
+        #: ``simop`` simulation functions.
+        self.syscall_handler: Optional[Callable[["ProcessorState", int], Optional[int]]] = None
+        self.isa_switches = 0
+        self.simop_count = 0
+
+    # -- hooks called from generated simulation functions ----------------
+
+    def switch_isa(self, isa_id: int) -> None:
+        """``SWITCHTARGET`` semantics: activate another ISA."""
+        if isa_id not in self.arch.isa_by_id:
+            raise SimulationError(
+                f"switchtarget to undefined ISA {isa_id}", ip=self.ip
+            )
+        self.isa_id = isa_id
+        self.isa_switches += 1
+
+    def simop(self, ident: int) -> Optional[int]:
+        """``SIMOP`` semantics: run an emulated C library function."""
+        if self.syscall_handler is None:
+            raise SimulationError(
+                f"simop {ident} executed but no C-library emulation "
+                f"is installed", ip=self.ip,
+            )
+        self.simop_count += 1
+        return self.syscall_handler(self, ident)
+
+    # -- conveniences -----------------------------------------------------
+
+    @property
+    def isa(self):
+        return self.arch.isa_by_id[self.isa_id]
+
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & MASK32
+
+    def setup_stack(self) -> None:
+        """Initialise SP, FP and the exit return address."""
+        sp = self.arch.register_file.by_role("sp")[0].index
+        ra = self.arch.register_file.by_role("ra")[0].index
+        fp_regs = self.arch.register_file.by_role("fp")
+        self.regs[sp] = STACK_TOP
+        if fp_regs:
+            self.regs[fp_regs[0].index] = STACK_TOP
+        self.regs[ra] = EXIT_ADDRESS
+        # halt word followed by NOP words: decodes as a halting
+        # instruction under any issue width of this architecture.
+        halt_op = self.isa.operation("halt")
+        self.mem.store4(EXIT_ADDRESS, halt_op.const_value)
+        max_width = max(isa.issue_width for isa in self.arch.isas)
+        for slot in range(1, max_width):
+            self.mem.store4(EXIT_ADDRESS + 4 * slot, 0)

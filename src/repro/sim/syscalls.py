@@ -1,0 +1,199 @@
+"""C standard library emulation (paper Section V-E).
+
+Library functions are provided *natively* by the simulator: the
+``simop`` operation carries the function id as an immediate; the handler
+reads arguments from registers (and stack, per the calling convention),
+performs the operation on the simulated memory, and writes the result
+back to the return-value register.  Output is captured into a buffer so
+tests and the framework can assert on program output.
+
+Native execution means these functions cost no simulated cycles by
+default (the paper notes the same limitation and the remedy: link real
+implementations compiled for the simulated ISA instead).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..adl.kahrisma import REG_ARG_FIRST, REG_RV
+from ..libc import LIBC_BY_ID
+from ..targetgen.behavior_compiler import s32
+from .errors import SimulationError
+from .state import MASK32, ProcessorState
+
+#: Default heap placement when the loader supplies none.
+DEFAULT_HEAP_BASE = 0x00400000
+HEAP_LIMIT = 0x00E00000
+_HEAP_ALIGN = 8
+
+
+class Syscalls:
+    """State and dispatch for the emulated C library."""
+
+    def __init__(
+        self,
+        *,
+        heap_base: int = DEFAULT_HEAP_BASE,
+        input_data: bytes = b"",
+        rand_seed: int = 1,
+    ) -> None:
+        self.stdout = bytearray()
+        self.heap_base = heap_base
+        self.heap_ptr = heap_base
+        self.input = bytearray(input_data)
+        self.input_pos = 0
+        self.rand_state = rand_seed & MASK32
+        #: Instruction counter source for ``clock()``; installed by the
+        #: framework (returns executed instructions or model cycles).
+        self.clock_source: Optional[Callable[[], int]] = None
+        self._handlers: Dict[int, Callable] = {
+            0: self._exit,
+            1: self._putchar,
+            2: self._getchar,
+            3: self._puts,
+            4: self._print_int,
+            5: self._print_uint,
+            6: self._print_hex,
+            7: self._malloc,
+            8: self._free,
+            9: self._memcpy,
+            10: self._memset,
+            11: self._strlen,
+            12: self._strcmp,
+            13: self._rand,
+            14: self._srand,
+            15: self._clock,
+            16: self._abs,
+            17: self._write,
+        }
+
+    # -- installation -----------------------------------------------------
+
+    def install(self, state: ProcessorState) -> None:
+        state.syscall_handler = self.handle
+
+    def handle(self, state: ProcessorState, ident: int) -> Optional[int]:
+        handler = self._handlers.get(ident)
+        if handler is None:
+            known = ident in LIBC_BY_ID
+            raise SimulationError(
+                f"simop {ident} is "
+                + ("registered but unimplemented" if known else "unknown"),
+                ip=state.ip,
+            )
+        return handler(state)
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _args(state: ProcessorState, n: int):
+        return [state.regs[REG_ARG_FIRST + i] for i in range(n)]
+
+    @staticmethod
+    def _ret(state: ProcessorState, value: int) -> None:
+        state.regs[REG_RV] = value & MASK32
+
+    def output_text(self) -> str:
+        return self.stdout.decode("utf-8", errors="replace")
+
+    # -- the functions -------------------------------------------------------
+
+    def _exit(self, state: ProcessorState) -> None:
+        (status,) = self._args(state, 1)
+        state.exit_code = s32(status)
+        state.halted = True
+
+    def _putchar(self, state: ProcessorState) -> None:
+        (c,) = self._args(state, 1)
+        self.stdout.append(c & 0xFF)
+        self._ret(state, c & 0xFF)
+
+    def _getchar(self, state: ProcessorState) -> None:
+        if self.input_pos < len(self.input):
+            c = self.input[self.input_pos]
+            self.input_pos += 1
+            self._ret(state, c)
+        else:
+            self._ret(state, 0xFFFFFFFF)  # EOF (-1)
+
+    def _puts(self, state: ProcessorState) -> None:
+        (ptr,) = self._args(state, 1)
+        self.stdout.extend(state.mem.load_cstring(ptr))
+        self.stdout.append(0x0A)
+        self._ret(state, 0)
+
+    def _print_int(self, state: ProcessorState) -> None:
+        (v,) = self._args(state, 1)
+        self.stdout.extend(str(s32(v)).encode("ascii"))
+
+    def _print_uint(self, state: ProcessorState) -> None:
+        (v,) = self._args(state, 1)
+        self.stdout.extend(str(v & MASK32).encode("ascii"))
+
+    def _print_hex(self, state: ProcessorState) -> None:
+        (v,) = self._args(state, 1)
+        self.stdout.extend(format(v & MASK32, "08x").encode("ascii"))
+
+    def _malloc(self, state: ProcessorState) -> None:
+        (size,) = self._args(state, 1)
+        size = (size + _HEAP_ALIGN - 1) & ~(_HEAP_ALIGN - 1)
+        if self.heap_ptr + size > HEAP_LIMIT:
+            self._ret(state, 0)  # out of memory -> NULL
+            return
+        ptr = self.heap_ptr
+        self.heap_ptr += size
+        self._ret(state, ptr)
+
+    def _free(self, state: ProcessorState) -> None:
+        # Bump allocator: free is a no-op, as in many embedded C libraries.
+        self._args(state, 1)
+
+    def _memcpy(self, state: ProcessorState) -> None:
+        dst, src, n = self._args(state, 3)
+        if n:
+            state.mem.store_bytes(dst, state.mem.load_bytes(src, n))
+        self._ret(state, dst)
+
+    def _memset(self, state: ProcessorState) -> None:
+        dst, c, n = self._args(state, 3)
+        if n:
+            state.mem.store_bytes(dst, bytes([c & 0xFF]) * n)
+        self._ret(state, dst)
+
+    def _strlen(self, state: ProcessorState) -> None:
+        (ptr,) = self._args(state, 1)
+        self._ret(state, len(state.mem.load_cstring(ptr)))
+
+    def _strcmp(self, state: ProcessorState) -> None:
+        a, b = self._args(state, 2)
+        sa = state.mem.load_cstring(a)
+        sb = state.mem.load_cstring(b)
+        result = (sa > sb) - (sa < sb)
+        self._ret(state, result)
+
+    def _rand(self, state: ProcessorState) -> None:
+        # Deterministic LCG (C89 reference implementation) so simulated
+        # workloads are reproducible across hosts.
+        self.rand_state = (self.rand_state * 1103515245 + 12345) & MASK32
+        self._ret(state, (self.rand_state >> 16) & 0x7FFF)
+
+    def _srand(self, state: ProcessorState) -> None:
+        (seed,) = self._args(state, 1)
+        self.rand_state = seed & MASK32
+
+    def _clock(self, state: ProcessorState) -> None:
+        if self.clock_source is not None:
+            self._ret(state, self.clock_source())
+        else:
+            self._ret(state, 0)
+
+    def _abs(self, state: ProcessorState) -> None:
+        (v,) = self._args(state, 1)
+        self._ret(state, abs(s32(v)))
+
+    def _write(self, state: ProcessorState) -> None:
+        buf, n = self._args(state, 2)
+        if n:
+            self.stdout.extend(state.mem.load_bytes(buf, n))
+        self._ret(state, n)

@@ -1,0 +1,171 @@
+"""Trace comparison for implementation validation (paper Section V).
+
+The paper's trace files exist to validate different implementations of
+an ISA — e.g. the RTL hardware against the simulator.  This module is
+the comparison side: given two traces of the *same program*, it checks
+that the architecturally visible effects agree.
+
+Two comparison levels:
+
+* :func:`diff_traces` — op-by-op: opcode, inputs, outputs and stores
+  must match in order (cycle numbers are ignored: different timing
+  models may disagree on *when*, never on *what*).
+* :func:`diff_architectural_effects` — effect-by-effect: only the
+  memory-store sequence is compared, so implementations that group or
+  pad operations differently (e.g. a NOP-compressing front end, a
+  future fused-operation interpreter) can still be cross-checked.
+
+Both comparisons assume the two traces come from the *same binary*:
+different builds (other ISAs, other optimisation settings) place code,
+data and stack at different addresses, and any pointer-valued store
+legitimately differs — cross-build validation is done on program
+output instead (see the test suite's cross-ISA equivalence tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .tracing import TraceRecord
+
+
+@dataclass(frozen=True)
+class TraceMismatch:
+    """First point where two traces disagree."""
+
+    index: int
+    field: str
+    left: object
+    right: object
+
+    def format(self) -> str:
+        return (
+            f"record {self.index}: {self.field} differs — "
+            f"{self.left!r} vs {self.right!r}"
+        )
+
+
+def diff_traces(
+    left: Sequence[TraceRecord],
+    right: Sequence[TraceRecord],
+    *,
+    compare_cycles: bool = False,
+) -> Optional[TraceMismatch]:
+    """Op-by-op comparison; returns the first mismatch or None."""
+    for index, (a, b) in enumerate(zip(left, right)):
+        if a.opcode != b.opcode:
+            return TraceMismatch(index, "opcode", a.opcode, b.opcode)
+        if a.inputs != b.inputs:
+            return TraceMismatch(index, "inputs", a.inputs, b.inputs)
+        if a.outputs != b.outputs:
+            return TraceMismatch(index, "outputs", a.outputs, b.outputs)
+        if a.stores != b.stores:
+            return TraceMismatch(index, "stores", a.stores, b.stores)
+        if a.immediates != b.immediates:
+            return TraceMismatch(index, "immediates",
+                                 a.immediates, b.immediates)
+        if compare_cycles and a.cycle != b.cycle:
+            return TraceMismatch(index, "cycle", a.cycle, b.cycle)
+    if len(left) != len(right):
+        return TraceMismatch(
+            min(len(left), len(right)), "length", len(left), len(right)
+        )
+    return None
+
+
+def memory_effects(
+    records: Iterable[TraceRecord],
+) -> List[Tuple[int, int, int]]:
+    """The sequence of (size, address, value) stores in a trace."""
+    effects: List[Tuple[int, int, int]] = []
+    for record in records:
+        effects.extend(record.stores)
+    return effects
+
+
+def diff_architectural_effects(
+    left: Sequence[TraceRecord],
+    right: Sequence[TraceRecord],
+    *,
+    compare_addresses: bool = True,
+) -> Optional[TraceMismatch]:
+    """Compare only the memory-store sequences of two traces.
+
+    Order is significant (KC's pessimistic memory model keeps stores in
+    program order).  ``compare_addresses=False`` additionally ignores
+    store addresses, which only makes sense for experiments that
+    deliberately relocate data while preserving dataflow.
+    """
+    left_effects = memory_effects(left)
+    right_effects = memory_effects(right)
+    for index, (a, b) in enumerate(zip(left_effects, right_effects)):
+        comparable_a = a if compare_addresses else (a[0], a[2])
+        comparable_b = b if compare_addresses else (b[0], b[2])
+        if comparable_a != comparable_b:
+            return TraceMismatch(index, "store", a, b)
+    if len(left_effects) != len(right_effects):
+        return TraceMismatch(
+            min(len(left_effects), len(right_effects)), "store-count",
+            len(left_effects), len(right_effects),
+        )
+    return None
+
+
+def parse_trace_file(text: str) -> List[TraceRecord]:
+    """Parse the textual trace format back into records.
+
+    Inverse of :meth:`TraceRecord.format`; used by the CLI trace-diff
+    command on files produced with ``kahrisma run --trace``.
+    """
+    records: List[TraceRecord] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        cycle = int(parts[0])
+        addr_text, _, slot_text = parts[1].partition(".")
+        opcode = parts[2]
+        inputs: Tuple = ()
+        outputs: Tuple = ()
+        stores: Tuple = ()
+        immediates: Tuple = ()
+        for chunk in parts[3:]:
+            key, _, payload = chunk.partition(":")
+            if key == "in":
+                inputs = tuple(
+                    (int(p.split("=")[0][1:]), int(p.split("=")[1], 16))
+                    for p in payload.split(",")
+                )
+            elif key == "out":
+                outputs = tuple(
+                    (int(p.split("=")[0][1:]), int(p.split("=")[1], 16))
+                    for p in payload.split(",")
+                )
+            elif key == "mem":
+                stores = tuple(
+                    _parse_store(p) for p in payload.split(",")
+                )
+            elif key == "imm":
+                immediates = tuple(int(p) for p in payload.split(","))
+        records.append(
+            TraceRecord(
+                cycle=cycle,
+                addr=int(addr_text, 16),
+                slot=int(slot_text),
+                opcode=opcode,
+                inputs=inputs,
+                outputs=outputs,
+                stores=stores,
+                immediates=immediates,
+            )
+        )
+    return records
+
+
+def _parse_store(text: str) -> Tuple[int, int, int]:
+    # "[0xADDR]<=0xVAL/SIZE"
+    addr_part, _, rest = text.partition("]<=")
+    value_part, _, size_part = rest.partition("/")
+    return int(size_part), int(addr_part[1:], 16), int(value_part, 16)

@@ -1,0 +1,101 @@
+"""Trace file generation (paper Section V, goal 3).
+
+For each executed operation the trace records the cycle number, opcode,
+input/output register numbers and values, and immediate values.  The
+paper uses the trace to validate the RTL hardware implementation and as
+stimuli for partial implementations; our test suite uses it the same
+way, cross-checking the interpreter against the RTL reference model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed operation."""
+
+    cycle: int
+    addr: int
+    slot: int
+    opcode: str
+    #: (register index, value read) pairs.
+    inputs: Tuple[Tuple[int, int], ...]
+    #: (register index, value written) pairs.
+    outputs: Tuple[Tuple[int, int], ...]
+    #: (size, address, value) triples for stores.
+    stores: Tuple[Tuple[int, int, int], ...]
+    immediates: Tuple[int, ...]
+
+    def format(self) -> str:
+        parts = [
+            f"{self.cycle:>10}",
+            f"{self.addr:#010x}.{self.slot}",
+            f"{self.opcode:<12}",
+        ]
+        if self.inputs:
+            parts.append(
+                "in:" + ",".join(f"r{r}={v:#x}" for r, v in self.inputs)
+            )
+        if self.outputs:
+            parts.append(
+                "out:" + ",".join(f"r{r}={v:#x}" for r, v in self.outputs)
+            )
+        if self.stores:
+            parts.append(
+                "mem:"
+                + ",".join(f"[{a:#x}]<={v:#x}/{s}" for s, a, v in self.stores)
+            )
+        if self.immediates:
+            parts.append("imm:" + ",".join(str(i) for i in self.immediates))
+        return " ".join(parts)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally streaming them.
+
+    Passed to :class:`repro.sim.interpreter.Interpreter`; the full loop
+    calls :meth:`record` once per executed (non-NOP) operation.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        *,
+        keep_records: bool = True,
+        limit: Optional[int] = None,
+    ) -> None:
+        self.stream = stream
+        self.keep_records = keep_records
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.count = 0
+
+    def record(self, cycle, dec, op, in_regs, reg_writes, mem_writes) -> None:
+        if self.limit is not None and self.count >= self.limit:
+            return
+        self.count += 1
+        immediates = tuple(
+            op.vals[i]
+            for i, f in enumerate(op.entry.value_fields)
+            if f.role == "imm"
+        )
+        rec = TraceRecord(
+            cycle=cycle,
+            addr=dec.addr,
+            slot=op.slot,
+            opcode=op.name,
+            inputs=in_regs,
+            outputs=reg_writes,
+            stores=mem_writes,
+            immediates=immediates,
+        )
+        if self.keep_records:
+            self.records.append(rec)
+        if self.stream is not None:
+            self.stream.write(rec.format() + "\n")
+
+    def formatted(self) -> str:
+        return "\n".join(rec.format() for rec in self.records)

@@ -1,0 +1,47 @@
+"""TargetGen: retargeting-code generation from the ADL (paper Fig. 2/3).
+
+Consumes an :class:`~repro.adl.model.Architecture` and produces the
+simulator's register table, per-ISA operation tables and simulation
+functions, the libc stub assembly file, and — mirroring the paper's
+source-fragment generation — an emittable Python module with the same
+content.
+"""
+
+from .asmgen import generate_libc_stubs, mangle
+from .behavior_compiler import (
+    compile_sim_function,
+    generate_sim_function_source,
+    s8,
+    s16,
+    s32,
+    sdiv,
+    srem,
+)
+from .docgen import generate_isa_reference, write_isa_reference
+from .codegen import (
+    generate_simulator_module,
+    load_generated_module,
+    write_simulator_module,
+)
+from .optable import OperationTable, OpTableEntry, TargetDescription, build_target
+
+__all__ = [
+    "OperationTable",
+    "OpTableEntry",
+    "TargetDescription",
+    "build_target",
+    "compile_sim_function",
+    "generate_isa_reference",
+    "generate_libc_stubs",
+    "generate_sim_function_source",
+    "generate_simulator_module",
+    "load_generated_module",
+    "mangle",
+    "s8",
+    "s16",
+    "s32",
+    "sdiv",
+    "srem",
+    "write_isa_reference",
+    "write_simulator_module",
+]

@@ -1,0 +1,249 @@
+"""Lowering of ADL behaviour fragments to simulation functions.
+
+This is the heart of the TargetGen utility (paper Section V): for each
+operation the ADL carries a behaviour fragment, and TargetGen generates
+the operation's *simulation function* from it.  We generate genuine
+Python source text (inspectable, and emittable as a module by
+:mod:`repro.targetgen.codegen`) and ``exec`` it to obtain the callable.
+
+Generated simulation functions have the uniform signature::
+
+    def sim_<name>(state, v, ip, next_ip, regwr, memwr):
+        ...
+        return <new-ip or None>
+
+``v`` is the tuple of decoded field values (the paper's *decode
+structure* content), in :attr:`Operation.value_fields` order.  Register
+and memory writes are *buffered* into ``regwr`` / ``memwr`` and applied
+by the interpreter only after every parallel operation of the
+instruction has computed — semantically identical to the paper's
+recursive simulation-function calls (Section V-B), which also perform
+all register reads before any write-back.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List
+
+from ..adl.behavior import BehaviorError, parse_behavior
+from ..adl.model import Operation
+
+MASK32 = 0xFFFFFFFF
+
+#: Memory-load intrinsics and the local aliases they compile to.
+_LOADS = {"M1": "ld1", "M2": "ld2", "M4": "ld4"}
+_STORE_SIZES = {"S1": 1, "S2": 2, "S4": 4}
+_HELPERS = {"s8", "s16", "s32", "sdiv", "srem"}
+
+
+def s8(x: int) -> int:
+    x &= 0xFF
+    return x - 0x100 if x & 0x80 else x
+
+
+def s16(x: int) -> int:
+    x &= 0xFFFF
+    return x - 0x10000 if x & 0x8000 else x
+
+
+def s32(x: int) -> int:
+    x &= MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def sdiv(a: int, b: int) -> int:
+    """Truncating signed division; division by zero yields -1."""
+    a, b = s32(a), s32(b)
+    if b == 0:
+        return -1
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def srem(a: int, b: int) -> int:
+    """Truncating signed remainder; by zero yields the dividend."""
+    a, b = s32(a), s32(b)
+    if b == 0:
+        return a
+    return a - sdiv(a, b) * b
+
+
+#: Globals visible to generated simulation functions.
+SIM_GLOBALS: Dict[str, object] = {
+    "s8": s8,
+    "s16": s16,
+    "s32": s32,
+    "sdiv": sdiv,
+    "srem": srem,
+}
+
+
+class _Emitter:
+    """Translate validated behaviour AST nodes into Python source."""
+
+    def __init__(self, op: Operation) -> None:
+        self.op = op
+        self.field_names = {f.name for f in op.value_fields}
+        self.locals: set = set()
+        self.uses_regs = False
+        self.uses_loads: set = set()
+
+    # -- expressions ---------------------------------------------------
+
+    def expr(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Constant):
+            return repr(node.value)
+        if isinstance(node, ast.Name):
+            if node.id == "NIP":
+                return "next_ip"
+            if node.id == "IP":
+                return "ip"
+            if node.id in self.field_names or node.id in self.locals:
+                return node.id
+            raise BehaviorError(
+                f"operation {self.op.name!r}: unknown name {node.id!r}"
+            )
+        if isinstance(node, ast.BinOp):
+            return f"({self.expr(node.left)} {_BINOPS[type(node.op)]} {self.expr(node.right)})"
+        if isinstance(node, ast.UnaryOp):
+            return f"({_UNARYOPS[type(node.op)]}{self.expr(node.operand)})"
+        if isinstance(node, ast.BoolOp):
+            joiner = " and " if isinstance(node.op, ast.And) else " or "
+            return "(" + joiner.join(self.expr(v) for v in node.values) + ")"
+        if isinstance(node, ast.Compare):
+            parts = [self.expr(node.left)]
+            for op_, comp in zip(node.ops, node.comparators):
+                parts.append(_CMPOPS[type(op_)])
+                parts.append(self.expr(comp))
+            return "(" + " ".join(parts) + ")"
+        if isinstance(node, ast.IfExp):
+            return (
+                f"({self.expr(node.body)} if {self.expr(node.test)} "
+                f"else {self.expr(node.orelse)})"
+            )
+        if isinstance(node, ast.Call):
+            return self._call_expr(node)
+        raise BehaviorError(
+            f"operation {self.op.name!r}: unsupported expression "
+            f"{type(node).__name__}"
+        )
+
+    def _call_expr(self, node: ast.Call) -> str:
+        name = node.func.id  # validated to be ast.Name by parse_behavior
+        args = [self.expr(a) for a in node.args]
+        if name == "R":
+            self.uses_regs = True
+            return f"regs[{args[0]}]"
+        if name in _LOADS:
+            self.uses_loads.add(name)
+            return f"{_LOADS[name]}({args[0]})"
+        if name in _HELPERS:
+            return f"{name}({', '.join(args)})"
+        raise BehaviorError(
+            f"operation {self.op.name!r}: {name}() is not a value intrinsic"
+        )
+
+    # -- statements ----------------------------------------------------
+
+    def stmt(self, node: ast.stmt, indent: str, out: List[str]) -> None:
+        if isinstance(node, ast.Pass):
+            out.append(f"{indent}pass")
+            return
+        if isinstance(node, ast.Assign):
+            target = node.targets[0].id  # validated as plain Name
+            self.locals.add(target)
+            out.append(f"{indent}{target} = {self.expr(node.value)}")
+            return
+        if isinstance(node, ast.If):
+            out.append(f"{indent}if {self.expr(node.test)}:")
+            for sub in node.body:
+                self.stmt(sub, indent + "    ", out)
+            if node.orelse:
+                out.append(f"{indent}else:")
+                for sub in node.orelse:
+                    self.stmt(sub, indent + "    ", out)
+            return
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            self._call_stmt(node.value, indent, out)
+            return
+        raise BehaviorError(
+            f"operation {self.op.name!r}: unsupported statement "
+            f"{type(node).__name__}"
+        )
+
+    def _call_stmt(self, node: ast.Call, indent: str, out: List[str]) -> None:
+        name = node.func.id
+        args = [self.expr(a) for a in node.args]
+        if name == "W":
+            out.append(
+                f"{indent}regwr.append(({args[0]}, ({args[1]}) & {MASK32}))"
+            )
+        elif name in _STORE_SIZES:
+            size = _STORE_SIZES[name]
+            out.append(f"{indent}memwr.append(({size}, {args[0]}, {args[1]}))")
+        elif name == "BR":
+            out.append(f"{indent}return next_ip + (({args[0]}) << 2)")
+        elif name == "JABS":
+            out.append(f"{indent}return ({args[0]}) & {MASK32}")
+        elif name == "SWITCH":
+            out.append(f"{indent}state.switch_isa({args[0]})")
+        elif name == "SIM":
+            out.append(f"{indent}return state.simop({args[0]})")
+        elif name == "HALT":
+            out.append(f"{indent}state.halted = True")
+        else:
+            # A value intrinsic used for its side effect — emit as-is.
+            out.append(f"{indent}{self._call_expr(node)}")
+
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.FloorDiv: "//",
+    ast.Mod: "%", ast.LShift: "<<", ast.RShift: ">>",
+    ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+}
+_UNARYOPS = {ast.USub: "-", ast.Invert: "~", ast.Not: "not "}
+_CMPOPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+def sim_function_name(op: Operation) -> str:
+    return f"sim_{op.name}"
+
+
+def generate_sim_function_source(op: Operation) -> str:
+    """Generate the Python source of one operation's simulation function."""
+    tree = parse_behavior(op.name, op.behavior)
+    emitter = _Emitter(op)
+    body: List[str] = []
+    for stmt in tree.body:
+        emitter.stmt(stmt, "    ", body)
+
+    prologue: List[str] = []
+    if emitter.uses_regs:
+        prologue.append("    regs = state.regs")
+    for intrinsic in sorted(emitter.uses_loads):
+        alias = _LOADS[intrinsic]
+        size = intrinsic[1]
+        prologue.append(f"    {alias} = state.mem.load{size}")
+    for index, f in enumerate(op.value_fields):
+        prologue.append(f"    {f.name} = v[{index}]")
+
+    lines = [f"def {sim_function_name(op)}(state, v, ip, next_ip, regwr, memwr):"]
+    doc = op.behavior.replace("\n", "; ")
+    lines.append(f'    """Generated from ADL behaviour: {doc}"""')
+    lines.extend(prologue)
+    lines.extend(body)
+    if not body or not body[-1].lstrip().startswith("return"):
+        lines.append("    return None")
+    return "\n".join(lines) + "\n"
+
+
+def compile_sim_function(op: Operation) -> Callable:
+    """Compile one operation's behaviour into its simulation function."""
+    source = generate_sim_function_source(op)
+    namespace: Dict[str, object] = dict(SIM_GLOBALS)
+    exec(compile(source, f"<targetgen:{op.name}>", "exec"), namespace)
+    return namespace[sim_function_name(op)]

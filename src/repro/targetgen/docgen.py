@@ -1,0 +1,111 @@
+"""ISA reference documentation generated from the ADL.
+
+Another TargetGen output: a Markdown reference of every ISA and
+operation — encoding diagram, operand syntax, behaviour, latency and
+functional unit — rendered from the same architecture description that
+drives the compiler, assembler and simulator.  ``kahrisma targetgen
+--emit-doc isa.md`` regenerates it.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List
+
+from ..adl.model import Architecture, Operation
+
+
+def _encoding_diagram(op: Operation) -> str:
+    """Render the bit layout, MSB first, e.g.
+    ``[31:24 opcode=0x01][23:19 rd][18:14 rs1][13:9 rs2][8:0 0]``."""
+    parts: List[str] = []
+    for field in sorted(op.fields, key=lambda f: -f.hi):
+        if field.role == "pad":
+            label = "0"
+        elif field.const is not None:
+            label = f"{field.name}={field.const:#x}"
+        else:
+            label = field.name + ("±" if field.signed else "")
+        parts.append(f"[{field.hi}:{field.lo} {label}]")
+    return "".join(parts)
+
+
+def _syntax(op: Operation) -> str:
+    if not op.asm_operands:
+        return op.name
+    return f"{op.name} " + ", ".join(op.asm_operands)
+
+
+def generate_isa_reference(arch: Architecture) -> str:
+    """Render the Markdown ISA reference for ``arch``."""
+    out = io.StringIO()
+    out.write(f"# {arch.name} — ISA reference\n\n")
+    out.write("Generated from the architecture description by "
+              "`repro.targetgen.docgen`; do not edit by hand.\n\n")
+
+    out.write("## Instruction set architectures\n\n")
+    out.write("| id | name | issue width | instruction size | EDPEs |\n")
+    out.write("|---|---|---|---|---|\n")
+    for isa in arch.isas:
+        out.write(
+            f"| {isa.ident} | `{isa.name}` | {isa.issue_width} | "
+            f"{isa.instr_size} bytes | {isa.resources} |\n"
+        )
+    out.write(
+        "\nAn n-issue instruction is n consecutive 32-bit operation "
+        "words; `switchtarget <id>` activates another ISA at runtime.\n\n"
+    )
+
+    out.write("## Registers\n\n")
+    out.write("| register | role |\n|---|---|\n")
+    for reg in arch.register_file.registers:
+        role = reg.role or "general purpose"
+        out.write(f"| `{reg.name}` | {role} |\n")
+    out.write("\n")
+
+    out.write("## Operations\n\n")
+    out.write("All ISAs share one operation set; latencies are in "
+              "cycles (memory operations additionally pay the "
+              "memory-hierarchy delay).\n\n")
+    operations = arch.isas[0].operations
+    by_kind: dict = {}
+    for op in operations:
+        by_kind.setdefault(op.kind, []).append(op)
+    kind_titles = {
+        "alu": "Arithmetic / logic",
+        "load": "Memory loads",
+        "store": "Memory stores",
+        "branch": "Control flow",
+        "switch": "Reconfiguration",
+        "simop": "Simulator services",
+        "nop": "No-operation",
+        "halt": "Machine control",
+    }
+    for kind in ("alu", "load", "store", "branch", "switch", "simop",
+                 "nop", "halt"):
+        ops = by_kind.get(kind)
+        if not ops:
+            continue
+        out.write(f"### {kind_titles[kind]}\n\n")
+        for op in ops:
+            out.write(f"#### `{_syntax(op)}`\n\n")
+            out.write(f"- encoding: `{_encoding_diagram(op)}`\n")
+            out.write(f"- behaviour: `{op.behavior.replace(chr(10), '; ')}`\n")
+            out.write(f"- latency: {op.delay} cycle"
+                      f"{'s' if op.delay != 1 else ''}, unit: "
+                      f"`{op.fu_class}`\n")
+            if op.implicit_reads:
+                regs = ", ".join(f"r{r}" for r in op.implicit_reads)
+                out.write(f"- implicitly reads: {regs}\n")
+            if op.implicit_writes:
+                regs = ", ".join(f"r{r}" for r in op.implicit_writes)
+                out.write(f"- implicitly writes: {regs}\n")
+            out.write("\n")
+    return out.getvalue()
+
+
+def write_isa_reference(arch: Architecture, path: str) -> str:
+    text = generate_isa_reference(arch)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return text

@@ -1,0 +1,52 @@
+"""Behaviour-DSL validation tests."""
+
+import pytest
+
+from repro.adl.behavior import BehaviorError, parse_behavior
+from repro.adl.kahrisma import OPERATIONS
+
+
+class TestDslAcceptance:
+    def test_all_kahrisma_behaviors_parse(self):
+        for op in OPERATIONS:
+            parse_behavior(op.name, op.behavior)
+
+    def test_assignment_and_if(self):
+        parse_behavior("t", "x = R(rs1) + 1\nif x > 3: W(rd, x)")
+
+    def test_if_else(self):
+        parse_behavior("t", "if R(rs1): W(rd, 1)\nelse: W(rd, 0)")
+
+    def test_ternary(self):
+        parse_behavior("t", "W(rd, 1 if R(rs1) < R(rs2) else 0)")
+
+
+class TestDslRejection:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "for i in range(3): pass",          # loops
+            "while True: pass",
+            "import os",                          # imports
+            "x.y = 1",                            # attributes
+            "W(rd, state.regs[0])",               # attribute access
+            "a[0] = 1",                           # subscripts
+            "f = lambda: 1",                      # lambdas
+            "[x for x in y]",                     # comprehensions
+            "print(1)",                           # non-intrinsic call
+            "def f(): pass",                      # nested functions
+            "del x",                              # del
+            "W(rd, unknown_helper(1))",           # unknown call
+        ],
+    )
+    def test_disallowed_constructs(self, bad):
+        with pytest.raises(BehaviorError):
+            parse_behavior("bad", bad)
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(BehaviorError):
+            parse_behavior("bad", "W(rd,")
+
+    def test_tuple_assignment_rejected(self):
+        with pytest.raises(BehaviorError):
+            parse_behavior("bad", "a, b = 1, 2")

@@ -1,0 +1,169 @@
+"""Extending the architecture purely through the ADL (retargetability).
+
+The paper's central framework claim: all tools are generated from the
+architecture description, so an ISA extension is a description change.
+These tests derive an architecture with an extra MAC operation and push
+it through TargetGen, the assembler, the simulator, the disassembler
+and the cycle models without modifying any of them.
+"""
+
+import pytest
+
+from repro.adl.kahrisma import (
+    DELAY_MUL,
+    ISA_NAMES,
+    ISSUE_WIDTHS,
+    OPERATIONS,
+    REGISTER_FILE,
+)
+from repro.adl.model import Architecture, Field, Isa, Operation
+from repro.adl.validate import check_architecture
+from repro.binutils.assembler import Assembler
+from repro.binutils.linker import link
+from repro.binutils.loader import load_executable
+from repro.cycles.doe import DoeModel
+from repro.sim.decoder import decode_instruction
+from repro.sim.disasm import format_op
+from repro.sim.interpreter import Interpreter
+from repro.targetgen.codegen import (
+    generate_simulator_module,
+    load_generated_module,
+)
+from repro.targetgen.optable import TargetDescription
+
+
+def make_mac_op(opcode=0x0F):
+    return Operation(
+        name="mac",
+        size=4,
+        fields=(
+            Field("opcode", 31, 24, const=opcode, role="opcode"),
+            Field("rd", 23, 19, role="reg_dst"),
+            Field("rs1", 18, 14, role="reg_src"),
+            Field("rs2", 13, 9, role="reg_src"),
+            Field("ra", 8, 4, role="reg_src"),
+            Field("pad", 3, 0, const=0, role="pad"),
+        ),
+        behavior="W(rd, R(ra) + s32(R(rs1)) * s32(R(rs2)))",
+        src_fields=("rs1", "rs2", "ra"),
+        dst_fields=("rd",),
+        kind="alu",
+        fu_class="mul",
+        delay=DELAY_MUL,
+        asm_operands=("rd", "rs1", "rs2", "ra"),
+    )
+
+
+@pytest.fixture(scope="module")
+def mac_arch():
+    ops = OPERATIONS + (make_mac_op(),)
+    isas = tuple(
+        Isa(ident=i, name=ISA_NAMES[i], issue_width=w, operations=ops,
+            resources=w)
+        for i, w in sorted(ISSUE_WIDTHS.items())
+    )
+    arch = Architecture("kahrisma-mac", REGISTER_FILE, isas, default_isa=0)
+    check_architecture(arch)
+    return arch
+
+
+@pytest.fixture(scope="module")
+def mac_target(mac_arch):
+    return TargetDescription(mac_arch)
+
+
+class TestTargetGenPicksUpExtension:
+    def test_operation_table_contains_mac(self, mac_target):
+        entry = mac_target.optable(0).by_name["mac"]
+        assert entry.op.delay == DELAY_MUL
+        assert callable(entry.sim_fn)
+
+    def test_mac_semantics(self, mac_target):
+        entry = mac_target.optable(0).by_name["mac"]
+        word = entry.encode({"rd": 5, "rs1": 6, "rs2": 7, "ra": 8})
+        vals = entry.decode(word)
+
+        class S:
+            regs = [0] * 32
+
+        s = S()
+        s.regs[6] = 3
+        s.regs[7] = 4
+        s.regs[8] = 100
+        regwr, memwr = [], []
+        entry.sim_fn(s, vals, 0, 4, regwr, memwr)
+        assert regwr == [(5, 112)]
+
+    def test_detection_of_new_opcode(self, mac_target):
+        entry = mac_target.optable(0).by_name["mac"]
+        word = entry.encode({"rd": 1, "rs1": 2, "rs2": 3, "ra": 4})
+        detected = mac_target.optable(0).detect(word)
+        assert detected is not None and detected.op.name == "mac"
+
+    def test_emitted_module_contains_mac(self, mac_arch):
+        ns = load_generated_module(generate_simulator_module(mac_arch))
+        assert "mac" in ns.OPERATION_TABLES[0]
+
+
+class TestToolchainFlow:
+    def test_assemble_run_disassemble(self, mac_arch, mac_target):
+        asm = (
+            ".global $risc$main\n"
+            "$risc$main:\n"
+            "    li r6, 3\n"
+            "    li r7, 4\n"
+            "    li r8, 100\n"
+            "    mac r5, r6, r7, r8\n"
+            "    halt\n"
+        )
+        obj = Assembler(mac_arch).assemble(asm, "mac.s")
+        elf, _ = link([obj], mac_arch, entry_symbol="$risc$main",
+                      entry_isa=0, include_libc=False)
+        program = load_executable(elf, mac_arch)
+        model = DoeModel(issue_width=1)
+        Interpreter(program.state, cycle_model=model).run(
+            max_instructions=100
+        )
+        assert program.state.regs[5] == 112
+        assert model.ops == 5
+
+        # Disassembler renders the 4-register operand list.
+        dec = decode_instruction(
+            mac_target.optable(0), program.state.mem, elf.entry + 12
+        )
+        assert format_op(dec.single) == "mac r5, r6, r7, r8"
+
+    def test_mac_in_vliw_bundle(self, mac_arch):
+        asm = (
+            ".isa vliw2\n"
+            ".global $vliw2$main\n"
+            "$vliw2$main:\n"
+            "    { addi r6, r0, 5 ; addi r7, r0, 6 }\n"
+            "    { addi r8, r0, 1000 }\n"
+            "    { mac r5, r6, r7, r8 ; addi r9, r0, 1 }\n"
+            "    { halt }\n"
+        )
+        obj = Assembler(mac_arch).assemble(asm, "macv.s")
+        elf, _ = link([obj], mac_arch, entry_symbol="$vliw2$main",
+                      entry_isa=1, include_libc=False)
+        program = load_executable(elf, mac_arch)
+        Interpreter(program.state).run(max_instructions=100)
+        assert program.state.regs[5] == 1030
+        assert program.state.regs[9] == 1
+
+    def test_base_architecture_rejects_mac(self):
+        from repro.adl.kahrisma import KAHRISMA
+        from repro.binutils.assembler import AsmError
+
+        with pytest.raises(AsmError):
+            Assembler(KAHRISMA).assemble("mac r1, r2, r3, r4\n", "m.s")
+
+    def test_opcode_collision_caught_by_validation(self):
+        from repro.adl.model import AdlError
+
+        colliding = make_mac_op(opcode=0x01)  # clashes with add
+        ops = OPERATIONS + (colliding,)
+        isas = (Isa(0, "risc", 1, ops),)
+        arch = Architecture("bad", REGISTER_FILE, isas)
+        with pytest.raises(AdlError):
+            check_architecture(arch)

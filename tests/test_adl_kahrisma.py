@@ -1,0 +1,88 @@
+"""Tests of the concrete KAHRISMA architecture description."""
+
+import pytest
+
+from repro.adl.kahrisma import (
+    ISA_RISC,
+    ISA_VLIW2,
+    ISA_VLIW4,
+    ISA_VLIW6,
+    ISA_VLIW8,
+    KAHRISMA,
+    OPERATIONS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+)
+from repro.adl.validate import check_architecture, validate_architecture
+
+
+class TestArchitectureShape:
+    def test_validates_cleanly(self):
+        check_architecture(KAHRISMA)
+        assert validate_architecture(KAHRISMA) == []
+
+    def test_five_isas_with_expected_widths(self):
+        widths = {isa.name: isa.issue_width for isa in KAHRISMA.isas}
+        assert widths == {
+            "risc": 1, "vliw2": 2, "vliw4": 4, "vliw6": 6, "vliw8": 8,
+        }
+
+    def test_isa_identifiers_match_switchtarget_numbers(self):
+        assert KAHRISMA.isa(ISA_RISC).name == "risc"
+        assert KAHRISMA.isa(ISA_VLIW2).name == "vliw2"
+        assert KAHRISMA.isa(ISA_VLIW4).name == "vliw4"
+        assert KAHRISMA.isa(ISA_VLIW6).name == "vliw6"
+        assert KAHRISMA.isa(ISA_VLIW8).name == "vliw8"
+
+    def test_resources_scale_with_width(self):
+        for isa in KAHRISMA.isas:
+            assert isa.resources == isa.issue_width
+
+    def test_register_conventions(self):
+        rf = KAHRISMA.register_file
+        assert len(rf) == 32
+        assert rf.zero_register == REG_ZERO
+        assert rf.by_role("sp")[0].index == REG_SP
+        assert rf.by_role("ra")[0].index == REG_RA
+        assert len(rf.by_role("arg")) == 4
+        assert len(rf.by_role("saved")) == 8
+
+
+class TestOperationSet:
+    def test_opcode_bytes_unique(self):
+        opcodes = [op.field("opcode").const for op in OPERATIONS]
+        assert len(set(opcodes)) == len(opcodes)
+
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("add", "alu"), ("lw", "load"), ("sw", "store"),
+            ("beq", "branch"), ("j", "branch"), ("jal", "branch"),
+            ("switchtarget", "switch"), ("simop", "simop"),
+            ("nop", "nop"), ("halt", "halt"),
+        ],
+    )
+    def test_kinds(self, name, kind):
+        isa = KAHRISMA.isa(ISA_RISC)
+        assert isa.operation(name).kind == kind
+
+    def test_delays(self):
+        isa = KAHRISMA.isa(ISA_RISC)
+        assert isa.operation("add").delay == 1
+        assert isa.operation("mul").delay == 3
+        assert isa.operation("div").delay == 10
+
+    def test_jal_implicitly_writes_link_register(self):
+        isa = KAHRISMA.isa(ISA_RISC)
+        assert REG_RA in isa.operation("jal").implicit_writes
+
+    def test_memory_ops_use_mem_fu(self):
+        isa = KAHRISMA.isa(ISA_RISC)
+        for name in ("lw", "lh", "lb", "sw", "sh", "sb"):
+            assert isa.operation(name).fu_class == "mem"
+
+    def test_all_isas_share_operation_tuple(self):
+        first = KAHRISMA.isas[0].operations
+        for isa in KAHRISMA.isas:
+            assert isa.operations is first

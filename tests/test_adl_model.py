@@ -1,0 +1,165 @@
+"""Unit tests for the ADL data model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adl.model import (
+    AdlError,
+    Architecture,
+    Field,
+    Isa,
+    Operation,
+    Register,
+    RegisterFile,
+)
+
+
+class TestField:
+    def test_width_and_mask(self):
+        f = Field("opcode", 31, 24)
+        assert f.width == 8
+        assert f.mask == 0xFF000000
+
+    def test_extract_unsigned(self):
+        f = Field("rd", 23, 19)
+        word = 0b00000_10110 << 18  # rd bits hold 0b01011
+        assert f.extract(0x00B80000) == 0x17
+
+    def test_extract_signed(self):
+        f = Field("imm", 13, 0, signed=True)
+        assert f.extract(0x3FFF) == -1
+        assert f.extract(0x1FFF) == 8191
+        assert f.extract(0x2000) == -8192
+
+    def test_insert_signed_range_checked(self):
+        f = Field("imm", 13, 0, signed=True)
+        assert f.insert(-1) == 0x3FFF
+        with pytest.raises(AdlError):
+            f.insert(8192)
+        with pytest.raises(AdlError):
+            f.insert(-8193)
+
+    def test_insert_unsigned_range_checked(self):
+        f = Field("imm", 13, 0)
+        with pytest.raises(AdlError):
+            f.insert(-1)
+        with pytest.raises(AdlError):
+            f.insert(1 << 14)
+
+    def test_bad_bit_range_rejected(self):
+        with pytest.raises(AdlError):
+            Field("x", 5, 6)
+        with pytest.raises(AdlError):
+            Field("x", 32, 0)
+
+    def test_const_must_fit(self):
+        with pytest.raises(AdlError):
+            Field("opcode", 31, 24, const=0x100)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_extract_insert_roundtrip(self, hi, lo):
+        if lo > hi:
+            hi, lo = lo, hi
+        f = Field("f", hi, lo)
+        limit = 1 << f.width
+        for value in (0, 1, limit - 1, limit // 2):
+            assert f.extract(f.insert(value)) == value
+
+
+class TestRegisterFile:
+    def test_dense_indices_required(self):
+        with pytest.raises(AdlError):
+            RegisterFile("bad", (Register("r0", 0), Register("r2", 2)))
+
+    def test_lookup(self):
+        rf = RegisterFile(
+            "gpr", (Register("r0", 0, "zero"), Register("r1", 1, "sp"))
+        )
+        assert rf.by_name("r1").index == 1
+        assert rf.by_role("zero")[0].name == "r0"
+        assert len(rf) == 2
+        with pytest.raises(KeyError):
+            rf.by_name("r9")
+
+
+def _dummy_op(name="op", opcode=1):
+    return Operation(
+        name=name,
+        size=4,
+        fields=(
+            Field("opcode", 31, 24, const=opcode, role="opcode"),
+            Field("rd", 23, 19, role="reg_dst"),
+            Field("imm", 13, 0, signed=True, role="imm"),
+        ),
+        behavior="W(rd, imm)",
+        dst_fields=("rd",),
+    )
+
+
+class TestOperation:
+    def test_const_detection(self):
+        op = _dummy_op(opcode=0x42)
+        word = 0x42 << 24
+        assert op.matches(word)
+        assert not op.matches(0x41 << 24)
+
+    def test_value_fields_exclude_consts(self):
+        op = _dummy_op()
+        assert [f.name for f in op.value_fields] == ["rd", "imm"]
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(AdlError):
+            Operation(
+                name="bad", size=4,
+                fields=(Field("a", 31, 24, const=0), Field("a", 23, 16)),
+                behavior="pass",
+            )
+
+    def test_unknown_src_field_rejected(self):
+        with pytest.raises(AdlError):
+            Operation(
+                name="bad", size=4,
+                fields=(Field("opcode", 31, 24, const=0),),
+                behavior="pass",
+                src_fields=("rs1",),
+            )
+
+    def test_kind_predicates(self):
+        op = _dummy_op()
+        assert not op.is_control
+        assert not op.accesses_memory
+
+
+class TestIsaAndArchitecture:
+    def test_instr_size_scales_with_width(self):
+        op = _dummy_op()
+        isa = Isa(ident=0, name="w4", issue_width=4, operations=(op,))
+        assert isa.instr_size == 16
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(AdlError):
+            Isa(ident=0, name="bad", issue_width=0, operations=())
+
+    def test_duplicate_isa_ids_rejected(self):
+        op = _dummy_op()
+        rf = RegisterFile("gpr", (Register("r0", 0),))
+        isas = (
+            Isa(0, "a", 1, (op,)),
+            Isa(0, "b", 2, (op,)),
+        )
+        with pytest.raises(AdlError):
+            Architecture("arch", rf, isas)
+
+    def test_default_isa_must_exist(self):
+        op = _dummy_op()
+        rf = RegisterFile("gpr", (Register("r0", 0),))
+        with pytest.raises(AdlError):
+            Architecture("arch", rf, (Isa(1, "a", 1, (op,)),), default_isa=0)
+
+    def test_lookup_by_id_and_name(self, arch):
+        assert arch.isa(0).name == "risc"
+        assert arch.isa_named("vliw4").ident == 2
+        with pytest.raises(KeyError):
+            arch.isa(99)
+        with pytest.raises(KeyError):
+            arch.isa_named("vliw3")

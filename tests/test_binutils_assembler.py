@@ -1,0 +1,268 @@
+"""Two-pass assembler: syntax, directives, bundles, relocations."""
+
+import pytest
+
+from repro.adl.kahrisma import KAHRISMA
+from repro.binutils.assembler import Assembler, AsmError
+from repro.binutils.elf import (
+    R_KAH_ABS32,
+    R_KAH_HI18,
+    R_KAH_LO14,
+    R_KAH_PC14,
+    R_KAH_PC24,
+)
+
+
+@pytest.fixture(scope="module")
+def assembler():
+    return Assembler(KAHRISMA)
+
+
+def asm(assembler, text, name="t.s"):
+    return assembler.assemble(text, name)
+
+
+class TestInstructions:
+    def test_basic_encoding(self, assembler, risc_table):
+        obj = asm(assembler, ".text\nadd r3, r4, r5\n")
+        word = int.from_bytes(obj.sections[".text"][:4], "little")
+        entry = risc_table.detect(word)
+        assert entry.op.name == "add"
+        assert entry.decode(word) == (3, 4, 5)
+
+    def test_register_aliases(self, assembler, risc_table):
+        obj = asm(assembler, "addi sp, sp, -16\n")
+        word = int.from_bytes(obj.sections[".text"][:4], "little")
+        assert risc_table.by_name["addi"].decode(word) == (30, 30, -16)
+
+    def test_memory_operand_syntax(self, assembler, risc_table):
+        obj = asm(assembler, "lw r5, -8(sp)\nsw r5, 12(r4)\n")
+        text = obj.sections[".text"]
+        lw = int.from_bytes(text[:4], "little")
+        sw = int.from_bytes(text[4:8], "little")
+        assert risc_table.by_name["lw"].decode(lw) == (5, 30, -8)
+        assert risc_table.by_name["sw"].decode(sw) == (5, 4, 12)
+
+    def test_char_immediate(self, assembler, risc_table):
+        obj = asm(assembler, "addi r4, r0, 'A'\n")
+        word = int.from_bytes(obj.sections[".text"][:4], "little")
+        assert risc_table.by_name["addi"].decode(word)[2] == 65
+
+    def test_case_insensitive_mnemonics(self, assembler):
+        asm(assembler, "ADD r1, r2, r3\n")
+
+    def test_comments_stripped(self, assembler):
+        obj = asm(assembler, "# full line\nadd r1, r2, r3  # trailing\n")
+        assert len(obj.sections[".text"]) == 4
+
+
+class TestPseudoInstructions:
+    def decode_words(self, obj, risc_table):
+        text = obj.sections[".text"]
+        out = []
+        for i in range(0, len(text), 4):
+            word = int.from_bytes(text[i:i + 4], "little")
+            entry = risc_table.detect(word)
+            out.append((entry.op.name, entry.decode(word)))
+        return out
+
+    def test_li_small(self, assembler, risc_table):
+        obj = asm(assembler, "li r5, 100\n")
+        assert self.decode_words(obj, risc_table) == [("addi", (5, 0, 100))]
+
+    def test_li_negative_small(self, assembler, risc_table):
+        obj = asm(assembler, "li r5, -3\n")
+        assert self.decode_words(obj, risc_table) == [("addi", (5, 0, -3))]
+
+    def test_li_large_expands_to_lui_ori(self, assembler, risc_table):
+        obj = asm(assembler, "li r5, 0xDEADBEEF\n")
+        words = self.decode_words(obj, risc_table)
+        assert [w[0] for w in words] == ["lui", "ori"]
+        high = words[0][1][1]
+        low = words[1][1][2]
+        assert (high << 14) | low == 0xDEADBEEF
+
+    def test_li_aligned_large_single_lui(self, assembler, risc_table):
+        obj = asm(assembler, "li r5, 0x40000\n")  # low 14 bits zero
+        words = self.decode_words(obj, risc_table)
+        assert [w[0] for w in words] == ["lui"]
+
+    def test_mv_ret_neg_call_b(self, assembler, risc_table):
+        obj = asm(assembler, "x:\nmv r1, r2\nneg r3, r4\nret\ncall x\nb x\n")
+        names = [w[0] for w in self.decode_words(obj, risc_table)]
+        assert names == ["addi", "sub", "jr", "jal", "j"]
+
+    def test_la_generates_hi_lo_relocs(self, assembler):
+        obj = asm(assembler, "la r5, table\n.data\ntable: .word 1\n")
+        kinds = sorted(r.reloc_type for r in obj.relocations)
+        assert kinds == [R_KAH_HI18, R_KAH_LO14]
+
+    def test_pseudo_rejected_in_bundle(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".isa vliw2\n{ li r5, 99999 ; nop }\n")
+
+
+class TestBundles:
+    def test_bundle_padded_with_nops(self, assembler):
+        obj = asm(assembler, ".isa vliw4\n{ add r1, r2, r3 }\n")
+        text = obj.sections[".text"]
+        assert len(text) == 16
+        assert text[4:16] == b"\x00" * 12  # three NOP words
+
+    def test_bundle_size_matches_width(self, assembler):
+        obj = asm(
+            assembler,
+            ".isa vliw2\n{ add r1, r2, r3 ; sub r4, r5, r6 }\n",
+        )
+        assert len(obj.sections[".text"]) == 8
+
+    def test_overfull_bundle_rejected(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".isa vliw2\n{ nop ; nop ; nop }\n")
+
+    def test_two_control_ops_rejected(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".isa vliw2\nx:\n{ j x ; j x }\n")
+
+    def test_bare_op_in_vliw_mode_becomes_bundle(self, assembler):
+        obj = asm(assembler, ".isa vliw4\nadd r1, r2, r3\n")
+        assert len(obj.sections[".text"]) == 16
+
+    def test_unclosed_bundle_rejected(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".isa vliw2\n{ add r1, r2, r3\n")
+
+
+class TestDirectives:
+    def test_data_directives(self, assembler):
+        obj = asm(
+            assembler,
+            ".data\n"
+            "w: .word 1, 2, -1\n"
+            "h: .half 0x1234\n"
+            "b: .byte 1, 2, 3\n"
+            "s: .asciiz \"hi\\n\"\n"
+            "sp: .space 5\n",
+        )
+        data = obj.sections[".data"]
+        assert data[:12] == (1).to_bytes(4, "little") + \
+            (2).to_bytes(4, "little") + (0xFFFFFFFF).to_bytes(4, "little")
+        assert data[12:14] == b"\x34\x12"
+        assert data[14:17] == b"\x01\x02\x03"
+        assert data[17:21] == b"hi\n\x00"
+        assert len(data) == 26
+
+    def test_align(self, assembler):
+        obj = asm(assembler, ".data\n.byte 1\n.align 4\n.word 7\n")
+        data = obj.sections[".data"]
+        assert len(data) == 8
+        assert data[4:8] == (7).to_bytes(4, "little")
+
+    def test_align_requires_power_of_two(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".data\n.align 3\n")
+
+    def test_bss_space_and_symbols(self, assembler):
+        obj = asm(assembler, ".bss\nbuf: .space 128\nend:\n")
+        assert obj.bss_size == 128
+        assert obj.symbols["buf"].offset == 0
+        assert obj.symbols["end"].offset == 128
+
+    def test_data_in_bss_rejected(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".bss\n.word 1\n")
+
+    def test_word_with_symbol_emits_abs32(self, assembler):
+        obj = asm(assembler, ".data\nptr: .word target+8\ntarget: .word 0\n")
+        rel = obj.relocations[0]
+        assert rel.reloc_type == R_KAH_ABS32
+        assert rel.symbol == "target"
+        assert rel.addend == 8
+
+    def test_func_ranges(self, assembler):
+        obj = asm(
+            assembler,
+            ".text\n.func f\nf:\nnop\nnop\n.endfunc\n",
+        )
+        assert obj.symbols["f"].is_function
+        assert obj.symbols["f"].size == 8
+
+    def test_unclosed_func_rejected(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".func f\nf:\nnop\n")
+
+    def test_global_marks_symbol(self, assembler):
+        obj = asm(assembler, ".global f\nf:\nnop\n")
+        assert obj.symbols["f"].is_global
+
+    def test_loc_and_file_build_src_map(self, assembler):
+        obj = asm(
+            assembler,
+            '.file 1 "app.kc"\n.loc 1 10\nnop\n.loc 1 12\nnop\n',
+        )
+        assert obj.src_map.lookup(0).line == 10
+        assert obj.src_map.lookup(4).line == 12
+
+    def test_asm_map_records_instruction_lines(self, assembler):
+        obj = asm(assembler, "nop\nnop\n", name="file.s")
+        entry = obj.asm_map.lookup(4)
+        assert entry.file == "file.s"
+        assert entry.line == 2
+
+
+class TestBranchRelocs:
+    def test_branch_emits_pc14(self, assembler):
+        obj = asm(assembler, "loop:\nbne r1, r0, loop\n")
+        rel = obj.relocations[0]
+        assert rel.reloc_type == R_KAH_PC14
+        assert rel.symbol == "loop"
+        assert rel.addend == -4  # end of the RISC instruction
+
+    def test_jump_emits_pc24(self, assembler):
+        obj = asm(assembler, "j out\nout:\n")
+        assert obj.relocations[0].reloc_type == R_KAH_PC24
+
+    def test_bundle_branch_anchor_is_bundle_end(self, assembler):
+        obj = asm(assembler, ".isa vliw4\nx:\n{ j x }\n")
+        rel = obj.relocations[0]
+        # op word at 0, bundle ends at 16 -> addend -16.
+        assert rel.addend == -16
+
+    def test_symbol_on_non_branch_rejected(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, "addi r1, r0, some_symbol\n")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self, assembler):
+        with pytest.raises(AsmError) as e:
+            asm(assembler, "frobnicate r1\n")
+        assert "t.s:1" in str(e.value)
+
+    def test_bad_register(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, "add r1, r2, r99\n")
+
+    def test_wrong_operand_count(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, "add r1, r2\n")
+
+    def test_duplicate_label(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, "x:\nnop\nx:\n")
+
+    def test_unknown_isa(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".isa vliw3\n")
+
+    def test_unknown_directive(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".frob 1\n")
+
+    def test_instruction_outside_text(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, ".data\nadd r1, r2, r3\n")
+
+    def test_immediate_out_of_range(self, assembler):
+        with pytest.raises(AsmError):
+            asm(assembler, "addi r1, r0, 10000\n")

@@ -1,0 +1,226 @@
+"""Branch-misprediction extension (the paper's Section VIII future work)."""
+
+import pytest
+
+from repro.adl.kahrisma import KAHRISMA
+from repro.cycles.aie import AieModel
+from repro.cycles.branch import (
+    BackwardTakenPredictor,
+    BimodalPredictor,
+    BranchModel,
+    GsharePredictor,
+    NotTakenPredictor,
+)
+from repro.cycles.doe import DoeModel
+from repro.cycles.memmodel import MainMemory
+from repro.programs import load_program
+from repro.rtl.pipeline import RtlPipeline
+from repro.sim.decoder import decode_instruction
+from repro.sim.memory import Memory
+from repro.targetgen.optable import build_target
+
+TARGET = build_target(KAHRISMA)
+RISC = TARGET.optable(0)
+
+
+def enc(name, **fields):
+    return RISC.by_name[name].encode(fields)
+
+
+def decoded(name, **fields):
+    mem = Memory()
+    mem.store4(0x1000, enc(name, **fields))
+    return decode_instruction(RISC, mem, 0x1000)
+
+
+class TestPredictors:
+    def test_not_taken_static(self):
+        p = NotTakenPredictor()
+        assert p.predict(0x1000) is False
+        p.update(0x1000, True)
+        assert p.predict(0x1000) is False
+
+    def test_btfn_uses_displacement_sign(self):
+        p = BackwardTakenPredictor()
+        p.set_displacement(-4)
+        assert p.predict(0x1000) is True
+        p.set_displacement(4)
+        assert p.predict(0x1000) is False
+
+    def test_bimodal_learns_and_hysteresis(self):
+        p = BimodalPredictor(table_bits=4)
+        pc = 0x1000
+        for _ in range(3):
+            p.update(pc, False)
+        assert p.predict(pc) is False
+        # One opposite outcome must not flip a saturated counter.
+        p.update(pc, True)
+        assert p.predict(pc) is False
+        p.update(pc, True)
+        assert p.predict(pc) is True
+
+    def test_bimodal_aliasing_by_table_size(self):
+        p = BimodalPredictor(table_bits=2)
+        p.update(0x1000, False)
+        p.update(0x1000, False)
+        p.update(0x1000, False)
+        # 0x1000 and 0x1010 alias in a 4-entry table.
+        assert p.predict(0x1000 + (4 << 2)) is False
+
+    def test_gshare_distinguishes_by_history(self):
+        p = GsharePredictor(table_bits=8, history_bits=4)
+        pc = 0x2000
+        # Alternating pattern: bimodal would hover, gshare can learn it
+        # once the history register separates the two contexts.
+        for _ in range(64):
+            p.update(pc, p_taken := (p._history & 1) == 0)
+        # Just verify the structure responds to history at all.
+        before = p.predict(pc)
+        p._history ^= 1
+        after = p.predict(pc)
+        assert isinstance(before, bool) and isinstance(after, bool)
+
+    def test_reset(self):
+        p = BimodalPredictor(table_bits=4)
+        p.update(0x1000, False)
+        p.update(0x1000, False)
+        p.update(0x1000, False)
+        p.reset()
+        assert p.predict(0x1000) is True  # back to weak-taken
+
+
+class TestBranchModel:
+    def test_conditional_outcome_recomputed(self):
+        model = BranchModel(NotTakenPredictor(), penalty=5)
+        dec = decoded("beq", rs1=1, rs2=2, imm=4)
+        regs = [0] * 32
+        regs[1] = regs[2] = 7  # equal -> taken; predictor says not-taken
+        assert model.observe_op(dec.single, regs, dec.addr, dec.size)
+        assert model.mispredictions == 1
+        regs[2] = 8  # not taken -> correct prediction
+        assert not model.observe_op(dec.single, regs, dec.addr, dec.size)
+        assert model.conditional_branches == 2
+
+    def test_direct_jumps_never_mispredict(self):
+        model = BranchModel(NotTakenPredictor())
+        for name, fields in (("j", {"imm": 4}), ("jal", {"imm": 4})):
+            dec = decoded(name, **fields)
+            assert not model.observe_op(dec.single, [0] * 32,
+                                        dec.addr, dec.size)
+        assert model.mispredictions == 0
+
+    def test_return_address_stack(self):
+        model = BranchModel(NotTakenPredictor())
+        regs = [0] * 32
+        call = decoded("jal", imm=4)
+        model.observe_op(call.single, regs, 0x1000, 4)  # pushes 0x1004
+        ret = decoded("jr", rs1=31)
+        regs[31] = 0x1004
+        assert not model.observe_op(ret.single, regs, 0x2000, 4)
+        # Mismatching return address (e.g. longjmp-style): mispredict.
+        model.observe_op(call.single, regs, 0x1000, 4)
+        regs[31] = 0xDEAD
+        assert model.observe_op(ret.single, regs, 0x2000, 4)
+        assert model.ras_mispredictions == 1
+
+    def test_ras_underflow_counts_as_miss(self):
+        model = BranchModel(NotTakenPredictor())
+        regs = [0] * 32
+        regs[31] = 0x1004
+        ret = decoded("jr", rs1=31)
+        assert model.observe_op(ret.single, regs, 0x2000, 4)
+
+    def test_rate_and_summary(self):
+        model = BranchModel(NotTakenPredictor(), penalty=3)
+        dec = decoded("bne", rs1=1, rs2=0, imm=-1)
+        regs = [0] * 32
+        regs[1] = 1  # taken, predicted not-taken -> miss
+        model.observe_op(dec.single, regs, dec.addr, dec.size)
+        assert model.misprediction_rate == 1.0
+        assert "penalty=3" in model.summary()
+
+
+class TestModelIntegration:
+    def _loop_words(self):
+        """10-iteration counted loop: bne mispredicts at least at exit."""
+        return [
+            enc("addi", rd=5, rs1=0, imm=10),
+            enc("addi", rd=6, rs1=0, imm=0),
+            enc("add", rd=6, rs1=6, rs2=5),
+            enc("addi", rd=5, rs1=5, imm=-1),
+            enc("bne", rs1=5, rs2=0, imm=-3),
+            enc("halt"),
+        ]
+
+    def _run(self, model):
+        from repro.sim.interpreter import Interpreter
+        from repro.sim.state import ProcessorState, TEXT_BASE
+        from repro.sim.syscalls import Syscalls
+
+        state = ProcessorState(KAHRISMA)
+        for i, word in enumerate(self._loop_words()):
+            state.mem.store4(TEXT_BASE + 4 * i, word)
+        state.ip = TEXT_BASE
+        state.setup_stack()
+        Syscalls().install(state)
+        Interpreter(state, cycle_model=model).run(max_instructions=1000)
+        return model
+
+    def test_doe_charges_penalty(self):
+        perfect = self._run(DoeModel(issue_width=1, memory=MainMemory(0)))
+        bm = BranchModel(NotTakenPredictor(), penalty=4)
+        with_bm = self._run(
+            DoeModel(issue_width=1, memory=MainMemory(0), branch_model=bm)
+        )
+        assert bm.mispredictions > 0
+        assert with_bm.cycles >= perfect.cycles + 4 * bm.mispredictions
+
+    def test_aie_charges_penalty(self):
+        perfect = self._run(AieModel(memory=MainMemory(0)))
+        bm = BranchModel(NotTakenPredictor(), penalty=4)
+        with_bm = self._run(
+            AieModel(memory=MainMemory(0), branch_model=bm)
+        )
+        assert with_bm.cycles == perfect.cycles + 4 * bm.mispredictions
+
+    def test_rtl_charges_penalty(self):
+        perfect = self._run(RtlPipeline(1))
+        bm = BranchModel(NotTakenPredictor(), penalty=4)
+        with_bm = self._run(RtlPipeline(1, branch_model=bm))
+        assert bm.mispredictions > 0
+        assert with_bm.cycles > perfect.cycles
+
+    def test_better_predictor_fewer_cycles(self, kc, simulate):
+        built = kc(load_program("qsort"), filename="qsort.kc")
+        results = {}
+        for predictor in (NotTakenPredictor(), BimodalPredictor()):
+            bm = BranchModel(predictor, penalty=3)
+            model = DoeModel(issue_width=1, branch_model=bm)
+            simulate(built, cycle_model=model)
+            results[predictor.name] = (model.cycles, bm.misprediction_rate)
+        nt_cycles, nt_rate = results["static-not-taken"]
+        bi_cycles, bi_rate = results["bimodal"]
+        assert bi_rate < nt_rate
+        assert bi_cycles < nt_cycles
+
+    def test_doe_and_rtl_agree_with_mispredictions(self, kc, simulate):
+        built = kc(load_program("qsort"), filename="qsort.kc")
+        doe = DoeModel(
+            issue_width=1,
+            branch_model=BranchModel(BimodalPredictor(), penalty=3),
+        )
+        simulate(built, cycle_model=doe)
+        rtl = RtlPipeline(
+            1, branch_model=BranchModel(BimodalPredictor(), penalty=3)
+        )
+        simulate(built, cycle_model=rtl)
+        assert abs(doe.cycles - rtl.cycles) / rtl.cycles < 0.05
+
+    def test_reset_clears_branch_state(self):
+        bm = BranchModel(BimodalPredictor(), penalty=2)
+        model = DoeModel(issue_width=1, memory=MainMemory(0),
+                         branch_model=bm)
+        self._run(model)
+        model.reset()
+        assert bm.mispredictions == 0
+        assert model.fetch_floor == 0

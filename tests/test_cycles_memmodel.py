@@ -1,0 +1,185 @@
+"""Memory hierarchy approximation (Section VI-D): hand-computed delays."""
+
+import pytest
+
+from repro.cycles.memmodel import (
+    Cache,
+    ConnectionLimit,
+    HierarchyConfig,
+    MainMemory,
+    build_hierarchy,
+    find_cache,
+)
+
+
+class TestMainMemory:
+    def test_fixed_delay(self):
+        mem = MainMemory(delay=18)
+        assert mem.access(0x1000, False, 0, 100) == 118
+        assert mem.access(0x1000, True, 0, 0) == 18
+        assert mem.accesses == 2
+
+
+class TestCache:
+    def make(self, **kwargs):
+        defaults = dict(size=2048, line_size=32, assoc=4, delay=3,
+                        sub=MainMemory(18))
+        defaults.update(kwargs)
+        return Cache(**defaults)
+
+    def test_miss_then_hit_delays(self):
+        cache = self.make()
+        # Miss: start+delay, +18 memory, +delay again to fill the line.
+        completion = cache.access(0x1000, False, 0, 0)
+        assert completion == 3 + 18 + 3
+        assert cache.misses == 1
+        # Hit on the same line afterwards.
+        completion = cache.access(0x1004, False, 0, 100)
+        assert completion == 103
+        assert cache.hits == 1
+
+    def test_hit_cannot_complete_before_line_fill(self):
+        """Out-of-order calls: completion >= the line's write cycle."""
+        cache = self.make()
+        fill = cache.access(0x1000, False, 0, 50)  # fills at 50+24=74
+        assert fill == 74
+        # A logically later access queried with an *earlier* start.
+        completion = cache.access(0x1000, False, 0, 10)
+        assert completion == 74  # clamped to the fill cycle
+
+    def test_lru_eviction(self):
+        # Direct-mapped-ish: 2 sets, assoc 1, line 32 -> size 64.
+        cache = self.make(size=64, assoc=1)
+        cache.access(0x000, False, 0, 0)     # set 0
+        cache.access(0x040, False, 0, 100)   # set 0, evicts 0x000
+        assert cache.misses == 2
+        cache.access(0x000, False, 0, 200)   # miss again
+        assert cache.misses == 3
+
+    def test_lru_keeps_recently_used(self):
+        # 1 set, assoc 2.
+        cache = self.make(size=64, assoc=2, line_size=32)
+        cache.access(0x00, False, 0, 0)    # A
+        cache.access(0x20, False, 0, 50)   # B
+        cache.access(0x00, False, 0, 100)  # A hit (refresh LRU)
+        cache.access(0x40, False, 0, 150)  # C evicts B (LRU)
+        assert cache.access(0x00, False, 0, 200) == 203  # A still resident
+        assert cache.miss_rate < 1.0
+
+    def test_writeback_costs_second_subaccess(self):
+        sub = MainMemory(18)
+        cache = self.make(size=64, assoc=1, sub=sub)
+        cache.access(0x000, True, 0, 0)    # dirty line in set 0
+        before = sub.accesses
+        completion = cache.access(0x040, False, 0, 100)
+        # fill + write-back = two memory accesses
+        assert sub.accesses == before + 2
+        assert completion == 100 + 3 + 18 + 18 + 3
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        sub = MainMemory(18)
+        cache = self.make(size=64, assoc=1, sub=sub)
+        cache.access(0x000, False, 0, 0)
+        before = sub.accesses
+        cache.access(0x040, False, 0, 100)
+        assert sub.accesses == before + 1
+        assert cache.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        sub = MainMemory(18)
+        cache = self.make(size=64, assoc=1, sub=sub)
+        cache.access(0x000, False, 0, 0)    # clean fill
+        cache.access(0x004, True, 0, 50)    # write hit -> dirty
+        cache.access(0x040, False, 0, 100)  # evict: must write back
+        assert cache.writebacks == 1
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Cache(size=100, line_size=32, assoc=4)
+
+    def test_reset_clears_state(self):
+        cache = self.make()
+        cache.access(0x1000, True, 0, 0)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.access(0x1000, False, 0, 0) == 24  # miss again
+
+
+class TestConnectionLimit:
+    def test_port_conflict_pushes_start(self):
+        limit = ConnectionLimit(1, MainMemory(0))
+        first = limit.access(0, False, 0, 10)
+        second = limit.access(4, False, 1, 10)
+        # Same start cycle, one port: the second access slips.
+        assert first == 10
+        assert second == 11
+
+    def test_two_ports_allow_two_per_cycle(self):
+        limit = ConnectionLimit(2, MainMemory(10))
+        a = limit.access(0, False, 0, 5)
+        b = limit.access(4, False, 1, 5)
+        c = limit.access(8, False, 2, 5)
+        assert a == 15 and b == 15
+        assert c == 16  # third access pushed to cycle 6
+
+    def test_blocking_port_reserves_completion(self):
+        """The paper's wording: the completion cycle also needs a free
+        port — a blocking array sustains one access per two cycles."""
+        limit = ConnectionLimit(1, MainMemory(0), reserve_completion=True)
+        first = limit.access(0, False, 0, 10)
+        assert first == 11  # start at 10, completion slot pushed to 11
+        second = limit.access(4, False, 1, 10)
+        assert second > first
+
+    def test_pipelined_sustains_one_per_cycle(self):
+        limit = ConnectionLimit(1, MainMemory(3))
+        completions = [limit.access(4 * i, False, 0, 0) for i in range(4)]
+        assert completions == [3, 4, 5, 6]
+
+    def test_blocking_sustains_one_per_two_cycles(self):
+        limit = ConnectionLimit(1, MainMemory(3), reserve_completion=True)
+        completions = [limit.access(4 * i, False, 0, 0) for i in range(4)]
+        # starts 0,1,2,4... each access consumes two port slots.
+        assert completions[-1] >= 7
+
+    def test_ports_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionLimit(0, MainMemory(1))
+
+    def test_stall_counter(self):
+        limit = ConnectionLimit(1, MainMemory(0))
+        limit.access(0, False, 0, 0)
+        limit.access(0, False, 0, 0)
+        assert limit.stalls > 0
+
+    def test_reset(self):
+        limit = ConnectionLimit(1, MainMemory(5))
+        limit.access(0, False, 0, 0)
+        limit.reset()
+        assert limit.stalls == 0
+        assert limit.access(0, False, 0, 0) == 5
+
+
+class TestHierarchy:
+    def test_paper_configuration(self):
+        chain = build_hierarchy(HierarchyConfig())
+        assert isinstance(chain, ConnectionLimit)
+        l1 = find_cache(chain, "L1")
+        l2 = find_cache(chain, "L2")
+        assert l1.size == 2048 and l1.assoc == 4 and l1.delay == 3
+        assert l2.size == 256 * 1024 and l2.delay == 6
+        assert isinstance(l2.sub, MainMemory) and l2.sub.delay == 18
+
+    def test_l1_hit_l2_hit_memory_chain(self):
+        chain = build_hierarchy(HierarchyConfig())
+        l1 = find_cache(chain, "L1")
+        l2 = find_cache(chain, "L2")
+        chain.access(0x1000, False, 0, 0)  # cold: misses both
+        assert l1.misses == 1 and l2.misses == 1
+        chain.access(0x1000, False, 0, 100)  # L1 hit
+        assert l1.hits == 1 and l2.accesses == 1
+
+    def test_find_cache_unknown(self):
+        chain = build_hierarchy(HierarchyConfig())
+        assert find_cache(chain, "L3") is None

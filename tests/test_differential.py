@@ -1,0 +1,147 @@
+"""Differential compiler testing.
+
+Two independent oracles:
+
+* optimisation must never change observable behaviour — every workload
+  and a corpus of tricky snippets produce identical output with the
+  optimiser on and off, across ISAs;
+* randomly generated structured programs (hypothesis) are compiled and
+  simulated, comparing against direct Python evaluation of the same
+  program.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.framework.pipeline import build, run
+from repro.programs import load_program
+
+MASK32 = 0xFFFFFFFF
+
+
+def s32(x):
+    x &= MASK32
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+def outputs(source, *, isa, optimize_ir, filename="<diff>"):
+    built = build(source, isa=isa, filename=filename)
+    if not optimize_ir:
+        from repro.lang.driver import compile_mixed
+        from repro.binutils.assembler import Assembler
+        from repro.binutils.linker import link
+        from repro.binutils.loader import load_executable
+        from repro.sim.interpreter import Interpreter
+        from repro.adl.kahrisma import KAHRISMA
+
+        compiled = compile_mixed(
+            source, KAHRISMA, isa_map={}, default_isa=isa,
+            filename=filename, optimize_ir=False,
+        )
+        obj = Assembler(KAHRISMA).assemble(compiled.assembly, filename)
+        elf, _ = link([obj], KAHRISMA,
+                      entry_symbol=compiled.entry_symbol,
+                      entry_isa=compiled.entry_isa)
+        program = load_executable(elf, KAHRISMA)
+        Interpreter(program.state).run(max_instructions=50_000_000)
+        return program.output
+    return run(built).output
+
+
+TRICKY_SNIPPETS = [
+    # shift/mask interactions the optimiser rewrites
+    "int f(int x) { return (x * 16) / 4 + (x << 3) - (x & -x); }",
+    # branches folded and threaded
+    "int f(int x) { if (1) { if (x > 0) return 1; } else return 9; "
+    "return -1; }",
+    # dead stores to globals must survive DCE
+    "int g; int f(int x) { g = x * 2; return g + 1; }",
+    # division edge cases must not be folded away
+    "int f(int x) { int z = x - x; return 7 / (z + (x == x)) + 5 % "
+    "(z + 1); }",
+    # copy chains
+    "int f(int x) { int a = x; int b = a; int c = b; return c + a; }",
+    # loop-carried dependencies
+    "int f(int n) { int a = 1; int b = 1; for (int i = 0; i < n; i++) "
+    "{ int t = a + b; a = b; b = t; } return b; }",
+]
+
+
+class TestOptimizerPreservesSemantics:
+    @pytest.mark.parametrize("snippet", TRICKY_SNIPPETS,
+                             ids=[s[:40] for s in TRICKY_SNIPPETS])
+    @pytest.mark.parametrize("isa", ["risc", "vliw4"])
+    def test_snippets(self, snippet, isa):
+        source = (
+            snippet + "\n"
+            "int main() {\n"
+            "    for (int v = -3; v <= 3; v++) {\n"
+            "        print_int(f(v));\n"
+            "        putchar(' ');\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        optimized = outputs(source, isa=isa, optimize_ir=True)
+        plain = outputs(source, isa=isa, optimize_ir=False)
+        assert optimized == plain
+
+    @pytest.mark.parametrize("name", ["dct4x4", "qsort", "fft"])
+    def test_benchmarks(self, name):
+        source = load_program(name)
+        optimized = outputs(source, isa="risc", optimize_ir=True,
+                            filename=f"{name}.kc")
+        plain = outputs(source, isa="risc", optimize_ir=False,
+                        filename=f"{name}.kc")
+        assert optimized == plain
+
+
+@st.composite
+def statement_program(draw):
+    """A random straight-line-with-loops program over 4 variables."""
+    lines = ["int v0 = 7; int v1 = -3; int v2 = 100; int v3 = 0;"]
+    py = ["v0, v1, v2, v3 = 7, -3, 100, 0"]
+    n_stmts = draw(st.integers(2, 6))
+    for _ in range(n_stmts):
+        target = draw(st.sampled_from(["v0", "v1", "v2", "v3"]))
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            a = draw(st.sampled_from(["v0", "v1", "v2", "v3"]))
+            b = draw(st.integers(-50, 50))
+            op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+            lines.append(f"{target} = {a} {op} {b};")
+            py.append(f"{target} = s32({a} {op} {b})")
+        elif kind == 1:
+            a = draw(st.sampled_from(["v0", "v1", "v2", "v3"]))
+            b = draw(st.sampled_from(["v0", "v1", "v2", "v3"]))
+            op = draw(st.sampled_from(["+", "-", "^"]))
+            lines.append(f"{target} = {a} {op} {b};")
+            py.append(f"{target} = s32({a} {op} {b})")
+        else:
+            bound = draw(st.integers(1, 5))
+            a = draw(st.sampled_from(["v0", "v1", "v3"]))
+            lines.append(
+                f"for (int i = 0; i < {bound}; i++) "
+                f"{target} = {target} + {a};"
+            )
+            py.append(f"for _i in range({bound}): "
+                      f"{target} = s32({target} + {a})")
+    return "\n".join(lines), "\n".join(py)
+
+
+class TestRandomPrograms:
+    @given(program=statement_program())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_python(self, program):
+        kc_body, py_body = program
+        source = (
+            "int main() {\n" + kc_body + "\n"
+            "print_int(v0 ^ v1 ^ v2 ^ v3);\nreturn 0;\n}\n"
+        )
+        result = run(build(source, isa="risc", filename="<rand>")).output
+        env = {"s32": s32}
+        exec(py_body, env)
+        expected = s32(
+            env["v0"] ^ env["v1"] ^ env["v2"] ^ env["v3"]
+        )
+        assert result.strip() == str(expected)

@@ -1,0 +1,139 @@
+"""Cost-aware ISA selection (energy / resources / reconfiguration)."""
+
+import pytest
+
+from repro.framework.cost import (
+    CostParameters,
+    OpClassCounts,
+    estimate_width,
+    evaluate_widths,
+    select_isas_cost_aware,
+)
+from repro.framework.pipeline import build, run
+from repro.programs import load_program
+
+SOURCE = """
+int data[128];
+int kernel(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 4) {
+        int a = data[i] * 3;
+        int b = data[i + 1] * 5;
+        int c = data[i + 2] * 7;
+        int d = data[i + 3] * 9;
+        acc += (a ^ b) + (c ^ d);
+    }
+    return acc;
+}
+int main() {
+    for (int i = 0; i < 128; i++) data[i] = i;
+    int total = 0;
+    for (int r = 0; r < 8; r++) total += kernel(128);
+    print_int(total);
+    return 0;
+}
+"""
+
+
+class TestOpClassCounts:
+    def test_dynamic_energy_weighted(self):
+        params = CostParameters()
+        counts = OpClassCounts(alu=10, mul=2, div=1, mem=3, ctrl=4)
+        expected = 10 * 1.0 + 2 * 3.0 + 1 * 8.0 + 3 * 4.0 + 4 * 1.0
+        assert counts.dynamic_energy(params) == expected
+        assert counts.total == 20
+
+
+class TestWidthEstimate:
+    def test_cycles_follow_effective_parallelism(self):
+        params = CostParameters()
+        counts = OpClassCounts(alu=1000)
+        narrow = estimate_width(counts, ilp=8.0, width=2, params=params)
+        wide = estimate_width(counts, ilp=8.0, width=8, params=params)
+        assert narrow.cycles == 500
+        assert wide.cycles == 125
+        assert wide.cycles < narrow.cycles
+
+    def test_ilp_caps_benefit(self):
+        params = CostParameters()
+        counts = OpClassCounts(alu=1000)
+        at_ilp = estimate_width(counts, ilp=2.0, width=2, params=params)
+        beyond = estimate_width(counts, ilp=2.0, width=8, params=params)
+        assert beyond.cycles == at_ilp.cycles  # no speedup past the ILP
+        assert beyond.energy > at_ilp.energy   # but more NOPs + leakage
+
+    def test_static_energy_scales_with_width_and_time(self):
+        params = CostParameters(static_per_edpe=1.0)
+        counts = OpClassCounts(alu=100)
+        one = estimate_width(counts, ilp=1.0, width=1, params=params)
+        assert one.static_energy == pytest.approx(100.0)
+
+    def test_empty_function(self):
+        est = estimate_width(OpClassCounts(), 0.0, 4, CostParameters())
+        assert est.cycles == 0 and est.energy == 0
+
+    def test_evaluate_widths_ordering(self):
+        params = CostParameters()
+        counts = OpClassCounts(alu=500, mem=100)
+        estimates = evaluate_widths(counts, 6.0, (1, 2, 4, 8), params)
+        cycles = [e.cycles for e in estimates]
+        assert cycles == sorted(cycles, reverse=True)
+
+
+class TestCostAwareSelection:
+    def test_objectives_diverge(self):
+        by_objective = {}
+        for objective in ("cycles", "energy", "edp"):
+            report = select_isas_cost_aware(
+                SOURCE, objective=objective, filename="k.kc"
+            )
+            by_objective[objective] = report
+        # Minimising energy prefers narrow formats (leakage dominates).
+        energy_widths = [c.width for c in by_objective["energy"].choices]
+        cycles_widths = [c.width for c in by_objective["cycles"].choices]
+        assert max(energy_widths) <= max(cycles_widths)
+
+    def test_edpe_budget_caps_width(self):
+        report = select_isas_cost_aware(
+            SOURCE, objective="cycles", edpe_budget=2, filename="k.kc"
+        )
+        assert all(c.width <= 2 for c in report.choices)
+
+    def test_budget_must_allow_some_width(self):
+        with pytest.raises(ValueError):
+            select_isas_cost_aware(SOURCE, edpe_budget=0, filename="k.kc")
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            select_isas_cost_aware(SOURCE, objective="speed",
+                                   filename="k.kc")
+
+    def test_isa_map_is_runnable(self):
+        report = select_isas_cost_aware(SOURCE, objective="edp",
+                                        filename="k.kc")
+        built = build(SOURCE, isa="risc", isa_map=report.isa_map,
+                      filename="k.kc")
+        baseline = build(SOURCE, isa="risc", filename="k.kc")
+        assert run(built).output == run(baseline).output
+
+    def test_report_formats(self):
+        report = select_isas_cost_aware(SOURCE, filename="k.kc")
+        text = report.format()
+        assert "objective: edp" in text
+        assert "kernel" in text
+
+    def test_reconfiguration_discourages_hot_call_switching(self):
+        # With an enormous reconfiguration cost, every function stays
+        # on the entry function's format.
+        expensive = CostParameters(reconfig_cycles=10_000_000,
+                                   reconfig_energy=10_000_000.0)
+        report = select_isas_cost_aware(
+            SOURCE, objective="cycles", params=expensive, filename="k.kc"
+        )
+        widths = {c.function: c.width for c in report.choices}
+        assert len(set(widths.values())) == 1
+
+    def test_estimates_exposed_per_function(self):
+        report = select_isas_cost_aware(SOURCE, filename="k.kc")
+        assert "kernel" in report.estimates
+        assert len(report.estimates["kernel"]) == 5

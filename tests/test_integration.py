@@ -1,0 +1,174 @@
+"""Cross-cutting integration tests: the paper's headline properties.
+
+These assert the qualitative claims of Section VII on the reproduction
+as invariants, so a regression that breaks an experiment fails CI —
+the benchmark harnesses then report the quantitative values.
+"""
+
+import pytest
+
+from repro.cycles.aie import AieModel
+from repro.cycles.doe import DoeModel
+from repro.cycles.ilp import IlpModel
+from repro.cycles.memmodel import find_cache
+from repro.framework.pipeline import build_benchmark, run
+from repro.programs import load_program
+from repro.sim.disasm import format_instruction
+from repro.targetgen.optable import build_target
+
+
+class TestDecodeCacheEffectiveness:
+    """Section VII-A: the decode cache and prediction hit rates."""
+
+    def test_cjpeg_cache_and_prediction_rates(self, kc, simulate):
+        built = kc(load_program("cjpeg"), filename="cjpeg.kc")
+        _program, stats = simulate(built)
+        # Paper: 99.991% decodes avoided, 99.2% lookups avoided.
+        assert stats.decode_avoidance > 0.99
+        assert stats.lookup_avoidance > 0.95
+
+    def test_memory_instruction_share(self, kc, simulate):
+        built = kc(load_program("cjpeg"), filename="cjpeg.kc")
+        _program, stats = simulate(built)
+        assert 0.05 < stats.memory_instruction_fraction < 0.5
+
+
+class TestIlpOrdering:
+    """Figure 4's qualitative claim: DCT/AES high ILP, FFT/qsort low."""
+
+    @pytest.fixture(scope="class")
+    def ilp_values(self, kc, simulate):
+        values = {}
+        for name in ("dct4x4", "aes", "fft", "qsort", "cjpeg"):
+            built = kc(load_program(name), filename=f"{name}.kc")
+            model = IlpModel()
+            simulate(built, cycle_model=model)
+            values[name] = model.ilp
+        return values
+
+    def test_dct_and_aes_dominate(self, ilp_values):
+        low = max(ilp_values["fft"], ilp_values["qsort"],
+                  ilp_values["cjpeg"])
+        assert ilp_values["dct4x4"] > low
+        assert ilp_values["aes"] > low
+
+    def test_recursive_fft_ilp_is_low(self, ilp_values):
+        """The paper singles this out: the recursive FFT limits ILP."""
+        assert ilp_values["fft"] < 4.0
+
+
+class TestCycleModelRelations:
+    def test_ilp_is_an_upper_bound(self, kc, simulate):
+        """ILP (infinite resources) must beat any finite-width DOE."""
+        built = kc(load_program("dct4x4"), filename="dct4x4.kc")
+        ilp = IlpModel()
+        simulate(built, cycle_model=ilp)
+        doe = DoeModel(issue_width=8)
+        simulate(built, cycle_model=doe)
+        assert ilp.cycles <= doe.cycles
+
+    def test_doe_beats_aie(self, kc, simulate):
+        """Drifting slots cannot be slower than lock-step issue."""
+        built = kc(load_program("dct4x4"), isa="vliw4",
+                   filename="dct4x4.kc")
+        aie = AieModel()
+        simulate(built, cycle_model=aie)
+        doe = DoeModel(issue_width=4)
+        simulate(built, cycle_model=doe)
+        assert doe.cycles <= aie.cycles * 1.02
+
+    def test_wider_vliw_never_slower(self, kc, simulate):
+        cycles = {}
+        for isa, width in (("risc", 1), ("vliw2", 2), ("vliw4", 4)):
+            built = kc(load_program("dct4x4"), isa=isa,
+                       filename="dct4x4.kc")
+            doe = DoeModel(issue_width=width)
+            simulate(built, cycle_model=doe)
+            cycles[width] = doe.cycles
+        assert cycles[1] >= cycles[2] >= cycles[4]
+
+    def test_aes_l1_misses(self, kc, simulate):
+        """Paper: AES's working set misses in the 2-KiB L1 (~14%)."""
+        built = kc(load_program("aes"), filename="aes.kc")
+        doe = DoeModel(issue_width=1)
+        simulate(built, cycle_model=doe)
+        l1 = find_cache(doe.memory, "L1")
+        assert l1.miss_rate > 0.02
+
+    def test_dct_l1_mostly_hits(self, kc, simulate):
+        built = kc(load_program("dct4x4"), filename="dct4x4.kc")
+        doe = DoeModel(issue_width=1)
+        simulate(built, cycle_model=doe)
+        l1 = find_cache(doe.memory, "L1")
+        assert l1.miss_rate < 0.06
+
+
+class TestMixedIsaApplication:
+    def test_three_isa_application(self):
+        source = """
+        int stage1(int x) { return x * 2 + 1; }
+        int stage2(int x) { return x * x - 3; }
+        int main() {
+            int v = 5;
+            v = stage1(v);
+            v = stage2(v);
+            print_int(v);
+            putchar('\\n');
+            return 0;
+        }
+        """
+        from repro.framework.pipeline import build
+
+        built = build(source, isa="risc",
+                      isa_map={"stage1": "vliw2", "stage2": "vliw8"},
+                      filename="three.kc")
+        result = run(built)
+        assert result.output == "118\n"
+        assert result.stats.isa_switches == 4
+
+    def test_same_function_name_multiple_isas_via_stubs(self):
+        """The libc stub set proves multiple implementations coexist."""
+        from repro.binutils.linker import link
+        from repro.binutils.assembler import Assembler
+        from repro.adl.kahrisma import KAHRISMA
+
+        obj = Assembler(KAHRISMA).assemble(
+            ".global $risc$main\n$risc$main:\nhalt\n", "m.s"
+        )
+        _elf, info = link([obj], KAHRISMA, entry_symbol="$risc$main",
+                          entry_isa=0)
+        exit_impls = [s for s in info.symbols if s.endswith("$exit")]
+        assert sorted(exit_impls) == [
+            "$risc$exit", "$vliw2$exit", "$vliw4$exit",
+            "$vliw6$exit", "$vliw8$exit",
+        ]
+
+
+class TestDisassemblerRoundTrip:
+    def test_disasm_reassembles_identically(self, kc, arch):
+        """text -> decode -> format -> assemble -> identical bytes."""
+        from repro.binutils.assembler import Assembler
+        from repro.sim.decoder import decode_instruction
+        from repro.sim.memory import Memory
+
+        built = kc(load_program("qsort"), filename="qsort.kc")
+        text = built.elf.section(".text")
+        mem = Memory()
+        mem.store_bytes(text.addr, text.data)
+        table = build_target(arch).optable(0)
+
+        lines = []
+        addr = text.addr
+        count = 0
+        while addr < text.addr + len(text.data) and count < 200:
+            dec = decode_instruction(table, mem, addr)
+            lines.append("    " + format_instruction(dec))
+            addr += dec.size
+            count += 1
+
+        # Branch/jump operands are numeric offsets in disassembly; the
+        # assembler accepts them as raw immediates, so byte-identical
+        # re-assembly is required.
+        reassembled = Assembler(arch).assemble("\n".join(lines), "re.s")
+        assert bytes(reassembled.sections[".text"]) == \
+            text.data[:len(reassembled.sections[".text"])]

@@ -1,0 +1,181 @@
+"""Compiler front end: lexer, parser, semantic analysis."""
+
+import pytest
+
+from repro.lang.astnodes import (
+    BinaryExpr,
+    ForStmt,
+    FunctionDef,
+    IfStmt,
+    NumberExpr,
+    WhileStmt,
+)
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.sema import SemaError, analyze
+
+
+class TestLexer:
+    def test_numbers(self):
+        toks = tokenize("12 0x1F 'a' '\\n'")
+        assert [t.value for t in toks[:-1]] == [12, 31, 97, 10]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int interest")
+        assert toks[0].kind == "kw"
+        assert toks[1].kind == "ident"
+
+    def test_operators_maximal_munch(self):
+        toks = tokenize("a<<=b >>c <= >=")
+        texts = [t.text for t in toks if t.kind == "op"]
+        assert texts == ["<<=", ">>", "<=", ">="]
+
+    def test_comments(self):
+        toks = tokenize("a // line\n/* block\nmore */ b")
+        idents = [t.text for t in toks if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_string_literal_with_escapes(self):
+        toks = tokenize('"x\\ny"')
+        assert toks[0].kind == "string" and toks[0].text == "x\ny"
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in toks if t.kind == "ident"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_errors(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+        with pytest.raises(LexError):
+            tokenize("/* unterminated")
+        with pytest.raises(LexError):
+            tokenize('"unterminated')
+
+
+class TestParser:
+    def test_precedence(self):
+        program = parse_program("int main() { return 1 + 2 * 3; }")
+        ret = program.functions[0].body.body[0]
+        expr = ret.value
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.right, BinaryExpr) and expr.right.op == "*"
+
+    def test_statement_forms(self):
+        source = """
+        int main() {
+            int x = 0;
+            if (x) { x = 1; } else x = 2;
+            while (x < 10) x++;
+            for (int i = 0; i < 3; i++) { continue; }
+            do { x--; } while (x);
+            return x;
+        }
+        """
+        program = parse_program(source)
+        body = program.functions[0].body.body
+        assert isinstance(body[1], IfStmt)
+        assert isinstance(body[2], WhileStmt)
+        assert isinstance(body[3], ForStmt)
+
+    def test_globals_with_initializers(self):
+        source = """
+        int scalar = 42;
+        int table[4] = { 1, 2, 3, 4 };
+        int sized_by_init[] = { 9, 9 };
+        char text[] = "hi";
+        int bss_array[100];
+        """
+        program = parse_program(source)
+        by_name = {g.name: g for g in program.globals}
+        assert by_name["scalar"].init == 42
+        assert by_name["table"].init_list == [1, 2, 3, 4]
+        assert by_name["sized_by_init"].array_len == 2
+        assert by_name["text"].array_len == 3  # includes NUL
+        assert by_name["bss_array"].array_len == 100
+
+    def test_const_expr_initializers(self):
+        program = parse_program("int x = (1 << 4) | 3;")
+        assert program.globals[0].init == 19
+
+    def test_array_parameter_decays(self):
+        program = parse_program("void f(int a[], int n) {}")
+        assert program.functions[0].params[0].type.pointers == 1
+
+    def test_unsigned_type(self):
+        program = parse_program("unsigned int x = 1; unsigned y = 2;")
+        assert all(g.type.unsigned for g in program.globals)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 1 }")  # missing ;
+        with pytest.raises(ParseError):
+            parse_program("int main() {")
+        with pytest.raises(ParseError):
+            parse_program("int x = y;")  # non-const initializer
+        with pytest.raises(ParseError):
+            parse_program("void 3() {}")
+
+
+class TestSema:
+    def check(self, source):
+        program = parse_program(source)
+        analyze(program)
+        return program
+
+    def test_types_annotated(self):
+        program = self.check(
+            "int g[4]; int main() { int x = g[0] + 1; return x; }"
+        )
+        decl = program.functions[0].body.body[0]
+        assert str(decl.init.type) == "int"
+
+    def test_pointer_decay_annotation(self):
+        program = self.check("int g[4]; int* f() { return g; }")
+        ret = program.functions[0].body.body[0]
+        assert ret.value.type.pointers == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "int main() { return y; }",                   # undeclared
+            "int main() { int x; int x; return 0; }",     # redeclared
+            "void f() {} void f() {}",                    # dup function
+            "int main() { f(); return 0; }",              # undefined call
+            "int f(int a) { return a; } int main() { return f(); }",
+            "void f() { return 1; }",                     # value from void
+            "int f() { return; }",                        # missing value
+            "int main() { break; }",                      # break outside
+            "int main() { int x; return *x; }",           # deref non-ptr
+            "int main() { int x; return x[0]; }",         # index non-ptr
+            "int main() { int x; int *p = &x; return 0; }",  # & on local
+            "int g[4]; int main() { g = 0; return 0; }",  # assign array
+            "int main() { 3 = 4; return 0; }",            # bad lvalue
+            "void v; int main() { return 0; }",           # void variable
+            "int main() { puts(1, 2); return 0; }",       # libc arity
+            "int main(int a, int b, int c, int d, int e) { return 0; }",
+        ],
+    )
+    def test_rejections(self, bad):
+        with pytest.raises(SemaError):
+            self.check(bad)
+
+    def test_error_carries_location(self):
+        with pytest.raises(SemaError) as e:
+            self.check("int main() {\n  return y;\n}")
+        assert ":2:" in str(e.value)
+
+    def test_libc_functions_visible(self):
+        self.check(
+            "int main() { print_int(strlen(\"abc\")); return 0; }"
+        )
+
+    def test_pointer_arith_types(self):
+        self.check(
+            "int g[8];\n"
+            "int main() {\n"
+            "    int *p = g + 2;\n"
+            "    int d = p - g;\n"
+            "    return *p + d;\n"
+            "}\n"
+        )

@@ -1,0 +1,230 @@
+"""Compiler middle end: IR generation, optimisation, register allocation."""
+
+import pytest
+
+from repro.lang.ir import (
+    IBin,
+    ICall,
+    ICondBr,
+    IConst,
+    ICopy,
+    IJmp,
+    ILoad,
+    IRet,
+    IStore,
+    VReg,
+)
+from repro.lang.irgen import generate_ir
+from repro.lang.liveness import build_intervals, compute_liveness
+from repro.lang.opt import optimize_function
+from repro.lang.parser import parse_program
+from repro.lang.regalloc import (
+    allocate_registers,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+)
+from repro.lang.sema import analyze
+
+
+def to_ir(source, optimize=False):
+    program = parse_program(source)
+    sema = analyze(program)
+    ir = generate_ir(program, sema)
+    if optimize:
+        for fn in ir.functions:
+            optimize_function(fn)
+    return ir
+
+
+def all_instrs(fn):
+    return [i for b in fn.blocks for i in b.instrs]
+
+
+class TestIrGen:
+    def test_simple_function_shape(self):
+        ir = to_ir("int add2(int a, int b) { return a + b; }")
+        fn = ir.functions[0]
+        assert fn.num_params == 2
+        instrs = all_instrs(fn)
+        assert any(isinstance(i, IBin) and i.op == "add" for i in instrs)
+        assert any(isinstance(i, IRet) for i in instrs)
+
+    def test_void_return(self):
+        ir = to_ir("void f() { }")
+        ret = all_instrs(ir.functions[0])[-1]
+        assert isinstance(ret, IRet) and ret.value is None
+
+    def test_implicit_return_zero(self):
+        ir = to_ir("int main() { print_int(1); }")
+        ret = all_instrs(ir.functions[0])[-1]
+        assert isinstance(ret, IRet) and ret.value == 0
+
+    def test_string_literal_becomes_global(self):
+        ir = to_ir('int main() { puts("hi"); return 0; }')
+        names = [g.name for g in ir.globals]
+        assert any(name.startswith(".Lstr") for name in names)
+
+    def test_string_literals_interned(self):
+        ir = to_ir('int main() { puts("x"); puts("x"); return 0; }')
+        strings = [g for g in ir.globals if g.init_string == "x"]
+        assert len(strings) == 1
+
+    def test_pointer_arithmetic_scaled(self):
+        ir = to_ir("int f(int *p, int i) { return p[i]; }", optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert any(
+            isinstance(i, IBin) and i.op == "shl" and i.b == 2
+            for i in instrs
+        )
+
+    def test_local_array_in_stack_slot(self):
+        ir = to_ir("int f() { int a[10]; a[0] = 1; return a[0]; }")
+        assert ir.functions[0].stack_slots == {0: 40}
+
+    def test_char_access_uses_byte_ops(self):
+        ir = to_ir(
+            "int f(char *s) { s[0] = 65; return s[1]; }", optimize=True
+        )
+        instrs = all_instrs(ir.functions[0])
+        assert any(isinstance(i, IStore) and i.size == 1 for i in instrs)
+        assert any(isinstance(i, ILoad) and i.size == 1 for i in instrs)
+
+    def test_line_numbers_attached(self):
+        ir = to_ir("int main() {\n    int x = 1;\n    return x;\n}")
+        lines = [i.line for i in all_instrs(ir.functions[0]) if i.line]
+        assert 2 in lines and 3 in lines
+
+
+class TestOptimizer:
+    def test_constant_folding(self):
+        ir = to_ir("int f() { return 2 + 3 * 4; }", optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert not any(isinstance(i, IBin) for i in instrs)
+        ret = instrs[-1]
+        assert isinstance(ret, IRet) and ret.value == 14
+
+    def test_mul_by_power_of_two_becomes_shift(self):
+        ir = to_ir("int f(int x) { return x * 8; }", optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert any(isinstance(i, IBin) and i.op == "shl" for i in instrs)
+        assert not any(isinstance(i, IBin) and i.op == "mul" for i in instrs)
+
+    def test_dead_code_removed(self):
+        ir = to_ir("int f(int x) { int unused = x * 99; return x; }",
+                   optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert not any(isinstance(i, IBin) and i.op == "mul" for i in instrs)
+
+    def test_constant_branch_folded(self):
+        ir = to_ir("int f() { if (1 < 2) return 5; return 6; }",
+                   optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert not any(isinstance(i, ICondBr) for i in instrs)
+
+    def test_unreachable_blocks_removed(self):
+        ir = to_ir("int f() { return 1; }", optimize=True)
+        fn = ir.functions[0]
+        assert all(
+            b.label == fn.blocks[0].label or b.instrs for b in fn.blocks
+        )
+
+    def test_calls_never_removed(self):
+        ir = to_ir("int g() { return 1; } int f() { g(); return 0; }",
+                   optimize=True)
+        instrs = all_instrs(ir.functions[1])
+        assert any(isinstance(i, ICall) for i in instrs)
+
+    def test_stores_never_removed(self):
+        ir = to_ir("int g; void f() { g = 1; }", optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert any(isinstance(i, IStore) for i in instrs)
+
+    def test_add_zero_eliminated(self):
+        ir = to_ir("int f(int x) { return x + 0; }", optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert not any(isinstance(i, IBin) for i in instrs)
+
+    def test_division_by_zero_not_folded(self):
+        # Runtime semantics (div-by-zero -> -1) must be preserved; the
+        # optimiser leaves the instruction alone.
+        ir = to_ir("int f() { return 7 / 0; }", optimize=True)
+        instrs = all_instrs(ir.functions[0])
+        assert any(isinstance(i, IBin) and i.op == "div" for i in instrs)
+
+
+class TestLiveness:
+    def test_param_live_at_entry(self):
+        ir = to_ir("int f(int a) { return a; }")
+        fn = ir.functions[0]
+        intervals, _ranges = build_intervals(fn)
+        param_iv = next(iv for iv in intervals if iv.reg == fn.param_regs[0])
+        assert param_iv.start == 0
+
+    def test_loop_carried_value_spans_loop(self):
+        ir = to_ir(
+            "int f(int n) { int s = 0; "
+            "for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        fn = ir.functions[0]
+        info = compute_liveness(fn)
+        # Some value must be live around the loop back edge.
+        assert any(info.live_out[b.label] for b in fn.blocks)
+
+    def test_call_crossing_detected(self):
+        ir = to_ir(
+            "int g() { return 1; } "
+            "int f(int a) { int x = a + 1; g(); return x; }"
+        )
+        fn = ir.functions[1]
+        intervals, _ = build_intervals(fn)
+        assert any(iv.crosses_call for iv in intervals)
+
+
+class TestRegalloc:
+    def test_call_crossing_gets_callee_saved(self):
+        ir = to_ir(
+            "int g() { return 1; } "
+            "int f(int a) { int x = a * 3; g(); return x; }",
+            optimize=True,
+        )
+        fn = ir.functions[1]
+        alloc = allocate_registers(fn)
+        crossing = [iv for iv in alloc.intervals if iv.crosses_call]
+        assert crossing
+        for iv in crossing:
+            kind, where = alloc.locations[iv.reg]
+            if kind == "reg":
+                assert where in CALLEE_SAVED
+
+    def test_spilling_under_pressure(self):
+        # 25 simultaneously-live values exceed the 20-register pool.
+        decls = "\n".join(f"int v{i} = n + {i};" for i in range(25))
+        uses = " + ".join(f"v{i}" for i in range(25))
+        ir = to_ir(f"int f(int n) {{ {decls} return {uses}; }}")
+        fn = ir.functions[0]
+        alloc = allocate_registers(fn)
+        assert alloc.num_spill_slots > 0
+        # No physical register double-booked among overlapping intervals.
+        by_reg = {}
+        for iv in alloc.intervals:
+            kind, where = alloc.locations[iv.reg]
+            if kind != "reg":
+                continue
+            for other in by_reg.get(where, []):
+                assert not iv.overlaps(other), f"r{where} double-booked"
+            by_reg.setdefault(where, []).append(iv)
+
+    def test_no_pressure_no_spills(self):
+        ir = to_ir("int f(int a, int b) { return a + b; }", optimize=True)
+        alloc = allocate_registers(ir.functions[0])
+        assert alloc.num_spill_slots == 0
+
+    def test_used_callee_saved_reported(self):
+        ir = to_ir(
+            "int g() { return 1; } "
+            "int f(int a) { int x = a + 2; g(); return x; }",
+            optimize=True,
+        )
+        alloc = allocate_registers(ir.functions[1])
+        assert set(alloc.used_callee_saved) <= set(CALLEE_SAVED)
+        assert alloc.used_callee_saved

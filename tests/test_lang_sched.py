@@ -1,0 +1,154 @@
+"""VLIW list scheduler: dependence and placement invariants.
+
+The invariants are checked over the real blocks of compiled benchmark
+functions, which exercise every dependence class the scheduler models.
+"""
+
+import pytest
+
+from repro.adl.kahrisma import KAHRISMA
+from repro.lang.asmout import MachineOp
+from repro.lang.codegen import generate_function
+from repro.lang.irgen import generate_ir
+from repro.lang.opt import optimize
+from repro.lang.parser import parse_program
+from repro.lang.sched import schedule_block, schedule_function, schedule_stats
+from repro.lang.sema import analyze
+from repro.programs import load_program
+from repro.targetgen.asmgen import mangle
+
+SOURCES = {
+    "dct4x4": load_program("dct4x4"),
+    "qsort": load_program("qsort"),
+}
+
+
+def compiled_blocks(source):
+    program = parse_program(source)
+    sema = analyze(program)
+    ir = generate_ir(program, sema)
+    optimize(ir)
+    blocks = []
+    for fn in ir.functions:
+        callees = {name: mangle("vliw4", name) for name in sema.functions}
+        asm_fn = generate_function(
+            fn, KAHRISMA, symbol=mangle("vliw4", fn.name),
+            isa_name="vliw4", callee_symbols=callees,
+        )
+        blocks.extend(b.ops for b in asm_fn.blocks if b.ops)
+    return blocks
+
+
+@pytest.fixture(scope="module", params=sorted(SOURCES))
+def blocks(request):
+    return compiled_blocks(SOURCES[request.param])
+
+
+def flatten(bundles):
+    return [op for bundle in bundles for op in bundle]
+
+
+def bundle_of(bundles):
+    index = {}
+    for i, bundle in enumerate(bundles):
+        for op in bundle:
+            index[id(op)] = i
+    return index
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+class TestInvariants:
+    def test_all_ops_scheduled_exactly_once(self, blocks, width):
+        for ops in blocks:
+            bundles = schedule_block(ops, width)
+            assert sorted(id(o) for o in flatten(bundles)) == \
+                sorted(id(o) for o in ops)
+
+    def test_bundle_width_respected(self, blocks, width):
+        for ops in blocks:
+            for bundle in schedule_block(ops, width):
+                assert 1 <= len(bundle) <= width
+
+    def test_true_dependences_cross_bundles(self, blocks, width):
+        for ops in blocks:
+            bundles = schedule_block(ops, width)
+            where = bundle_of(bundles)
+            last_def = {}
+            for op in ops:  # program order
+                for reg in op.uses:
+                    if reg in last_def:
+                        producer = last_def[reg]
+                        assert where[id(producer)] < where[id(op)], (
+                            f"true dep violated: {producer.render()} -> "
+                            f"{op.render()}"
+                        )
+                for reg in op.defs:
+                    last_def[reg] = op
+                if op.is_barrier:
+                    last_def = {}
+
+    def test_memory_order_pessimistic(self, blocks, width):
+        for ops in blocks:
+            bundles = schedule_block(ops, width)
+            where = bundle_of(bundles)
+            last_store = None
+            for op in ops:
+                if op.is_load or op.is_store:
+                    if last_store is not None:
+                        assert where[id(last_store)] < where[id(op)]
+                if op.is_store:
+                    last_store = op
+                if op.is_barrier:
+                    last_store = None
+
+    def test_at_most_one_control_per_bundle(self, blocks, width):
+        for ops in blocks:
+            for bundle in schedule_block(ops, width):
+                controls = sum(1 for op in bundle if op.is_control)
+                assert controls <= 1
+
+    def test_branches_terminate_block(self, blocks, width):
+        for ops in blocks:
+            bundles = schedule_block(ops, width)
+            where = bundle_of(bundles)
+            branch_bundles = [
+                where[id(op)]
+                for op in ops
+                if op.op.kind == "branch" and op.mnemonic != "jal"
+            ]
+            if branch_bundles:
+                first_branch = min(branch_bundles)
+                assert first_branch >= len(bundles) - len(branch_bundles)
+
+    def test_calls_alone_in_bundle(self, blocks, width):
+        for ops in blocks:
+            for bundle in schedule_block(ops, width):
+                if any(op.mnemonic == "jal" for op in bundle):
+                    assert len(bundle) == 1
+
+
+class TestScheduleQuality:
+    def test_wider_issue_never_more_bundles(self):
+        for ops in compiled_blocks(SOURCES["dct4x4"]):
+            counts = [
+                len(schedule_block(ops, width)) for width in (1, 2, 4, 8)
+            ]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_dct_block_packs_well(self):
+        """The unrolled DCT must actually exploit the VLIW slots."""
+        blocks = compiled_blocks(SOURCES["dct4x4"])
+        biggest = max(blocks, key=len)
+        bundles = schedule_block(biggest, 8)
+        ops_per_bundle = len(biggest) / len(bundles)
+        assert ops_per_bundle > 2.0
+
+    def test_empty_block(self):
+        assert schedule_block([], 4) == []
+
+    def test_stats_helper(self):
+        blocks = compiled_blocks(SOURCES["qsort"])
+        bundles = {"b0": schedule_block(blocks[0], 4)}
+        ops, slots = schedule_stats(bundles)
+        assert ops == len(blocks[0])
+        assert slots == len(bundles["b0"])

@@ -1,0 +1,175 @@
+"""The KC switch statement (C semantics: fall-through, break, default)."""
+
+import pytest
+
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.sema import SemaError, analyze
+
+
+def run(kc, simulate, source, isa="risc"):
+    program, _stats = simulate(kc(source, isa=isa))
+    return program.output
+
+
+class TestParsing:
+    def test_shape(self):
+        program = parse_program(
+            "int f(int x) { switch (x) { case 1: return 1; "
+            "default: return 0; } }"
+        )
+        stmt = program.functions[0].body.body[0]
+        assert len(stmt.cases) == 1
+        assert stmt.default is not None
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "int f(int x) { switch (x) { case 1: break; "
+                "case 1: break; } return 0; }"
+            )
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "int f(int x) { switch (x) { default: break; "
+                "default: break; } return 0; }"
+            )
+
+    def test_statement_before_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "int f(int x) { switch (x) { x = 1; case 1: break; } "
+                "return 0; }"
+            )
+
+    def test_case_constant_expressions(self):
+        program = parse_program(
+            "int f(int x) { switch (x) { case 1 << 4: return 1; } "
+            "return 0; }"
+        )
+        assert program.functions[0].body.body[0].cases[0][0] == 16
+
+
+class TestSemantics:
+    def test_break_allowed_in_switch(self):
+        analyze(parse_program(
+            "int f(int x) { switch (x) { case 1: break; } return 0; }"
+        ))
+
+    def test_continue_not_allowed_in_plain_switch(self):
+        with pytest.raises(SemaError):
+            analyze(parse_program(
+                "int f(int x) { switch (x) { case 1: continue; } "
+                "return 0; }"
+            ))
+
+    def test_continue_in_loop_around_switch(self):
+        analyze(parse_program(
+            "int f(int n) { for (int i = 0; i < n; i++) { "
+            "switch (i) { case 1: continue; } } return 0; }"
+        ))
+
+
+class TestExecution:
+    SOURCE = """
+    int classify(int x) {
+        int r = 0;
+        switch (x) {
+            case 0:
+            case 1:
+                r = 100;
+                break;
+            case 2:
+                r = 200;    // falls through into case 3
+            case 3:
+                r += 5;
+                break;
+            default:
+                r = -1;
+        }
+        return r;
+    }
+    int main() {
+        for (int i = -1; i <= 4; i++) {
+            print_int(classify(i));
+            putchar(' ');
+        }
+        return 0;
+    }
+    """
+
+    @pytest.mark.parametrize("isa", ["risc", "vliw4"])
+    def test_fallthrough_and_default(self, kc, simulate, isa):
+        out = run(kc, simulate, self.SOURCE, isa=isa)
+        assert out == "-1 100 100 205 5 -1 "
+
+    def test_switch_without_default_falls_out(self, kc, simulate):
+        source = """
+        int main() {
+            int r = 7;
+            switch (42) { case 1: r = 1; }
+            print_int(r);
+            return 0;
+        }
+        """
+        assert run(kc, simulate, source).strip() == "7"
+
+    def test_empty_switch(self, kc, simulate):
+        source = "int main() { switch (1) { } print_int(9); return 0; }"
+        assert run(kc, simulate, source).strip() == "9"
+
+    def test_switch_inside_loop_with_break(self, kc, simulate):
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 6; i++) {
+                switch (i % 3) {
+                    case 0: total += 1; break;
+                    case 1: total += 10; break;
+                    default: total += 100; break;
+                }
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        assert run(kc, simulate, source).strip() == "222"
+
+    def test_return_inside_case(self, kc, simulate):
+        source = """
+        int pick(int x) {
+            switch (x) {
+                case 5: return 55;
+                default: return 99;
+            }
+        }
+        int main() { print_int(pick(5) + pick(6)); return 0; }
+        """
+        assert run(kc, simulate, source).strip() == "154"
+
+    def test_state_machine(self, kc, simulate):
+        """A switch-driven DFA — the idiom switch exists for."""
+        source = """
+        int main() {
+            int state = 0;
+            int input[9] = { 1, 2, 1, 1, 2, 2, 2, 1, 2 };
+            int accepted = 0;
+            for (int i = 0; i < 9; i++) {
+                switch (state) {
+                    case 0:
+                        state = input[i] == 1 ? 1 : 0;
+                        break;
+                    case 1:
+                        state = input[i] == 2 ? 2 : 1;
+                        break;
+                    case 2:
+                        accepted++;
+                        state = 0;
+                        break;
+                }
+            }
+            print_int(accepted);
+            return 0;
+        }
+        """
+        assert run(kc, simulate, source).strip() == "2"

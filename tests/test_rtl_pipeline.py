@@ -1,0 +1,162 @@
+"""Cycle-accurate RTL reference pipeline tests."""
+
+import pytest
+
+from repro.adl.kahrisma import ISA_VLIW2, ISA_VLIW4, KAHRISMA
+from repro.cycles.doe import DoeModel
+from repro.cycles.memmodel import HierarchyConfig
+from repro.rtl.pipeline import RtlConfig, RtlPipeline
+from repro.sim.decoder import decode_instruction
+from repro.sim.memory import Memory
+from repro.targetgen.optable import build_target
+
+TARGET = build_target(KAHRISMA)
+RISC = TARGET.optable(0)
+
+
+def enc(name, **fields):
+    return RISC.by_name[name].encode(fields)
+
+
+def stream(words, isa_id=0):
+    mem = Memory()
+    for i, word in enumerate(words):
+        mem.store4(0x1000 + 4 * i, word)
+    table = TARGET.optable(isa_id)
+    decs = []
+    addr = 0x1000
+    end = 0x1000 + 4 * len(words)
+    while addr < end:
+        dec = decode_instruction(table, mem, addr)
+        decs.append(dec)
+        addr += dec.size
+    return decs
+
+
+def feed(model, decs, regs=None):
+    regs = regs if regs is not None else [0] * 32
+    for dec in decs:
+        model.observe(dec, regs)
+    return model
+
+
+class TestBasicTiming:
+    def test_single_alu_op(self):
+        rtl = feed(RtlPipeline(1), stream([enc("addi", rd=1, rs1=0, imm=1)]))
+        assert rtl.cycles == 1
+        assert rtl.ops == 1
+
+    def test_dependent_chain(self):
+        rtl = feed(RtlPipeline(1), stream([
+            enc("addi", rd=1, rs1=0, imm=1),
+            enc("add", rd=2, rs1=1, rs2=0),
+            enc("add", rd=3, rs1=2, rs2=0),
+        ]))
+        assert rtl.cycles == 3
+
+    def test_deterministic(self):
+        words = [enc("addi", rd=i % 8 + 1, rs1=0, imm=i) for i in range(20)]
+        a = feed(RtlPipeline(1), stream(words)).cycles
+        b = feed(RtlPipeline(1), stream(words)).cycles
+        assert a == b
+
+    def test_observe_invalidates_cached_cycles(self):
+        rtl = RtlPipeline(1)
+        decs = stream([enc("addi", rd=1, rs1=0, imm=1)] * 3)
+        rtl.observe(decs[0], [0] * 32)
+        first = rtl.cycles
+        rtl.observe(decs[1], [0] * 32)
+        assert rtl.cycles > first
+
+    def test_reset(self):
+        rtl = feed(RtlPipeline(1), stream([enc("addi", rd=1, rs1=0, imm=1)]))
+        rtl.reset()
+        assert rtl.cycles == 0 and rtl.ops == 0
+
+
+class TestResourceConstraints:
+    def test_shared_multiplier_between_slot_pairs(self):
+        # Two muls in adjacent slots of one bundle contend for the
+        # shared multiplier; the heuristic DOE model ignores this.
+        words = [
+            enc("mul", rd=1, rs1=5, rs2=6),
+            enc("mul", rd=2, rs1=7, rs2=8),
+        ]
+        decs = stream(words, isa_id=ISA_VLIW2)
+        rtl = feed(RtlPipeline(2), decs)
+        doe = feed(DoeModel(issue_width=2), decs)
+        assert rtl.cycles >= doe.cycles
+
+    def test_mul_sharing_disabled(self):
+        words = [
+            enc("mul", rd=1, rs1=5, rs2=6),
+            enc("mul", rd=2, rs1=7, rs2=8),
+        ]
+        decs = stream(words, isa_id=ISA_VLIW2)
+        shared = feed(RtlPipeline(2), decs).cycles
+        private = feed(
+            RtlPipeline(2, RtlConfig(share_mul_per_pair=False)), decs
+        ).cycles
+        assert private <= shared
+
+    def test_single_divider_serialises(self):
+        words = [
+            enc("div", rd=1, rs1=5, rs2=6),
+            enc("div", rd=2, rs1=7, rs2=8),
+        ]
+        decs = stream(words, isa_id=ISA_VLIW2)
+        one = feed(RtlPipeline(2, RtlConfig(div_units=1)), decs).cycles
+        two = feed(RtlPipeline(2, RtlConfig(div_units=2)), decs).cycles
+        assert two < one
+
+    def test_memory_port_limit(self):
+        regs = [0] * 32
+        regs[10] = 0x100
+        words = [
+            enc("lw", rd=1, rs1=10, imm=0),
+            enc("lw", rd=2, rs1=10, imm=4),
+        ]
+        decs = stream(words, isa_id=ISA_VLIW2)
+        one_port = feed(RtlPipeline(2, RtlConfig(mem_ports=1)), decs, regs)
+        two_ports = feed(RtlPipeline(2, RtlConfig(mem_ports=2)), decs, regs)
+        assert two_ports.cycles <= one_port.cycles
+
+
+class TestDrift:
+    def test_drift_limit_slows_execution(self):
+        # A long multiply chain in slot 0 with independent work in
+        # slot 1: unbounded drift lets slot 1 run far ahead.
+        words = []
+        for i in range(12):
+            words.append(enc("mul", rd=1, rs1=1, rs2=2))   # slot 0 chain
+            words.append(enc("addi", rd=3 + (i % 4), rs1=0, imm=i))
+        decs = stream(words, isa_id=ISA_VLIW2)
+        tight = feed(RtlPipeline(2, RtlConfig(drift_limit=1)), decs).cycles
+        loose = feed(RtlPipeline(2, RtlConfig(drift_limit=16)), decs).cycles
+        assert loose <= tight
+
+    def test_agrees_with_doe_on_simple_streams(self):
+        words = []
+        for i in range(16):
+            words.append(enc("addi", rd=1 + (i % 8), rs1=0, imm=i))
+        decs = stream(words)
+        rtl = feed(RtlPipeline(1), decs).cycles
+        doe = feed(DoeModel(issue_width=1), decs).cycles
+        assert abs(rtl - doe) <= max(2, 0.1 * doe)
+
+
+class TestEndToEndAccuracy:
+    @pytest.mark.parametrize("isa,width", [
+        ("risc", 1), ("vliw2", 2), ("vliw4", 4), ("vliw8", 8),
+    ])
+    def test_doe_error_within_bounds_on_dct(self, kc, simulate, isa, width):
+        """The Table II property: DOE approximates RTL within a few %."""
+        from repro.programs import load_program
+
+        built = kc(load_program("dct4x4"), isa=isa, filename="dct4x4.kc")
+        doe = DoeModel(issue_width=width)
+        simulate(built, cycle_model=doe)
+        rtl = RtlPipeline(issue_width=width)
+        simulate(built, cycle_model=rtl)
+        error = abs(doe.cycles - rtl.cycles) / rtl.cycles
+        assert error < 0.08, (doe.cycles, rtl.cycles)

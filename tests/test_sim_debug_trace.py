@@ -1,0 +1,133 @@
+"""Debug info (line maps, function ranges) and trace generation."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.debuginfo import DebugInfo, LineMap
+from repro.sim.tracing import Tracer
+
+
+class TestLineMap:
+    def test_range_semantics(self):
+        lm = LineMap()
+        lm.add(0x100, "a.s", 10)
+        lm.add(0x110, "a.s", 12)
+        assert lm.lookup(0x0FF) is None
+        assert lm.lookup(0x100).line == 10
+        assert lm.lookup(0x10C).line == 10
+        assert lm.lookup(0x110).line == 12
+        assert lm.lookup(0xFFFF).line == 12
+
+    def test_duplicate_address_overwrites(self):
+        lm = LineMap()
+        lm.add(0x100, "a.s", 1)
+        lm.add(0x100, "a.s", 2)
+        assert len(lm) == 1
+        assert lm.lookup(0x100).line == 2
+
+    def test_encode_decode_roundtrip(self):
+        lm = LineMap()
+        lm.add(0x100, "main.kc", 3)
+        lm.add(0x200, "util.kc", 17)
+        lm.add(0x180, "main.kc", 9)
+        decoded = LineMap.decode(lm.encode())
+        assert [(e.addr, e.file, e.line) for e in decoded] == [
+            (0x100, "main.kc", 3),
+            (0x180, "main.kc", 9),
+            (0x200, "util.kc", 17),
+        ]
+
+    def test_shifted(self):
+        lm = LineMap()
+        lm.add(0x10, "f", 1)
+        shifted = lm.shifted(0x1000)
+        assert shifted.lookup(0x1010).line == 1
+
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(0, 0xFFFFFFF0),
+                st.sampled_from(["a.s", "b.kc", "λ.kc"]),
+                st.integers(0, 1 << 30),
+            ),
+            min_size=0,
+            max_size=30,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, entries):
+        lm = LineMap()
+        for addr, name, line in entries:
+            lm.add(addr, name, line)
+        decoded = LineMap.decode(lm.encode())
+        assert [(e.addr, e.file, e.line) for e in decoded] == \
+            [(e.addr, e.file, e.line) for e in lm]
+
+
+class TestDebugInfo:
+    def test_function_lookup(self):
+        dbg = DebugInfo()
+        dbg.add_function("$risc$main", 0x1000, 0x40)
+        dbg.add_function("$risc$fib", 0x1040, 0x20)
+        assert dbg.function_at(0x1000).name == "$risc$main"
+        assert dbg.function_at(0x103C).name == "$risc$main"
+        assert dbg.function_at(0x1040).name == "$risc$fib"
+        assert dbg.function_at(0x1060) is None
+        assert dbg.function_at(0x0FFF) is None
+
+    def test_location_format(self):
+        dbg = DebugInfo()
+        dbg.add_function("$risc$main", 0x1000, 0x40)
+        dbg.asm_map.add(0x1000, "app.s", 12)
+        dbg.src_map.add(0x1000, "app.kc", 5)
+        loc = dbg.lookup(0x1004)
+        assert loc.function == "$risc$main"
+        assert loc.asm_file == "app.s" and loc.asm_line == 12
+        assert loc.src_file == "app.kc" and loc.src_line == 5
+        text = loc.format()
+        assert "$risc$main" in text and "app.kc:5" in text
+
+
+class TestTracer:
+    def _trace_program(self, kc, simulate):
+        from repro.sim.tracing import Tracer
+
+        built = kc(
+            "int g = 3;\n"
+            "int main() { int y = g * 7; print_int(y); return 0; }"
+        )
+        tracer = Tracer()
+        program, _stats = simulate(built, tracer=tracer)
+        return tracer, program
+
+    def test_records_have_paper_fields(self, kc, simulate):
+        tracer, _program = self._trace_program(kc, simulate)
+        assert tracer.records
+        record = next(r for r in tracer.records if r.opcode == "mul")
+        assert record.inputs and record.outputs
+        assert record.cycle >= 0
+        formatted = record.format()
+        assert "mul" in formatted and "out:" in formatted
+
+    def test_stream_output(self, kc, simulate):
+        from repro.sim.tracing import Tracer
+
+        built = kc("int main() { return 0; }")
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream, keep_records=False)
+        simulate(built, tracer=tracer)
+        assert stream.getvalue().count("\n") == tracer.count
+        assert tracer.records == []
+
+    def test_limit(self, kc, simulate):
+        from repro.sim.tracing import Tracer
+
+        built = kc(
+            "int main() { int s = 0; for (int i = 0; i < 50; i++) s += i; "
+            "return s; }"
+        )
+        tracer = Tracer(limit=10)
+        simulate(built, tracer=tracer)
+        assert len(tracer.records) == 10

@@ -1,0 +1,139 @@
+"""Programmatic debugger (paper Section V, goal 4)."""
+
+import pytest
+
+from repro.binutils.loader import load_executable
+from repro.sim.debugger import (
+    Debugger,
+    STOP_BREAKPOINT,
+    STOP_BUDGET,
+    STOP_HALTED,
+    STOP_STEPPED,
+    STOP_WATCHPOINT,
+)
+
+SOURCE = """
+int counter = 0;
+
+int bump(int by) {
+    counter += by;
+    return counter;
+}
+
+int main() {
+    for (int i = 1; i <= 5; i++) {
+        bump(i);
+    }
+    print_int(counter);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def debugger(kc):
+    built = kc(SOURCE, filename="dbg.kc")
+    program = load_executable(built.elf, built.arch)
+    dbg = Debugger(program)
+    dbg._built = built  # convenience for tests below
+    return dbg
+
+
+class TestBreakpoints:
+    def test_resolve_by_unmangled_name(self, debugger):
+        addr = debugger.resolve("bump")
+        assert debugger.resolve("$risc$bump") == addr
+        assert debugger.resolve(addr) == addr
+
+    def test_unknown_function(self, debugger):
+        with pytest.raises(KeyError):
+            debugger.resolve("nonexistent")
+
+    def test_break_hits_every_call(self, debugger):
+        debugger.break_at("bump")
+        hits = 0
+        while debugger.cont() == STOP_BREAKPOINT:
+            hits += 1
+            assert debugger.where().function == "$risc$bump"
+        assert hits == 5
+        assert debugger.last_stop == STOP_HALTED
+        assert debugger.program.output == "15"
+
+    def test_argument_inspection_at_breakpoint(self, debugger):
+        debugger.break_at("bump")
+        seen = []
+        while debugger.cont() == STOP_BREAKPOINT:
+            seen.append(debugger.read_reg("a0"))
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_clear_break(self, debugger):
+        debugger.break_at("bump")
+        assert debugger.cont() == STOP_BREAKPOINT
+        debugger.clear_break("bump")
+        assert debugger.breakpoints == []
+        assert debugger.cont() == STOP_HALTED
+
+    def test_source_location_at_breakpoint(self, debugger):
+        debugger.break_at("bump")
+        debugger.cont()
+        where = debugger.where()
+        assert where.src_file == "dbg.kc"
+        assert where.src_line is not None
+
+
+class TestStepping:
+    def test_single_step_advances_one_instruction(self, debugger):
+        before = debugger.state.ip
+        assert debugger.step() == STOP_STEPPED
+        assert debugger.state.ip != before
+        stats = debugger.interpreter.stats
+        assert stats.executed_instructions == 1
+
+    def test_step_stops_at_halt(self, debugger):
+        assert debugger.step(10_000) == STOP_HALTED
+        assert debugger.program.output == "15"
+
+    def test_step_honours_breakpoints(self, debugger):
+        debugger.break_at("bump")
+        assert debugger.step(10_000) == STOP_BREAKPOINT
+
+    def test_cont_budget(self, debugger):
+        assert debugger.cont(max_instructions=3) == STOP_BUDGET
+
+
+class TestWatchpoints:
+    def test_watch_global_variable(self, debugger):
+        counter_addr = debugger._built.link_info.symbols["counter"]
+        debugger.watch(counter_addr)
+        values = []
+        while debugger.cont() == STOP_WATCHPOINT:
+            values.append(debugger.read_word(counter_addr))
+        assert values == [1, 3, 6, 10, 15]
+        assert debugger.last_stop == STOP_HALTED
+
+    def test_clear_watch(self, debugger):
+        counter_addr = debugger._built.link_info.symbols["counter"]
+        debugger.watch(counter_addr)
+        assert debugger.cont() == STOP_WATCHPOINT
+        debugger.clear_watch(counter_addr)
+        assert debugger.cont() == STOP_HALTED
+
+
+class TestInspection:
+    def test_register_access_forms(self, debugger):
+        debugger.step(3)
+        assert debugger.read_reg("sp") == debugger.read_reg(30)
+        assert debugger.read_reg("r30") == debugger.read_reg(30)
+        with pytest.raises(KeyError):
+            debugger.read_reg("xyz")
+
+    def test_ip_history(self, debugger):
+        debugger.step(5)
+        ips = debugger.backtrace_ips()
+        assert len(ips) == 5
+        assert ips[-1] != ips[0]
+
+    def test_disassemble_here(self, debugger):
+        lines = debugger.disassemble_here(3)
+        assert len(lines) == 3
+        assert all(":" in line for line in lines)

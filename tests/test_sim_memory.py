@@ -1,0 +1,112 @@
+"""Sparse memory: endianness, page crossing, bulk access."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.memory import Memory, PAGE_SIZE
+
+
+class TestScalarAccess:
+    def test_little_endian_word(self):
+        mem = Memory()
+        mem.store4(0x100, 0x12345678)
+        assert mem.load1(0x100) == 0x78
+        assert mem.load1(0x103) == 0x12
+        assert mem.load2(0x100) == 0x5678
+        assert mem.load4(0x100) == 0x12345678
+
+    def test_uninitialised_reads_zero(self):
+        mem = Memory()
+        assert mem.load4(0xDEAD0000) == 0
+        assert mem.load1(12345) == 0
+
+    def test_value_masked_to_width(self):
+        mem = Memory()
+        mem.store1(0, 0x1FF)
+        assert mem.load1(0) == 0xFF
+        mem.store2(4, 0x1FFFF)
+        assert mem.load2(4) == 0xFFFF
+        mem.store4(8, 0x1FFFFFFFF)
+        assert mem.load4(8) == 0xFFFFFFFF
+
+    def test_address_wraps_32_bits(self):
+        mem = Memory()
+        mem.store4(0x1_0000_0010, 42)
+        assert mem.load4(0x10) == 42
+
+    def test_page_crossing_word(self):
+        mem = Memory()
+        addr = PAGE_SIZE - 2
+        mem.store4(addr, 0xAABBCCDD)
+        assert mem.load4(addr) == 0xAABBCCDD
+        assert mem.load2(addr) == 0xCCDD
+        assert mem.load2(addr + 2) == 0xAABB
+
+    def test_unaligned_word(self):
+        mem = Memory()
+        mem.store4(0x101, 0x11223344)
+        assert mem.load4(0x101) == 0x11223344
+
+
+class TestBulkAccess:
+    def test_store_load_bytes(self):
+        mem = Memory()
+        data = bytes(range(100))
+        mem.store_bytes(0x2000, data)
+        assert mem.load_bytes(0x2000, 100) == data
+
+    def test_bulk_across_pages(self):
+        mem = Memory()
+        data = bytes((i * 7) & 0xFF for i in range(3 * PAGE_SIZE))
+        mem.store_bytes(PAGE_SIZE - 100, data)
+        assert mem.load_bytes(PAGE_SIZE - 100, len(data)) == data
+
+    def test_cstring(self):
+        mem = Memory()
+        mem.store_cstring(0x300, b"hello")
+        assert mem.load_cstring(0x300) == b"hello"
+        assert mem.load1(0x305) == 0
+
+    def test_cstring_limit(self):
+        mem = Memory()
+        mem.store_bytes(0, b"a" * 50)
+        assert mem.load_cstring(0, limit=10) == b"a" * 10
+
+    def test_resident_pages_sparse(self):
+        mem = Memory()
+        mem.store4(0, 1)
+        mem.store4(0x10000000, 2)
+        assert mem.resident_pages == 2
+        bases = [base for base, _data in mem.pages()]
+        assert bases == [0, 0x10000000]
+
+
+class TestProperties:
+    @given(
+        addr=st.integers(0, 0xFFFFFFFF),
+        data=st.binary(min_size=1, max_size=256),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bytes_roundtrip(self, addr, data):
+        mem = Memory()
+        mem.store_bytes(addr, data)
+        assert mem.load_bytes(addr, len(data)) == data
+
+    @given(addr=st.integers(0, 0xFFFFFFF0), value=st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_word_roundtrip(self, addr, value):
+        mem = Memory()
+        mem.store4(addr, value)
+        assert mem.load4(addr) == value
+
+    @given(
+        addr=st.integers(0, 0xFFFF),
+        words=st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_adjacent_words_do_not_interfere(self, addr, words):
+        mem = Memory()
+        addr &= ~3
+        for i, w in enumerate(words):
+            mem.store4(addr + 4 * i, w)
+        for i, w in enumerate(words):
+            assert mem.load4(addr + 4 * i) == w

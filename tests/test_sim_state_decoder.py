@@ -1,0 +1,133 @@
+"""Processor state and the instruction decoder."""
+
+import pytest
+
+from repro.adl.kahrisma import ISA_VLIW4, KAHRISMA, REG_RA, REG_SP
+from repro.sim.decoder import (
+    KIND_CTRL,
+    KIND_LOAD,
+    KIND_NOP,
+    decode_instruction,
+)
+from repro.sim.errors import DecodeError, SimulationError
+from repro.sim.state import EXIT_ADDRESS, ProcessorState, STACK_TOP
+
+
+class TestProcessorState:
+    def test_default_isa_from_adl(self):
+        state = ProcessorState(KAHRISMA)
+        assert state.isa_id == KAHRISMA.default_isa
+
+    def test_initial_isa_override(self):
+        state = ProcessorState(KAHRISMA, isa_id=ISA_VLIW4)
+        assert state.isa.name == "vliw4"
+
+    def test_unknown_initial_isa_rejected(self):
+        with pytest.raises(SimulationError):
+            ProcessorState(KAHRISMA, isa_id=42)
+
+    def test_switch_isa(self):
+        state = ProcessorState(KAHRISMA)
+        state.switch_isa(ISA_VLIW4)
+        assert state.isa_id == ISA_VLIW4
+        assert state.isa_switches == 1
+        with pytest.raises(SimulationError):
+            state.switch_isa(17)
+
+    def test_simop_without_handler_raises(self):
+        state = ProcessorState(KAHRISMA)
+        with pytest.raises(SimulationError):
+            state.simop(0)
+
+    def test_write_reg_masks_and_protects_zero(self):
+        state = ProcessorState(KAHRISMA)
+        state.write_reg(5, 0x1_0000_0003)
+        assert state.read_reg(5) == 3
+        state.write_reg(0, 99)
+        assert state.read_reg(0) == 0
+
+    def test_setup_stack(self):
+        state = ProcessorState(KAHRISMA)
+        state.setup_stack()
+        assert state.regs[REG_SP] == STACK_TOP
+        assert state.regs[REG_RA] == EXIT_ADDRESS
+        # The exit address decodes as halt under every issue width.
+        halt_word = state.mem.load4(EXIT_ADDRESS)
+        assert halt_word >> 24 == 0x3F
+        for slot in range(1, 8):
+            assert state.mem.load4(EXIT_ADDRESS + 4 * slot) == 0
+
+
+class TestDecoder:
+    def _encode(self, table, name, **fields):
+        return table.by_name[name].encode(fields)
+
+    def test_risc_single_op(self, target, risc_table):
+        state = ProcessorState(KAHRISMA)
+        word = self._encode(risc_table, "addi", rd=1, rs1=0, imm=5)
+        state.mem.store4(0x1000, word)
+        dec = decode_instruction(risc_table, state.mem, 0x1000)
+        assert dec.size == 4
+        assert dec.single is not None
+        assert dec.single.name == "addi"
+        assert dec.n_slots == 1 and dec.n_exec == 1
+
+    def test_vliw_bundle_with_nops(self, target, risc_table):
+        state = ProcessorState(KAHRISMA)
+        vliw4 = target.optable(ISA_VLIW4)
+        words = [
+            self._encode(risc_table, "add", rd=1, rs1=2, rs2=3),
+            self._encode(risc_table, "lw", rd=4, rs1=30, imm=0),
+            0,  # nop
+            0,  # nop
+        ]
+        for i, w in enumerate(words):
+            state.mem.store4(0x2000 + 4 * i, w)
+        dec = decode_instruction(vliw4, state.mem, 0x2000)
+        assert dec.size == 16
+        assert dec.n_slots == 4
+        assert dec.n_exec == 2  # nops stripped from execution
+        assert dec.n_mem == 1
+        assert [op.kind_code for op in dec.ops] == [
+            0, KIND_LOAD, KIND_NOP, KIND_NOP,
+        ]
+        assert dec.ops[1].mem_base == 30 and dec.ops[1].mem_imm == 0
+
+    def test_dsts_filter_zero_register(self, risc_table):
+        state = ProcessorState(KAHRISMA)
+        word = self._encode(risc_table, "add", rd=0, rs1=2, rs2=3)
+        state.mem.store4(0x1000, word)
+        dec = decode_instruction(risc_table, state.mem, 0x1000)
+        assert dec.single.dsts == ()
+
+    def test_jal_implicit_write_in_dsts(self, risc_table):
+        state = ProcessorState(KAHRISMA)
+        word = self._encode(risc_table, "jal", imm=2)
+        state.mem.store4(0x1000, word)
+        dec = decode_instruction(risc_table, state.mem, 0x1000)
+        assert 31 in dec.single.dsts
+        assert dec.single.kind_code == KIND_CTRL
+
+    def test_undefined_word_raises(self, risc_table):
+        state = ProcessorState(KAHRISMA)
+        state.mem.store4(0x1000, 0xEE000000)
+        with pytest.raises(DecodeError):
+            decode_instruction(risc_table, state.mem, 0x1000)
+
+    def test_two_control_ops_in_bundle_rejected(self, target, risc_table):
+        state = ProcessorState(KAHRISMA)
+        vliw4 = target.optable(ISA_VLIW4)
+        j_word = self._encode(risc_table, "j", imm=0)
+        for i in range(2):
+            state.mem.store4(0x3000 + 4 * i, j_word)
+        state.mem.store4(0x3008, 0)
+        state.mem.store4(0x300C, 0)
+        with pytest.raises(DecodeError):
+            decode_instruction(vliw4, state.mem, 0x3000)
+
+    def test_prediction_fields_start_empty(self, risc_table):
+        state = ProcessorState(KAHRISMA)
+        state.mem.store4(0x1000, self._encode(risc_table, "nop"))
+        dec = decode_instruction(risc_table, state.mem, 0x1000)
+        assert dec.pred_ip == -1
+        assert dec.pred_dec is None

@@ -1,0 +1,160 @@
+"""C standard library emulation (Section V-E)."""
+
+import pytest
+
+from repro.adl.kahrisma import KAHRISMA, REG_ARG_FIRST, REG_RV
+from repro.sim.errors import SimulationError
+from repro.sim.state import ProcessorState
+from repro.sim.syscalls import Syscalls
+
+
+@pytest.fixture()
+def env():
+    state = ProcessorState(KAHRISMA)
+    syscalls = Syscalls(heap_base=0x40000)
+    syscalls.install(state)
+    return state, syscalls
+
+
+def call(state, syscalls, ident, *args):
+    for i, arg in enumerate(args):
+        state.regs[REG_ARG_FIRST + i] = arg & 0xFFFFFFFF
+    state.simop(ident)
+    return state.regs[REG_RV]
+
+
+class TestOutput:
+    def test_putchar(self, env):
+        state, sys_ = env
+        assert call(state, sys_, 1, ord("A")) == ord("A")
+        assert sys_.output_text() == "A"
+
+    def test_puts_appends_newline(self, env):
+        state, sys_ = env
+        state.mem.store_cstring(0x1000, b"hi")
+        call(state, sys_, 3, 0x1000)
+        assert sys_.output_text() == "hi\n"
+
+    def test_print_int_signed(self, env):
+        state, sys_ = env
+        call(state, sys_, 4, -42)
+        assert sys_.output_text() == "-42"
+
+    def test_print_uint(self, env):
+        state, sys_ = env
+        call(state, sys_, 5, 0xFFFFFFFF)
+        assert sys_.output_text() == "4294967295"
+
+    def test_print_hex(self, env):
+        state, sys_ = env
+        call(state, sys_, 6, 0xDEADBEEF)
+        assert sys_.output_text() == "deadbeef"
+
+    def test_write(self, env):
+        state, sys_ = env
+        state.mem.store_bytes(0x1000, b"xyz")
+        assert call(state, sys_, 17, 0x1000, 3) == 3
+        assert sys_.output_text() == "xyz"
+
+
+class TestExitAndInput:
+    def test_exit_sets_code_and_halts(self, env):
+        state, sys_ = env
+        call(state, sys_, 0, 3)
+        assert state.halted
+        assert state.exit_code == 3
+
+    def test_exit_code_signed(self, env):
+        state, sys_ = env
+        call(state, sys_, 0, -1)
+        assert state.exit_code == -1
+
+    def test_getchar_stream_then_eof(self):
+        state = ProcessorState(KAHRISMA)
+        sys_ = Syscalls(input_data=b"ab")
+        sys_.install(state)
+        assert call(state, sys_, 2) == ord("a")
+        assert call(state, sys_, 2) == ord("b")
+        assert call(state, sys_, 2) == 0xFFFFFFFF  # EOF
+
+
+class TestHeap:
+    def test_malloc_bump_and_alignment(self, env):
+        state, sys_ = env
+        first = call(state, sys_, 7, 5)
+        second = call(state, sys_, 7, 5)
+        assert first == 0x40000
+        assert second == 0x40008  # rounded to 8
+        assert second > first
+
+    def test_malloc_out_of_memory_returns_null(self, env):
+        state, sys_ = env
+        assert call(state, sys_, 7, 0x7FFFFFFF) == 0
+
+    def test_free_is_noop(self, env):
+        state, sys_ = env
+        ptr = call(state, sys_, 7, 16)
+        call(state, sys_, 8, ptr)  # must not raise
+
+
+class TestStringMemory:
+    def test_memcpy(self, env):
+        state, sys_ = env
+        state.mem.store_bytes(0x1000, b"abcdef")
+        assert call(state, sys_, 9, 0x2000, 0x1000, 6) == 0x2000
+        assert state.mem.load_bytes(0x2000, 6) == b"abcdef"
+
+    def test_memset(self, env):
+        state, sys_ = env
+        call(state, sys_, 10, 0x3000, 0xAB, 8)
+        assert state.mem.load_bytes(0x3000, 8) == b"\xab" * 8
+
+    def test_strlen(self, env):
+        state, sys_ = env
+        state.mem.store_cstring(0x1000, b"kahrisma")
+        assert call(state, sys_, 11, 0x1000) == 8
+
+    def test_strcmp(self, env):
+        state, sys_ = env
+        state.mem.store_cstring(0x1000, b"abc")
+        state.mem.store_cstring(0x2000, b"abd")
+        result = call(state, sys_, 12, 0x1000, 0x2000)
+        assert result == 0xFFFFFFFF  # -1
+        assert call(state, sys_, 12, 0x1000, 0x1000) == 0
+
+
+class TestMisc:
+    def test_rand_deterministic(self):
+        state_a = ProcessorState(KAHRISMA)
+        sys_a = Syscalls()
+        sys_a.install(state_a)
+        state_b = ProcessorState(KAHRISMA)
+        sys_b = Syscalls()
+        sys_b.install(state_b)
+        seq_a = [call(state_a, sys_a, 13) for _ in range(5)]
+        seq_b = [call(state_b, sys_b, 13) for _ in range(5)]
+        assert seq_a == seq_b
+        assert all(0 <= v <= 0x7FFF for v in seq_a)
+
+    def test_srand_reseeds(self, env):
+        state, sys_ = env
+        call(state, sys_, 14, 123)
+        first = call(state, sys_, 13)
+        call(state, sys_, 14, 123)
+        assert call(state, sys_, 13) == first
+
+    def test_abs(self, env):
+        state, sys_ = env
+        assert call(state, sys_, 16, -5) == 5
+        assert call(state, sys_, 16, 5) == 5
+
+    def test_clock_uses_source(self, env):
+        state, sys_ = env
+        assert call(state, sys_, 15) == 0
+        sys_.clock_source = lambda: 777
+        assert call(state, sys_, 15) == 777
+
+    def test_unknown_simop_raises(self, env):
+        state, sys_ = env
+        with pytest.raises(SimulationError):
+            state.simop(99)

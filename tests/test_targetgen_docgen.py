@@ -1,0 +1,52 @@
+"""Generated ISA reference (docgen)."""
+
+from repro.adl.kahrisma import KAHRISMA
+from repro.targetgen.docgen import generate_isa_reference, write_isa_reference
+
+
+class TestIsaReference:
+    def test_all_operations_documented(self):
+        text = generate_isa_reference(KAHRISMA)
+        for op in KAHRISMA.isas[0].operations:
+            assert f"`{op.name}" in text, op.name
+
+    def test_all_isas_listed(self):
+        text = generate_isa_reference(KAHRISMA)
+        for isa in KAHRISMA.isas:
+            assert f"`{isa.name}`" in text
+
+    def test_encoding_diagrams(self):
+        text = generate_isa_reference(KAHRISMA)
+        assert "[31:24 opcode=0x1 ]".replace(" ]", "]") in text  # add
+        assert "[23:19 rd]" in text
+        assert "imm±" in text  # signed immediate marker
+
+    def test_register_roles(self):
+        text = generate_isa_reference(KAHRISMA)
+        assert "| `r30` | sp |" in text
+        assert "| `r0` | zero |" in text
+
+    def test_implicit_registers_of_jal(self):
+        text = generate_isa_reference(KAHRISMA)
+        assert "implicitly writes: r31" in text
+
+    def test_write_to_disk(self, tmp_path):
+        path = tmp_path / "isa.md"
+        text = write_isa_reference(KAHRISMA, str(path))
+        assert path.read_text() == text
+
+    def test_extension_appears_in_docs(self):
+        from tests.test_adl_extension import make_mac_op
+        from repro.adl.kahrisma import (
+            ISA_NAMES, ISSUE_WIDTHS, OPERATIONS, REGISTER_FILE,
+        )
+        from repro.adl.model import Architecture, Isa
+
+        ops = OPERATIONS + (make_mac_op(),)
+        isas = tuple(
+            Isa(i, ISA_NAMES[i], w, ops, resources=w)
+            for i, w in sorted(ISSUE_WIDTHS.items())
+        )
+        arch = Architecture("kahrisma-mac", REGISTER_FILE, isas)
+        text = generate_isa_reference(arch)
+        assert "`mac rd, rs1, rs2, ra`" in text

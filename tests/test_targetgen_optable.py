@@ -1,0 +1,76 @@
+"""Operation table: detection, decode/encode, cross-ISA sharing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adl.kahrisma import KAHRISMA, OPERATIONS
+from repro.targetgen.optable import OperationTable, build_target
+
+
+class TestDetection:
+    def test_every_operation_detected_from_its_encoding(self, risc_table):
+        for entry in risc_table.entries:
+            values = {
+                f.name: 0 for f in entry.value_fields
+            }
+            word = entry.encode(values)
+            detected = risc_table.detect(word)
+            assert detected is not None
+            assert detected.op.name == entry.op.name
+
+    def test_undefined_opcode_returns_none(self, risc_table):
+        assert risc_table.detect(0xEE000000) is None
+
+    def test_nonzero_pad_bits_fail_detection(self, risc_table):
+        # nop requires the pad field to be zero.
+        assert risc_table.detect(0x00000001) is None
+
+    def test_opcode_fast_path_built(self, risc_table):
+        assert risc_table._opcode_index is not None
+
+
+class TestDecodeEncode:
+    @given(
+        name=st.sampled_from([op.name for op in OPERATIONS]),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_random_fields(self, risc_table, name, data):
+        entry = risc_table.by_name[name]
+        values = {}
+        for f in entry.value_fields:
+            if f.signed:
+                lo, hi = -(1 << (f.width - 1)), (1 << (f.width - 1)) - 1
+            else:
+                lo, hi = 0, (1 << f.width) - 1
+            values[f.name] = data.draw(st.integers(lo, hi))
+        word = entry.encode(values)
+        assert entry.decode(word) == tuple(
+            values[f.name] for f in entry.value_fields
+        )
+        detected = risc_table.detect(word)
+        assert detected is not None and detected.op.name == name
+
+    def test_src_dst_value_indices(self, risc_table):
+        add = risc_table.by_name["add"]
+        vals = add.decode(add.encode({"rd": 5, "rs1": 6, "rs2": 7}))
+        assert [vals[i] for i in add.src_value_indices] == [6, 7]
+        assert [vals[i] for i in add.dst_value_indices] == [5]
+
+
+class TestTargetDescription:
+    def test_one_table_per_isa(self, target):
+        assert sorted(target.optables) == [0, 1, 2, 3, 4]
+
+    def test_sim_functions_shared_across_isas(self, target):
+        risc = target.optable(0)
+        vliw8 = target.optable(4)
+        assert risc.by_name["add"].sim_fn is vliw8.by_name["add"].sim_fn
+
+    def test_register_table(self, target):
+        assert target.register_table[0] == "r0"
+        assert target.register_table[31] == "r31"
+        assert len(target.register_table) == 32
+
+    def test_build_target_memoised(self):
+        assert build_target(KAHRISMA) is build_target(KAHRISMA)

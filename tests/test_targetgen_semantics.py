@@ -1,0 +1,229 @@
+"""Semantic unit tests of generated simulation functions.
+
+Every operation's simulation function is exercised directly, with a
+minimal fake state — the same functions later drive the interpreter.
+"""
+
+import pytest
+
+from repro.sim.memory import Memory
+from repro.targetgen.behavior_compiler import s32
+
+
+class FakeState:
+    def __init__(self):
+        self.regs = [0] * 32
+        self.mem = Memory()
+        self.halted = False
+        self.switched_to = None
+        self.simops = []
+
+    def switch_isa(self, isa):
+        self.switched_to = isa
+
+    def simop(self, ident):
+        self.simops.append(ident)
+        return None
+
+
+@pytest.fixture()
+def state():
+    return FakeState()
+
+
+def execute(table, name, state, next_ip=4, ip=0, **fields):
+    entry = table.by_name[name]
+    word = entry.encode(fields)
+    vals = entry.decode(word)
+    regwr, memwr = [], []
+    result = entry.sim_fn(state, vals, ip, next_ip, regwr, memwr)
+    return result, regwr, memwr
+
+
+class TestAlu:
+    def test_add_wraps_32_bits(self, risc_table, state):
+        state.regs[1] = 0xFFFFFFFF
+        state.regs[2] = 2
+        _r, regwr, _m = execute(risc_table, "add", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 1)]
+
+    def test_sub_underflow_wraps(self, risc_table, state):
+        state.regs[1] = 0
+        state.regs[2] = 1
+        _r, regwr, _m = execute(risc_table, "sub", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 0xFFFFFFFF)]
+
+    def test_sra_is_arithmetic(self, risc_table, state):
+        state.regs[1] = 0x80000000
+        state.regs[2] = 4
+        _r, regwr, _m = execute(risc_table, "sra", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 0xF8000000)]
+
+    def test_srl_is_logical(self, risc_table, state):
+        state.regs[1] = 0x80000000
+        state.regs[2] = 4
+        _r, regwr, _m = execute(risc_table, "srl", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 0x08000000)]
+
+    def test_shift_amount_masked_to_5_bits(self, risc_table, state):
+        state.regs[1] = 1
+        state.regs[2] = 33  # hardware masks to 1
+        _r, regwr, _m = execute(risc_table, "sll", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 2)]
+
+    def test_slt_signed_vs_sltu_unsigned(self, risc_table, state):
+        state.regs[1] = 0xFFFFFFFF  # -1 signed, huge unsigned
+        state.regs[2] = 1
+        _r, regwr, _m = execute(risc_table, "slt", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 1)]
+        _r, regwr, _m = execute(risc_table, "sltu", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 0)]
+
+    def test_mul_signed(self, risc_table, state):
+        state.regs[1] = (-3) & 0xFFFFFFFF
+        state.regs[2] = 5
+        _r, regwr, _m = execute(risc_table, "mul", state, rd=3, rs1=1, rs2=2)
+        assert s32(regwr[0][1]) == -15
+
+    def test_mulh_high_word(self, risc_table, state):
+        state.regs[1] = 0x40000000
+        state.regs[2] = 8
+        _r, regwr, _m = execute(risc_table, "mulh", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 2)]
+
+    def test_div_truncates_toward_zero(self, risc_table, state):
+        state.regs[1] = (-7) & 0xFFFFFFFF
+        state.regs[2] = 2
+        _r, regwr, _m = execute(risc_table, "div", state, rd=3, rs1=1, rs2=2)
+        assert s32(regwr[0][1]) == -3
+
+    def test_div_by_zero_yields_minus_one(self, risc_table, state):
+        state.regs[1] = 42
+        _r, regwr, _m = execute(risc_table, "div", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 0xFFFFFFFF)]
+
+    def test_rem_sign_follows_dividend(self, risc_table, state):
+        state.regs[1] = (-7) & 0xFFFFFFFF
+        state.regs[2] = 2
+        _r, regwr, _m = execute(risc_table, "rem", state, rd=3, rs1=1, rs2=2)
+        assert s32(regwr[0][1]) == -1
+
+    def test_rem_by_zero_yields_dividend(self, risc_table, state):
+        state.regs[1] = 42
+        _r, regwr, _m = execute(risc_table, "rem", state, rd=3, rs1=1, rs2=2)
+        assert regwr == [(3, 42)]
+
+
+class TestImmediates:
+    def test_addi_sign_extends(self, risc_table, state):
+        state.regs[1] = 10
+        _r, regwr, _m = execute(risc_table, "addi", state, rd=3, rs1=1, imm=-4)
+        assert regwr == [(3, 6)]
+
+    def test_andi_zero_extends(self, risc_table, state):
+        state.regs[1] = 0xFFFF
+        _r, regwr, _m = execute(
+            risc_table, "andi", state, rd=3, rs1=1, imm=0x3FFF
+        )
+        assert regwr == [(3, 0x3FFF)]
+
+    def test_lui_shifts_14(self, risc_table, state):
+        _r, regwr, _m = execute(risc_table, "lui", state, rd=3, imm=0x2ABCD)
+        assert regwr == [(3, 0x2ABCD << 14)]
+
+    def test_lui_ori_builds_any_constant(self, risc_table, state):
+        value = 0xDEADBEEF
+        _r, regwr, _m = execute(
+            risc_table, "lui", state, rd=3, imm=value >> 14
+        )
+        state.regs[3] = regwr[0][1]
+        _r, regwr, _m = execute(
+            risc_table, "ori", state, rd=3, rs1=3, imm=value & 0x3FFF
+        )
+        assert regwr == [(3, value)]
+
+
+class TestMemoryOps:
+    def test_word_roundtrip(self, risc_table, state):
+        state.regs[1] = 0x1000
+        state.regs[2] = 0xCAFEBABE
+        _r, _w, memwr = execute(risc_table, "sw", state, rt=2, rs1=1, imm=8)
+        assert memwr == [(4, 0x1008, 0xCAFEBABE)]
+        state.mem.store4(0x1008, 0xCAFEBABE)
+        _r, regwr, _m = execute(risc_table, "lw", state, rd=3, rs1=1, imm=8)
+        assert regwr == [(3, 0xCAFEBABE)]
+
+    def test_lb_sign_extends(self, risc_table, state):
+        state.mem.store1(0x100, 0x80)
+        state.regs[1] = 0x100
+        _r, regwr, _m = execute(risc_table, "lb", state, rd=3, rs1=1, imm=0)
+        assert regwr == [(3, 0xFFFFFF80)]
+
+    def test_lbu_zero_extends(self, risc_table, state):
+        state.mem.store1(0x100, 0x80)
+        state.regs[1] = 0x100
+        _r, regwr, _m = execute(risc_table, "lbu", state, rd=3, rs1=1, imm=0)
+        assert regwr == [(3, 0x80)]
+
+    def test_lh_sign_extends(self, risc_table, state):
+        state.mem.store2(0x100, 0x8001)
+        state.regs[1] = 0x100
+        _r, regwr, _m = execute(risc_table, "lh", state, rd=3, rs1=1, imm=0)
+        assert regwr == [(3, 0xFFFF8001)]
+
+    def test_negative_offset(self, risc_table, state):
+        state.mem.store4(0x0FC, 77)
+        state.regs[1] = 0x100
+        _r, regwr, _m = execute(risc_table, "lw", state, rd=3, rs1=1, imm=-4)
+        assert regwr == [(3, 77)]
+
+
+class TestControlFlow:
+    def test_beq_taken_and_not_taken(self, risc_table, state):
+        state.regs[1] = 5
+        state.regs[2] = 5
+        r, _w, _m = execute(risc_table, "beq", state, next_ip=0x104,
+                            rs1=1, rs2=2, imm=3)
+        assert r == 0x104 + 12
+        state.regs[2] = 6
+        r, _w, _m = execute(risc_table, "beq", state, next_ip=0x104,
+                            rs1=1, rs2=2, imm=3)
+        assert r is None
+
+    def test_backward_branch(self, risc_table, state):
+        r, _w, _m = execute(risc_table, "j", state, next_ip=0x104, imm=-2)
+        assert r == 0x104 - 8
+
+    def test_jal_links_next_ip(self, risc_table, state):
+        r, regwr, _m = execute(risc_table, "jal", state, next_ip=0x104, imm=4)
+        assert r == 0x104 + 16
+        assert regwr == [(31, 0x104)]
+
+    def test_jr_absolute(self, risc_table, state):
+        state.regs[31] = 0x2000
+        r, _w, _m = execute(risc_table, "jr", state, rs1=31)
+        assert r == 0x2000
+
+    def test_jalr_links_and_jumps(self, risc_table, state):
+        state.regs[5] = 0x3000
+        r, regwr, _m = execute(risc_table, "jalr", state, next_ip=0x104,
+                               rd=6, rs1=5)
+        assert r == 0x3000
+        assert regwr == [(6, 0x104)]
+
+    def test_halt_sets_flag(self, risc_table, state):
+        r, _w, _m = execute(risc_table, "halt", state)
+        assert r is None
+        assert state.halted
+
+    def test_switchtarget_calls_state(self, risc_table, state):
+        execute(risc_table, "switchtarget", state, imm=3)
+        assert state.switched_to == 3
+
+    def test_simop_delegates(self, risc_table, state):
+        execute(risc_table, "simop", state, imm=7)
+        assert state.simops == [7]
+
+    def test_nop_does_nothing(self, risc_table, state):
+        r, regwr, memwr = execute(risc_table, "nop", state)
+        assert (r, regwr, memwr) == (None, [], [])

@@ -1,0 +1,740 @@
+#!/usr/bin/env python3
+"""Generate the benchmark KC sources in src/repro/programs/.
+
+The five workloads mirror the paper's benchmark set (Section VII):
+JPEG encoder/decoder, fixed-point recursive FFT, Quicksort, fully
+unrolled AES-128, and the H.264 4x4 integer DCT.  Programs embed
+precomputed constant tables (twiddle factors, AES T-tables, DCT basis,
+quantisation matrices), which is why they are generated rather than
+hand-written; the algorithmic code below is the authoritative source.
+
+Run from the repository root:  python tools/gen_programs.py
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "src", "repro", "programs")
+
+
+def fmt_array(name: str, values, per_line: int = 10, typ: str = "int") -> str:
+    lines = [f"const {typ} {name}[{len(values)}] = {{"]
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[i:i + per_line])
+        comma = "," if i + per_line < len(values) else ""
+        lines.append("    " + chunk + comma)
+    lines.append("};")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# dct4x4: H.264 4x4 integer transform, fully unrolled (high ILP)
+# ---------------------------------------------------------------------------
+
+DCT4X4 = """\
+// H.264 4x4 integer DCT / inverse DCT, fully unrolled, with the
+// standard's quantisation (MF) and dequantisation (V) scaling tables
+// for QP=0 — the complete residual-coding path of an H.264 encoder.
+
+// Position-class tables: class of coefficient (i,j) by (i&1, j&1).
+// MF (forward quant multiplier, QP%6==0) and V (dequant, QP%6==0).
+const int MF_TAB[4] = { 13107, 8066, 8066, 5243 };
+const int V_TAB[4] = { 10, 13, 13, 16 };
+
+// 16 blocks: the 1-KiB input + 1-KiB coefficient arrays fit the
+// 2-KiB L1 cache, so (unlike AES) the kernel is compute-bound.
+int blocks[256];
+int coeffs[256];
+int levels[256];
+int recon[256];
+
+void dct4x4(int *x, int *y) {
+    int s00 = x[0];  int s01 = x[1];  int s02 = x[2];  int s03 = x[3];
+    int s10 = x[4];  int s11 = x[5];  int s12 = x[6];  int s13 = x[7];
+    int s20 = x[8];  int s21 = x[9];  int s22 = x[10]; int s23 = x[11];
+    int s30 = x[12]; int s31 = x[13]; int s32 = x[14]; int s33 = x[15];
+
+    // rows
+    int a0 = s00 + s03; int a1 = s01 + s02; int a2 = s01 - s02; int a3 = s00 - s03;
+    int r00 = a0 + a1; int r02 = a0 - a1; int r01 = (a3 << 1) + a2; int r03 = a3 - (a2 << 1);
+    int b0 = s10 + s13; int b1 = s11 + s12; int b2 = s11 - s12; int b3 = s10 - s13;
+    int r10 = b0 + b1; int r12 = b0 - b1; int r11 = (b3 << 1) + b2; int r13 = b3 - (b2 << 1);
+    int c0 = s20 + s23; int c1 = s21 + s22; int c2 = s21 - s22; int c3 = s20 - s23;
+    int r20 = c0 + c1; int r22 = c0 - c1; int r21 = (c3 << 1) + c2; int r23 = c3 - (c2 << 1);
+    int d0 = s30 + s33; int d1 = s31 + s32; int d2 = s31 - s32; int d3 = s30 - s33;
+    int r30 = d0 + d1; int r32 = d0 - d1; int r31 = (d3 << 1) + d2; int r33 = d3 - (d2 << 1);
+
+    // columns
+    int e0 = r00 + r30; int e1 = r10 + r20; int e2 = r10 - r20; int e3 = r00 - r30;
+    y[0] = e0 + e1; y[8] = e0 - e1; y[4] = (e3 << 1) + e2; y[12] = e3 - (e2 << 1);
+    int f0 = r01 + r31; int f1 = r11 + r21; int f2 = r11 - r21; int f3 = r01 - r31;
+    y[1] = f0 + f1; y[9] = f0 - f1; y[5] = (f3 << 1) + f2; y[13] = f3 - (f2 << 1);
+    int g0 = r02 + r32; int g1 = r12 + r22; int g2 = r12 - r22; int g3 = r02 - r32;
+    y[2] = g0 + g1; y[10] = g0 - g1; y[6] = (g3 << 1) + g2; y[14] = g3 - (g2 << 1);
+    int h0 = r03 + r33; int h1 = r13 + r23; int h2 = r13 - r23; int h3 = r03 - r33;
+    y[3] = h0 + h1; y[11] = h0 - h1; y[7] = (h3 << 1) + h2; y[15] = h3 - (h2 << 1);
+}
+
+void idct4x4(int *y, int *x) {
+    int s00 = y[0];  int s01 = y[1];  int s02 = y[2];  int s03 = y[3];
+    int s10 = y[4];  int s11 = y[5];  int s12 = y[6];  int s13 = y[7];
+    int s20 = y[8];  int s21 = y[9];  int s22 = y[10]; int s23 = y[11];
+    int s30 = y[12]; int s31 = y[13]; int s32 = y[14]; int s33 = y[15];
+
+    // rows
+    int a0 = s00 + s02; int a1 = s00 - s02; int a2 = (s01 >> 1) - s03; int a3 = s01 + (s03 >> 1);
+    int r00 = a0 + a3; int r03 = a0 - a3; int r01 = a1 + a2; int r02 = a1 - a2;
+    int b0 = s10 + s12; int b1 = s10 - s12; int b2 = (s11 >> 1) - s13; int b3 = s11 + (s13 >> 1);
+    int r10 = b0 + b3; int r13 = b0 - b3; int r11 = b1 + b2; int r12 = b1 - b2;
+    int c0 = s20 + s22; int c1 = s20 - s22; int c2 = (s21 >> 1) - s23; int c3 = s21 + (s23 >> 1);
+    int r20 = c0 + c3; int r23 = c0 - c3; int r21 = c1 + c2; int r22 = c1 - c2;
+    int d0 = s30 + s32; int d1 = s30 - s32; int d2 = (s31 >> 1) - s33; int d3 = s31 + (s33 >> 1);
+    int r30 = d0 + d3; int r33 = d0 - d3; int r31 = d1 + d2; int r32 = d1 - d2;
+
+    // columns
+    int e0 = r00 + r20; int e1 = r00 - r20; int e2 = (r10 >> 1) - r30; int e3 = r10 + (r30 >> 1);
+    x[0] = e0 + e3; x[12] = e0 - e3; x[4] = e1 + e2; x[8] = e1 - e2;
+    int f0 = r01 + r21; int f1 = r01 - r21; int f2 = (r11 >> 1) - r31; int f3 = r11 + (r31 >> 1);
+    x[1] = f0 + f3; x[13] = f0 - f3; x[5] = f1 + f2; x[9] = f1 - f2;
+    int g0 = r02 + r22; int g1 = r02 - r22; int g2 = (r12 >> 1) - r32; int g3 = r12 + (r32 >> 1);
+    x[2] = g0 + g3; x[14] = g0 - g3; x[6] = g1 + g2; x[10] = g1 - g2;
+    int h0 = r03 + r23; int h1 = r03 - r23; int h2 = (r13 >> 1) - r33; int h3 = r13 + (r33 >> 1);
+    x[3] = h0 + h3; x[15] = h0 - h3; x[7] = h1 + h2; x[11] = h1 - h2;
+}
+
+void quant_block(int *y, int *lv) {
+    // QP = 0: level = (|y| * MF + 2^14) >> 15, sign restored.
+    // Branchless (sign trick) and unrolled by row: the quantiser is
+    // part of the hot path and must not serialise on branches.
+    for (int row = 0; row < 4; row++) {
+        int base = row << 2;
+        int mf_even = MF_TAB[(row & 1) * 2];
+        int mf_odd = MF_TAB[(row & 1) * 2 + 1];
+        int v0 = y[base];     int s0 = v0 >> 31;
+        int v1 = y[base + 1]; int s1 = v1 >> 31;
+        int v2 = y[base + 2]; int s2 = v2 >> 31;
+        int v3 = y[base + 3]; int s3 = v3 >> 31;
+        int q0 = (((v0 ^ s0) - s0) * mf_even + 16384) >> 15;
+        int q1 = (((v1 ^ s1) - s1) * mf_odd + 16384) >> 15;
+        int q2 = (((v2 ^ s2) - s2) * mf_even + 16384) >> 15;
+        int q3 = (((v3 ^ s3) - s3) * mf_odd + 16384) >> 15;
+        lv[base] = (q0 ^ s0) - s0;
+        lv[base + 1] = (q1 ^ s1) - s1;
+        lv[base + 2] = (q2 ^ s2) - s2;
+        lv[base + 3] = (q3 ^ s3) - s3;
+    }
+}
+
+void dequant_block(int *lv, int *y) {
+    for (int row = 0; row < 4; row++) {
+        int base = row << 2;
+        int v_even = V_TAB[(row & 1) * 2];
+        int v_odd = V_TAB[(row & 1) * 2 + 1];
+        y[base] = lv[base] * v_even;
+        y[base + 1] = lv[base + 1] * v_odd;
+        y[base + 2] = lv[base + 2] * v_even;
+        y[base + 3] = lv[base + 3] * v_odd;
+    }
+}
+
+int main() {
+    // Independent per-element pattern (no serial PRNG chain) and
+    // unrolled setup/verification loops: the benchmark measures the
+    // transform, not scaffolding.
+    for (int i = 0; i < 256; i = i + 4) {
+        blocks[i] = (((i * 40503) >> 4) & 255) - 128;
+        blocks[i + 1] = ((((i + 1) * 40503) >> 4) & 255) - 128;
+        blocks[i + 2] = ((((i + 2) * 40503) >> 4) & 255) - 128;
+        blocks[i + 3] = ((((i + 3) * 40503) >> 4) & 255) - 128;
+    }
+    int reps = 40;
+    for (int r = 0; r < reps; r++) {
+        for (int b = 0; b < 16; b++) {
+            dct4x4(&blocks[b << 4], &coeffs[b << 4]);
+        }
+    }
+    for (int b = 0; b < 16; b++) {
+        quant_block(&coeffs[b << 4], &levels[b << 4]);
+        dequant_block(&levels[b << 4], &coeffs[b << 4]);
+        idct4x4(&coeffs[b << 4], &recon[b << 4]);
+    }
+    int err0 = 0;
+    int err1 = 0;
+    int sum0 = 0;
+    int sum1 = 0;
+    for (int i = 0; i < 256; i = i + 2) {
+        int d0 = ((recon[i] + 32) >> 6) - blocks[i];
+        int d1 = ((recon[i + 1] + 32) >> 6) - blocks[i + 1];
+        int m0 = d0 >> 31;
+        int m1 = d1 >> 31;
+        err0 += (d0 ^ m0) - m0;
+        err1 += (d1 ^ m1) - m1;
+        sum0 += levels[i] * (i & 15);
+        sum1 += levels[i + 1] * ((i + 1) & 15);
+    }
+    print_int(err0 + err1);
+    putchar(' ');
+    print_int(sum0 + sum1);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# fft: recursive fixed-point radix-2 FFT (low ILP: small basic blocks)
+# ---------------------------------------------------------------------------
+
+def gen_fft() -> str:
+    n = 256
+    cos_tab = [round(math.cos(2 * math.pi * k / n) * 16384) for k in range(n // 2)]
+    sin_tab = [round(math.sin(2 * math.pi * k / n) * 16384) for k in range(n // 2)]
+    return f"""\
+// Fixed-point (Q14) radix-2 FFT, recursive decimation in time.
+// The recursive structure — many calls, small basic blocks — is what
+// limits its ILP (paper Section VII-B discusses exactly this effect).
+
+{fmt_array("COS_TAB", cos_tab)}
+
+{fmt_array("SIN_TAB", sin_tab)}
+
+int xre[256];
+int xim[256];
+
+void fft(int *re, int *im, int n, int stride) {{
+    if (n == 1) {{
+        return;
+    }}
+    int half = n >> 1;
+    int *ere = malloc(half * 4);
+    int *eim = malloc(half * 4);
+    int *ore = malloc(half * 4);
+    int *oim = malloc(half * 4);
+    for (int i = 0; i < half; i++) {{
+        ere[i] = re[2 * i];
+        eim[i] = im[2 * i];
+        ore[i] = re[2 * i + 1];
+        oim[i] = im[2 * i + 1];
+    }}
+    fft(ere, eim, half, stride << 1);
+    fft(ore, oim, half, stride << 1);
+    for (int k = 0; k < half; k++) {{
+        int c = COS_TAB[k * stride];
+        int s = SIN_TAB[k * stride];
+        int tr = (c * ore[k] + s * oim[k]) >> 14;
+        int ti = (c * oim[k] - s * ore[k]) >> 14;
+        re[k] = ere[k] + tr;
+        im[k] = eim[k] + ti;
+        re[k + half] = ere[k] - tr;
+        im[k + half] = eim[k] - ti;
+    }}
+    free(ere);
+    free(eim);
+    free(ore);
+    free(oim);
+}}
+
+int main() {{
+    int seed = 777;
+    for (int i = 0; i < 256; i++) {{
+        seed = seed * 1103515245 + 12345;
+        xre[i] = ((seed >> 16) & 1023) - 512;
+        xim[i] = 0;
+    }}
+    fft(xre, xim, 256, 1);
+    int check_re = 0;
+    int check_im = 0;
+    for (int i = 0; i < 256; i++) {{
+        check_re += xre[i] * (i & 7);
+        check_im += xim[i] * (i & 7);
+    }}
+    print_int(check_re);
+    putchar(' ');
+    print_int(check_im);
+    putchar('\\n');
+    return 0;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# qsort: recursive quicksort (control-dominated, low ILP)
+# ---------------------------------------------------------------------------
+
+QSORT = """\
+// Recursive Quicksort over pseudo-random data, with verification.
+
+int data[1024];
+
+void quicksort(int *a, int lo, int hi) {
+    if (lo >= hi) {
+        return;
+    }
+    int pivot = a[(lo + hi) >> 1];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) {
+            i++;
+        }
+        while (a[j] > pivot) {
+            j--;
+        }
+        if (i <= j) {
+            int tmp = a[i];
+            a[i] = a[j];
+            a[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    quicksort(a, lo, j);
+    quicksort(a, i, hi);
+}
+
+int main() {
+    int seed = 42;
+    for (int i = 0; i < 1024; i++) {
+        seed = seed * 1103515245 + 12345;
+        data[i] = (seed >> 8) & 65535;
+    }
+    quicksort(data, 0, 1023);
+    int sorted = 1;
+    for (int i = 1; i < 1024; i++) {
+        if (data[i - 1] > data[i]) {
+            sorted = 0;
+        }
+    }
+    int checksum = 0;
+    for (int i = 0; i < 1024; i++) {
+        checksum += data[i] * (i & 31);
+    }
+    print_int(sorted);
+    putchar(' ');
+    print_int(checksum);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# aes: AES-128, T-table implementation with fully unrolled rounds
+# ---------------------------------------------------------------------------
+
+def _aes_tables():
+    sbox = [0] * 256
+    p = q = 1
+    sbox[0] = 0x63
+    while True:
+        p = p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)
+        q ^= (q << 1) & 0xFF
+        q ^= (q << 2) & 0xFF
+        q ^= (q << 4) & 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        x = (
+            q
+            ^ (((q << 1) | (q >> 7)) & 0xFF)
+            ^ (((q << 2) | (q >> 6)) & 0xFF)
+            ^ (((q << 3) | (q >> 5)) & 0xFF)
+            ^ (((q << 4) | (q >> 4)) & 0xFF)
+        )
+        sbox[p] = (x ^ 0x63) & 0xFF
+        if p == 1:
+            break
+
+    def xtime(a):
+        return ((a << 1) ^ 0x1B) & 0xFF if a & 0x80 else a << 1
+
+    t0 = []
+    for i in range(256):
+        s = sbox[i]
+        word = (xtime(s) << 24) | (s << 16) | (s << 8) | (s ^ xtime(s))
+        t0.append(word & 0xFFFFFFFF)
+
+    def ror8(v):
+        return ((v >> 8) | (v << 24)) & 0xFFFFFFFF
+
+    t1 = [ror8(v) for v in t0]
+    t2 = [ror8(v) for v in t1]
+    t3 = [ror8(v) for v in t2]
+    rcon = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+    return sbox, t0, t1, t2, t3, rcon
+
+
+def gen_aes() -> str:
+    sbox, t0, t1, t2, t3, rcon = _aes_tables()
+    # Build the unrolled rounds textually: state in s0..s3, temp n0..n3.
+    lines = []
+    src, dst = ("s0", "s1", "s2", "s3"), ("n0", "n1", "n2", "n3")
+    for rnd in range(1, 10):
+        k = 4 * rnd
+        lines.append(f"    // round {rnd}")
+        for i in range(4):
+            a, b, c, d = src[i], src[(i + 1) % 4], src[(i + 2) % 4], src[(i + 3) % 4]
+            lines.append(
+                f"    {dst[i]} = T0[({a} >> 24) & 255] ^ T1[({b} >> 16) & 255]"
+                f" ^ T2[({c} >> 8) & 255] ^ T3[{d} & 255] ^ rk[{k + i}];"
+            )
+        src, dst = dst, src
+    s0, s1, s2, s3 = src
+    unrolled_rounds = "\n".join(lines)
+    return f"""\
+// AES-128 encryption, T-table implementation, all ten rounds fully
+// unrolled.  The four 1-KiB T-tables (4 KiB working set) exceed the
+// 2-KiB L1 cache, so ILP alone over-predicts performance — the same
+// observation the paper makes for its AES benchmark (Figure 4).
+
+{fmt_array("SBOX", sbox, 12)}
+
+{fmt_array("T0", t0, 6, "unsigned int")}
+
+{fmt_array("T1", t1, 6, "unsigned int")}
+
+{fmt_array("T2", t2, 6, "unsigned int")}
+
+{fmt_array("T3", t3, 6, "unsigned int")}
+
+{fmt_array("RCON", rcon, 10)}
+
+unsigned int round_keys[44];
+unsigned int input_blocks[64];
+unsigned int output_blocks[64];
+
+void key_expand(unsigned int *key) {{
+    round_keys[0] = key[0];
+    round_keys[1] = key[1];
+    round_keys[2] = key[2];
+    round_keys[3] = key[3];
+    for (int i = 4; i < 44; i++) {{
+        unsigned int tmp = round_keys[i - 1];
+        if ((i & 3) == 0) {{
+            unsigned int rot = (tmp << 8) | (tmp >> 24);
+            tmp = (SBOX[(rot >> 24) & 255] << 24)
+                | (SBOX[(rot >> 16) & 255] << 16)
+                | (SBOX[(rot >> 8) & 255] << 8)
+                | SBOX[rot & 255];
+            tmp = tmp ^ (RCON[(i >> 2) - 1] << 24);
+        }}
+        round_keys[i] = round_keys[i - 4] ^ tmp;
+    }}
+}}
+
+void encrypt_block(unsigned int *in, unsigned int *out, unsigned int *rk) {{
+    unsigned int s0 = in[0] ^ rk[0];
+    unsigned int s1 = in[1] ^ rk[1];
+    unsigned int s2 = in[2] ^ rk[2];
+    unsigned int s3 = in[3] ^ rk[3];
+    unsigned int n0 = 0;
+    unsigned int n1 = 0;
+    unsigned int n2 = 0;
+    unsigned int n3 = 0;
+{unrolled_rounds}
+    // final round (SubBytes + ShiftRows + AddRoundKey, no MixColumns)
+    out[0] = ((SBOX[({s0} >> 24) & 255] << 24) | (SBOX[({s1} >> 16) & 255] << 16)
+            | (SBOX[({s2} >> 8) & 255] << 8) | SBOX[{s3} & 255]) ^ rk[40];
+    out[1] = ((SBOX[({s1} >> 24) & 255] << 24) | (SBOX[({s2} >> 16) & 255] << 16)
+            | (SBOX[({s3} >> 8) & 255] << 8) | SBOX[{s0} & 255]) ^ rk[41];
+    out[2] = ((SBOX[({s2} >> 24) & 255] << 24) | (SBOX[({s3} >> 16) & 255] << 16)
+            | (SBOX[({s0} >> 8) & 255] << 8) | SBOX[{s1} & 255]) ^ rk[42];
+    out[3] = ((SBOX[({s3} >> 24) & 255] << 24) | (SBOX[({s0} >> 16) & 255] << 16)
+            | (SBOX[({s1} >> 8) & 255] << 8) | SBOX[{s2} & 255]) ^ rk[43];
+}}
+
+unsigned int key[4];
+
+int main() {{
+    key[0] = 0x2b7e1516;
+    key[1] = 0x28aed2a6;
+    key[2] = 0xabf71588;
+    key[3] = 0x09cf4f3c;
+    key_expand(key);
+    int seed = 99;
+    for (int i = 0; i < 64; i++) {{
+        seed = seed * 1103515245 + 12345;
+        input_blocks[i] = seed;
+    }}
+    for (int rep = 0; rep < 8; rep++) {{
+        for (int b = 0; b < 16; b++) {{
+            encrypt_block(&input_blocks[b << 2], &output_blocks[b << 2],
+                          round_keys);
+        }}
+    }}
+    unsigned int checksum = 0;
+    for (int i = 0; i < 64; i++) {{
+        checksum = checksum ^ (output_blocks[i] + i);
+    }}
+    print_hex(checksum);
+    putchar('\\n');
+    return 0;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# jpeg: DCT-based image codec (encoder = cjpeg, decoder = djpeg)
+# ---------------------------------------------------------------------------
+
+def gen_jpeg_common() -> str:
+    # Orthonormal 8-point DCT-II basis, Q12 fixed point.
+    basis = []
+    for i in range(8):
+        ci = math.sqrt(0.5) if i == 0 else 1.0
+        for j in range(8):
+            basis.append(round(4096 * 0.5 * ci * math.cos((2 * j + 1) * i * math.pi / 16)))
+    quant = [
+        16, 11, 10, 16, 24, 40, 51, 61,
+        12, 12, 14, 19, 26, 58, 60, 55,
+        14, 13, 16, 24, 40, 57, 69, 56,
+        14, 17, 22, 29, 51, 87, 80, 62,
+        18, 22, 37, 56, 68, 109, 103, 77,
+        24, 35, 55, 64, 81, 104, 113, 92,
+        49, 64, 78, 87, 103, 121, 120, 101,
+        72, 92, 95, 98, 112, 100, 103, 99,
+    ]
+    zigzag = [
+        0, 1, 8, 16, 9, 2, 3, 10,
+        17, 24, 32, 25, 18, 11, 4, 5,
+        12, 19, 26, 33, 40, 48, 41, 34,
+        27, 20, 13, 6, 7, 14, 21, 28,
+        35, 42, 49, 56, 57, 50, 43, 36,
+        29, 22, 15, 23, 30, 37, 44, 51,
+        58, 59, 52, 45, 38, 31, 39, 46,
+        53, 60, 61, 54, 47, 55, 62, 63,
+    ]
+    return f"""\
+{fmt_array("DCT_BASIS", basis, 8)}
+
+{fmt_array("QUANT", quant, 8)}
+
+{fmt_array("ZIGZAG", zigzag, 8)}
+
+int image[1024];        // 32x32 input pixels
+int bitstream[4096];    // packed (run, level) codes
+int recon[1024];        // decoded pixels
+
+int tmp_block[64];
+int dct_out[64];
+
+void fill_image() {{
+    int seed = 31337;
+    for (int y = 0; y < 32; y++) {{
+        for (int x = 0; x < 32; x++) {{
+            // Smooth gradient plus texture noise: compressible but
+            // non-trivial, like a natural image patch.
+            seed = seed * 1103515245 + 12345;
+            int noise = (seed >> 20) & 31;
+            image[y * 32 + x] = ((x * 5 + y * 3) & 127) + noise + 32;
+        }}
+    }}
+}}
+
+void fdct8x8(int *px, int *out) {{
+    int tmp[64];
+    // rows: tmp = basis * px^T   (each row of px transformed)
+    for (int i = 0; i < 8; i++) {{
+        for (int j = 0; j < 8; j++) {{
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {{
+                acc += DCT_BASIS[i * 8 + k] * px[j * 8 + k];
+            }}
+            tmp[i * 8 + j] = acc >> 12;
+        }}
+    }}
+    // columns
+    for (int i = 0; i < 8; i++) {{
+        for (int j = 0; j < 8; j++) {{
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {{
+                acc += DCT_BASIS[i * 8 + k] * tmp[j * 8 + k];
+            }}
+            out[i * 8 + j] = acc >> 12;
+        }}
+    }}
+}}
+
+void idct8x8(int *coef, int *out) {{
+    int tmp[64];
+    for (int i = 0; i < 8; i++) {{
+        for (int j = 0; j < 8; j++) {{
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {{
+                acc += DCT_BASIS[k * 8 + i] * coef[j * 8 + k];
+            }}
+            tmp[i * 8 + j] = acc >> 12;
+        }}
+    }}
+    for (int i = 0; i < 8; i++) {{
+        for (int j = 0; j < 8; j++) {{
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {{
+                acc += DCT_BASIS[k * 8 + i] * tmp[j * 8 + k];
+            }}
+            out[i * 8 + j] = acc >> 12;
+        }}
+    }}
+}}
+
+int encode_image() {{
+    int pos = 0;
+    for (int by = 0; by < 4; by++) {{
+        for (int bx = 0; bx < 4; bx++) {{
+            // gather the block, level-shifted
+            for (int y = 0; y < 8; y++) {{
+                for (int x = 0; x < 8; x++) {{
+                    tmp_block[y * 8 + x] = image[(by * 8 + y) * 32 + bx * 8 + x] - 128;
+                }}
+            }}
+            fdct8x8(tmp_block, dct_out);
+            // quantise + zigzag + run-length encode
+            int run = 0;
+            for (int i = 0; i < 64; i++) {{
+                int v = dct_out[ZIGZAG[i]];
+                int q = QUANT[ZIGZAG[i]];
+                int level;
+                if (v < 0) {{
+                    level = 0 - ((0 - v) + (q >> 1)) / q;
+                }} else {{
+                    level = (v + (q >> 1)) / q;
+                }}
+                if (level == 0) {{
+                    run++;
+                }} else {{
+                    bitstream[pos] = (run << 16) | (level & 65535);
+                    pos++;
+                    run = 0;
+                }}
+            }}
+            bitstream[pos] = -1;  // end-of-block
+            pos++;
+        }}
+    }}
+    return pos;
+}}
+
+void decode_image(int length) {{
+    int pos = 0;
+    for (int by = 0; by < 4; by++) {{
+        for (int bx = 0; bx < 4; bx++) {{
+            for (int i = 0; i < 64; i++) {{
+                tmp_block[i] = 0;
+            }}
+            int index = 0;
+            while (pos < length && bitstream[pos] != -1) {{
+                int code = bitstream[pos];
+                pos++;
+                int run = (code >> 16) & 32767;
+                int level = code & 65535;
+                if (level > 32767) {{
+                    level = level - 65536;
+                }}
+                index += run;
+                int zz = ZIGZAG[index];
+                tmp_block[zz] = level * QUANT[zz];
+                index++;
+            }}
+            pos++;  // skip end-of-block
+            idct8x8(tmp_block, dct_out);
+            for (int y = 0; y < 8; y++) {{
+                for (int x = 0; x < 8; x++) {{
+                    int v = dct_out[y * 8 + x] + 128;
+                    if (v < 0) {{
+                        v = 0;
+                    }}
+                    if (v > 255) {{
+                        v = 255;
+                    }}
+                    recon[(by * 8 + y) * 32 + bx * 8 + x] = v;
+                }}
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def gen_cjpeg() -> str:
+    return f"""\
+// cjpeg: DCT-based image encoder (the paper's JPEG compression
+// benchmark).  8x8 fixed-point DCT, quantisation, zigzag, run-length
+// coding of a 32x32 image.
+
+{gen_jpeg_common()}
+
+int main() {{
+    fill_image();
+    int length = 0;
+    for (int rep = 0; rep < 3; rep++) {{
+        length = encode_image();
+    }}
+    int checksum = 0;
+    for (int i = 0; i < length; i++) {{
+        checksum = checksum ^ (bitstream[i] * (i + 1));
+    }}
+    print_int(length);
+    putchar(' ');
+    print_int(checksum);
+    putchar('\\n');
+    return 0;
+}}
+"""
+
+
+def gen_djpeg() -> str:
+    return f"""\
+// djpeg: DCT-based image decoder (the paper's JPEG decompression
+// benchmark).  Encodes once to produce a bitstream, then decodes it
+// repeatedly — the decode loop dominates execution.
+
+{gen_jpeg_common()}
+
+int main() {{
+    fill_image();
+    int length = encode_image();
+    for (int rep = 0; rep < 3; rep++) {{
+        decode_image(length);
+    }}
+    int err = 0;
+    for (int i = 0; i < 1024; i++) {{
+        int d = recon[i] - image[i];
+        if (d < 0) {{
+            d = 0 - d;
+        }}
+        err += d;
+    }}
+    int checksum = 0;
+    for (int i = 0; i < 1024; i++) {{
+        checksum += recon[i] * (i & 63);
+    }}
+    print_int(err);
+    putchar(' ');
+    print_int(checksum);
+    putchar('\\n');
+    return 0;
+}}
+"""
+
+
+def main() -> None:
+    out = os.path.abspath(OUT_DIR)
+    os.makedirs(out, exist_ok=True)
+    programs = {
+        "dct4x4.kc": DCT4X4,
+        "fft.kc": gen_fft(),
+        "qsort.kc": QSORT,
+        "aes.kc": gen_aes(),
+        "cjpeg.kc": gen_cjpeg(),
+        "djpeg.kc": gen_djpeg(),
+    }
+    for name, text in programs.items():
+        path = os.path.join(out, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {path} ({len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()
