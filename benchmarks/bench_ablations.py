@@ -4,6 +4,8 @@ Not part of the paper's evaluation; each section varies one modelling
 or implementation decision and reports its effect:
 
 * decode cache and instruction prediction (the Section V-A machinery),
+* superblock block chaining (the translation engine's dispatch
+  short-cut),
 * L1 size sweep (the AES working-set effect),
 * blocking vs. pipelined L1 port semantics (Section VI-D wording),
 * RTL drift-bound sweep (the hardware's precise-interrupt limit),
@@ -33,14 +35,18 @@ from _bench_common import build_program, emit_table
 
 
 def simulate(built, *, cycle_model=None, use_decode_cache=True,
-             use_prediction=True, max_instructions=None):
+             use_prediction=True, engine=None, max_instructions=None,
+             chain=True):
     program = load_executable(built.elf, built.arch)
     interp = Interpreter(
         program.state, cycle_model=cycle_model,
         use_decode_cache=use_decode_cache, use_prediction=use_prediction,
+        engine=engine,
     )
+    if interp.superblock is not None:
+        interp.superblock.chain = chain
     stats = interp.run(max_instructions=max_instructions)
-    return stats, cycle_model
+    return stats, cycle_model, interp
 
 
 def test_ablation_decode_cache(benchmark, table_writer):
@@ -50,9 +56,9 @@ def test_ablation_decode_cache(benchmark, table_writer):
         return simulate(built)[0]
 
     stats = benchmark.pedantic(cached, rounds=2, iterations=1)
-    nocache_stats, _ = simulate(built, use_decode_cache=False,
-                                max_instructions=15_000)
-    nopred_stats, _ = simulate(built, use_prediction=False)
+    nocache_stats = simulate(built, use_decode_cache=False,
+                             max_instructions=15_000)[0]
+    nopred_stats = simulate(built, use_prediction=False)[0]
     lines = [
         f"{'variant':<24} {'MIPS':>8} {'decodes':>9} {'lookups':>9}",
         f"{'no decode cache':<24} {nocache_stats.mips:>8.3f} "
@@ -66,6 +72,47 @@ def test_ablation_decode_cache(benchmark, table_writer):
     emit_table("ablation_decode_cache", "\n".join(lines))
     assert stats.mips > 3 * nocache_stats.mips
     assert stats.cache_lookups < nopred_stats.cache_lookups
+
+
+def test_ablation_block_chaining(benchmark, table_writer):
+    """Superblock engine with and without block chaining.
+
+    Chaining skips the plan-dictionary probe whenever a block's last
+    observed successor runs next; disabling it quantifies how much of
+    the engine's win comes from the dispatch short-cut vs. the
+    translated block bodies themselves.
+    """
+    built = build_program("dct4x4")
+
+    def chained():
+        return simulate(built, engine="superblock")
+
+    stats, _, interp = benchmark.pedantic(chained, rounds=2, iterations=1)
+    nochain_stats, _, nochain_interp = simulate(
+        built, engine="superblock", chain=False)
+    predict_stats = simulate(built)[0]
+
+    lines = [
+        f"{'variant':<24} {'MIPS':>8} {'chain hits':>11} {'blocks':>9}",
+        f"{'predict loop':<24} {predict_stats.mips:>8.3f} "
+        f"{'-':>11} {'-':>9}",
+        f"{'superblock, no chain':<24} {nochain_stats.mips:>8.3f} "
+        f"{nochain_interp.superblock.chain_hits:>11} "
+        f"{nochain_interp.superblock.blocks_executed:>9}",
+        f"{'superblock + chain':<24} {stats.mips:>8.3f} "
+        f"{interp.superblock.chain_hits:>11} "
+        f"{interp.superblock.blocks_executed:>9}",
+    ]
+    emit_table("ablation_block_chaining", "\n".join(lines))
+
+    # The optimisation must not change what executes.
+    assert nochain_stats.executed_instructions == \
+        stats.executed_instructions
+    assert nochain_stats.executed_slots == stats.executed_slots
+    assert nochain_interp.superblock.chain_hits == 0
+    # Chaining resolves the successor of most block dispatches.
+    assert interp.superblock.chain_hits > \
+        0.5 * interp.superblock.blocks_executed
 
 
 def test_ablation_l1_size(benchmark, table_writer):

@@ -142,7 +142,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         trace_file = open(args.trace, "w", encoding="utf-8")
         tracer = Tracer(stream=trace_file, keep_records=False)
-    interp = Interpreter(program.state, cycle_model=model, tracer=tracer)
+    interp = Interpreter(program.state, cycle_model=model, tracer=tracer,
+                         engine=args.engine)
     stats = interp.run(max_instructions=args.max_instructions)
     if trace_file is not None:
         trace_file.close()
@@ -278,6 +279,11 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--isa", type=int, default=None,
                    help="override the initial ISA id")
     p.add_argument("--trace", help="write a trace file")
+    p.add_argument("--engine",
+                   choices=["nocache", "cache", "predict", "superblock"],
+                   default="superblock",
+                   help="execution engine (superblock is fastest; "
+                        "tracing falls back to the featureful loop)")
     p.add_argument("--max-instructions", type=int, default=100_000_000)
     p.add_argument("--branch-predictor",
                    choices=["perfect", "not-taken", "bimodal", "gshare"],

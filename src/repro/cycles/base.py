@@ -32,6 +32,17 @@ class CycleModel:
         """Account for one executed instruction (called pre-commit)."""
         raise NotImplementedError
 
+    #: Optional batched fast path for the superblock engine: models
+    #: whose accounting never reads current register *values* (ILP)
+    #: override this with a method taking ``(plan, regs)`` that
+    #: observes all of ``plan.decs`` in one call, letting translated
+    #: blocks run without per-instruction pauses.  Models that read
+    #: ``regs`` pre-commit (AIE/DOE compute effective addresses from
+    #: base registers) must leave it None — the engine then falls back
+    #: to per-instruction ``observe`` with buffered commits, keeping
+    #: cycle counts bit-identical across engines.
+    observe_block = None
+
     @property
     def cycles(self) -> int:
         """Approximated total cycle count so far."""

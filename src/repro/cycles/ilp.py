@@ -91,6 +91,17 @@ class IlpModel(CycleModel):
             if completion > self.max_completion:
                 self.max_completion = completion
 
+    def observe_block(self, plan, regs: Sequence[int]) -> None:
+        """Superblock fast path: observe a whole plan in one call.
+
+        Valid because this model never reads current register values —
+        only dependence indices — so observing before the block's
+        writes commit is indistinguishable from interleaved observes.
+        """
+        observe = self.observe
+        for dec in plan.decs:
+            observe(dec, regs)
+
     @property
     def cycles(self) -> int:
         return self.max_completion

@@ -125,6 +125,7 @@ def run(
     tracer: Optional[Tracer] = None,
     use_decode_cache: bool = True,
     use_prediction: bool = True,
+    engine: Optional[str] = None,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     input_data: bytes = b"",
     isa_id: Optional[int] = None,
@@ -140,6 +141,7 @@ def run(
         tracer=tracer,
         use_decode_cache=use_decode_cache,
         use_prediction=use_prediction,
+        engine=engine,
         ip_history=ip_history,
     )
     stats = interpreter.run(max_instructions=max_instructions)

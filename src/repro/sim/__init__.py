@@ -25,7 +25,7 @@ from .decoder import (
 from .debuginfo import DebugInfo, LineMap, Location
 from .disasm import disassemble_range, format_instruction, format_op
 from .errors import DecodeError, SimulationError
-from .interpreter import Interpreter
+from .interpreter import ENGINES, Interpreter
 from .memory import Memory
 from .state import (
     EXIT_ADDRESS,
@@ -34,6 +34,7 @@ from .state import (
     TEXT_BASE,
 )
 from .stats import SimStats
+from .superblock import SuperblockEngine, SuperblockPlan
 from .syscalls import Syscalls
 from .tracecheck import (
     TraceMismatch,
@@ -53,6 +54,7 @@ __all__ = [
     "STOP_STEPPED",
     "STOP_WATCHPOINT",
     "DecodeError",
+    "ENGINES",
     "DecodedInstruction",
     "DecodedOp",
     "DebugInfo",
@@ -73,6 +75,8 @@ __all__ = [
     "STACK_TOP",
     "SimStats",
     "SimulationError",
+    "SuperblockEngine",
+    "SuperblockPlan",
     "Syscalls",
     "TEXT_BASE",
     "TraceMismatch",

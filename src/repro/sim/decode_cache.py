@@ -21,27 +21,48 @@ predictor (99.2 % of lookups avoided for cjpeg).  The prediction fields
 live directly in :class:`~repro.sim.decoder.DecodedInstruction`; the
 interpreter inlines the check in its run loop, and this class provides
 the shared cache storage plus an out-of-loop API for tools and tests.
+
+Two responsibilities beyond plain caching:
+
+* **Statistics.**  The cache's ``decodes``/``lookups`` counters are the
+  single source of truth: the interpreter's inlined fast paths flush
+  their local counters into them, out-of-loop :meth:`lookup` calls
+  count directly, and :class:`~repro.sim.stats.SimStats` is derived
+  from counter deltas around each run.
+
+* **Self-modifying code.**  Every insertion registers the instruction's
+  pages with :meth:`Memory.watch_code`; stores into those pages reach
+  :meth:`invalidate_write`, which drops exactly the decodes whose bytes
+  were overwritten and severs all prediction links (any decode may
+  predict into a dropped one).  ``version`` bumps on every invalidation
+  so engines holding derived structures (superblock plans) can notice.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..targetgen.optable import TargetDescription
 from .decoder import DecodedInstruction, decode_instruction
-from .memory import Memory
+from .memory import PAGE_SHIFT, Memory
 
 
 class DecodeCache:
     """Hash-map decode cache shared by interpreter, tools and tests."""
 
-    __slots__ = ("target", "entries", "decodes", "lookups")
+    __slots__ = ("target", "entries", "decodes", "lookups", "version",
+                 "_by_page")
 
     def __init__(self, target: TargetDescription) -> None:
         self.target = target
         self.entries: Dict[Tuple[int, int], DecodedInstruction] = {}
         self.decodes = 0
         self.lookups = 0
+        #: Bumped on every invalidation; consumers caching derived
+        #: structures compare it to detect staleness.
+        self.version = 0
+        #: page index -> keys of decodes overlapping that page.
+        self._by_page: Dict[int, List[Tuple[int, int]]] = {}
 
     def lookup(self, mem: Memory, isa_id: int, addr: int) -> DecodedInstruction:
         """Return the decode structure for ``addr`` under ``isa_id``.
@@ -53,14 +74,80 @@ class DecodeCache:
         key = (isa_id, addr)
         dec = self.entries.get(key)
         if dec is None:
-            dec = decode_instruction(self.target.optable(isa_id), mem, addr)
-            self.entries[key] = dec
-            self.decodes += 1
+            dec = self.miss(mem, isa_id, addr)
         return dec
+
+    def miss(self, mem: Memory, isa_id: int, addr: int) -> DecodedInstruction:
+        """Decode ``addr``, insert it, and register its code pages.
+
+        The interpreter's inlined loops call this directly after their
+        own (uncounted-here) dict probe failed.
+        """
+        dec = decode_instruction(self.target.optable(isa_id), mem, addr)
+        key = (isa_id, addr)
+        self.entries[key] = dec
+        self.decodes += 1
+        first = addr >> PAGE_SHIFT
+        last = (addr + dec.size - 1) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            self._by_page.setdefault(page, []).append(key)
+        mem.watch_code(addr, dec.size)
+        return dec
+
+    # -- invalidation ------------------------------------------------------
+
+    def _sever_predictions(self) -> None:
+        """Reset every prediction link.
+
+        Links may point into dropped decode structures from anywhere
+        (including the loop-local ``prev`` of a running interpreter), so
+        invalidation conservatively severs them all; they re-form on the
+        next execution of each edge.
+        """
+        for dec in self.entries.values():
+            dec.pred_ip = -1
+            dec.pred_dec = None
 
     def invalidate(self) -> None:
         """Drop all cached decodes (e.g. after self-modifying stores)."""
+        self._sever_predictions()
         self.entries.clear()
+        self._by_page.clear()
+        self.version += 1
+
+    def invalidate_write(self, page: int, addr: int, length: int) -> bool:
+        """Drop decodes whose bytes intersect ``[addr, addr+length)``.
+
+        Called (via the interpreter's memory listener) for every store
+        into a page containing code.  Returns whether any decode was
+        actually overwritten — stores to data that merely shares a page
+        with code are filtered out here, so they cost one overlap scan
+        but no invalidation.
+        """
+        keys = self._by_page.get(page)
+        if not keys:
+            return False
+        end = addr + length
+        stale = [
+            key for key in keys
+            if (dec := self.entries.get(key)) is not None
+            and dec.addr < end and addr < dec.addr + dec.size
+        ]
+        if not stale:
+            return False
+        self._sever_predictions()
+        for key in stale:
+            dec = self.entries.pop(key, None)
+            if dec is None:
+                continue
+            first = dec.addr >> PAGE_SHIFT
+            last = (dec.addr + dec.size - 1) >> PAGE_SHIFT
+            for p in range(first, last + 1):
+                bucket = self._by_page.get(p)
+                if bucket is not None and key in bucket:
+                    bucket.remove(key)
+        self.version += 1
+        return True
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -55,6 +55,7 @@ class DecodedOp:
         "word",
         "vals",
         "sim_fn",
+        "direct_fn",
         "kind_code",
         "delay",
         "fu_class",
@@ -73,6 +74,8 @@ class DecodedOp:
         self.word = word
         self.vals = vals
         self.sim_fn = entry.sim_fn
+        #: Unbuffered variant for superblock bodies (None if unsafe).
+        self.direct_fn = entry.direct_fn
         self.kind_code = _KIND_CODES[op.kind]
         self.delay = op.delay
         self.fu_class = op.fu_class

@@ -1,13 +1,16 @@
 """The interpretation-based simulation loop (paper Sections V, V-A, V-B).
 
 The interpreter fetches, detects, decodes and executes instructions of
-the currently active ISA.  Three loop variants mirror the paper's
+the currently active ISA.  Four engines mirror (and extend) the paper's
 performance experiment (Table I / Section VII-A):
 
-* no decode cache        — every instruction is detected and decoded,
-* decode cache           — hash-map lookups only,
-* cache + prediction     — the 1-bit-predictor-style instruction
-                           prediction skips most hash lookups.
+* ``nocache``    — every instruction is detected and decoded,
+* ``cache``      — hash-map lookups only,
+* ``predict``    — the 1-bit-predictor-style instruction prediction
+                   skips most hash lookups,
+* ``superblock`` — straight-line runs are translated into cached
+                   execution plans chained block-to-block
+                   (:mod:`repro.sim.superblock`).
 
 Parallel operations of a VLIW instruction are executed with
 read-before-write semantics: every generated simulation function buffers
@@ -32,8 +35,12 @@ from .decoder import KIND_NOP, decode_instruction
 from .errors import SimulationError
 from .state import ProcessorState
 from .stats import SimStats
+from .superblock import SuperblockEngine
 
 _UNLIMITED = 1 << 62
+
+#: Valid ``engine=`` arguments, slowest to fastest.
+ENGINES = ("nocache", "cache", "predict", "superblock")
 
 
 class Interpreter:
@@ -48,6 +55,7 @@ class Interpreter:
         tracer=None,
         use_decode_cache: bool = True,
         use_prediction: bool = True,
+        engine: Optional[str] = None,
         ip_history: int = 0,
         breakpoints=None,
     ) -> None:
@@ -55,9 +63,35 @@ class Interpreter:
         self.target = target if target is not None else build_target(state.arch)
         self.cycle_model = cycle_model
         self.tracer = tracer
+        if engine is None:
+            # Legacy flag spelling of the first three engines.
+            if not use_decode_cache:
+                engine = "nocache"
+            elif not use_prediction:
+                engine = "cache"
+            else:
+                engine = "predict"
+        elif engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        else:
+            use_decode_cache = engine != "nocache"
+            use_prediction = engine in ("predict", "superblock")
+        self.engine = engine
         self.use_decode_cache = use_decode_cache
         self.use_prediction = use_prediction
         self.cache = DecodeCache(self.target)
+        #: Superblock translation engine (only for engine="superblock").
+        self.superblock = (
+            SuperblockEngine(self.cache) if engine == "superblock" else None
+        )
+        #: Shared invalidation cell: the memory listener flips it when a
+        #: store overwrites translated code, so a running superblock can
+        #: abort after the offending instruction commits.
+        self._inv = [False]
+        if use_decode_cache:
+            state.mem.add_code_listener(self._on_code_write)
         self.ip_history = (
             deque(maxlen=ip_history) if ip_history > 0 else None
         )
@@ -83,6 +117,10 @@ class Interpreter:
             # Resuming from a breakpoint executes its instruction once.
             self._resume_over_breakpoint = True
         self.stopped_at_breakpoint = False
+        # The cache counters are the single source of truth for decode
+        # and lookup statistics; SimStats gets the per-run delta.
+        decodes_before = self.cache.decodes
+        lookups_before = self.cache.lookups
         start = time.perf_counter()
         try:
             if (
@@ -90,11 +128,16 @@ class Interpreter:
                 or self.ip_history is not None
                 or self.breakpoints
             ):
+                # Tracing, IP history and breakpoints need per-op
+                # bookkeeping the translated plans deliberately skip, so
+                # every engine falls back to the featureful loop here.
                 self._loop_full(budget)
-            elif not self.use_decode_cache:
-                self._loop_nocache(budget)
-            elif not self.use_prediction:
+            elif self.engine == "superblock":
+                self._loop_superblock(budget)
+            elif self.engine == "cache":
                 self._loop_cache(budget)
+            elif self.engine == "nocache":
+                self._loop_nocache(budget)
             else:
                 self._loop_predict(budget)
         except SimulationError:
@@ -106,12 +149,38 @@ class Interpreter:
                 isa=self.state.isa.name,
             ) from exc
         self.stats.elapsed_seconds += time.perf_counter() - start
+        self.stats.decoded_instructions += self.cache.decodes - decodes_before
+        self.stats.cache_lookups += self.cache.lookups - lookups_before
         self.stats.simops = self.state.simop_count
         self.stats.isa_switches = self.state.isa_switches
         self.stats.exit_code = self.state.exit_code
         return self.stats
 
+    # -- self-modifying code ----------------------------------------------
+
+    def _on_code_write(self, page: int, addr: int, length: int) -> None:
+        """Memory listener: a store hit a page containing cached code."""
+        hit = self.cache.invalidate_write(page, addr, length)
+        engine = self.superblock
+        if engine is not None and engine.invalidate_write(page, addr, length):
+            hit = True
+        if hit:
+            self._inv[0] = True
+
     # -- loop variants -----------------------------------------------------
+
+    def _loop_superblock(self, budget: int) -> None:
+        """Chained superblock plans, with a per-instruction tail."""
+        executed, slots, ops_exec, mem_instr, mem_ops = (
+            self.superblock.execute(
+                self.state, self.cycle_model, budget, self._inv
+            )
+        )
+        self._flush(executed, slots, ops_exec, 0, 0, 0, mem_instr, mem_ops)
+        if not self.state.halted and executed < budget:
+            # The next whole block would overrun the budget: finish the
+            # remaining instructions one at a time.
+            self._loop_predict(budget - executed)
 
     def _loop_predict(self, budget: int) -> None:
         """Decode cache + instruction prediction (the paper's fastest)."""
@@ -119,12 +188,12 @@ class Interpreter:
         mem = state.mem
         regs = state.regs
         cache = self.cache.entries
-        optables = self.target.optables
+        miss = self.cache.miss
         model = self.cycle_model
         s4, s2, s1 = mem.store4, mem.store2, mem.store1
         regwr: list = []
         memwr: list = []
-        executed = slots = ops_exec = decodes = lookups = 0
+        executed = slots = ops_exec = lookups = 0
         pred_hits = mem_instr = mem_ops = 0
         prev = None
         while not state.halted and executed < budget:
@@ -138,9 +207,7 @@ class Interpreter:
                 lookups += 1
                 dec = cache.get(key)
                 if dec is None:
-                    dec = decode_instruction(optables[isa_id], mem, ip)
-                    cache[key] = dec
-                    decodes += 1
+                    dec = miss(mem, isa_id, ip)
                 if prev is not None:
                     prev.pred_ip = ip
                     prev.pred_dec = dec
@@ -182,7 +249,7 @@ class Interpreter:
                 mem_instr += 1
                 mem_ops += dec.n_mem
         self._flush(
-            executed, slots, ops_exec, decodes, lookups, pred_hits,
+            executed, slots, ops_exec, 0, lookups, pred_hits,
             mem_instr, mem_ops,
         )
 
@@ -192,12 +259,12 @@ class Interpreter:
         mem = state.mem
         regs = state.regs
         cache = self.cache.entries
-        optables = self.target.optables
+        miss = self.cache.miss
         model = self.cycle_model
         s4, s2, s1 = mem.store4, mem.store2, mem.store1
         regwr: list = []
         memwr: list = []
-        executed = slots = ops_exec = decodes = 0
+        executed = slots = ops_exec = 0
         mem_instr = mem_ops = 0
         while not state.halted and executed < budget:
             ip = state.ip
@@ -205,9 +272,7 @@ class Interpreter:
             key = (isa_id, ip)
             dec = cache.get(key)
             if dec is None:
-                dec = decode_instruction(optables[isa_id], mem, ip)
-                cache[key] = dec
-                decodes += 1
+                dec = miss(mem, isa_id, ip)
             next_ip = ip + dec.size
             new_ip = None
             single = dec.single
@@ -245,7 +310,7 @@ class Interpreter:
                 mem_instr += 1
                 mem_ops += dec.n_mem
         self._flush(
-            executed, slots, ops_exec, decodes, executed, 0,
+            executed, slots, ops_exec, 0, executed, 0,
             mem_instr, mem_ops,
         )
 
@@ -310,6 +375,7 @@ class Interpreter:
         mem = state.mem
         regs = state.regs
         cache = self.cache.entries
+        miss = self.cache.miss
         optables = self.target.optables
         model = self.cycle_model
         tracer = self.tracer
@@ -342,11 +408,7 @@ class Interpreter:
                     lookups += 1
                     dec = cache.get(key)
                     if dec is None:
-                        dec = decode_instruction(
-                            optables[state.isa_id], mem, ip
-                        )
-                        cache[key] = dec
-                        decodes += 1
+                        dec = miss(mem, state.isa_id, ip)
                     if prev is not None:
                         prev.pred_ip = ip
                         prev.pred_dec = dec
@@ -418,10 +480,10 @@ class Interpreter:
         st.executed_instructions += executed
         st.executed_slots += slots
         st.executed_ops += ops_exec
-        st.decoded_instructions += decodes
-        st.cache_lookups += lookups
         st.prediction_hits += pred_hits
         st.memory_instructions += mem_instr
         st.memory_ops += mem_ops
+        # Decode/lookup counts live in the cache (single source of
+        # truth); run() derives the SimStats fields from its deltas.
         self.cache.decodes += decodes
         self.cache.lookups += lookups

@@ -10,37 +10,69 @@ All values are little-endian, matching the ELF encoding we emit.
 Addresses are masked to 32 bits; unaligned and page-crossing accesses
 are supported (the KAHRISMA compiler never emits them, but hand-written
 assembly and error cases may).
+
+Self-modifying code support: consumers that cache decoded instructions
+(the decode cache, the superblock engine) register the pages their
+decodes came from via :meth:`watch_code` and subscribe a listener via
+:meth:`add_code_listener`.  Every store path checks the written page
+against the watched set and notifies listeners with the page index and
+the exact byte range written, so invalidation can be precise even when
+code and data share a page.  With no watched pages the per-store cost
+is a single truthiness test.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+import sys
+from typing import Callable, Dict, Iterator, List, Set, Tuple
 
 MASK32 = 0xFFFFFFFF
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 
+#: Aligned word accesses go through a ``memoryview`` of each page cast
+#: to native 32-bit words — one indexed read/write instead of a slice
+#: plus int conversion.  The cast uses host byte order, so the fast
+#: path is only valid on little-endian hosts (matching the simulated
+#: memory's little-endian layout); big-endian hosts take the byte path.
+_WORD_VIEWS = sys.byteorder == "little"
+
+#: Listener signature: (page_index, addr, length) of one written range.
+CodeWriteListener = Callable[[int, int, int], None]
+
 
 class Memory:
     """Paged sparse memory with word/half/byte accessors."""
 
-    __slots__ = ("_pages",)
+    __slots__ = ("_pages", "_views", "_code_pages", "_code_listeners")
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
+        #: Per-page ``memoryview`` cast to 32-bit words (little-endian
+        #: hosts only); maintained alongside ``_pages`` by ``_page``.
+        self._views: Dict[int, memoryview] = {}
+        self._code_pages: Set[int] = set()
+        self._code_listeners: List[CodeWriteListener] = []
 
     def _page(self, index: int) -> bytearray:
         page = self._pages.get(index)
         if page is None:
             page = bytearray(PAGE_SIZE)
             self._pages[index] = page
+            if _WORD_VIEWS:
+                self._views[index] = memoryview(page).cast("I")
         return page
 
     # -- word access (hot path of the interpreter) ----------------------
 
     def load4(self, addr: int) -> int:
         addr &= MASK32
+        if addr & 3 == 0 and _WORD_VIEWS:
+            view = self._views.get(addr >> PAGE_SHIFT)
+            if view is None:
+                return 0
+            return view[(addr & PAGE_MASK) >> 2]
         off = addr & PAGE_MASK
         if off <= PAGE_SIZE - 4:
             page = self._pages.get(addr >> PAGE_SHIFT)
@@ -51,11 +83,26 @@ class Memory:
 
     def store4(self, addr: int, value: int) -> None:
         addr &= MASK32
+        if addr & 3 == 0 and _WORD_VIEWS:
+            index = addr >> PAGE_SHIFT
+            view = self._views.get(index)
+            if view is None:
+                self._page(index)
+                view = self._views[index]
+            view[(addr & PAGE_MASK) >> 2] = value & MASK32
+            cp = self._code_pages
+            if cp and index in cp:
+                self._code_written(index, addr, 4)
+            return
         off = addr & PAGE_MASK
         if off <= PAGE_SIZE - 4:
-            self._page(addr >> PAGE_SHIFT)[off:off + 4] = (
+            page = addr >> PAGE_SHIFT
+            self._page(page)[off:off + 4] = (
                 value & MASK32
             ).to_bytes(4, "little")
+            cp = self._code_pages
+            if cp and page in cp:
+                self._code_written(page, addr, 4)
         else:
             self.store_bytes(addr, (value & MASK32).to_bytes(4, "little"))
 
@@ -73,9 +120,13 @@ class Memory:
         addr &= MASK32
         off = addr & PAGE_MASK
         if off <= PAGE_SIZE - 2:
-            page = self._page(addr >> PAGE_SHIFT)
+            index = addr >> PAGE_SHIFT
+            page = self._page(index)
             page[off] = value & 0xFF
             page[off + 1] = (value >> 8) & 0xFF
+            cp = self._code_pages
+            if cp and index in cp:
+                self._code_written(index, addr, 2)
         else:
             self.store_bytes(addr, (value & 0xFFFF).to_bytes(2, "little"))
 
@@ -88,7 +139,11 @@ class Memory:
 
     def store1(self, addr: int, value: int) -> None:
         addr &= MASK32
-        self._page(addr >> PAGE_SHIFT)[addr & PAGE_MASK] = value & 0xFF
+        index = addr >> PAGE_SHIFT
+        self._page(index)[addr & PAGE_MASK] = value & 0xFF
+        cp = self._code_pages
+        if cp and index in cp:
+            self._code_written(index, addr, 1)
 
     # -- bulk access (loader, syscalls) ---------------------------------
 
@@ -110,10 +165,14 @@ class Memory:
     def store_bytes(self, addr: int, data: bytes) -> None:
         addr &= MASK32
         view = memoryview(data)
+        cp = self._code_pages
         while view:
             off = addr & PAGE_MASK
             chunk = min(len(view), PAGE_SIZE - off)
-            self._page(addr >> PAGE_SHIFT)[off:off + chunk] = view[:chunk]
+            index = addr >> PAGE_SHIFT
+            self._page(index)[off:off + chunk] = view[:chunk]
+            if cp and index in cp:
+                self._code_written(index, addr, chunk)
             addr = (addr + chunk) & MASK32
             view = view[chunk:]
 
@@ -130,6 +189,38 @@ class Memory:
 
     def store_cstring(self, addr: int, data: bytes) -> None:
         self.store_bytes(addr, data + b"\x00")
+
+    # -- self-modifying-code hooks --------------------------------------
+
+    def watch_code(self, addr: int, size: int) -> None:
+        """Mark the pages of ``[addr, addr+size)`` as containing code.
+
+        Called by decode caches when they store a decode structure;
+        subsequent stores into these pages notify the listeners.
+        """
+        addr &= MASK32
+        first = addr >> PAGE_SHIFT
+        last = (addr + max(size, 1) - 1) >> PAGE_SHIFT
+        pages = self._code_pages
+        for index in range(first, last + 1):
+            pages.add(index)
+
+    def add_code_listener(self, listener: CodeWriteListener) -> None:
+        """Subscribe to stores into watched code pages."""
+        if listener not in self._code_listeners:
+            self._code_listeners.append(listener)
+
+    def remove_code_listener(self, listener: CodeWriteListener) -> None:
+        if listener in self._code_listeners:
+            self._code_listeners.remove(listener)
+
+    def _code_written(self, page: int, addr: int, length: int) -> None:
+        for listener in self._code_listeners:
+            listener(page, addr, length)
+
+    @property
+    def watched_code_pages(self) -> int:
+        return len(self._code_pages)
 
     # -- introspection ---------------------------------------------------
 

@@ -1,0 +1,721 @@
+"""Superblock translation engine: cached straight-line execution plans.
+
+The decode cache (Section V-A) already removes ~99.99 % of decodes and
+instruction prediction ~99 % of hash lookups, but the interpreter still
+pays per-instruction Python overhead: the prediction check, per-slot
+dispatch, write-buffer commit and statistics bookkeeping.  This module
+is the next step beyond interpretation — the translated-simulation
+technique of Reshadi & Dutt and Blanqui et al.: turn the decoded
+instruction stream into straight-line execution *plans* that run
+without any of that per-instruction machinery.
+
+On first execution of a basic-block entry the engine walks the decode
+cache from the entry IP up to the next control transfer (branch, jump,
+halt, simop or ISA switch) or :data:`MAX_BLOCK_LEN`, and flattens the
+run into a :class:`SuperblockPlan`:
+
+* a tuple of preallocated body rows ``(fn, vals, ip, next_ip)`` with
+  instruction addresses baked in as constants (straight-line code has
+  static IPs), NOP-only instructions elided;
+* a single terminator record executed with full buffered semantics;
+* precomputed block-total statistics deltas, accumulated once per block
+  instead of once per instruction.
+
+Plans come in three kinds.  When every body instruction is single-issue
+and has a *direct* simulation variant (see
+:mod:`repro.targetgen.behavior_compiler`), the body runs commit-free:
+each row is one Python call that writes architectural state in place.
+Otherwise the body runs buffered rows (VLIW bundles keep their
+read-before-write semantics).  Blocks are *chained* through their
+observed successor — the block-level analogue of the paper's 1-bit
+instruction prediction — so the steady state executes without even a
+per-block hash lookup.
+
+Cycle models still observe every instruction: models exposing the
+batched :meth:`~repro.cycles.base.CycleModel.observe_block` hook get
+one call per block (ILP opts in); AIE/DOE fall back to per-instruction
+``observe`` on buffered rows, preserving their pre-commit register
+view and therefore bit-identical cycle counts.
+
+Self-modifying code: plans register their pages with the memory's
+code-watch set.  A store that overwrites planned bytes invalidates the
+overlapping plans and decode-cache entries (see
+:meth:`invalidate_write`), severs all block chains, and — through the
+interpreter's invalidation cell — aborts the currently running block
+after the offending instruction commits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..targetgen.behavior_compiler import (
+    SIM_GLOBALS,
+    inline_control_stmts,
+    inline_direct_stmts,
+)
+from .decode_cache import DecodeCache
+from .decoder import DecodedInstruction, KIND_NOP, KIND_STORE
+from .errors import DecodeError
+from .memory import PAGE_SHIFT, Memory
+from .state import ProcessorState
+
+#: Straight-line runs longer than this are split into multiple chained
+#: plans (bounds build latency and invalidation granularity).
+MAX_BLOCK_LEN = 64
+
+#: A direct-eligible plan is translated into one flat Python function
+#: on its Nth execution.  Translating costs an emission + ``compile``
+#: pass (~0.3 ms), so cold blocks — init code, error paths — stay on
+#: the cheap per-row call loop and never pay it.
+HOT_THRESHOLD = 4
+
+#: Plan kinds: commit-free body without stores, commit-free body with
+#: stores (needs the invalidation check), buffered body.
+PLAN_DIRECT = 0
+PLAN_DIRECT_MEM = 1
+PLAN_GENERAL = 2
+
+
+class SuperblockPlan:
+    """One translated straight-line run plus its terminator."""
+
+    __slots__ = (
+        "isa_id",
+        "entry_ip",
+        "kind",
+        "body",
+        "body_fn",
+        "full_fn",
+        "exec_count",
+        "obs_body",
+        "term_dec",
+        "term_fn",
+        "term_vals",
+        "term_ops",
+        "term_ip",
+        "term_next_ip",
+        "end_ip",
+        "decs",
+        "n_instr",
+        "n_slots",
+        "n_exec",
+        "n_mem_instr",
+        "n_mem_ops",
+        "has_store",
+        "pred_ip",
+        "pred_isa",
+        "pred_plan",
+    )
+
+    def __init__(
+        self,
+        isa_id: int,
+        entry_ip: int,
+        decs: Tuple[DecodedInstruction, ...],
+        terminated: bool,
+    ) -> None:
+        self.isa_id = isa_id
+        self.entry_ip = entry_ip
+        self.decs = decs
+        body_decs = decs[:-1] if terminated else decs
+
+        self.n_instr = len(decs)
+        self.n_slots = sum(d.n_slots for d in decs)
+        self.n_exec = sum(d.n_exec for d in decs)
+        self.n_mem_instr = sum(1 for d in decs if d.has_mem)
+        self.n_mem_ops = sum(d.n_mem for d in decs)
+        self.has_store = any(
+            op.kind_code == KIND_STORE for d in decs for op in d.ops
+        )
+
+        # Buffered observation rows: every body instruction (including
+        # NOP-only bundles — cycle models must see those issue).
+        self.obs_body = tuple(
+            (d.exec_ops, d.addr, d.addr + d.size, d) for d in body_decs
+        )
+
+        # Functional body rows with static IPs.  Commit-free when every
+        # instruction is single-issue with a direct variant.
+        direct_ok = all(
+            d.single is not None
+            and (d.single.kind_code == KIND_NOP
+                 or d.single.direct_fn is not None)
+            for d in body_decs
+        )
+        rows: List[Tuple] = []
+        body_has_store = False
+        for d in body_decs:
+            if d.n_exec == 0:
+                continue  # NOP-only: IP advance is baked into the rows
+            next_ip = d.addr + d.size
+            if direct_ok:
+                rows.append((d.single.direct_fn, d.single.vals,
+                             d.addr, next_ip))
+            elif d.single is not None:
+                rows.append((d.single.sim_fn, d.single.vals,
+                             d.addr, next_ip))
+            else:
+                rows.append((None, d.exec_ops, d.addr, next_ip))
+            if any(op.kind_code == KIND_STORE for op in d.ops):
+                body_has_store = True
+        self.body = tuple(rows)
+        if direct_ok:
+            self.kind = PLAN_DIRECT_MEM if body_has_store else PLAN_DIRECT
+        else:
+            self.kind = PLAN_GENERAL
+        #: Flat translated code, compiled lazily once the plan is hot
+        #: (see :meth:`translate`); the row loop is the cold path.
+        #: ``full_fn`` covers body *and* terminator and returns the next
+        #: IP (or ``~stop_ip`` on a self-modifying-code abort);
+        #: ``body_fn`` covers only the body and returns None (or the
+        #: positive ``stop_ip`` on abort).
+        self.body_fn = None
+        self.full_fn = None
+        self.exec_count = 0
+
+        # Terminator (None for blocks capped at MAX_BLOCK_LEN or
+        # truncated before an undecodable word).
+        if terminated:
+            term = decs[-1]
+            self.term_dec = term
+            self.term_ip = term.addr
+            self.term_next_ip = term.addr + term.size
+            self.end_ip = self.term_next_ip
+            if term.single is not None:
+                self.term_fn = term.single.sim_fn
+                self.term_vals = term.single.vals
+                self.term_ops = None
+            else:
+                self.term_fn = None
+                self.term_vals = None
+                self.term_ops = term.exec_ops
+        else:
+            self.term_dec = None
+            self.term_fn = None
+            self.term_vals = None
+            self.term_ops = None
+            self.term_ip = -1
+            self.term_next_ip = -1
+            last = decs[-1]
+            self.end_ip = last.addr + last.size
+
+        # Block chaining (1-entry successor prediction).
+        self.pred_ip = -1
+        self.pred_isa = -1
+        self.pred_plan: Optional["SuperblockPlan"] = None
+
+    def translate(self) -> None:
+        """Compile the plan into flat translated functions.
+
+        Called by the engine once the plan crosses
+        :data:`HOT_THRESHOLD`.  Preferred outcome is ``full_fn`` (body
+        plus an inlined branch terminator — one call per block);
+        otherwise ``body_fn`` (buffered terminator stays); otherwise
+        nothing, leaving the per-row call loop in charge.
+        """
+        if self.kind == PLAN_GENERAL:
+            return
+        body_decs = (
+            self.decs[:-1] if self.term_dec is not None else self.decs
+        )
+        body_has_store = any(
+            op.kind_code == KIND_STORE for d in body_decs for op in d.ops
+        )
+        term = self.term_dec
+        if term is not None and term.single is not None:
+            self.full_fn = _translate_plan(
+                body_decs, body_has_store, term,
+                self.isa_id, self.entry_ip,
+            )
+            if self.full_fn is not None:
+                return
+        self.body_fn = _translate_body(
+            body_decs, body_has_store, self.isa_id, self.entry_ip
+        )
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """[start, end) byte range covered by the plan's instructions."""
+        first = self.decs[0]
+        last = self.decs[-1]
+        return first.addr, last.addr + last.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SuperblockPlan isa={self.isa_id} entry={self.entry_ip:#x} "
+            f"n={self.n_instr} kind={self.kind}>"
+        )
+
+
+def _emit_body_lines(
+    body_decs: Tuple[DecodedInstruction, ...],
+    has_store: bool,
+    invert_abort: bool,
+) -> Optional[Tuple[List[str], bool, set, set]]:
+    """Inline every body instruction; None when not flatly translatable.
+
+    After each store instruction of a store-carrying block an
+    invalidation check is emitted, returning the committed
+    instruction's successor IP on a self-modifying-code hit —
+    bit-inverted (negative) when the function's normal return values
+    are IPs themselves (``invert_abort``).
+    """
+    lines: List[str] = []
+    uses_regs = False
+    loads: set = set()
+    stores: set = set()
+    for d in body_decs:
+        single = d.single
+        if single is None:
+            return None
+        if d.n_exec == 0:
+            continue
+        try:
+            stmts, i_regs, i_loads, i_stores = inline_direct_stmts(
+                single.entry.op, single.vals, d.addr, d.addr + d.size
+            )
+        except Exception:
+            return None  # fall back to the per-row call loop
+        lines.extend(stmts)
+        uses_regs = uses_regs or i_regs
+        loads |= i_loads
+        stores |= i_stores
+        if has_store and single.kind_code == KIND_STORE:
+            stop = d.addr + d.size
+            lines.append("    if inv[0]:")
+            lines.append(f"        return {~stop if invert_abort else stop}")
+    return lines, uses_regs, loads, stores
+
+
+def _compile_plan_fn(
+    lines: List[str],
+    uses_regs: bool,
+    loads: set,
+    stores: set,
+    isa_id: int,
+    entry_ip: int,
+) -> Callable:
+    prologue: List[str] = []
+    if uses_regs:
+        prologue.append("    regs = state.regs")
+    for intrinsic in sorted(loads):
+        size = intrinsic[1]
+        prologue.append(f"    ld{size} = state.mem.load{size}")
+    for size in sorted(stores):
+        prologue.append(f"    st{size} = state.mem.store{size}")
+    source = "\n".join(
+        ["def _superblock_body(state, inv):"] + prologue + lines
+    )
+    namespace: Dict[str, object] = dict(SIM_GLOBALS)
+    exec(
+        compile(source, f"<superblock:{isa_id}:{entry_ip:#x}>", "exec"),
+        namespace,
+    )
+    return namespace["_superblock_body"]
+
+
+def _translate_body(
+    body_decs: Tuple[DecodedInstruction, ...],
+    has_store: bool,
+    isa_id: int,
+    entry_ip: int,
+) -> Optional[Callable]:
+    """Compile a direct-eligible body into one flat Python function.
+
+    The generated function executes every body instruction as inlined
+    straight-line statements (no per-instruction calls, dispatch or
+    bookkeeping) and returns None; on a self-modifying-code hit it
+    returns the positive stop IP.  The terminator stays buffered.
+    """
+    emitted = _emit_body_lines(body_decs, has_store, invert_abort=False)
+    if emitted is None or not emitted[0]:
+        return None
+    lines, uses_regs, loads, stores = emitted
+    return _compile_plan_fn(
+        lines, uses_regs, loads, stores, isa_id, entry_ip
+    )
+
+
+def _translate_plan(
+    body_decs: Tuple[DecodedInstruction, ...],
+    has_store: bool,
+    term: DecodedInstruction,
+    isa_id: int,
+    entry_ip: int,
+) -> Optional[Callable]:
+    """Compile body *plus* branch terminator into one flat function.
+
+    Every path returns the next IP directly (branch targets and the
+    fall-through are literals folded at translation time); an abort
+    returns ``~stop_ip``.  Only plain control transfers whose
+    per-instance read-after-write check passes are inlined — ``jalr``
+    with ``rd == rs1``, switches, simops and halts keep the buffered
+    terminator path.
+    """
+    single = term.single
+    inlined = inline_control_stmts(
+        single.entry.op, single.vals, term.addr, term.addr + term.size
+    )
+    if inlined is None:
+        return None
+    emitted = _emit_body_lines(body_decs, has_store, invert_abort=True)
+    if emitted is None:
+        return None
+    lines, uses_regs, loads, stores = emitted
+    t_lines, t_regs, t_loads, t_stores = inlined
+    lines.extend(t_lines)
+    return _compile_plan_fn(
+        lines, uses_regs or t_regs, loads | t_loads, stores | t_stores,
+        isa_id, entry_ip,
+    )
+
+
+class SuperblockEngine:
+    """Builds, caches, chains and executes superblock plans."""
+
+    def __init__(self, cache: DecodeCache, *, chain: bool = True) -> None:
+        self.cache = cache
+        self.plans: Dict[Tuple[int, int], SuperblockPlan] = {}
+        self._by_page: Dict[int, List[Tuple[int, int]]] = {}
+        #: Block chaining toggle (the ablation bench measures its win).
+        self.chain = chain
+        self.plans_built = 0
+        self.blocks_executed = 0
+        self.chain_hits = 0
+
+    # -- plan construction -------------------------------------------------
+
+    def build(self, mem: Memory, isa_id: int, entry_ip: int) -> SuperblockPlan:
+        """Translate the straight-line run starting at ``entry_ip``."""
+        cache = self.cache
+        decs: List[DecodedInstruction] = []
+        terminated = False
+        ip = entry_ip
+        while len(decs) < MAX_BLOCK_LEN:
+            try:
+                dec = cache.lookup(mem, isa_id, ip)
+            except DecodeError:
+                if not decs:
+                    # The entry itself is undecodable: executing it
+                    # would raise identically, so let it propagate.
+                    raise
+                # Truncate before the bad word; if control ever falls
+                # through to it, the next build raises at its entry.
+                break
+            decs.append(dec)
+            if dec.is_control:
+                terminated = True
+                break
+            ip += dec.size
+        plan = SuperblockPlan(isa_id, entry_ip, tuple(decs), terminated)
+        key = (isa_id, entry_ip)
+        self.plans[key] = plan
+        start, end = plan.span
+        for page in range(start >> PAGE_SHIFT,
+                          ((end - 1) >> PAGE_SHIFT) + 1):
+            self._by_page.setdefault(page, []).append(key)
+        self.plans_built += 1
+        return plan
+
+    # -- invalidation ------------------------------------------------------
+
+    def _sever_chains(self) -> None:
+        for plan in self.plans.values():
+            plan.pred_ip = -1
+            plan.pred_isa = -1
+            plan.pred_plan = None
+
+    def invalidate(self) -> None:
+        """Drop every plan (full decode-cache invalidation)."""
+        self._sever_chains()
+        self.plans.clear()
+        self._by_page.clear()
+
+    def invalidate_write(self, page: int, addr: int, length: int) -> bool:
+        """Drop plans whose instruction bytes intersect the write."""
+        keys = self._by_page.get(page)
+        if not keys:
+            return False
+        end = addr + length
+        stale = []
+        for key in keys:
+            plan = self.plans.get(key)
+            if plan is None:
+                continue
+            start, stop = plan.span
+            if start < end and addr < stop:
+                stale.append(key)
+        if not stale:
+            return False
+        self._sever_chains()
+        for key in stale:
+            plan = self.plans.pop(key, None)
+            if plan is None:
+                continue
+            start, stop = plan.span
+            for p in range(start >> PAGE_SHIFT,
+                           ((stop - 1) >> PAGE_SHIFT) + 1):
+                bucket = self._by_page.get(p)
+                if bucket is not None and key in bucket:
+                    bucket.remove(key)
+        return True
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        state: ProcessorState,
+        model,
+        budget: int,
+        inv: List[bool],
+    ) -> Tuple[int, int, int, int, int]:
+        """Run chained superblocks until halt, budget or a tail block.
+
+        Returns the locally accumulated ``(instructions, slots, ops,
+        memory instructions, memory ops)``.  When the remaining budget
+        cannot fit the next whole block the method returns early and
+        the caller finishes per-instruction.
+        """
+        mem = state.mem
+        regs = state.regs
+        plans = self.plans
+        chain = self.chain
+        s4, s2, s1 = mem.store4, mem.store2, mem.store1
+        regwr: list = []
+        memwr: list = []
+        executed = slots = ops_exec = mem_instr = mem_ops = 0
+        blocks = chains = 0
+        observe_block = (
+            getattr(model, "observe_block", None)
+            if model is not None else None
+        )
+        prev: Optional[SuperblockPlan] = None
+
+        while not state.halted and executed < budget:
+            ip = state.ip
+            isa_id = state.isa_id
+            if (
+                prev is not None
+                and prev.pred_ip == ip
+                and prev.pred_isa == isa_id
+            ):
+                plan = prev.pred_plan
+                chains += 1
+            else:
+                key = (isa_id, ip)
+                plan = plans.get(key)
+                if plan is None:
+                    plan = self.build(mem, isa_id, ip)
+                if chain and prev is not None:
+                    prev.pred_ip = ip
+                    prev.pred_isa = isa_id
+                    prev.pred_plan = plan
+            if executed + plan.n_instr > budget:
+                break  # tail: the interpreter finishes per-instruction
+            prev = plan
+            blocks += 1
+            aborted = False
+            n = plan.exec_count
+            if n < HOT_THRESHOLD and plan.kind != PLAN_GENERAL:
+                plan.exec_count = n + 1
+                if n + 1 == HOT_THRESHOLD:
+                    plan.translate()
+
+            # -- body ------------------------------------------------------
+            if model is None or (
+                observe_block is not None and not plan.has_store
+            ):
+                if observe_block is not None and model is not None:
+                    observe_block(plan, regs)
+                full_fn = plan.full_fn
+                if full_fn is not None:
+                    # Fully translated block: one call executes body
+                    # and terminator and yields the next IP.
+                    r = full_fn(state, inv)
+                    if r >= 0:
+                        state.ip = r
+                        executed += plan.n_instr
+                        slots += plan.n_slots
+                        ops_exec += plan.n_exec
+                        mem_instr += plan.n_mem_instr
+                        mem_ops += plan.n_mem_ops
+                        continue
+                    # A store rewrote translated code mid-block.
+                    inv[0] = False
+                    stop = ~r
+                    d = _partial_stats(plan, stop)
+                    executed += d[0]; slots += d[1]
+                    ops_exec += d[2]; mem_instr += d[3]
+                    mem_ops += d[4]
+                    state.ip = stop
+                    prev = None
+                    continue
+                kind = plan.kind
+                body_fn = plan.body_fn
+                if body_fn is not None:
+                    stop = body_fn(state, inv)
+                    if stop is not None:
+                        # A store rewrote translated code mid-block.
+                        inv[0] = False
+                        d = _partial_stats(plan, stop)
+                        executed += d[0]; slots += d[1]
+                        ops_exec += d[2]; mem_instr += d[3]
+                        mem_ops += d[4]
+                        state.ip = stop
+                        prev = None
+                        aborted = True
+                elif kind == PLAN_DIRECT:
+                    for fn, vals, ip_c, nip_c in plan.body:
+                        fn(state, vals, ip_c, nip_c)
+                elif kind == PLAN_DIRECT_MEM:
+                    for fn, vals, ip_c, nip_c in plan.body:
+                        fn(state, vals, ip_c, nip_c)
+                        if inv[0]:
+                            inv[0] = False
+                            d = _partial_stats(plan, nip_c)
+                            executed += d[0]; slots += d[1]
+                            ops_exec += d[2]; mem_instr += d[3]
+                            mem_ops += d[4]
+                            state.ip = nip_c
+                            prev = None
+                            aborted = True
+                            break
+                else:
+                    for fn, vals, ip_c, nip_c in plan.body:
+                        if fn is not None:
+                            fn(state, vals, ip_c, nip_c, regwr, memwr)
+                        else:
+                            for f2, v2 in vals:
+                                f2(state, v2, ip_c, nip_c, regwr, memwr)
+                        if regwr:
+                            for reg, val in regwr:
+                                regs[reg] = val
+                            regs[0] = 0
+                            del regwr[:]
+                        if memwr:
+                            for size, addr, val in memwr:
+                                if size == 4:
+                                    s4(addr, val)
+                                elif size == 2:
+                                    s2(addr, val)
+                                else:
+                                    s1(addr, val)
+                            del memwr[:]
+                            if inv[0]:
+                                inv[0] = False
+                                d = _partial_stats(plan, nip_c)
+                                executed += d[0]; slots += d[1]
+                                ops_exec += d[2]; mem_instr += d[3]
+                                mem_ops += d[4]
+                                state.ip = nip_c
+                                prev = None
+                                aborted = True
+                                break
+                observed_term = observe_block is not None
+            else:
+                # Per-instruction observing path (AIE/DOE, or any block
+                # containing stores — keeps abort and observe aligned).
+                for ops_t, ip_c, nip_c, dec in plan.obs_body:
+                    for f2, v2 in ops_t:
+                        f2(state, v2, ip_c, nip_c, regwr, memwr)
+                    model.observe(dec, regs)
+                    if regwr:
+                        for reg, val in regwr:
+                            regs[reg] = val
+                        regs[0] = 0
+                        del regwr[:]
+                    if memwr:
+                        for size, addr, val in memwr:
+                            if size == 4:
+                                s4(addr, val)
+                            elif size == 2:
+                                s2(addr, val)
+                            else:
+                                s1(addr, val)
+                        del memwr[:]
+                        if inv[0]:
+                            inv[0] = False
+                            d = _partial_stats(plan, nip_c)
+                            executed += d[0]; slots += d[1]
+                            ops_exec += d[2]; mem_instr += d[3]
+                            mem_ops += d[4]
+                            state.ip = nip_c
+                            prev = None
+                            aborted = True
+                            break
+                observed_term = False
+            if aborted:
+                continue
+
+            # -- terminator (full buffered semantics) ---------------------
+            if plan.term_dec is not None:
+                ip_c = plan.term_ip
+                nip_c = plan.term_next_ip
+                new_ip = None
+                fn = plan.term_fn
+                if fn is not None:
+                    new_ip = fn(state, plan.term_vals, ip_c, nip_c,
+                                regwr, memwr)
+                else:
+                    for f2, v2 in plan.term_ops:
+                        r = f2(state, v2, ip_c, nip_c, regwr, memwr)
+                        if r is not None:
+                            new_ip = r
+                if model is not None and not observed_term:
+                    model.observe(plan.term_dec, regs)
+                if regwr:
+                    for reg, val in regwr:
+                        regs[reg] = val
+                    regs[0] = 0
+                    del regwr[:]
+                if memwr:
+                    for size, addr, val in memwr:
+                        if size == 4:
+                            s4(addr, val)
+                        elif size == 2:
+                            s2(addr, val)
+                        else:
+                            s1(addr, val)
+                    del memwr[:]
+                state.ip = nip_c if new_ip is None else new_ip
+            else:
+                state.ip = plan.end_ip
+            if inv[0]:
+                # A terminator (store beside a branch, or a simop
+                # writing into code) invalidated plans; the chain is
+                # already severed — just drop our stale reference.
+                inv[0] = False
+                prev = None
+
+            executed += plan.n_instr
+            slots += plan.n_slots
+            ops_exec += plan.n_exec
+            mem_instr += plan.n_mem_instr
+            mem_ops += plan.n_mem_ops
+
+        self.blocks_executed += blocks
+        self.chain_hits += chains
+        return executed, slots, ops_exec, mem_instr, mem_ops
+
+
+def _partial_stats(
+    plan: SuperblockPlan, stop_ip: int
+) -> Tuple[int, int, int, int, int]:
+    """Stats of the block prefix strictly before ``stop_ip``.
+
+    Used on the rare mid-block abort after a self-modifying store: the
+    instruction ending at ``stop_ip`` has committed, everything after
+    it has not run.
+    """
+    n = s = e = mi = mo = 0
+    for dec in plan.decs:
+        if dec.addr >= stop_ip:
+            break
+        n += 1
+        s += dec.n_slots
+        e += dec.n_exec
+        if dec.has_mem:
+            mi += 1
+            mo += dec.n_mem
+    return n, s, e, mi, mo

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Machine-readable Table I benchmark: engine MIPS per workload.
+
+Runs each requested workload under the interpreter's execution engines
+and writes one JSON document so CI (and future PRs) have a perf
+trajectory to diff instead of eyeballing pytest-benchmark tables:
+
+* ``predict`` and ``superblock`` are measured over a *full* functional
+  run (the acceptance-relevant numbers — the superblock speedup column
+  is computed from these);
+* ``nocache`` and ``cache`` are measured over a fixed instruction
+  budget, since the uncached loop decodes every dynamic instruction
+  and would take minutes per workload.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/bench_to_json.py --out BENCH_table1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.binutils.loader import load_executable  # noqa: E402
+from repro.framework.pipeline import build_benchmark  # noqa: E402
+from repro.programs import program_names  # noqa: E402
+from repro.sim.interpreter import ENGINES, Interpreter  # noqa: E402
+
+#: Instruction budget for the engines too slow for full runs.
+BUDGETED = {"nocache": 15_000, "cache": 200_000}
+
+
+def timed_run(built, engine, max_instructions=None):
+    program = load_executable(built.elf, built.arch)
+    interp = Interpreter(program.state, engine=engine)
+    start = time.perf_counter()
+    stats = interp.run(max_instructions=max_instructions
+                       if max_instructions is not None else 50_000_000)
+    elapsed = time.perf_counter() - start
+    return stats, elapsed
+
+
+def measure_workload(name, engines, repeats):
+    built = build_benchmark(name)
+    entry = {"engines": {}}
+    for engine in engines:
+        budget = BUDGETED.get(engine)
+        best = None
+        for _ in range(repeats):
+            stats, elapsed = timed_run(built, engine, budget)
+            mips = stats.executed_instructions / elapsed / 1e6
+            if best is None or mips > best["mips"]:
+                best = {
+                    "mips": round(mips, 3),
+                    "instructions": stats.executed_instructions,
+                    "seconds": round(elapsed, 4),
+                    "full_run": budget is None,
+                }
+        entry["engines"][engine] = best
+    eng = entry["engines"]
+    if "predict" in eng and "superblock" in eng:
+        entry["speedup_superblock_vs_predict"] = round(
+            eng["superblock"]["mips"] / eng["predict"]["mips"], 3
+        )
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--programs", default="cjpeg,dct4x4",
+        help="comma-separated workloads, or 'all' (default: cjpeg,dct4x4)",
+    )
+    parser.add_argument(
+        "--engines", default=",".join(ENGINES),
+        help=f"comma-separated subset of {ENGINES}",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per configuration; the best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_table1.json", help="output path"
+    )
+    args = parser.parse_args(argv)
+
+    names = (sorted(program_names()) if args.programs == "all"
+             else args.programs.split(","))
+    engines = args.engines.split(",")
+    for engine in engines:
+        if engine not in ENGINES:
+            parser.error(f"unknown engine {engine!r}")
+
+    document = {
+        "benchmark": "table1_simulator_performance",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {},
+    }
+    for name in names:
+        print(f"measuring {name} ...", flush=True)
+        document["workloads"][name] = measure_workload(
+            name, engines, args.repeats
+        )
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    for name, entry in document["workloads"].items():
+        speedup = entry.get("speedup_superblock_vs_predict")
+        row = ", ".join(
+            f"{engine} {data['mips']:.2f} MIPS"
+            for engine, data in entry["engines"].items()
+        )
+        extra = f"  (superblock {speedup}x over predict)" if speedup else ""
+        print(f"  {name}: {row}{extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
