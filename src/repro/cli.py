@@ -5,6 +5,9 @@ Subcommands mirror the paper's toolchain (Figure 2)::
     kahrisma compile app.kc -o app.elf --isa vliw4
     kahrisma asm app.s -o app.elf --entry '$risc$main' --entry-isa 0
     kahrisma run app.elf --model doe [--isa 2] [--trace out.trc]
+    kahrisma run app.elf --model doe --profile --metrics m.json \
+                 --timeline t.trace.json
+    kahrisma report m.json
     kahrisma disasm app.elf
     kahrisma ilp app.kc
     kahrisma select app.kc
@@ -40,6 +43,13 @@ from .rtl.pipeline import RtlPipeline
 from .sim.disasm import disassemble_range
 from .sim.interpreter import Interpreter
 from .sim.tracing import Tracer
+from .telemetry import (
+    HotspotProfiler,
+    TimelineRecorder,
+    build_run_report,
+    render_report,
+    write_report,
+)
 from .targetgen.asmgen import generate_libc_stubs
 from .targetgen.codegen import write_simulator_module
 from .targetgen.docgen import write_isa_reference
@@ -137,16 +147,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     branch_model = _make_branch_model(args.branch_predictor,
                                       args.branch_penalty)
     model = _make_model(args.model, width, branch_model)
-    tracer = None
-    trace_file = None
-    if args.trace:
-        trace_file = open(args.trace, "w", encoding="utf-8")
-        tracer = Tracer(stream=trace_file, keep_records=False)
-    interp = Interpreter(program.state, cycle_model=model, tracer=tracer,
-                         engine=args.engine)
-    stats = interp.run(max_instructions=args.max_instructions)
-    if trace_file is not None:
-        trace_file.close()
+    profiler = None
+    if args.profile:
+        mode = args.profile_mode
+        if mode == "auto":
+            # Keep the superblock fast path when nothing forces the
+            # per-instruction loop anyway.
+            mode = (
+                "block"
+                if args.engine == "superblock" and not args.trace
+                else "exact"
+            )
+        profiler = HotspotProfiler(mode=mode)
+    timeline = None
+    if args.timeline:
+        if model is None:
+            raise SystemExit(
+                "--timeline needs a cycle model (pass --model aie/doe/rtl)"
+            )
+        timeline = TimelineRecorder(max_events=args.timeline_events)
+    tracer = Tracer.to_file(args.trace) if args.trace else None
+    try:
+        interp = Interpreter(program.state, cycle_model=model,
+                             tracer=tracer, engine=args.engine,
+                             profiler=profiler, timeline=timeline)
+        stats = interp.run(max_instructions=args.max_instructions)
+    finally:
+        # Flush partial telemetry even when the simulation aborts —
+        # a truncated trace/timeline localises the fault.
+        if tracer is not None:
+            tracer.close()
+        if timeline is not None and args.timeline:
+            timeline.write(args.timeline)
     sys.stdout.write(program.output)
     print("---")
     print(f"instructions: {stats.executed_instructions}")
@@ -158,7 +190,37 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"{args.model} cycles:   {model.cycles}")
     if branch_model is not None:
         print(f"branches:     {branch_model.summary()}")
+    if args.timeline:
+        print(f"timeline:     wrote {args.timeline} "
+              f"({len(timeline)} events, {timeline.dropped} dropped)")
+    report = None
+    if args.metrics or profiler is not None:
+        report = build_run_report(
+            interp, model,
+            profiler=profiler,
+            debug_info=program.debug_info,
+            workload=args.input,
+        )
+    if args.metrics:
+        write_report(report, args.metrics)
+        print(f"metrics:      wrote {args.metrics}")
+    if profiler is not None:
+        print()
+        print(render_report({k: v for k, v in report.items()
+                             if k != "metrics"}, top=args.top))
     return program.state.exit_code
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    with open(args.metrics, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "kahrisma-telemetry":
+        print(f"warning: {args.metrics} does not look like a telemetry "
+              f"report (schema={doc.get('schema')!r})", file=sys.stderr)
+    print(render_report(doc, top=args.top))
+    return 0
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -285,12 +347,36 @@ def main(argv: Optional[list] = None) -> int:
                    help="execution engine (superblock is fastest; "
                         "tracing falls back to the featureful loop)")
     p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the telemetry metrics/report JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute instructions/cycles/misses to guest "
+                        "functions (prints a hot-spot table)")
+    p.add_argument("--profile-mode",
+                   choices=["auto", "exact", "block"], default="auto",
+                   help="exact counts every PC (featureful loop); block "
+                        "keeps the superblock fast path (default: auto)")
+    p.add_argument("--timeline", metavar="PATH",
+                   help="write a Chrome trace_event timeline (one track "
+                        "per VLIW slot; open in Perfetto). Needs --model")
+    p.add_argument("--timeline-events", type=int, default=1_000_000,
+                   help="cap on buffered timeline events (default 1e6)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the --profile hot-spot table")
     p.add_argument("--branch-predictor",
                    choices=["perfect", "not-taken", "bimodal", "gshare"],
                    default="perfect",
                    help="branch misprediction extension (aie/doe/rtl)")
     p.add_argument("--branch-penalty", type=int, default=3)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("report",
+                       help="render a telemetry JSON as tables")
+    p.add_argument("metrics",
+                   help="report written by `kahrisma run --metrics`")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per hot-spot table (default 10)")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("disasm", help="disassemble an executable")
     p.add_argument("input")

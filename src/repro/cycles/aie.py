@@ -57,6 +57,7 @@ class AieModel(CycleModel):
         issue = self.current_cycle
         max_completion = issue + 1  # an empty/NOP-only instruction still issues
         penalty = 0
+        timeline = self.timeline
         for op in dec.ops:
             kind = op.kind_code
             if kind == KIND_NOP:
@@ -69,6 +70,8 @@ class AieModel(CycleModel):
                 )
             else:
                 completion = issue + op.delay
+            if timeline is not None:
+                timeline.op(op.slot, issue, completion, op.name, dec.addr)
             if completion > max_completion:
                 max_completion = completion
             if self.branch_model is not None and kind == KIND_CTRL:

@@ -32,6 +32,13 @@ class CycleModel:
         """Account for one executed instruction (called pre-commit)."""
         raise NotImplementedError
 
+    #: Optional :class:`repro.telemetry.TimelineRecorder`.  When set,
+    #: models that compute per-operation issue intervals (AIE/DOE)
+    #: emit one Chrome-trace event per executed operation on the
+    #: operation's slot track; None (the default) costs one attribute
+    #: load per observed instruction.
+    timeline = None
+
     #: Optional batched fast path for the superblock engine: models
     #: whose accounting never reads current register *values* (ILP)
     #: override this with a method taking ``(plan, regs)`` that

@@ -85,6 +85,7 @@ class DoeModel(CycleModel):
         reg_cycle = self.reg_write_cycle
         slot_last = self.slot_last_start
         branch_model = self.branch_model
+        timeline = self.timeline
         floor = self.fetch_floor
         pending_floor = floor
         for op in dec.ops:
@@ -112,6 +113,10 @@ class DoeModel(CycleModel):
             else:
                 completion = start + op.delay
             slot_last[slot] = start
+            if timeline is not None:
+                # One Chrome-trace event per op on the slot's track:
+                # the drifted issue interval (paper Section VI-C).
+                timeline.op(slot, start, completion, op.name, dec.addr)
             for dst in op.dsts:
                 reg_cycle[dst] = completion
             if completion > self.max_completion:

@@ -56,6 +56,13 @@ class RunResult:
     program: LoadedProgram
     cycle_model: object = None
     tracer: Optional[Tracer] = None
+    #: Telemetry run report (``repro.telemetry`` document) when the
+    #: run was invoked with ``collect_metrics=True``; None otherwise.
+    telemetry: Optional[dict] = None
+    #: The profiler passed to :func:`run`, for post-run inspection.
+    profiler: object = None
+    #: The timeline recorder passed to :func:`run`.
+    timeline: object = None
 
     @property
     def cycles(self) -> Optional[int]:
@@ -66,6 +73,13 @@ class RunResult:
     @property
     def exit_code(self) -> int:
         return self.program.state.exit_code
+
+    @property
+    def metrics(self) -> Optional[Dict[str, object]]:
+        """Flat metric dict of the telemetry report (or None)."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.get("metrics")
 
 
 def build(
@@ -130,8 +144,19 @@ def run(
     input_data: bytes = b"",
     isa_id: Optional[int] = None,
     ip_history: int = 0,
+    profiler=None,
+    timeline=None,
+    collect_metrics: bool = False,
 ) -> RunResult:
-    """Load and simulate a built executable."""
+    """Load and simulate a built executable.
+
+    Telemetry: ``profiler`` (a :class:`repro.telemetry.HotspotProfiler`)
+    attributes work to guest code, ``timeline`` (a
+    :class:`repro.telemetry.TimelineRecorder`) records Chrome-trace
+    events from the cycle model, and ``collect_metrics=True`` attaches
+    the machine-readable run report as ``RunResult.telemetry`` — this
+    is how the benchmark harnesses emit telemetry automatically.
+    """
     program = load_executable(
         built.elf, built.arch, isa_id=isa_id, input_data=input_data
     )
@@ -143,14 +168,28 @@ def run(
         use_prediction=use_prediction,
         engine=engine,
         ip_history=ip_history,
+        profiler=profiler,
+        timeline=timeline,
     )
     stats = interpreter.run(max_instructions=max_instructions)
+    telemetry = None
+    if collect_metrics or profiler is not None:
+        from ..telemetry import build_run_report
+
+        telemetry = build_run_report(
+            interpreter, cycle_model,
+            profiler=profiler,
+            debug_info=program.debug_info,
+        )
     return RunResult(
         output=program.output,
         stats=stats,
         program=program,
         cycle_model=cycle_model,
         tracer=tracer,
+        telemetry=telemetry,
+        profiler=profiler,
+        timeline=timeline,
     )
 
 

@@ -58,9 +58,26 @@ class Interpreter:
         engine: Optional[str] = None,
         ip_history: int = 0,
         breakpoints=None,
+        profiler=None,
+        timeline=None,
     ) -> None:
         self.state = state
         self.target = target if target is not None else build_target(state.arch)
+        #: Hot-spot profiler (:class:`repro.telemetry.HotspotProfiler`).
+        #: ``mode="exact"`` routes execution through the featureful
+        #: loop for per-PC attribution; ``mode="block"`` keeps the
+        #: superblock fast path and records per executed block.  When a
+        #: cycle model is attached it is wrapped so per-instruction
+        #: cycle/L1-miss deltas are charged to guest PCs.
+        self.profiler = profiler
+        #: Chrome-trace recorder (:class:`repro.telemetry.TimelineRecorder`):
+        #: attached to the cycle model for per-op slot-track events and
+        #: used directly for SMC instant markers.
+        self.timeline = timeline
+        if timeline is not None and cycle_model is not None:
+            cycle_model.timeline = timeline
+        if profiler is not None and cycle_model is not None:
+            cycle_model = profiler.wrap_model(cycle_model)
         self.cycle_model = cycle_model
         self.tracer = tracer
         if engine is None:
@@ -86,6 +103,8 @@ class Interpreter:
         self.superblock = (
             SuperblockEngine(self.cache) if engine == "superblock" else None
         )
+        if self.superblock is not None and profiler is not None:
+            self.superblock.profiler = profiler
         #: Shared invalidation cell: the memory listener flips it when a
         #: store overwrites translated code, so a running superblock can
         #: abort after the offending instruction commits.
@@ -123,6 +142,7 @@ class Interpreter:
         lookups_before = self.cache.lookups
         start = time.perf_counter()
         try:
+            profiler = self.profiler
             if (
                 self.tracer is not None
                 or self.ip_history is not None
@@ -131,6 +151,13 @@ class Interpreter:
                 # Tracing, IP history and breakpoints need per-op
                 # bookkeeping the translated plans deliberately skip, so
                 # every engine falls back to the featureful loop here.
+                self._loop_full(budget)
+            elif profiler is not None and not (
+                self.engine == "superblock" and profiler.mode == "block"
+            ):
+                # Exact profiling counts every PC: featureful loop.
+                # Block-mode profiling of the superblock engine instead
+                # records per executed plan and keeps the fast path.
                 self._loop_full(budget)
             elif self.engine == "superblock":
                 self._loop_superblock(budget)
@@ -166,6 +193,17 @@ class Interpreter:
             hit = True
         if hit:
             self._inv[0] = True
+            if self.profiler is not None:
+                # Attribute the invalidation to the overwritten code
+                # address (the store's own PC may be mid-block and the
+                # architectural IP stale inside translated plans).
+                self.profiler.record_smc(addr)
+            if self.timeline is not None:
+                self.timeline.instant(
+                    "smc-invalidate",
+                    getattr(self.cycle_model, "cycles", 0) or 0,
+                    {"addr": f"{addr:#x}", "length": length},
+                )
 
     # -- loop variants -----------------------------------------------------
 
@@ -179,8 +217,12 @@ class Interpreter:
         self._flush(executed, slots, ops_exec, 0, 0, 0, mem_instr, mem_ops)
         if not self.state.halted and executed < budget:
             # The next whole block would overrun the budget: finish the
-            # remaining instructions one at a time.
-            self._loop_predict(budget - executed)
+            # remaining instructions one at a time (the full loop when
+            # profiling, so the tail keeps per-PC attribution).
+            if self.profiler is not None:
+                self._loop_full(budget - executed)
+            else:
+                self._loop_predict(budget - executed)
 
     def _loop_predict(self, budget: int) -> None:
         """Decode cache + instruction prediction (the paper's fastest)."""
@@ -384,6 +426,10 @@ class Interpreter:
         executed = slots = ops_exec = decodes = lookups = pred_hits = 0
         mem_instr = mem_ops = 0
         breakpoints = self.breakpoints
+        profiler = self.profiler
+        pc_counts = (
+            profiler.pc_instructions if profiler is not None else None
+        )
         prev = None
         while not state.halted and executed < budget:
             ip = state.ip
@@ -395,6 +441,8 @@ class Interpreter:
                     break
             if history is not None:
                 history.append(ip)
+            if pc_counts is not None:
+                pc_counts[ip] = pc_counts.get(ip, 0) + 1
             if self.use_decode_cache:
                 if (
                     self.use_prediction

@@ -380,6 +380,12 @@ class SuperblockEngine:
         self._by_page: Dict[int, List[Tuple[int, int]]] = {}
         #: Block chaining toggle (the ablation bench measures its win).
         self.chain = chain
+        #: Optional block-mode hot-spot profiler
+        #: (:class:`repro.telemetry.HotspotProfiler`): one
+        #: ``record_block`` per completed plan execution, one
+        #: ``record_block_prefix`` per rare mid-block SMC abort.  Costs
+        #: a single None-check per block when unset.
+        self.profiler = None
         self.plans_built = 0
         self.blocks_executed = 0
         self.chain_hits = 0
@@ -486,6 +492,7 @@ class SuperblockEngine:
         memwr: list = []
         executed = slots = ops_exec = mem_instr = mem_ops = 0
         blocks = chains = 0
+        profiler = self.profiler
         observe_block = (
             getattr(model, "observe_block", None)
             if model is not None else None
@@ -540,10 +547,14 @@ class SuperblockEngine:
                         ops_exec += plan.n_exec
                         mem_instr += plan.n_mem_instr
                         mem_ops += plan.n_mem_ops
+                        if profiler is not None:
+                            profiler.record_block(plan)
                         continue
                     # A store rewrote translated code mid-block.
                     inv[0] = False
                     stop = ~r
+                    if profiler is not None:
+                        profiler.record_block_prefix(plan, stop)
                     d = _partial_stats(plan, stop)
                     executed += d[0]; slots += d[1]
                     ops_exec += d[2]; mem_instr += d[3]
@@ -558,6 +569,8 @@ class SuperblockEngine:
                     if stop is not None:
                         # A store rewrote translated code mid-block.
                         inv[0] = False
+                        if profiler is not None:
+                            profiler.record_block_prefix(plan, stop)
                         d = _partial_stats(plan, stop)
                         executed += d[0]; slots += d[1]
                         ops_exec += d[2]; mem_instr += d[3]
@@ -573,6 +586,8 @@ class SuperblockEngine:
                         fn(state, vals, ip_c, nip_c)
                         if inv[0]:
                             inv[0] = False
+                            if profiler is not None:
+                                profiler.record_block_prefix(plan, nip_c)
                             d = _partial_stats(plan, nip_c)
                             executed += d[0]; slots += d[1]
                             ops_exec += d[2]; mem_instr += d[3]
@@ -604,6 +619,10 @@ class SuperblockEngine:
                             del memwr[:]
                             if inv[0]:
                                 inv[0] = False
+                                if profiler is not None:
+                                    profiler.record_block_prefix(
+                                        plan, nip_c
+                                    )
                                 d = _partial_stats(plan, nip_c)
                                 executed += d[0]; slots += d[1]
                                 ops_exec += d[2]; mem_instr += d[3]
@@ -636,6 +655,8 @@ class SuperblockEngine:
                         del memwr[:]
                         if inv[0]:
                             inv[0] = False
+                            if profiler is not None:
+                                profiler.record_block_prefix(plan, nip_c)
                             d = _partial_stats(plan, nip_c)
                             executed += d[0]; slots += d[1]
                             ops_exec += d[2]; mem_instr += d[3]
@@ -693,6 +714,8 @@ class SuperblockEngine:
             ops_exec += plan.n_exec
             mem_instr += plan.n_mem_instr
             mem_ops += plan.n_mem_ops
+            if profiler is not None:
+                profiler.record_block(plan)
 
         self.blocks_executed += blocks
         self.chain_hits += chains

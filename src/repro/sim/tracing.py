@@ -58,6 +58,12 @@ class Tracer:
 
     Passed to :class:`repro.sim.interpreter.Interpreter`; the full loop
     calls :meth:`record` once per executed (non-NOP) operation.
+
+    A tracer is a context manager: ``with Tracer.to_file(path) as t:``
+    guarantees the stream is flushed and (when the tracer opened it)
+    closed even when the simulation aborts with an exception — trace
+    files written up to a fault are exactly what the paper's RTL
+    validation flow needs to localise it.
     """
 
     def __init__(
@@ -66,12 +72,51 @@ class Tracer:
         *,
         keep_records: bool = True,
         limit: Optional[int] = None,
+        owns_stream: bool = False,
     ) -> None:
         self.stream = stream
         self.keep_records = keep_records
         self.limit = limit
+        #: Whether :meth:`close` should close the stream (True for
+        #: streams the tracer opened itself via :meth:`to_file`).
+        self.owns_stream = owns_stream
+        self.closed = False
         self.records: List[TraceRecord] = []
         self.count = 0
+
+    @classmethod
+    def to_file(
+        cls,
+        path: str,
+        *,
+        keep_records: bool = False,
+        limit: Optional[int] = None,
+    ) -> "Tracer":
+        """Open ``path`` for writing and stream records into it."""
+        stream = open(path, "w", encoding="utf-8")
+        return cls(
+            stream, keep_records=keep_records, limit=limit,
+            owns_stream=True,
+        )
+
+    def close(self) -> None:
+        """Flush the stream; close it if this tracer opened it.
+
+        Idempotent, and safe on record-only tracers (no stream).
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self.stream is not None:
+            self.stream.flush()
+            if self.owns_stream:
+                self.stream.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def record(self, cycle, dec, op, in_regs, reg_writes, mem_writes) -> None:
         if self.limit is not None and self.count >= self.limit:

@@ -1,0 +1,47 @@
+"""Unified telemetry layer: metrics, hot-spot profiling, timelines.
+
+Everything the paper's evaluation measures about the simulator itself
+(decode-cache effectiveness, prediction hit rates, cycle-model
+behaviour — Tables I/II, Figure 4) is exposed here as one observability
+subsystem instead of ad-hoc counters:
+
+* :mod:`repro.telemetry.registry` — a namespaced metrics registry
+  (counters, gauges, timers, histograms) with near-zero cost when
+  disabled;
+* :mod:`repro.telemetry.collect` — absorbs the interpreter's
+  :class:`~repro.sim.stats.SimStats`, the decode-cache and superblock
+  shadow counters, the cycle models and the memory hierarchy into one
+  flat ``sim.* / cycles.* / mem.*`` metric tree;
+* :mod:`repro.telemetry.profiler` — attributes executed instructions,
+  approximated cycles, cache misses and self-modifying-code
+  invalidations to guest PCs, basic blocks and functions;
+* :mod:`repro.telemetry.timeline` — Chrome ``trace_event`` export (one
+  track per VLIW slot under DOE) loadable in Perfetto;
+* :mod:`repro.telemetry.report` — machine-readable run reports and the
+  ``kahrisma report`` table renderer.
+
+See ``docs/observability.md`` for the metric namespace and formats.
+"""
+
+from .collect import (  # noqa: F401
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    collect_memory_metrics,
+    collect_model_metrics,
+    collect_run_metrics,
+)
+from .profiler import HotspotProfiler  # noqa: F401
+from .registry import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    tree_from_flat,
+)
+from .report import (  # noqa: F401
+    build_run_report,
+    render_report,
+    write_report,
+)
+from .timeline import TimelineRecorder  # noqa: F401

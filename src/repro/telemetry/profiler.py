@@ -1,0 +1,241 @@
+"""Hot-spot profiler: attribute simulator work to guest code.
+
+The profiler answers "where do the executed instructions, approximated
+cycles and cache misses come from?" in terms of the *guest* program:
+per PC, per translated basic block and — through
+:class:`~repro.sim.debuginfo.DebugInfo` symbolization — per function.
+
+Two recording modes trade precision against overhead:
+
+* ``exact`` — every executed instruction increments a per-PC counter.
+  The interpreter routes execution through its featureful loop, so the
+  superblock fast path is bypassed; use this with the per-instruction
+  engines or when per-PC cycle attribution matters.
+* ``block`` — the superblock engine bumps one counter per executed
+  *plan*; per-PC counts are reconstructed at report time by expanding
+  each plan's instruction list (exact for instruction counts, since a
+  block executes all of its instructions; mid-block self-modifying-code
+  aborts record the committed prefix).  The translated fast path keeps
+  running at full speed.
+
+Cycle and cache-miss attribution piggybacks on the cycle model:
+:meth:`HotspotProfiler.wrap_model` returns a proxy whose ``observe``
+charges the per-instruction deltas of ``model.cycles`` and of the L1
+miss counter to the observed PC.  The proxy deliberately exposes
+``observe_block = None`` so the superblock engine falls back to
+per-instruction observation — cycle attribution is inherently
+per-instruction work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class _ProfilingModel:
+    """Cycle-model proxy charging per-instruction deltas to PCs."""
+
+    #: Force the per-instruction observing path in the superblock
+    #: engine (see :class:`repro.cycles.base.CycleModel`).
+    observe_block = None
+
+    def __init__(self, inner, profiler: "HotspotProfiler") -> None:
+        self.inner = inner
+        self.profiler = profiler
+        # L1 miss counter of the model's memory hierarchy, if any.
+        from ..cycles.memmodel import find_cache
+
+        self._l1 = find_cache(getattr(inner, "memory", None), "L1")
+
+    def observe(self, dec, regs) -> None:
+        inner = self.inner
+        l1 = self._l1
+        cycles_before = inner.cycles
+        misses_before = l1.misses if l1 is not None else 0
+        inner.observe(dec, regs)
+        profiler = self.profiler
+        addr = dec.addr
+        delta = inner.cycles - cycles_before
+        if delta:
+            cyc = profiler.pc_cycles
+            cyc[addr] = cyc.get(addr, 0) + delta
+        if l1 is not None:
+            delta = l1.misses - misses_before
+            if delta:
+                mis = profiler.pc_l1_misses
+                mis[addr] = mis.get(addr, 0) + delta
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class HotspotProfiler:
+    """Accumulates guest-code attribution for one (or more) runs."""
+
+    MODES = ("exact", "block")
+
+    def __init__(self, mode: str = "exact") -> None:
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown profiler mode {mode!r}; expected one of "
+                f"{self.MODES}"
+            )
+        self.mode = mode
+        #: PC → instructions executed (exact mode and block tails).
+        self.pc_instructions: Dict[int, int] = {}
+        #: PC → approximated cycles charged by the model proxy.
+        self.pc_cycles: Dict[int, int] = {}
+        #: PC → L1 misses charged by the model proxy.
+        self.pc_l1_misses: Dict[int, int] = {}
+        #: PC → self-modifying-code invalidations hitting that address.
+        self.pc_smc: Dict[int, int] = {}
+        self.smc_invalidations = 0
+        #: SuperblockPlan → completed executions (block mode).
+        self._plan_counts: Dict[object, int] = {}
+        #: (SuperblockPlan, stop_ip) of mid-block aborts (rare).
+        self._plan_prefixes: List[Tuple[object, int]] = []
+
+    # -- recording (called from hot paths; keep tiny) ---------------------
+
+    def record_pc(self, addr: int) -> None:
+        counts = self.pc_instructions
+        counts[addr] = counts.get(addr, 0) + 1
+
+    def record_block(self, plan) -> None:
+        counts = self._plan_counts
+        counts[plan] = counts.get(plan, 0) + 1
+
+    def record_block_prefix(self, plan, stop_ip: int) -> None:
+        self._plan_prefixes.append((plan, stop_ip))
+
+    def record_smc(self, addr: int) -> None:
+        self.smc_invalidations += 1
+        counts = self.pc_smc
+        counts[addr] = counts.get(addr, 0) + 1
+
+    def wrap_model(self, model) -> _ProfilingModel:
+        """Proxy ``model`` so cycles/misses are attributed per PC."""
+        return _ProfilingModel(model, self)
+
+    # -- aggregation -------------------------------------------------------
+
+    def instruction_counts(self) -> Dict[int, int]:
+        """PC → executed instructions, merging exact and block data."""
+        counts = dict(self.pc_instructions)
+        for plan, n in self._plan_counts.items():
+            for dec in plan.decs:
+                addr = dec.addr
+                counts[addr] = counts.get(addr, 0) + n
+        for plan, stop_ip in self._plan_prefixes:
+            for dec in plan.decs:
+                if dec.addr >= stop_ip:
+                    break
+                counts[dec.addr] = counts.get(dec.addr, 0) + 1
+        return counts
+
+    def block_counts(self) -> Dict[Tuple[int, int], Dict[str, int]]:
+        """(isa_id, entry_ip) → block-level execution summary."""
+        blocks: Dict[Tuple[int, int], Dict[str, int]] = {}
+        for plan, n in self._plan_counts.items():
+            key = (plan.isa_id, plan.entry_ip)
+            row = blocks.get(key)
+            if row is None:
+                blocks[key] = {
+                    "executions": n,
+                    "instructions": n * plan.n_instr,
+                    "length": plan.n_instr,
+                }
+            else:
+                row["executions"] += n
+                row["instructions"] += n * plan.n_instr
+        return blocks
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instruction_counts().values())
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, debug_info=None, top: int = 20) -> dict:
+        """Aggregate everything into a JSON-ready profile document.
+
+        ``debug_info`` (a :class:`~repro.sim.debuginfo.DebugInfo`)
+        symbolizes PCs into function names; without it all samples land
+        in one ``"?"`` bucket per address range.
+        """
+        counts = self.instruction_counts()
+        total = sum(counts.values())
+
+        def fn_name(addr: int) -> str:
+            if debug_info is not None:
+                fn = debug_info.function_at(addr)
+                if fn is not None:
+                    return fn.name
+            return "?"
+
+        functions: Dict[str, Dict[str, float]] = {}
+        for addr, n in counts.items():
+            name = fn_name(addr)
+            row = functions.setdefault(
+                name,
+                {"instructions": 0, "cycles": 0, "l1_misses": 0, "smc": 0},
+            )
+            row["instructions"] += n
+        for source, key in (
+            (self.pc_cycles, "cycles"),
+            (self.pc_l1_misses, "l1_misses"),
+            (self.pc_smc, "smc"),
+        ):
+            for addr, n in source.items():
+                name = fn_name(addr)
+                row = functions.setdefault(
+                    name,
+                    {"instructions": 0, "cycles": 0,
+                     "l1_misses": 0, "smc": 0},
+                )
+                row[key] += n
+
+        fn_rows = [
+            {
+                "name": name,
+                "fraction": (row["instructions"] / total) if total else 0.0,
+                **row,
+            }
+            for name, row in functions.items()
+        ]
+        fn_rows.sort(key=lambda r: (-r["instructions"], r["name"]))
+
+        pc_rows = [
+            {
+                "addr": addr,
+                "instructions": n,
+                "function": fn_name(addr),
+                "cycles": self.pc_cycles.get(addr, 0),
+                "l1_misses": self.pc_l1_misses.get(addr, 0),
+            }
+            for addr, n in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            )[:top]
+        ]
+
+        block_rows = [
+            {
+                "isa": isa_id,
+                "entry": entry,
+                "function": fn_name(entry),
+                **row,
+            }
+            for (isa_id, entry), row in sorted(
+                self.block_counts().items(),
+                key=lambda item: -item[1]["instructions"],
+            )[:top]
+        ]
+
+        return {
+            "mode": self.mode,
+            "total_instructions": total,
+            "smc_invalidations": self.smc_invalidations,
+            "functions": fn_rows,
+            "pcs": pc_rows,
+            "blocks": block_rows,
+        }

@@ -1,0 +1,255 @@
+"""Namespaced metrics registry (counters, gauges, timers, histograms).
+
+Metric names are dotted paths (``sim.decode.lookups``,
+``mem.cache.l1.misses``); the registry stores them flat and
+:func:`tree_from_flat` renders the namespace tree for reports.
+
+Two properties matter for a simulator that executes hundreds of
+millions of guest instructions per run:
+
+* **Near-zero cost when disabled.**  A registry constructed with
+  ``enabled=False`` hands out shared null metrics whose mutators are
+  no-ops; call sites keep unconditional ``counter.inc()`` code with no
+  per-event branching on a flag.
+* **Lazy sources.**  Hot code keeps its existing plain-int counters
+  (``DecodeCache.decodes``, ``SuperblockEngine.chain_hits``...);
+  :meth:`MetricsRegistry.bind` registers a zero-cost callable that is
+  evaluated only when a snapshot is taken, so instrumentation adds
+  nothing to the run loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-value-wins metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Timer:
+    """Accumulated wall-clock seconds, usable as a context manager."""
+
+    __slots__ = ("seconds", "count", "_started")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.count = 0
+        self._started = 0.0
+
+    def start(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        elapsed = time.perf_counter() - self._started
+        self.seconds += elapsed
+        self.count += 1
+        return elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative values.
+
+    Bucket ``i`` holds values whose integer part has bit length ``i``
+    (i.e. value 0 → bucket 0, 1 → 1, 2..3 → 2, 4..7 → 3, ...), which is
+    plenty of resolution for block lengths, burst sizes and latencies
+    while staying allocation-free per record.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def start(self) -> "Timer":
+        return self
+
+    def stop(self) -> float:
+        return 0.0
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def record(self, value) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_TIMER = _NullTimer()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Flat name → metric store with lazy bound sources."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, object] = {}
+        self._sources: Dict[str, Callable[[], object]] = {}
+
+    # -- metric constructors ----------------------------------------------
+
+    def _get(self, name: str, cls, null):
+        if not self.enabled:
+            return null
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, _NULL_COUNTER)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, _NULL_GAUGE)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer, _NULL_TIMER)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram, _NULL_HISTOGRAM)
+
+    def set(self, name: str, value) -> None:
+        """Shorthand for ``gauge(name).set(value)``."""
+        self.gauge(name).set(value)
+
+    def bind(self, name: str, source: Callable[[], object]) -> None:
+        """Register a callable evaluated lazily at snapshot time.
+
+        This is how hot-loop counters join the tree without the loop
+        ever touching the registry: ``bind("sim.decode.lookups",
+        lambda: cache.lookups)``.
+        """
+        if self.enabled:
+            self._sources[name] = source
+
+    def update(self, flat: Dict[str, object]) -> None:
+        """Set one gauge per entry of an already-flat metric dict."""
+        for name, value in flat.items():
+            self.set(name, value)
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flatten every metric (and bound source) to plain values.
+
+        Composite metrics expand into dotted sub-keys
+        (``name.seconds``, ``name.count``...), so the result is a flat
+        ``str -> int|float|str`` mapping ready for JSON.
+        """
+        out: Dict[str, object] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Timer):
+                out[name + ".seconds"] = metric.seconds
+                out[name + ".count"] = metric.count
+            elif isinstance(metric, Histogram):
+                out[name + ".count"] = metric.count
+                out[name + ".sum"] = metric.total
+                out[name + ".mean"] = metric.mean
+                if metric.min is not None:
+                    out[name + ".min"] = metric.min
+                    out[name + ".max"] = metric.max
+            else:
+                out[name] = metric.value
+        for name, source in self._sources.items():
+            out[name] = source()
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics) + len(self._sources)
+
+
+def tree_from_flat(flat: Dict[str, object]) -> Dict[str, object]:
+    """Nest a flat dotted-name mapping into the namespace tree.
+
+    A name that is both a leaf and a prefix keeps its leaf value under
+    the empty key (should not happen with the documented namespace).
+    """
+    tree: Dict[str, object] = {}
+    for name, value in flat.items():
+        parts = name.split(".")
+        node = tree
+        for part in parts[:-1]:
+            child = node.get(part)
+            if not isinstance(child, dict):
+                child = {} if child is None else {"": child}
+                node[part] = child
+            node = child
+        leaf = parts[-1]
+        if isinstance(node.get(leaf), dict):
+            node[leaf][""] = value
+        else:
+            node[leaf] = value
+    return tree

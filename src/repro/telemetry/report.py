@@ -1,0 +1,127 @@
+"""Run reports: machine-readable telemetry JSON and the table renderer.
+
+A *run report* is the JSON document ``kahrisma run --metrics`` writes
+and ``pipeline.run(collect_metrics=True)`` attaches to its
+:class:`~repro.framework.pipeline.RunResult`.  It is a superset of the
+rows in ``BENCH_table1.json``: flat metrics plus (optionally) the
+profiler's hot-spot attribution.  ``kahrisma report`` renders one back
+into the human-facing tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+from .collect import SCHEMA_NAME, SCHEMA_VERSION, collect_run_metrics
+
+
+def build_run_report(
+    interp=None,
+    model=None,
+    *,
+    stats=None,
+    profiler=None,
+    debug_info=None,
+    engine: Optional[str] = None,
+    model_name: Optional[str] = None,
+    workload: Optional[str] = None,
+    extra_metrics=None,
+    top: int = 20,
+) -> dict:
+    """Assemble the telemetry document for one finished run."""
+    metrics = collect_run_metrics(
+        interp, model, stats=stats, extra=extra_metrics
+    )
+    if engine is None and interp is not None:
+        engine = interp.engine
+    if model_name is None and model is None and interp is not None:
+        model = interp.cycle_model
+    if model_name is None and model is not None:
+        inner = getattr(model, "inner", model)
+        model_name = str(
+            getattr(inner, "name", type(inner).__name__)
+        ).lower()
+    doc = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "engine": engine,
+        "model": model_name,
+        "workload": workload,
+        "metrics": metrics,
+    }
+    if profiler is not None:
+        doc["profile"] = profiler.report(debug_info, top=top)
+    return doc
+
+
+def write_report(doc: dict, destination: Union[str, IO[str]]) -> None:
+    """Write a run report as indented JSON to a path or stream."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+    else:
+        json.dump(doc, destination, indent=2, sort_keys=True)
+        destination.write("\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_report(doc: dict, top: int = 10) -> str:
+    """Render a run report as the ``kahrisma report`` tables."""
+    lines = []
+    header = [f"telemetry schema v{doc.get('schema_version', '?')}"]
+    for key in ("workload", "engine", "model"):
+        value = doc.get(key)
+        if value:
+            header.append(f"{key}={value}")
+    lines.append("  ".join(header))
+
+    metrics = doc.get("metrics", {})
+    if metrics:
+        lines.append("")
+        lines.append("== metrics ==")
+        width = max(len(name) for name in metrics)
+        for name in sorted(metrics):
+            lines.append(f"{name:<{width}}  {_format_value(metrics[name])}")
+
+    profile = doc.get("profile")
+    if profile:
+        lines.append("")
+        lines.append(
+            f"== hot functions (mode={profile.get('mode', '?')}, "
+            f"{profile.get('total_instructions', 0)} instructions) =="
+        )
+        lines.append(
+            f"{'function':<28} {'instr':>12} {'%':>7} "
+            f"{'cycles':>12} {'L1 miss':>9} {'smc':>5}"
+        )
+        for row in profile.get("functions", [])[:top]:
+            lines.append(
+                f"{row['name']:<28} {row['instructions']:>12} "
+                f"{row['fraction'] * 100:>6.2f}% "
+                f"{row['cycles']:>12} {row['l1_misses']:>9} "
+                f"{row['smc']:>5}"
+            )
+        blocks = profile.get("blocks") or []
+        if blocks:
+            lines.append("")
+            lines.append("== hot superblocks ==")
+            lines.append(
+                f"{'entry':<12} {'function':<24} {'execs':>10} "
+                f"{'len':>4} {'instr':>12}"
+            )
+            for row in blocks[:top]:
+                lines.append(
+                    f"{row['entry']:#010x}  {row['function']:<24} "
+                    f"{row['executions']:>10} {row['length']:>4} "
+                    f"{row['instructions']:>12}"
+                )
+    return "\n".join(lines)

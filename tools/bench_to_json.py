@@ -23,6 +23,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
@@ -34,9 +35,25 @@ from repro.binutils.loader import load_executable  # noqa: E402
 from repro.framework.pipeline import build_benchmark  # noqa: E402
 from repro.programs import program_names  # noqa: E402
 from repro.sim.interpreter import ENGINES, Interpreter  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    SCHEMA_VERSION,
+    collect_run_metrics,
+)
 
 #: Instruction budget for the engines too slow for full runs.
 BUDGETED = {"nocache": 15_000, "cache": 200_000}
+
+
+def git_commit() -> str:
+    """Short commit hash of the working tree ("unknown" outside git)."""
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            text=True, stderr=subprocess.DEVNULL,
+        ).strip()
+    except Exception:
+        return "unknown"
 
 
 def timed_run(built, engine, max_instructions=None):
@@ -46,7 +63,7 @@ def timed_run(built, engine, max_instructions=None):
     stats = interp.run(max_instructions=max_instructions
                        if max_instructions is not None else 50_000_000)
     elapsed = time.perf_counter() - start
-    return stats, elapsed
+    return stats, elapsed, interp
 
 
 def measure_workload(name, engines, repeats):
@@ -56,14 +73,16 @@ def measure_workload(name, engines, repeats):
         budget = BUDGETED.get(engine)
         best = None
         for _ in range(repeats):
-            stats, elapsed = timed_run(built, engine, budget)
+            stats, elapsed, interp = timed_run(built, engine, budget)
             mips = stats.executed_instructions / elapsed / 1e6
             if best is None or mips > best["mips"]:
                 best = {
+                    "engine": engine,
                     "mips": round(mips, 3),
                     "instructions": stats.executed_instructions,
                     "seconds": round(elapsed, 4),
                     "full_run": budget is None,
+                    "telemetry": collect_run_metrics(interp),
                 }
         entry["engines"][engine] = best
     eng = entry["engines"]
@@ -102,6 +121,9 @@ def main(argv=None):
 
     document = {
         "benchmark": "table1_simulator_performance",
+        # Provenance so the perf trajectory is comparable across PRs.
+        "schema_version": SCHEMA_VERSION,
+        "git_commit": git_commit(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "workloads": {},

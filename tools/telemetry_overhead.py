@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Measure telemetry overhead on the Table I cjpeg benchmark.
+
+Three superblock configurations of the same workload:
+
+* ``baseline``   — telemetry fully disabled (the Table I fast path);
+* ``metrics``    — post-run metric collection (``collect_metrics``);
+* ``profile``    — block-mode hot-spot profiler attached.
+
+Writes one JSON document (CI uploads it as an artifact) containing the
+run report of the metrics-enabled run plus the measured overheads, and
+exits non-zero when the metrics-enabled runtime regresses more than
+``--max-regression`` (default 10 %) over baseline — the CI gate that
+keeps the observability layer honest about its own cost.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/telemetry_overhead.py --out telemetry_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.framework.pipeline import build_benchmark, run  # noqa: E402
+from repro.telemetry import HotspotProfiler  # noqa: E402
+
+
+def best_of(built, repeats, **run_kwargs):
+    """Best (fastest) wall-clock seconds and the last RunResult."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run(built, engine="superblock", **run_kwargs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--program", default="cjpeg",
+                        help="bundled workload (default cjpeg)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per configuration; best kept (default 3)")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="allowed metrics-enabled slowdown fraction "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--out", default="telemetry_overhead.json")
+    args = parser.parse_args(argv)
+
+    built = build_benchmark(args.program)
+    print(f"measuring {args.program} (best of {args.repeats}) ...",
+          flush=True)
+
+    base_s, base_res = best_of(built, args.repeats)
+    metrics_s, metrics_res = best_of(built, args.repeats,
+                                     collect_metrics=True)
+    profile_s, _ = best_of(
+        built, args.repeats, profiler=HotspotProfiler(mode="block")
+    )
+
+    instructions = base_res.stats.executed_instructions
+    metrics_overhead = metrics_s / base_s - 1.0
+    profile_overhead = profile_s / base_s - 1.0
+    document = {
+        "benchmark": "telemetry_overhead",
+        "program": args.program,
+        "instructions": instructions,
+        "baseline_seconds": round(base_s, 4),
+        "metrics_seconds": round(metrics_s, 4),
+        "profile_seconds": round(profile_s, 4),
+        "metrics_overhead": round(metrics_overhead, 4),
+        "profile_overhead": round(profile_overhead, 4),
+        "max_regression": args.max_regression,
+        "run_report": metrics_res.telemetry,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    print(f"  baseline {base_s:.3f}s  metrics {metrics_s:.3f}s "
+          f"({metrics_overhead:+.1%})  block-profiler {profile_s:.3f}s "
+          f"({profile_overhead:+.1%})")
+
+    if metrics_overhead > args.max_regression:
+        print(f"FAIL: metrics-enabled run regressed "
+              f"{metrics_overhead:.1%} > {args.max_regression:.0%}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: metrics overhead {metrics_overhead:.1%} within "
+          f"{args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
