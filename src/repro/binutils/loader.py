@@ -34,6 +34,26 @@ class LoadedProgram:
         return self.syscalls.output_text()
 
 
+def debug_info_from_elf(elf: ElfFile) -> DebugInfo:
+    """Build symbolisation info from an ELF's debug sections.
+
+    Shared by the loader and checkpoint resume — a checkpoint carries
+    no debug information, so resuming re-derives it from the original
+    executable when one is supplied.
+    """
+    debug = DebugInfo()
+    asmmap = elf.section(ASMMAP_SECTION)
+    if asmmap is not None:
+        debug.asm_map = LineMap.decode(asmmap.data)
+    lines = elf.section(DBGLINE_SECTION)
+    if lines is not None:
+        debug.src_map = LineMap.decode(lines.data)
+    for sym in elf.symbols:
+        if sym.sym_type == STT_FUNC and sym.size:
+            debug.add_function(sym.name, sym.value, sym.size)
+    return debug
+
+
 def load_executable(
     elf: ElfFile,
     arch: Architecture,
@@ -69,16 +89,5 @@ def load_executable(
     )
     syscalls.install(state)
 
-    debug = DebugInfo()
-    asmmap = elf.section(ASMMAP_SECTION)
-    if asmmap is not None:
-        debug.asm_map = LineMap.decode(asmmap.data)
-    lines = elf.section(DBGLINE_SECTION)
-    if lines is not None:
-        debug.src_map = LineMap.decode(lines.data)
-    for sym in elf.symbols:
-        if sym.sym_type == STT_FUNC and sym.size:
-            debug.add_function(sym.name, sym.value, sym.size)
-
     return LoadedProgram(state=state, syscalls=syscalls,
-                         debug_info=debug, elf=elf)
+                         debug_info=debug_info_from_elf(elf), elf=elf)

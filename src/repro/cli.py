@@ -142,11 +142,36 @@ def _make_model(name: Optional[str], width: int, branch_model=None):
 def cmd_run(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as f:
         elf = ElfFile.read(f.read())
-    program = load_executable(elf, KAHRISMA, isa_id=args.isa)
-    width = KAHRISMA.isa(program.state.isa_id).issue_width
+    resume_payload = None
+    if args.resume:
+        from .snapshot import CheckpointError, read_checkpoint
+
+        try:
+            resume_payload = read_checkpoint(args.resume)
+        except CheckpointError as exc:
+            raise SystemExit(f"--resume: {exc}")
+        width = KAHRISMA.isa(
+            int(resume_payload["state"]["isa_id"])
+        ).issue_width
     branch_model = _make_branch_model(args.branch_predictor,
                                       args.branch_penalty)
-    model = _make_model(args.model, width, branch_model)
+    base_stats = None
+    if resume_payload is not None:
+        from .snapshot import CheckpointError, load_checkpoint_program
+
+        model = _make_model(args.model, width, branch_model)
+        try:
+            resumed = load_checkpoint_program(
+                resume_payload, KAHRISMA, elf=elf, cycle_model=model
+            )
+        except CheckpointError as exc:
+            raise SystemExit(f"--resume: {exc}")
+        program = resumed.program
+        base_stats = resumed.base_stats
+    else:
+        program = load_executable(elf, KAHRISMA, isa_id=args.isa)
+        width = KAHRISMA.isa(program.state.isa_id).issue_width
+        model = _make_model(args.model, width, branch_model)
     profiler = None
     if args.profile:
         mode = args.profile_mode
@@ -167,11 +192,30 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         timeline = TimelineRecorder(max_events=args.timeline_events)
     tracer = Tracer.to_file(args.trace) if args.trace else None
+    checkpoints = []
     try:
         interp = Interpreter(program.state, cycle_model=model,
                              tracer=tracer, engine=args.engine,
                              profiler=profiler, timeline=timeline)
-        stats = interp.run(max_instructions=args.max_instructions)
+        if args.checkpoint_every:
+            from .snapshot import run_with_checkpoints
+
+            ckpt = run_with_checkpoints(
+                interp, program.syscalls,
+                every=args.checkpoint_every,
+                directory=args.checkpoint_dir,
+                max_instructions=args.max_instructions,
+                base_stats=base_stats,
+                workload=args.input,
+            )
+            stats = ckpt.stats
+            checkpoints = ckpt.checkpoints
+        else:
+            stats = interp.run(max_instructions=args.max_instructions)
+            if base_stats is not None:
+                whole = base_stats.copy()
+                whole.merge(stats)
+                stats = whole
     finally:
         # Flush partial telemetry even when the simulation aborts —
         # a truncated trace/timeline localises the fault.
@@ -193,6 +237,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.timeline:
         print(f"timeline:     wrote {args.timeline} "
               f"({len(timeline)} events, {timeline.dropped} dropped)")
+    if checkpoints:
+        print(f"checkpoints:  wrote {len(checkpoints)} into "
+              f"{args.checkpoint_dir}")
     report = None
     if args.metrics or profiler is not None:
         report = build_run_report(
@@ -209,6 +256,54 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(render_report({k: v for k, v in report.items()
                              if k != "metrics"}, top=args.top))
     return program.state.exit_code
+
+
+def cmd_parallel(args: argparse.Namespace) -> int:
+    from .framework.parallel import run_parallel
+
+    source = _read_source(args.input)
+    isa_map = _parse_isa_map(args.mixed)
+    built = build(
+        source, isa=args.isa, isa_map=isa_map or None, filename=args.input
+    )
+    try:
+        result = run_parallel(
+            built,
+            shards=args.shards,
+            model=None if args.model == "none" else args.model,
+            branch_predictor=args.branch_predictor,
+            branch_penalty=args.branch_penalty,
+            engine=args.engine,
+            checkpoint_dir=args.checkpoint_dir,
+            max_instructions=args.max_instructions,
+            processes=args.processes,
+            workload=args.input,
+            keep_checkpoints=args.keep_checkpoints,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    sys.stdout.write(result.output)
+    print("---")
+    plan = result.plan
+    print(f"shards:       {len(result.shard_results)} over "
+          f"{plan.total_instructions} instructions")
+    print(f"instructions: {result.stats.executed_instructions}")
+    print(f"exit code:    {result.exit_code}")
+    if result.cycles is not None:
+        print(f"{args.model} cycles:   {result.cycles} "
+              f"(approximate: shard models start cold)")
+    for i, shard in enumerate(result.shard_results):
+        start = plan.boundaries[i]
+        end = (plan.boundaries[i + 1] if i + 1 < len(plan.boundaries)
+               else plan.total_instructions)
+        cycles = shard["cycles"]
+        extra = f"  cycles {cycles}" if cycles is not None else ""
+        print(f"  shard {i}: [{start}, {end})  "
+              f"instructions {shard['stats'].executed_instructions}{extra}")
+    if args.metrics:
+        write_report(result.telemetry, args.metrics)
+        print(f"metrics:      wrote {args.metrics}")
+    return result.exit_code
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -368,7 +463,49 @@ def main(argv: Optional[list] = None) -> int:
                    default="perfect",
                    help="branch misprediction extension (aie/doe/rtl)")
     p.add_argument("--branch-penalty", type=int, default=3)
+    p.add_argument("--checkpoint-every", type=int, metavar="N",
+                   help="write a checkpoint every N executed "
+                        "instructions (docs/checkpointing.md)")
+    p.add_argument("--checkpoint-dir", default="checkpoints",
+                   help="directory for --checkpoint-every files "
+                        "(default: checkpoints/)")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume from a checkpoint file instead of the "
+                        "ELF entry point (stats cover the whole run)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "parallel",
+        help="shard a program over worker processes (checkpoint "
+             "fast-forward + parallel cycle-model simulation)",
+    )
+    p.add_argument("input", help="KC source file or bundled program name")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--model", choices=["none", "ilp", "aie", "doe", "rtl"],
+                   default="doe",
+                   help="cycle model each shard worker runs (default doe)")
+    p.add_argument("--isa", default="risc",
+                   choices=["risc", "vliw2", "vliw4", "vliw6", "vliw8"])
+    p.add_argument("--mixed", help="per-function ISA map: fn=isa,fn=isa,...")
+    p.add_argument("--engine",
+                   choices=["nocache", "cache", "predict", "superblock"],
+                   default="superblock")
+    p.add_argument("--branch-predictor",
+                   choices=["perfect", "not-taken", "bimodal", "gshare"],
+                   default="perfect")
+    p.add_argument("--branch-penalty", type=int, default=3)
+    p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.add_argument("--checkpoint-dir",
+                   help="keep shard checkpoints here (default: a "
+                        "temporary directory, removed afterwards)")
+    p.add_argument("--keep-checkpoints", action="store_true",
+                   help="do not delete the temporary checkpoint dir")
+    p.add_argument("--processes", type=int, default=None,
+                   help="worker process cap (default: one per shard, "
+                        "at most the CPU count)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the merged telemetry JSON")
+    p.set_defaults(func=cmd_parallel)
 
     p = sub.add_parser("report",
                        help="render a telemetry JSON as tables")

@@ -20,7 +20,13 @@ from ..sim.decoder import (
 )
 from .base import CycleModel
 from .branch import BranchModel
-from .memmodel import MASK32, MemoryModule, build_hierarchy
+from .memmodel import (
+    MASK32,
+    MemoryModule,
+    build_hierarchy,
+    load_hierarchy_state,
+    save_hierarchy_state,
+)
 
 
 class AieModel(CycleModel):
@@ -51,6 +57,34 @@ class AieModel(CycleModel):
         self.current_cycle = 0
         if self.branch_model is not None:
             self.branch_model.reset()
+
+    def save_state(self):
+        data = super().save_state()
+        data["current_cycle"] = self.current_cycle
+        data["memory"] = save_hierarchy_state(self.memory)
+        data["branch"] = (
+            self.branch_model.save_state()
+            if self.branch_model is not None else None
+        )
+        return data
+
+    def load_state(self, data) -> None:
+        super().load_state(data)
+        self.current_cycle = int(data["current_cycle"])
+        load_hierarchy_state(self.memory, data["memory"])
+        branch = data.get("branch")
+        if self.branch_model is not None:
+            if branch is None:
+                raise ValueError(
+                    "checkpoint has no branch-model state but this model "
+                    "has a branch predictor attached"
+                )
+            self.branch_model.load_state(branch)
+        elif branch is not None:
+            raise ValueError(
+                "checkpoint carries branch-model state; attach the same "
+                "predictor to restore it"
+            )
 
     def observe(self, dec: DecodedInstruction, regs: Sequence[int]) -> None:
         self.instructions += 1

@@ -9,7 +9,7 @@ never models the pipeline structurally.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from ..sim.decoder import DecodedInstruction
 
@@ -59,6 +59,39 @@ class CycleModel:
         self.reg_write_cycle = [0] * self.num_regs
         self.ops = 0
         self.instructions = 0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def save_state(self) -> Dict[str, object]:
+        """Model state as plain data (:mod:`repro.snapshot` contract).
+
+        Subclasses extend the dict via ``super().save_state()``; the
+        ``name`` field lets :meth:`load_state` reject a checkpoint
+        taken under a different model.
+        """
+        return {
+            "name": self.name,
+            "reg_write_cycle": list(self.reg_write_cycle),
+            "ops": self.ops,
+            "instructions": self.instructions,
+        }
+
+    def load_state(self, data: Dict[str, object]) -> None:
+        """Inverse of :meth:`save_state` on a same-configured model."""
+        if data.get("name") != self.name:
+            raise ValueError(
+                f"checkpoint cycle-model state is for {data.get('name')!r}, "
+                f"this model is {self.name!r}"
+            )
+        reg_cycle = [int(c) for c in data["reg_write_cycle"]]
+        if len(reg_cycle) != self.num_regs:
+            raise ValueError(
+                f"checkpoint tracks {len(reg_cycle)} registers, "
+                f"model tracks {self.num_regs}"
+            )
+        self.reg_write_cycle = reg_cycle
+        self.ops = int(data["ops"])
+        self.instructions = int(data["instructions"])
 
     # -- reporting ---------------------------------------------------------
 

@@ -19,7 +19,7 @@ Table II setup) remains the default everywhere.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.decoder import DecodedOp
 
@@ -54,6 +54,17 @@ class BranchPredictor:
 
     def reset(self) -> None:
         """Forget all learned state."""
+
+    def save_state(self) -> Dict[str, object]:
+        """Learned state as plain data (stateless predictors: empty)."""
+        return {"name": self.name}
+
+    def load_state(self, data: Dict[str, object]) -> None:
+        if data.get("name") != self.name:
+            raise ValueError(
+                f"checkpoint predictor state is for {data.get('name')!r}, "
+                f"this predictor is {self.name!r}"
+            )
 
 
 class NotTakenPredictor(BranchPredictor):
@@ -117,6 +128,16 @@ class BimodalPredictor(BranchPredictor):
     def reset(self) -> None:
         self._counters = [2] * (1 << self.table_bits)
 
+    def save_state(self) -> Dict[str, object]:
+        return {"name": self.name, "counters": list(self._counters)}
+
+    def load_state(self, data: Dict[str, object]) -> None:
+        super().load_state(data)
+        counters = [int(c) for c in data["counters"]]
+        if len(counters) != len(self._counters):
+            raise ValueError("bimodal table size mismatch")
+        self._counters = counters
+
 
 class GsharePredictor(BranchPredictor):
     """Global-history predictor: 2-bit counters indexed by PC xor GHR."""
@@ -151,6 +172,21 @@ class GsharePredictor(BranchPredictor):
         self._counters = [2] * (1 << self.table_bits)
         self._history = 0
 
+    def save_state(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "counters": list(self._counters),
+            "history": self._history,
+        }
+
+    def load_state(self, data: Dict[str, object]) -> None:
+        super().load_state(data)
+        counters = [int(c) for c in data["counters"]]
+        if len(counters) != len(self._counters):
+            raise ValueError("gshare table size mismatch")
+        self._counters = counters
+        self._history = int(data["history"])
+
 
 class BranchModel:
     """Misprediction bookkeeping shared by the cycle models.
@@ -184,6 +220,29 @@ class BranchModel:
         self.conditional_branches = 0
         self.mispredictions = 0
         self.ras_mispredictions = 0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def save_state(self) -> Dict[str, object]:
+        """Predictor tables, return-address stack and counters."""
+        return {
+            "predictor": self.predictor.save_state(),
+            "ras": list(self._ras),
+            "conditional_branches": self.conditional_branches,
+            "mispredictions": self.mispredictions,
+            "ras_mispredictions": self.ras_mispredictions,
+        }
+
+    def load_state(self, data: Dict[str, object]) -> None:
+        """Inverse of :meth:`save_state` (same predictor config)."""
+        self.predictor.load_state(data["predictor"])
+        ras = [int(a) for a in data["ras"]]
+        if len(ras) > self.ras_depth:
+            raise ValueError("checkpoint RAS deeper than this model's")
+        self._ras = ras
+        self.conditional_branches = int(data["conditional_branches"])
+        self.mispredictions = int(data["mispredictions"])
+        self.ras_mispredictions = int(data["ras_mispredictions"])
 
     # -- per-operation hook -------------------------------------------------
 

@@ -33,7 +33,13 @@ from ..sim.decoder import (
 )
 from .base import CycleModel
 from .branch import BranchModel
-from .memmodel import MASK32, MemoryModule, build_hierarchy
+from .memmodel import (
+    MASK32,
+    MemoryModule,
+    build_hierarchy,
+    load_hierarchy_state,
+    save_hierarchy_state,
+)
 
 
 class DoeModel(CycleModel):
@@ -79,6 +85,44 @@ class DoeModel(CycleModel):
         if self.branch_model is not None:
             self.branch_model.reset()
         self.fetch_floor = 0
+
+    def save_state(self):
+        data = super().save_state()
+        data["slot_last_start"] = list(self.slot_last_start)
+        data["max_completion"] = self.max_completion
+        data["fetch_floor"] = self.fetch_floor
+        data["memory"] = save_hierarchy_state(self.memory)
+        data["branch"] = (
+            self.branch_model.save_state()
+            if self.branch_model is not None else None
+        )
+        return data
+
+    def load_state(self, data) -> None:
+        super().load_state(data)
+        slot_last = [int(c) for c in data["slot_last_start"]]
+        if len(slot_last) != self.issue_width:
+            raise ValueError(
+                f"checkpoint DOE slot drift is {len(slot_last)} wide, "
+                f"model issue width is {self.issue_width}"
+            )
+        self.slot_last_start = slot_last
+        self.max_completion = int(data["max_completion"])
+        self.fetch_floor = int(data["fetch_floor"])
+        load_hierarchy_state(self.memory, data["memory"])
+        branch = data.get("branch")
+        if self.branch_model is not None:
+            if branch is None:
+                raise ValueError(
+                    "checkpoint has no branch-model state but this model "
+                    "has a branch predictor attached"
+                )
+            self.branch_model.load_state(branch)
+        elif branch is not None:
+            raise ValueError(
+                "checkpoint carries branch-model state; attach the same "
+                "predictor to restore it"
+            )
 
     def observe(self, dec: DecodedInstruction, regs: Sequence[int]) -> None:
         self.instructions += 1

@@ -91,6 +91,19 @@ class IlpModel(CycleModel):
             if completion > self.max_completion:
                 self.max_completion = completion
 
+    def save_state(self):
+        data = super().save_state()
+        data["last_branch_completion"] = self.last_branch_completion
+        data["last_store_start"] = self.last_store_start
+        data["max_completion"] = self.max_completion
+        return data
+
+    def load_state(self, data) -> None:
+        super().load_state(data)
+        self.last_branch_completion = int(data["last_branch_completion"])
+        self.last_store_start = int(data["last_store_start"])
+        self.max_completion = int(data["max_completion"])
+
     def observe_block(self, plan, regs: Sequence[int]) -> None:
         """Superblock fast path: observe a whole plan in one call.
 

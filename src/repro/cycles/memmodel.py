@@ -267,6 +267,119 @@ def build_hierarchy(config: HierarchyConfig = HierarchyConfig()) -> MemoryModule
     )
 
 
+def save_hierarchy_state(module: MemoryModule) -> List[Dict[str, object]]:
+    """Serialise a hierarchy chain to plain data, one dict per level.
+
+    Walks the ``.sub`` chain top-down; :func:`load_hierarchy_state`
+    replays the list onto an identically configured chain.  Cache
+    content is stored as one flat row per *valid* line (invalid lines
+    are the construction default), so short runs checkpoint compactly.
+    """
+    levels: List[Dict[str, object]] = []
+    current: Optional[MemoryModule] = module
+    while current is not None:
+        if isinstance(current, Cache):
+            lines = []
+            for set_index, cache_set in enumerate(current._sets):
+                for way, line in enumerate(cache_set):
+                    if line.valid:
+                        lines.append([set_index, way, line.tag,
+                                      int(line.dirty), line.write_cycle,
+                                      line.lru])
+            levels.append({
+                "kind": "cache",
+                "name": current.name,
+                "num_sets": current.num_sets,
+                "assoc": current.assoc,
+                "lines": lines,
+                "lru_clock": current._lru_clock,
+                "hits": current.hits,
+                "misses": current.misses,
+                "writebacks": current.writebacks,
+            })
+        elif isinstance(current, ConnectionLimit):
+            levels.append({
+                "kind": "port",
+                "ports": current.ports,
+                "usage": {str(c): n for c, n in current._usage.items()},
+                "horizon": current._horizon,
+                "stalls": current.stalls,
+            })
+        elif isinstance(current, MainMemory):
+            levels.append({
+                "kind": "main",
+                "accesses": current.accesses,
+            })
+        else:
+            raise ValueError(
+                f"cannot checkpoint memory module {type(current).__name__}"
+            )
+        current = getattr(current, "sub", None)
+    return levels
+
+
+def load_hierarchy_state(
+    module: MemoryModule, levels: List[Dict[str, object]]
+) -> None:
+    """Inverse of :func:`save_hierarchy_state` on a same-shaped chain."""
+    current: Optional[MemoryModule] = module
+    for level in levels:
+        kind = level["kind"]
+        if current is None:
+            raise ValueError("checkpoint has more hierarchy levels than "
+                             "the configured model")
+        if isinstance(current, Cache):
+            if kind != "cache" or (
+                current.num_sets != level["num_sets"]
+                or current.assoc != level["assoc"]
+            ):
+                raise ValueError(
+                    f"hierarchy mismatch at {current.name!r}: checkpoint "
+                    f"level is {kind!r} "
+                    f"({level.get('num_sets')}x{level.get('assoc')})"
+                )
+            for cache_set in current._sets:
+                for line in cache_set:
+                    line.tag = -1
+                    line.valid = False
+                    line.dirty = False
+                    line.write_cycle = 0
+                    line.lru = 0
+            for set_index, way, tag, dirty, write_cycle, lru in level["lines"]:
+                line = current._sets[set_index][way]
+                line.tag = tag
+                line.valid = True
+                line.dirty = bool(dirty)
+                line.write_cycle = write_cycle
+                line.lru = lru
+            current._lru_clock = int(level["lru_clock"])
+            current.hits = int(level["hits"])
+            current.misses = int(level["misses"])
+            current.writebacks = int(level["writebacks"])
+        elif isinstance(current, ConnectionLimit):
+            if kind != "port" or current.ports != level["ports"]:
+                raise ValueError(
+                    f"hierarchy mismatch: expected a {level['ports']}-port "
+                    f"connection, found {type(current).__name__}"
+                )
+            current._usage = {int(c): int(n)
+                              for c, n in level["usage"].items()}
+            current._horizon = int(level["horizon"])
+            current.stalls = int(level["stalls"])
+        elif isinstance(current, MainMemory):
+            if kind != "main":
+                raise ValueError("hierarchy mismatch at main memory")
+            current.accesses = int(level["accesses"])
+        else:
+            raise ValueError(
+                f"cannot restore memory module {type(current).__name__}"
+            )
+        current = getattr(current, "sub", None)
+    if current is not None:
+        raise ValueError("checkpoint has fewer hierarchy levels than "
+                         "the configured model")
+
+
 def find_cache(module: MemoryModule, name: str) -> Optional[Cache]:
     """Walk a hierarchy chain and return the cache called ``name``."""
     current: Optional[MemoryModule] = module

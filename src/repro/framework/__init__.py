@@ -8,6 +8,15 @@ from .cost import (
     evaluate_widths,
     select_isas_cost_aware,
 )
+from .parallel import (
+    ParallelResult,
+    ShardPlan,
+    make_branch_model,
+    make_cycle_model,
+    merge_metric_dicts,
+    plan_shards,
+    run_parallel,
+)
 from .pipeline import (
     BuildResult,
     RunResult,
@@ -35,7 +44,14 @@ __all__ = [
     "select_isas_cost_aware",
     "FunctionAttributor",
     "FunctionProfile",
+    "ParallelResult",
     "RunResult",
+    "ShardPlan",
+    "make_branch_model",
+    "make_cycle_model",
+    "merge_metric_dicts",
+    "plan_shards",
+    "run_parallel",
     "SelectionReport",
     "build",
     "build_and_run",

@@ -8,7 +8,7 @@ This is the primary public API of the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..adl.kahrisma import KAHRISMA
 from ..adl.model import Architecture
@@ -63,6 +63,9 @@ class RunResult:
     profiler: object = None
     #: The timeline recorder passed to :func:`run`.
     timeline: object = None
+    #: Checkpoint files written when the run was invoked with
+    #: ``checkpoint_every`` (in instruction order); empty otherwise.
+    checkpoints: List[str] = field(default_factory=list)
 
     @property
     def cycles(self) -> Optional[int]:
@@ -147,6 +150,10 @@ def run(
     profiler=None,
     timeline=None,
     collect_metrics: bool = False,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    workload: Optional[str] = None,
 ) -> RunResult:
     """Load and simulate a built executable.
 
@@ -156,10 +163,28 @@ def run(
     events from the cycle model, and ``collect_metrics=True`` attaches
     the machine-readable run report as ``RunResult.telemetry`` — this
     is how the benchmark harnesses emit telemetry automatically.
+
+    Checkpointing (``docs/checkpointing.md``): ``checkpoint_every=N``
+    writes a checkpoint into ``checkpoint_dir`` every N executed
+    instructions; ``resume_from=path`` starts from a checkpoint file
+    instead of the ELF entry point (the ELF still supplies debug info,
+    and ``RunResult.stats`` covers the whole run, not just the resumed
+    segment).  ``max_instructions`` bounds the segment executed by this
+    call.
     """
-    program = load_executable(
-        built.elf, built.arch, isa_id=isa_id, input_data=input_data
-    )
+    if resume_from is not None:
+        from ..snapshot import load_checkpoint_program
+
+        resumed = load_checkpoint_program(
+            resume_from, built.arch, elf=built.elf, cycle_model=cycle_model
+        )
+        program = resumed.program
+        base_stats = resumed.base_stats
+    else:
+        program = load_executable(
+            built.elf, built.arch, isa_id=isa_id, input_data=input_data
+        )
+        base_stats = None
     interpreter = Interpreter(
         program.state,
         cycle_model=cycle_model,
@@ -171,7 +196,26 @@ def run(
         profiler=profiler,
         timeline=timeline,
     )
-    stats = interpreter.run(max_instructions=max_instructions)
+    checkpoints: List[str] = []
+    if checkpoint_every is not None:
+        from ..snapshot import run_with_checkpoints
+
+        ckpt = run_with_checkpoints(
+            interpreter, program.syscalls,
+            every=checkpoint_every,
+            directory=checkpoint_dir or "checkpoints",
+            max_instructions=max_instructions,
+            base_stats=base_stats,
+            workload=workload,
+        )
+        stats = ckpt.stats
+        checkpoints = ckpt.checkpoints
+    else:
+        stats = interpreter.run(max_instructions=max_instructions)
+        if base_stats is not None:
+            whole = base_stats.copy()
+            whole.merge(stats)
+            stats = whole
     telemetry = None
     if collect_metrics or profiler is not None:
         from ..telemetry import build_run_report
@@ -190,6 +234,7 @@ def run(
         telemetry=telemetry,
         profiler=profiler,
         timeline=timeline,
+        checkpoints=checkpoints,
     )
 
 

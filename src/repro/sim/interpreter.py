@@ -140,6 +140,11 @@ class Interpreter:
         # and lookup statistics; SimStats gets the per-run delta.
         decodes_before = self.cache.decodes
         lookups_before = self.cache.lookups
+        # ``simop_count``/``isa_switches`` live in the (checkpointable)
+        # processor state and may be non-zero on a restored run; stats
+        # get the per-run delta so resumed segments merge additively.
+        simops_before = self.state.simop_count
+        switches_before = self.state.isa_switches
         start = time.perf_counter()
         try:
             profiler = self.profiler
@@ -178,8 +183,8 @@ class Interpreter:
         self.stats.elapsed_seconds += time.perf_counter() - start
         self.stats.decoded_instructions += self.cache.decodes - decodes_before
         self.stats.cache_lookups += self.cache.lookups - lookups_before
-        self.stats.simops = self.state.simop_count
-        self.stats.isa_switches = self.state.isa_switches
+        self.stats.simops += self.state.simop_count - simops_before
+        self.stats.isa_switches += self.state.isa_switches - switches_before
         self.stats.exit_code = self.state.exit_code
         return self.stats
 

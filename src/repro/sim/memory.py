@@ -24,7 +24,7 @@ is a single truthiness test.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, Iterator, List, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 MASK32 = 0xFFFFFFFF
 PAGE_SHIFT = 12
@@ -45,7 +45,8 @@ CodeWriteListener = Callable[[int, int, int], None]
 class Memory:
     """Paged sparse memory with word/half/byte accessors."""
 
-    __slots__ = ("_pages", "_views", "_code_pages", "_code_listeners")
+    __slots__ = ("_pages", "_views", "_code_pages", "_code_listeners",
+                 "_dirty")
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
@@ -54,6 +55,9 @@ class Memory:
         self._views: Dict[int, memoryview] = {}
         self._code_pages: Set[int] = set()
         self._code_listeners: List[CodeWriteListener] = []
+        #: Dirty-page set for incremental checkpoints; None (the
+        #: default) keeps every store path at a single truthiness test.
+        self._dirty: Optional[Set[int]] = None
 
     def _page(self, index: int) -> bytearray:
         page = self._pages.get(index)
@@ -90,6 +94,9 @@ class Memory:
                 self._page(index)
                 view = self._views[index]
             view[(addr & PAGE_MASK) >> 2] = value & MASK32
+            d = self._dirty
+            if d is not None:
+                d.add(index)
             cp = self._code_pages
             if cp and index in cp:
                 self._code_written(index, addr, 4)
@@ -100,6 +107,9 @@ class Memory:
             self._page(page)[off:off + 4] = (
                 value & MASK32
             ).to_bytes(4, "little")
+            d = self._dirty
+            if d is not None:
+                d.add(page)
             cp = self._code_pages
             if cp and page in cp:
                 self._code_written(page, addr, 4)
@@ -124,6 +134,9 @@ class Memory:
             page = self._page(index)
             page[off] = value & 0xFF
             page[off + 1] = (value >> 8) & 0xFF
+            d = self._dirty
+            if d is not None:
+                d.add(index)
             cp = self._code_pages
             if cp and index in cp:
                 self._code_written(index, addr, 2)
@@ -141,6 +154,9 @@ class Memory:
         addr &= MASK32
         index = addr >> PAGE_SHIFT
         self._page(index)[addr & PAGE_MASK] = value & 0xFF
+        d = self._dirty
+        if d is not None:
+            d.add(index)
         cp = self._code_pages
         if cp and index in cp:
             self._code_written(index, addr, 1)
@@ -166,11 +182,14 @@ class Memory:
         addr &= MASK32
         view = memoryview(data)
         cp = self._code_pages
+        d = self._dirty
         while view:
             off = addr & PAGE_MASK
             chunk = min(len(view), PAGE_SIZE - off)
             index = addr >> PAGE_SHIFT
             self._page(index)[off:off + chunk] = view[:chunk]
+            if d is not None:
+                d.add(index)
             if cp and index in cp:
                 self._code_written(index, addr, chunk)
             addr = (addr + chunk) & MASK32
@@ -222,13 +241,72 @@ class Memory:
     def watched_code_pages(self) -> int:
         return len(self._code_pages)
 
+    # -- checkpointing ---------------------------------------------------
+
+    def enable_dirty_tracking(self) -> None:
+        """Start recording which pages stores touch.
+
+        Until enabled the tracking costs nothing; afterwards every
+        store path pays one set insertion.  Used by the checkpoint
+        writer to re-encode only changed pages between two periodic
+        checkpoints.
+        """
+        if self._dirty is None:
+            self._dirty = set()
+
+    def pop_dirty_pages(self) -> Set[int]:
+        """Return and clear the set of page indices written since the
+        last call (empty before :meth:`enable_dirty_tracking`)."""
+        dirty = self._dirty
+        if not dirty:
+            return set()
+        self._dirty = set()
+        return dirty
+
+    def restore_pages(self, pages: Mapping[int, bytes]) -> None:
+        """Replace the whole address space with checkpointed pages.
+
+        Drops every resident page and the code-watch set: the decode
+        caches that registered those watches are stale relative to the
+        restored image and must re-register as they re-translate
+        (listeners stay subscribed — an interpreter attached to this
+        memory keeps receiving invalidations for watches added after
+        the restore).
+        """
+        self._pages.clear()
+        self._views.clear()
+        self._code_pages.clear()
+        if self._dirty is not None:
+            self._dirty = set()
+        for index, data in pages.items():
+            if len(data) != PAGE_SIZE:
+                raise ValueError(
+                    f"page {index:#x} has {len(data)} bytes, "
+                    f"expected {PAGE_SIZE}"
+                )
+            page = bytearray(data)
+            self._pages[index] = page
+            if _WORD_VIEWS:
+                self._views[index] = memoryview(page).cast("I")
+
     # -- introspection ---------------------------------------------------
 
     @property
     def resident_pages(self) -> int:
         return len(self._pages)
 
-    def pages(self) -> Iterator[Tuple[int, bytes]]:
-        """Yield (base address, page bytes) for every resident page."""
+    def page(self, index: int) -> Optional[memoryview]:
+        """Read-only zero-copy view of one resident page (or None)."""
+        page = self._pages.get(index)
+        if page is None:
+            return None
+        return memoryview(page).toreadonly()
+
+    def pages(self) -> Iterator[Tuple[int, memoryview]]:
+        """Yield (base address, page view) for every resident page.
+
+        The views are read-only and zero-copy; they alias the live
+        page, so consume (or copy) them before the next store.
+        """
         for index in sorted(self._pages):
-            yield index << PAGE_SHIFT, bytes(self._pages[index])
+            yield index << PAGE_SHIFT, memoryview(self._pages[index]).toreadonly()

@@ -9,7 +9,7 @@ the operation table of the active ISA.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..adl.model import Architecture
 from .errors import SimulationError
@@ -81,6 +81,40 @@ class ProcessorState:
             )
         self.simop_count += 1
         return self.syscall_handler(self, ident)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def save_state(self) -> Dict[str, object]:
+        """Architectural state as plain data (memory is saved separately
+        by :mod:`repro.snapshot` — it owns the page encoding)."""
+        return {
+            "regs": list(self.regs),
+            "ip": self.ip,
+            "isa_id": self.isa_id,
+            "halted": self.halted,
+            "exit_code": self.exit_code,
+            "isa_switches": self.isa_switches,
+            "simop_count": self.simop_count,
+        }
+
+    def load_state(self, data: Dict[str, object]) -> None:
+        """Inverse of :meth:`save_state` (same architecture required)."""
+        regs = list(data["regs"])
+        if len(regs) != len(self.regs):
+            raise SimulationError(
+                f"checkpoint has {len(regs)} registers, architecture "
+                f"{self.arch.name!r} has {len(self.regs)}"
+            )
+        isa_id = int(data["isa_id"])
+        if isa_id not in self.arch.isa_by_id:
+            raise SimulationError(f"checkpoint references unknown ISA {isa_id}")
+        self.regs = regs
+        self.ip = int(data["ip"])
+        self.isa_id = isa_id
+        self.halted = bool(data["halted"])
+        self.exit_code = int(data["exit_code"])
+        self.isa_switches = int(data["isa_switches"])
+        self.simop_count = int(data["simop_count"])
 
     # -- conveniences -----------------------------------------------------
 

@@ -8,7 +8,8 @@ memory-accessing instructions, and wall-clock derived MIPS.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, replace
+from typing import Dict
 
 
 @dataclass
@@ -93,8 +94,36 @@ class SimStats:
             return 0.0
         return self.executed_instructions / self.elapsed_seconds / 1e6
 
+    #: Counters that describe *what the program did* — deterministic
+    #: functions of the instruction stream, independent of execution
+    #: engine, host speed and decode-cache warmth.  These (and only
+    #: these) are covered by the checkpoint determinism contract: a
+    #: resumed or sharded run merges to bitwise-identical values.
+    #: ``decoded_instructions`` / ``cache_lookups`` /
+    #: ``prediction_hits`` are host-side engine counters (a resumed
+    #: segment starts with cold caches and re-decodes), and
+    #: ``elapsed_seconds`` / ``mips`` are wall-clock; all are excluded.
+    ARCHITECTURAL_FIELDS = (
+        "executed_instructions",
+        "executed_slots",
+        "executed_ops",
+        "memory_instructions",
+        "memory_ops",
+        "simops",
+        "isa_switches",
+        "exit_code",
+    )
+
     def merge(self, other: "SimStats") -> None:
-        """Accumulate ``other`` into this object (multi-run totals)."""
+        """Accumulate ``other`` into this object.
+
+        Used for multi-run totals *and* to compose the segments of a
+        checkpoint-resumed or sharded run: additive counters sum (so
+        ``executed_instructions``, ``elapsed_seconds`` and the derived
+        MIPS reflect the whole run, not just the final segment) while
+        ``exit_code`` is taken from ``other`` — the later segment
+        decides how the program ended.
+        """
         self.executed_instructions += other.executed_instructions
         self.executed_slots += other.executed_slots
         self.executed_ops += other.executed_ops
@@ -106,3 +135,22 @@ class SimStats:
         self.simops += other.simops
         self.isa_switches += other.isa_switches
         self.elapsed_seconds += other.elapsed_seconds
+        self.exit_code = other.exit_code
+
+    def copy(self) -> "SimStats":
+        """Independent copy (checkpoint snapshots must not alias)."""
+        return replace(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """All counters as a plain dict (checkpoint serialisation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        return cls(**data)
+
+    def architectural_dict(self) -> Dict[str, int]:
+        """The determinism-contract subset (see ARCHITECTURAL_FIELDS)."""
+        return {name: getattr(self, name)
+                for name in self.ARCHITECTURAL_FIELDS}

@@ -68,6 +68,33 @@ class Syscalls:
             17: self._write,
         }
 
+    # -- checkpointing -----------------------------------------------------
+
+    def save_state(self) -> Dict[str, object]:
+        """Full emulation state as plain data (bytes kept as bytes;
+        the checkpoint format is responsible for encoding them)."""
+        return {
+            "stdout": bytes(self.stdout),
+            "heap_base": self.heap_base,
+            "heap_ptr": self.heap_ptr,
+            "input": bytes(self.input),
+            "input_pos": self.input_pos,
+            "rand_state": self.rand_state,
+        }
+
+    def load_state(self, data: Dict[str, object]) -> None:
+        """Inverse of :meth:`save_state`.
+
+        ``clock_source`` is deliberately not part of the state — it is
+        a host-side binding the framework re-installs after a restore.
+        """
+        self.stdout = bytearray(data["stdout"])
+        self.heap_base = int(data["heap_base"])
+        self.heap_ptr = int(data["heap_ptr"])
+        self.input = bytearray(data["input"])
+        self.input_pos = int(data["input_pos"])
+        self.rand_state = int(data["rand_state"]) & MASK32
+
     # -- installation -----------------------------------------------------
 
     def install(self, state: ProcessorState) -> None:

@@ -1,0 +1,67 @@
+"""Checkpoint/restore subsystem (``docs/checkpointing.md``).
+
+Layering, bottom up:
+
+:mod:`~repro.snapshot.format`
+    The on-disk envelope — versioned, digest-checked canonical JSON.
+:mod:`~repro.snapshot.capture`
+    Payload encode/decode: complete simulator state (registers, sparse
+    memory pages, syscall emulation, cycle-model state, statistics) at
+    an instruction boundary, plus the incremental page encoder and the
+    canonical memory digest used by the determinism tests.
+:mod:`~repro.snapshot.runner`
+    Periodic checkpointing around an interpreter and turning a
+    checkpoint back into a runnable program.
+"""
+
+from .capture import (
+    IncrementalPageEncoder,
+    RestoredRun,
+    decode_memory,
+    encode_memory,
+    memory_digest,
+    restore_run,
+    snapshot_run,
+)
+from .format import (
+    FILE_SUFFIX,
+    FORMAT_VERSION,
+    SCHEMA,
+    CheckpointError,
+    decode_checkpoint,
+    encode_checkpoint,
+    payload_digest,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .runner import (
+    CheckpointedRun,
+    ResumedProgram,
+    checkpoint_path,
+    load_checkpoint_program,
+    run_with_checkpoints,
+)
+
+__all__ = [
+    "SCHEMA",
+    "FORMAT_VERSION",
+    "FILE_SUFFIX",
+    "CheckpointError",
+    "payload_digest",
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "write_checkpoint",
+    "read_checkpoint",
+    "IncrementalPageEncoder",
+    "encode_memory",
+    "decode_memory",
+    "memory_digest",
+    "snapshot_run",
+    "restore_run",
+    "RestoredRun",
+    "run_with_checkpoints",
+    "CheckpointedRun",
+    "checkpoint_path",
+    "load_checkpoint_program",
+    "ResumedProgram",
+]

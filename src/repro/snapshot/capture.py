@@ -1,0 +1,301 @@
+"""Capture and restore of complete simulator state.
+
+A checkpoint payload describes everything a run needs to continue from
+an instruction boundary:
+
+``state``
+    Architectural state (register file, IP, active ISA, halt flag,
+    cumulative ``simop``/ISA-switch counters) from
+    :meth:`repro.sim.state.ProcessorState.save_state`.
+``memory``
+    Every resident, non-zero sparse page, zlib-compressed and
+    base64-encoded.  All-zero pages are skipped: a never-touched page
+    and an explicitly zeroed page are indistinguishable to the
+    simulated program.
+``syscalls``
+    The C-library emulation state — LCG ``rand`` state, heap break,
+    captured stdout, input cursor — from
+    :meth:`repro.sim.syscalls.Syscalls.save_state`.  Because `rand`
+    and `clock` are fully deterministic, this plus ``state``/``memory``
+    is a *complete* description of the run.
+``stats``
+    Cumulative :class:`~repro.sim.stats.SimStats` of the whole run up
+    to the checkpoint (already merged across earlier segments).
+``model``
+    The attached cycle model's :meth:`save_state` dict (AIE/DOE slot
+    drift, memory-hierarchy content and timing, branch predictor), or
+    None for a purely functional run.
+``meta``
+    Free-form provenance: cumulative instruction count, engine name,
+    workload label.
+
+The determinism contract and its limits are documented in
+``docs/checkpointing.md``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..adl.model import Architecture
+from ..sim.memory import Memory, PAGE_SHIFT, PAGE_SIZE
+from ..sim.state import ProcessorState
+from ..sim.stats import SimStats
+from ..sim.syscalls import Syscalls
+from .format import CheckpointError
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise CheckpointError(f"invalid base64 in checkpoint: {exc}") from exc
+
+
+def _encode_page(page) -> Optional[str]:
+    """zlib+base64 of one page; None when the page is all zero."""
+    if not any(page):
+        return None
+    return _b64(zlib.compress(bytes(page), 6))
+
+
+class IncrementalPageEncoder:
+    """Page encoder that re-encodes only pages written since last time.
+
+    The first :meth:`encode` call enables the memory's dirty-page
+    tracking and encodes every resident non-zero page; subsequent calls
+    pop the dirty set and re-encode only those pages, reusing the
+    cached blobs for everything else.  Checkpoint files stay fully
+    self-contained — the incrementality saves *encoding* cost (the
+    dominant part of a periodic checkpoint), not file bytes.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, str] = {}
+        self._primed = False
+
+    def encode(self, mem: Memory) -> Dict[str, str]:
+        if not self._primed:
+            mem.enable_dirty_tracking()
+            mem.pop_dirty_pages()  # stores before priming are in _pages
+            self._primed = True
+            self._cache = {}
+            for base_addr, page in mem.pages():
+                blob = _encode_page(page)
+                if blob is not None:
+                    self._cache[base_addr >> PAGE_SHIFT] = blob
+            return dict_keyed_by_str(self._cache)
+        for index in mem.pop_dirty_pages():
+            page = mem.page(index)
+            blob = _encode_page(page) if page is not None else None
+            if blob is None:
+                self._cache.pop(index, None)
+            else:
+                self._cache[index] = blob
+        return dict_keyed_by_str(self._cache)
+
+
+def dict_keyed_by_str(pages: Dict[int, str]) -> Dict[str, str]:
+    """JSON object keys must be strings; page indices become decimal."""
+    return {str(index): blob for index, blob in pages.items()}
+
+
+def encode_memory(mem: Memory) -> Dict[str, str]:
+    """One-shot page encoding (no dirty tracking involved)."""
+    out: Dict[str, str] = {}
+    for base_addr, page in mem.pages():
+        blob = _encode_page(page)
+        if blob is not None:
+            out[str(base_addr >> PAGE_SHIFT)] = blob
+    return out
+
+
+def decode_memory(pages: Dict[str, str]) -> Dict[int, bytes]:
+    """Inverse of :func:`encode_memory`: page index → raw page bytes."""
+    out: Dict[int, bytes] = {}
+    for key, blob in pages.items():
+        try:
+            index = int(key)
+        except ValueError:
+            raise CheckpointError(f"bad page index {key!r}")
+        try:
+            data = zlib.decompress(_unb64(blob))
+        except zlib.error as exc:
+            raise CheckpointError(
+                f"page {index:#x} fails to decompress: {exc}"
+            ) from exc
+        if len(data) != PAGE_SIZE:
+            raise CheckpointError(
+                f"page {index:#x} decompresses to {len(data)} bytes, "
+                f"expected {PAGE_SIZE}"
+            )
+        out[index] = data
+    return out
+
+
+def memory_digest(mem: Memory) -> str:
+    """Canonical sha256 of the memory image.
+
+    Skips all-zero pages so the digest is independent of which pages
+    happen to be materialised — two semantically equal memories always
+    hash equal.  Used by the determinism tests and the CI gate.
+    """
+    h = hashlib.sha256()
+    for base_addr, page in mem.pages():
+        if not any(page):
+            continue
+        h.update(base_addr.to_bytes(8, "little"))
+        h.update(page)
+    return h.hexdigest()
+
+
+# -- whole-run capture ----------------------------------------------------
+
+
+def snapshot_run(
+    state: ProcessorState,
+    syscalls: Syscalls,
+    *,
+    stats: SimStats,
+    cycle_model=None,
+    memory_encoder: Optional[IncrementalPageEncoder] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Serialise a run at an instruction boundary into a payload dict.
+
+    ``stats`` must be the *cumulative* statistics of the whole run so
+    far (the caller merges segments); ``memory_encoder`` enables
+    incremental page encoding across periodic checkpoints.
+    """
+    if cycle_model is not None and not hasattr(cycle_model, "save_state"):
+        raise CheckpointError(
+            f"cycle model {type(cycle_model).__name__} does not support "
+            f"checkpointing (no save_state)"
+        )
+    pages = (
+        memory_encoder.encode(state.mem)
+        if memory_encoder is not None
+        else encode_memory(state.mem)
+    )
+    sys_state = syscalls.save_state()
+    payload: Dict[str, object] = {
+        "arch": state.arch.name,
+        "state": state.save_state(),
+        "memory": {"page_size": PAGE_SIZE, "pages": pages},
+        "syscalls": {
+            "stdout": _b64(sys_state["stdout"]),
+            "input": _b64(sys_state["input"]),
+            "heap_base": sys_state["heap_base"],
+            "heap_ptr": sys_state["heap_ptr"],
+            "input_pos": sys_state["input_pos"],
+            "rand_state": sys_state["rand_state"],
+        },
+        # Wall-clock timing is a property of the host run, not of the
+        # simulated state; zeroing it keeps checkpoint files bitwise
+        # reproducible (resumed runs time only their own segment).
+        "stats": {**stats.to_dict(), "elapsed_seconds": 0.0},
+        "model": (
+            cycle_model.save_state() if cycle_model is not None else None
+        ),
+        "meta": dict(meta) if meta else {},
+    }
+    return payload
+
+
+@dataclass
+class RestoredRun:
+    """A checkpoint applied to fresh simulator objects."""
+
+    state: ProcessorState
+    syscalls: Syscalls
+    #: Cumulative stats of the run up to the checkpoint; merge the
+    #: resumed segment's stats into a copy of this.
+    base_stats: SimStats
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def restore_run(
+    payload: Dict[str, object],
+    arch: Architecture,
+    *,
+    cycle_model=None,
+) -> RestoredRun:
+    """Rebuild processor state and syscall emulation from a payload.
+
+    Returns *fresh* objects: a new :class:`ProcessorState` (with a new
+    sparse :class:`Memory` holding exactly the checkpointed pages) and
+    a new :class:`Syscalls` already installed on it.  Construct a new
+    :class:`~repro.sim.interpreter.Interpreter` on the result — its
+    decode caches start cold and re-register their code-write watches
+    as they re-translate, which is what keeps self-modifying-code
+    detection correct after a restore.
+
+    ``cycle_model``: when given and the payload carries model state,
+    the state is loaded into it (configuration must match).  A payload
+    *without* model state leaves a supplied model at reset — that is
+    the parallel-shard mode, where each shard's cycle model cold-starts
+    from a functional checkpoint (see ``docs/checkpointing.md`` for the
+    accuracy caveat).
+    """
+    if payload.get("arch") != arch.name:
+        raise CheckpointError(
+            f"checkpoint is for architecture {payload.get('arch')!r}, "
+            f"restoring onto {arch.name!r}"
+        )
+    try:
+        state_data = payload["state"]
+        mem_data = payload["memory"]
+        sys_data = payload["syscalls"]
+        stats_data = payload["stats"]
+    except KeyError as exc:
+        raise CheckpointError(f"checkpoint payload missing {exc}") from exc
+    if mem_data.get("page_size") != PAGE_SIZE:
+        raise CheckpointError(
+            f"checkpoint page size {mem_data.get('page_size')} does not "
+            f"match this build's {PAGE_SIZE}"
+        )
+
+    state = ProcessorState(arch, isa_id=int(state_data["isa_id"]))
+    try:
+        state.load_state(state_data)
+    except Exception as exc:
+        raise CheckpointError(f"bad architectural state: {exc}") from exc
+    state.mem.restore_pages(decode_memory(mem_data["pages"]))
+
+    syscalls = Syscalls()
+    try:
+        syscalls.load_state({
+            "stdout": _unb64(sys_data["stdout"]),
+            "input": _unb64(sys_data["input"]),
+            "heap_base": sys_data["heap_base"],
+            "heap_ptr": sys_data["heap_ptr"],
+            "input_pos": sys_data["input_pos"],
+            "rand_state": sys_data["rand_state"],
+        })
+    except KeyError as exc:
+        raise CheckpointError(f"syscall state missing {exc}") from exc
+    syscalls.install(state)
+
+    try:
+        base_stats = SimStats.from_dict(stats_data)
+    except TypeError as exc:
+        raise CheckpointError(f"bad stats in checkpoint: {exc}") from exc
+
+    model_data = payload.get("model")
+    if cycle_model is not None and model_data is not None:
+        try:
+            cycle_model.load_state(model_data)
+        except ValueError as exc:
+            raise CheckpointError(str(exc)) from exc
+
+    meta = payload.get("meta") or {}
+    return RestoredRun(state=state, syscalls=syscalls,
+                       base_stats=base_stats, meta=dict(meta))

@@ -1,0 +1,127 @@
+"""Checkpoint file format: versioned, digest-checked JSON envelope.
+
+A checkpoint is one self-contained file::
+
+    {
+      "schema":  "kahrisma-checkpoint",
+      "version": 1,
+      "digest":  "<sha256 of the canonical payload encoding>",
+      "payload": { ... }
+    }
+
+The payload (see :mod:`repro.snapshot.capture`) contains only JSON
+types — binary data (memory pages, stdout, input) is zlib+base64
+encoded by the capture layer.  The digest is computed over the
+*canonical* payload encoding (sorted keys, no whitespace), so any
+corruption or hand-editing is detected at load time, and two
+checkpoints of identical simulator state are bitwise-identical files —
+the property the determinism tests build on.
+
+``version`` is bumped on any incompatible payload change; readers
+reject versions they do not understand rather than guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict
+
+SCHEMA = "kahrisma-checkpoint"
+FORMAT_VERSION = 1
+
+#: Conventional checkpoint file suffix (``kahrisma run --checkpoint-dir``).
+FILE_SUFFIX = ".kchk"
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be written, parsed, verified or applied."""
+
+
+def _canonical(payload: Dict[str, object]) -> bytes:
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"payload is not serialisable: {exc}") from exc
+
+
+def payload_digest(payload: Dict[str, object]) -> str:
+    """sha256 hex digest of the canonical payload encoding."""
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def encode_checkpoint(payload: Dict[str, object]) -> bytes:
+    """Wrap a payload in the versioned, digest-checked envelope."""
+    envelope = {
+        "schema": SCHEMA,
+        "version": FORMAT_VERSION,
+        "digest": payload_digest(payload),
+        "payload": payload,
+    }
+    return json.dumps(
+        envelope, sort_keys=True, separators=(",", ":"), allow_nan=False,
+    ).encode("utf-8")
+
+
+def decode_checkpoint(data: bytes) -> Dict[str, object]:
+    """Parse and verify an envelope; returns the payload.
+
+    Raises :class:`CheckpointError` on malformed JSON, wrong schema,
+    unsupported version or a digest mismatch.
+    """
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"not a checkpoint file: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("schema") != SCHEMA:
+        raise CheckpointError(
+            f"not a checkpoint file (schema={envelope.get('schema')!r} "
+            f"if it parsed at all)"
+            if isinstance(envelope, dict)
+            else "not a checkpoint file (top level is not an object)"
+        )
+    version = envelope.get("version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint payload missing or not an object")
+    expected = envelope.get("digest")
+    actual = payload_digest(payload)
+    if expected != actual:
+        raise CheckpointError(
+            f"checkpoint digest mismatch: file says {expected!r}, "
+            f"payload hashes to {actual!r} (corrupted or edited)"
+        )
+    return payload
+
+
+def write_checkpoint(path: str, payload: Dict[str, object]) -> None:
+    """Encode and atomically write one checkpoint file.
+
+    The write goes to ``<path>.tmp`` first and is renamed into place,
+    so a crash mid-write never leaves a truncated checkpoint behind.
+    """
+    import os
+
+    data = encode_checkpoint(payload)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(data)
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path: str) -> Dict[str, object]:
+    """Read and verify one checkpoint file; returns the payload."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    return decode_checkpoint(data)

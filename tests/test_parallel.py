@@ -1,0 +1,148 @@
+"""Parallel shard runner (``repro.framework.parallel``).
+
+The key property: sharding is invisible to the architectural result.
+The merged statistics, program output and exit code of an N-shard run
+must be bitwise-equal to an uninterrupted run; only cycle counts are
+approximate (cold shard models), and that approximation is bounded
+here.  Wall-clock speedup is *not* asserted — it depends on host CPU
+count (the CI smoke job exercises it on multi-core runners).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cycles.doe import DoeModel
+from repro.framework import pipeline
+from repro.framework.parallel import (
+    merge_metric_dicts,
+    plan_shards,
+    run_parallel,
+)
+from repro.programs import load_program
+from repro.snapshot import read_checkpoint
+
+
+def dct(kc):
+    return kc(load_program("dct4x4"), filename="dct4x4.kc")
+
+
+class TestPlanShards:
+    def test_boundaries_cover_the_run(self, kc, tmp_path):
+        plan = plan_shards(dct(kc), shards=4, directory=str(tmp_path))
+        assert plan.boundaries[0] == 0
+        assert plan.boundaries == sorted(set(plan.boundaries))
+        assert len(plan.boundaries) == 4
+        assert plan.total_instructions > plan.boundaries[-1]
+        assert all(os.path.exists(p) for p in plan.checkpoints)
+
+    def test_checkpoints_carry_cumulative_stats(self, kc, tmp_path):
+        plan = plan_shards(dct(kc), shards=3, directory=str(tmp_path))
+        for boundary, path in zip(plan.boundaries, plan.checkpoints):
+            payload = read_checkpoint(path)
+            assert payload["stats"]["executed_instructions"] == boundary
+            assert payload["meta"]["instructions"] == boundary
+
+    def test_more_shards_than_instructions_deduplicates(self, kc, tmp_path):
+        built = kc("int main() { return 0; }")
+        plan = plan_shards(built, shards=1000, directory=str(tmp_path))
+        assert len(plan.boundaries) <= plan.total_instructions
+        assert plan.boundaries == sorted(set(plan.boundaries))
+
+    def test_non_halting_program_rejected(self, kc, tmp_path):
+        built = kc("int main() { while (1) {} return 0; }")
+        with pytest.raises(ValueError, match="did not halt"):
+            plan_shards(built, shards=2, directory=str(tmp_path),
+                        max_instructions=10_000)
+
+
+class TestRunParallel:
+    @pytest.fixture(scope="class")
+    def straight(self, kc):
+        built = dct(kc)
+        model = DoeModel(issue_width=built.issue_width)
+        result = pipeline.run(built, engine="superblock", cycle_model=model)
+        return built, result, model
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_merged_architectural_state_matches(self, shards, straight):
+        built, result, model = straight
+        par = run_parallel(built, shards=shards, model="doe")
+        assert (par.stats.architectural_dict()
+                == result.stats.architectural_dict())
+        assert par.output == result.output
+        assert par.exit_code == result.exit_code
+        assert len(par.shard_results) == shards
+        # Cold-start cycle drift stays a small fraction of the run.
+        assert par.cycles == pytest.approx(model.cycles, rel=0.05)
+
+    def test_single_shard_runs_inline(self, straight):
+        built, result, _model = straight
+        par = run_parallel(built, shards=1, model=None)
+        assert (par.stats.architectural_dict()
+                == result.stats.architectural_dict())
+        assert par.cycles is None
+
+    def test_processes_cap_forces_inline_execution(self, straight):
+        built, result, _model = straight
+        par = run_parallel(built, shards=2, model=None, processes=1)
+        assert (par.stats.architectural_dict()
+                == result.stats.architectural_dict())
+
+    def test_merged_telemetry_document(self, straight):
+        built, result, _model = straight
+        par = run_parallel(built, shards=2, model="doe",
+                           workload="dct4x4")
+        doc = par.telemetry
+        assert doc["schema"] == "kahrisma-telemetry"
+        assert doc["shards"] == 2
+        assert doc["workload"] == "dct4x4"
+        metrics = doc["metrics"]
+        assert (metrics["sim.executed_instructions"]
+                == result.stats.executed_instructions)
+        assert metrics["cycles.doe.cycles"] == par.cycles
+        assert metrics["sim.exit_code"] == 0
+
+    def test_keeps_checkpoints_in_explicit_dir(self, straight, tmp_path):
+        built, _result, _model = straight
+        par = run_parallel(built, shards=2, model=None,
+                           checkpoint_dir=str(tmp_path))
+        assert all(os.path.exists(p) for p in par.plan.checkpoints)
+
+    def test_unknown_model_rejected_before_fast_forward(self, straight):
+        built, _result, _model = straight
+        with pytest.raises(ValueError, match="unknown cycle model"):
+            run_parallel(built, shards=2, model="warp-drive")
+
+
+class TestMergeMetricDicts:
+    def test_counters_sum_config_first_exit_last(self):
+        merged = merge_metric_dicts([
+            {"sim.executed_instructions": 10, "mem.main.delay": 9,
+             "sim.exit_code": 0, "sim.engine": "superblock",
+             "sim.elapsed_seconds": 1.0},
+            {"sim.executed_instructions": 5, "mem.main.delay": 9,
+             "sim.exit_code": 3, "sim.engine": "superblock",
+             "sim.elapsed_seconds": 0.5},
+        ])
+        assert merged["sim.executed_instructions"] == 15
+        assert merged["mem.main.delay"] == 9
+        assert merged["sim.exit_code"] == 3
+        assert merged["sim.engine"] == "superblock"
+        assert merged["sim.elapsed_seconds"] == 1.5
+
+    def test_derived_ratios_recomputed(self):
+        merged = merge_metric_dicts([
+            {"mem.cache.l1.hits": 8, "mem.cache.l1.misses": 2,
+             "mem.cache.l1.accesses": 10, "mem.cache.l1.miss_rate": 0.2,
+             "cycles.doe.cycles": 100, "cycles.doe.ops": 50,
+             "cycles.doe.ops_per_cycle": 0.5},
+            {"mem.cache.l1.hits": 9, "mem.cache.l1.misses": 1,
+             "mem.cache.l1.accesses": 10, "mem.cache.l1.miss_rate": 0.1,
+             "cycles.doe.cycles": 100, "cycles.doe.ops": 150,
+             "cycles.doe.ops_per_cycle": 1.5},
+        ])
+        assert merged["mem.cache.l1.miss_rate"] == pytest.approx(0.15)
+        assert merged["cycles.doe.ops_per_cycle"] == pytest.approx(1.0)

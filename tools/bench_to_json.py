@@ -66,7 +66,35 @@ def timed_run(built, engine, max_instructions=None):
     return stats, elapsed, interp
 
 
-def measure_workload(name, engines, repeats):
+def measure_parallel(built, shards, repeats):
+    """Time the sharded cycle-model run (``repro.framework.parallel``).
+
+    Reported next to the single-process engines so the perf trajectory
+    captures the shard runner too.  The merged architectural stats are
+    recorded so regressions in the merge path show up as instruction
+    count changes, not just timing noise.
+    """
+    from repro.framework.parallel import run_parallel
+
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_parallel(built, shards=shards, model="doe")
+        elapsed = time.perf_counter() - start
+        mips = result.stats.executed_instructions / elapsed / 1e6
+        if best is None or mips > best["mips"]:
+            best = {
+                "shards": len(result.shard_results),
+                "mips": round(mips, 3),
+                "instructions": result.stats.executed_instructions,
+                "seconds": round(elapsed, 4),
+                "cycles_approx": result.cycles,
+                "architectural": result.stats.architectural_dict(),
+            }
+    return best
+
+
+def measure_workload(name, engines, repeats, shards=0):
     built = build_benchmark(name)
     entry = {"engines": {}}
     for engine in engines:
@@ -90,6 +118,8 @@ def measure_workload(name, engines, repeats):
         entry["speedup_superblock_vs_predict"] = round(
             eng["superblock"]["mips"] / eng["predict"]["mips"], 3
         )
+    if shards:
+        entry["parallel"] = measure_parallel(built, shards, repeats)
     return entry
 
 
@@ -106,6 +136,11 @@ def main(argv=None):
     parser.add_argument(
         "--repeats", type=int, default=3,
         help="timed runs per configuration; the best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="also measure the parallel shard runner with this many "
+             "shards (0 = skip; needs >1 CPU to show a speedup)",
     )
     parser.add_argument(
         "--out", default="BENCH_table1.json", help="output path"
@@ -131,7 +166,7 @@ def main(argv=None):
     for name in names:
         print(f"measuring {name} ...", flush=True)
         document["workloads"][name] = measure_workload(
-            name, engines, args.repeats
+            name, engines, args.repeats, shards=args.shards
         )
 
     with open(args.out, "w", encoding="utf-8") as f:
@@ -147,6 +182,10 @@ def main(argv=None):
         )
         extra = f"  (superblock {speedup}x over predict)" if speedup else ""
         print(f"  {name}: {row}{extra}")
+        par = entry.get("parallel")
+        if par:
+            print(f"  {name}: parallel x{par['shards']} "
+                  f"{par['mips']:.2f} MIPS (doe)")
     return 0
 
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""CI determinism gate for the checkpoint subsystem.
+
+Two checks over one workload (default dct4x4), exit non-zero on any
+mismatch:
+
+1. **Resume determinism** — run straight to completion, then run again
+   with periodic checkpointing, resume from a mid-run checkpoint, and
+   require bitwise-identical architectural state: registers, memory
+   digest, program output, exit code, the architectural statistics
+   (``SimStats.ARCHITECTURAL_FIELDS``) and — because the resumed run
+   restores the cycle-model state — the exact DOE cycle count.
+2. **Shard merge determinism** — run ``repro.framework.parallel`` with
+   N shards and require the merged architectural statistics and output
+   to match the straight run bitwise (cycle counts are approximate by
+   design and are only reported, not gated).
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/determinism_gate.py [--workload dct4x4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.cycles.doe import DoeModel  # noqa: E402
+from repro.framework.parallel import run_parallel  # noqa: E402
+from repro.framework.pipeline import build_benchmark, run  # noqa: E402
+from repro.snapshot import memory_digest  # noqa: E402
+
+FAILURES = []
+
+
+def check(label, straight_value, other_value):
+    if straight_value == other_value:
+        print(f"  ok: {label}")
+    else:
+        FAILURES.append(label)
+        print(f"  MISMATCH: {label}\n"
+              f"    straight: {straight_value!r}\n"
+              f"    other:    {other_value!r}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="dct4x4")
+    parser.add_argument("--engine", default="superblock")
+    parser.add_argument("--checkpoint-every", type=int, default=40_000)
+    parser.add_argument("--shards", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    built = build_benchmark(args.workload)
+    width = built.issue_width
+
+    print(f"straight run ({args.workload}, {args.engine}, doe) ...")
+    straight_model = DoeModel(issue_width=width)
+    straight = run(built, engine=args.engine, cycle_model=straight_model)
+    straight_arch = straight.stats.architectural_dict()
+    straight_mem = memory_digest(straight.program.state.mem)
+
+    print(f"checkpoint + resume (every {args.checkpoint_every}) ...")
+    with tempfile.TemporaryDirectory() as directory:
+        part_model = DoeModel(issue_width=width)
+        part = run(
+            built, engine=args.engine, cycle_model=part_model,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=directory,
+        )
+        if not part.checkpoints:
+            print(f"  MISMATCH: no checkpoints written — workload too "
+                  f"short for --checkpoint-every {args.checkpoint_every}")
+            return 1
+        check("checkpointed run architectural stats",
+              straight_arch, part.stats.architectural_dict())
+        middle = part.checkpoints[len(part.checkpoints) // 2]
+        print(f"resuming from {os.path.basename(middle)} ...")
+        resume_model = DoeModel(issue_width=width)
+        resumed = run(
+            built, engine=args.engine, cycle_model=resume_model,
+            resume_from=middle,
+        )
+        check("resumed architectural stats",
+              straight_arch, resumed.stats.architectural_dict())
+        check("resumed registers",
+              list(straight.program.state.regs),
+              list(resumed.program.state.regs))
+        check("resumed memory digest",
+              straight_mem, memory_digest(resumed.program.state.mem))
+        check("resumed output", straight.output, resumed.output)
+        check("resumed exit code", straight.exit_code, resumed.exit_code)
+        check("resumed doe cycles", straight_model.cycles,
+              resume_model.cycles)
+
+    print(f"parallel shard merge ({args.shards} shards) ...")
+    par = run_parallel(built, shards=args.shards, model="doe",
+                       engine=args.engine, workload=args.workload)
+    check("merged architectural stats",
+          straight_arch, par.stats.architectural_dict())
+    check("merged output", straight.output, par.output)
+    check("merged exit code", straight.exit_code, par.exit_code)
+    drift = (abs(par.cycles - straight_model.cycles)
+             / max(straight_model.cycles, 1))
+    print(f"  info: shard cycle drift {drift * 100:.3f}% "
+          f"({par.cycles} vs {straight_model.cycles}; approximate by "
+          f"design, not gated)")
+
+    if FAILURES:
+        print(f"\ndeterminism gate FAILED: {len(FAILURES)} mismatch(es)")
+        return 1
+    print("\ndeterminism gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
