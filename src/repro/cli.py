@@ -139,7 +139,34 @@ def _make_model(name: Optional[str], width: int, branch_model=None):
     raise SystemExit(f"unknown cycle model {name!r}")
 
 
+def _check_run_flags(args: argparse.Namespace) -> None:
+    """Reject incoherent --engine/--model combinations up front.
+
+    The simulator would otherwise silently ignore the flag (or crash
+    deep inside a run loop), which reads like a simulator bug.
+    """
+    if (args.profile and args.profile_mode == "block"
+            and args.engine != "superblock"):
+        raise SystemExit(
+            "--profile-mode block needs --engine superblock "
+            "(block attribution expands translated plans)"
+        )
+    if args.timeline and args.model in ("none", "ilp"):
+        raise SystemExit(
+            "--timeline needs a microarchitectural cycle model "
+            "(pass --model aie/doe/rtl)"
+        )
+    if (args.branch_predictor not in (None, "perfect")
+            and args.model in ("none", "ilp")):
+        raise SystemExit(
+            f"--branch-predictor {args.branch_predictor} needs a cycle "
+            "model with a fetch stage (pass --model aie/doe/rtl); "
+            f"--model {args.model} never consults a predictor"
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    _check_run_flags(args)
     with open(args.input, "rb") as f:
         elf = ElfFile.read(f.read())
     resume_payload = None
@@ -186,17 +213,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         profiler = HotspotProfiler(mode=mode)
     timeline = None
     if args.timeline:
-        if model is None:
-            raise SystemExit(
-                "--timeline needs a cycle model (pass --model aie/doe/rtl)"
-            )
         timeline = TimelineRecorder(max_events=args.timeline_events)
     tracer = Tracer.to_file(args.trace) if args.trace else None
+    plan_cache = None
+    if args.engine == "superblock" and not args.no_plan_cache:
+        import hashlib
+
+        from .sim.plancache import PlanCache
+        from .targetgen.codegen import architecture_digest
+
+        plan_cache = PlanCache.open(
+            elf_digest=hashlib.sha256(elf.write()).hexdigest()[:16],
+            arch_digest=architecture_digest(KAHRISMA),
+            directory=args.plan_cache_dir,
+        )
     checkpoints = []
     try:
         interp = Interpreter(program.state, cycle_model=model,
                              tracer=tracer, engine=args.engine,
-                             profiler=profiler, timeline=timeline)
+                             profiler=profiler, timeline=timeline,
+                             plan_cache=plan_cache,
+                             fuse_cycles=not args.no_cycle_fusion)
         if args.checkpoint_every:
             from .snapshot import run_with_checkpoints
 
@@ -279,6 +316,8 @@ def cmd_parallel(args: argparse.Namespace) -> int:
             processes=args.processes,
             workload=args.input,
             keep_checkpoints=args.keep_checkpoints,
+            use_plan_cache=not args.no_plan_cache,
+            plan_cache_dir=args.plan_cache_dir,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -472,6 +511,16 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--resume", metavar="PATH",
                    help="resume from a checkpoint file instead of the "
                         "ELF entry point (stats cover the whole run)")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="do not persist superblock translations across "
+                        "runs (docs/performance.md)")
+    p.add_argument("--plan-cache-dir", metavar="DIR",
+                   help="plan-cache directory (default: "
+                        "$KAHRISMA_CACHE_DIR or ~/.cache/kahrisma)")
+    p.add_argument("--no-cycle-fusion", action="store_true",
+                   help="keep AIE/DOE accounting on the per-instruction "
+                        "observe path instead of compiling it into "
+                        "translated superblocks")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -503,6 +552,11 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--processes", type=int, default=None,
                    help="worker process cap (default: one per shard, "
                         "at most the CPU count)")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="workers translate their own superblocks "
+                        "instead of sharing the persistent plan cache")
+    p.add_argument("--plan-cache-dir", metavar="DIR",
+                   help="plan-cache directory shared by the workers")
     p.add_argument("--metrics", metavar="PATH",
                    help="write the merged telemetry JSON")
     p.set_defaults(func=cmd_parallel)

@@ -9,7 +9,7 @@ approximation.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.decoder import (
     DecodedInstruction,
@@ -18,12 +18,13 @@ from ..sim.decoder import (
     KIND_NOP,
     KIND_STORE,
 )
-from .base import CycleModel
+from .base import BlockCompiler, CycleModel
 from .branch import BranchModel
 from .memmodel import (
     MASK32,
     MemoryModule,
     build_hierarchy,
+    hierarchy_signature,
     load_hierarchy_state,
     save_hierarchy_state,
 )
@@ -117,3 +118,107 @@ class AieModel(CycleModel):
     @property
     def cycles(self) -> int:
         return self.current_cycle
+
+    # -- superblock fusion --------------------------------------------------
+
+    def block_compiler(self) -> Optional["_AieBlockCompiler"]:
+        if self.timeline is not None:
+            # Per-op timeline events need the observe path.
+            return None
+        return _AieBlockCompiler(self)
+
+    def config_signature(self) -> str:
+        sig = f"AIE:mem={hierarchy_signature(self.memory)}"
+        if self.branch_model is not None:
+            sig += f":branch={self.branch_model.signature()}"
+        return sig
+
+
+class _AieBlockCompiler(BlockCompiler):
+    """Emit AIE accounting as flat statements for superblock bodies.
+
+    Superblock bodies contain no control operations (a control op
+    terminates the block) and are single-issue (only direct-eligible
+    plans fuse), so per instruction the observe loop above reduces to:
+
+    * non-memory: ``current_cycle += max(1, delay)`` — a translate-time
+      constant, merged across runs of consecutive instructions;
+    * memory: one hierarchy query at the issue cycle, then
+      ``current_cycle = max(issue + 1, completion)``.
+
+    The generated function receives the model as argument ``m`` and
+    re-derives all state from it each call, so plans survive
+    ``reset``/``load_state`` and persistent-cache reuse.  Timing
+    locals use a ``_y`` prefix (functional locals use ``_t_``).
+    """
+
+    def begin(self) -> None:
+        self.uses_regs = False
+        self._n_instr = 0
+        self._n_ops = 0
+        #: Accumulated constant cycle advance not yet materialised as a
+        #: ``_ycc`` update (flushed before each dynamic statement).
+        self._pending = 0
+        self._mem = False
+
+    def _flush_pending(self, out: List[str]) -> None:
+        if self._pending:
+            out.append(f"_ycc += {self._pending}")
+            self._pending = 0
+
+    def instr(self, dec: DecodedInstruction) -> Optional[List[str]]:
+        op = dec.single
+        if op is None:
+            return None
+        kind = op.kind_code
+        self._n_instr += 1
+        if kind == KIND_NOP:
+            self._pending += 1
+            return []
+        if kind == KIND_LOAD or kind == KIND_STORE:
+            self._n_ops += 1
+            self._mem = True
+            self.uses_regs = True
+            out: List[str] = []
+            self._flush_pending(out)
+            out.append(
+                f"_yx = _yacc((regs[{op.mem_base}] + {op.mem_imm})"
+                f" & 4294967295, {kind == KIND_STORE}, {op.slot}, _ycc)"
+            )
+            out.append("_ycc = _yx if _yx > _ycc + 1 else _ycc + 1")
+            return out
+        if kind == KIND_CTRL:
+            return None  # control ops never appear in bodies; be safe
+        self._n_ops += 1
+        self._pending += max(1, op.delay)
+        return []
+
+    def term(self, dec: DecodedInstruction) -> Optional[List[str]]:
+        if self.model.branch_model is not None:
+            # Mispredictions need the per-instruction observe hook.
+            return None
+        op = dec.single
+        if op is None or op.kind_code in (KIND_LOAD, KIND_STORE):
+            return None
+        self._n_instr += 1
+        self._n_ops += 1
+        self._pending += max(1, op.delay)
+        return []
+
+    def flush(self) -> List[str]:
+        out: List[str] = []
+        if self._mem:
+            cc = f"_ycc + {self._pending}" if self._pending else "_ycc"
+            out.append(f"m.current_cycle = {cc}")
+        elif self._pending:
+            out.append(f"m.current_cycle += {self._pending}")
+        if self._n_instr:
+            out.append(f"m.instructions += {self._n_instr}")
+        if self._n_ops:
+            out.append(f"m.ops += {self._n_ops}")
+        return out
+
+    def prologue(self) -> List[str]:
+        if not self._mem:
+            return []
+        return ["_ycc = m.current_cycle", "_yacc = m.memory.access"]

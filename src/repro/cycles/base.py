@@ -9,9 +9,68 @@ never models the pipeline structurally.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..sim.decoder import DecodedInstruction
+
+
+class BlockCompiler:
+    """Per-model emitter of fused timing statements (superblock engine).
+
+    A cycle model that can prove its accounting for a straight-line
+    body is expressible as flat statements returns one of these from
+    :meth:`CycleModel.block_compiler`.  The superblock translator then
+    interleaves the emitted timing statements with the functional
+    statements of each instruction — *before* the instruction's own
+    writes, reproducing the pre-commit register view of the buffered
+    per-instruction ``observe`` path, so fused cycle counts stay
+    bitwise-identical.
+
+    Protocol (all statements are unindented single lines; the
+    translator indents them into the generated function):
+
+    * :meth:`begin` resets the per-emission state; one emission covers
+      one generated function.
+    * :meth:`instr` returns the timing statements for one body
+      instruction, or None when this instruction cannot be fused (the
+      whole plan then falls back to per-instruction observation).
+    * :meth:`term` returns the timing statements for a plain branch
+      terminator, or None when the terminator must stay buffered
+      (e.g. a branch-misprediction model needs ``observe``).
+    * :meth:`flush` returns the write-back statements for the prefix
+      emitted *so far* — counter increments and scalar state stored
+      back onto the model argument ``m``.  It is emitted at every
+      function exit: the normal epilogue and each self-modifying-code
+      abort site, and must not mutate emission state (an abort site's
+      flush covers only its prefix).
+    * :meth:`prologue` (queried after emission) returns the binding
+      statements deriving locals from ``m``.  Generated functions
+      never capture model objects or their mutable lists — ``reset``/
+      ``load_state`` replace those wholesale, and cached plans outlive
+      both.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        #: Set during emission when a timing statement reads ``regs``
+        #: (effective-address computation); ORed into the functional
+        #: body's own flag by the translator.
+        self.uses_regs = False
+
+    def begin(self) -> None:
+        raise NotImplementedError
+
+    def instr(self, dec: DecodedInstruction) -> Optional[List[str]]:
+        raise NotImplementedError
+
+    def term(self, dec: DecodedInstruction) -> Optional[List[str]]:
+        raise NotImplementedError
+
+    def flush(self) -> List[str]:
+        raise NotImplementedError
+
+    def prologue(self) -> List[str]:
+        raise NotImplementedError
 
 
 class CycleModel:
@@ -49,6 +108,28 @@ class CycleModel:
     #: to per-instruction ``observe`` with buffered commits, keeping
     #: cycle counts bit-identical across engines.
     observe_block = None
+
+    def block_compiler(self) -> Optional[BlockCompiler]:
+        """Emitter fusing this model's accounting into translated plans.
+
+        Models that can express their per-instruction accounting as
+        flat statements (AIE/DOE) return a :class:`BlockCompiler`;
+        the default None keeps the per-instruction ``observe`` path.
+        Models must return None whenever a configuration needs the
+        per-instruction hook anyway (e.g. an attached ``timeline``
+        records one event per executed operation).
+        """
+        return None
+
+    def config_signature(self) -> str:
+        """Timing-relevant configuration as a stable string.
+
+        Used by the persistent plan cache to namespace fused variants:
+        two models whose signatures match must emit identical fused
+        code for the same plan.  The default covers models without
+        tunable timing parameters; subclasses append theirs.
+        """
+        return self.name
 
     @property
     def cycles(self) -> int:

@@ -221,6 +221,12 @@ class BranchModel:
         self.mispredictions = 0
         self.ras_mispredictions = 0
 
+    def signature(self) -> str:
+        """Stable configuration string (plan-cache namespacing)."""
+        return (
+            f"{self.predictor.name}:p{self.penalty}:ras{self.ras_depth}"
+        )
+
     # -- checkpointing ------------------------------------------------------
 
     def save_state(self) -> Dict[str, object]:

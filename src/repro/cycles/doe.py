@@ -31,12 +31,13 @@ from ..sim.decoder import (
     KIND_NOP,
     KIND_STORE,
 )
-from .base import CycleModel
+from .base import BlockCompiler, CycleModel
 from .branch import BranchModel
 from .memmodel import (
     MASK32,
     MemoryModule,
     build_hierarchy,
+    hierarchy_signature,
     load_hierarchy_state,
     save_hierarchy_state,
 )
@@ -175,3 +176,150 @@ class DoeModel(CycleModel):
     @property
     def cycles(self) -> int:
         return self.max_completion
+
+    # -- superblock fusion --------------------------------------------------
+
+    def block_compiler(self) -> Optional["_DoeBlockCompiler"]:
+        if self.timeline is not None:
+            # Per-op timeline events need the observe path.
+            return None
+        return _DoeBlockCompiler(self)
+
+    def config_signature(self) -> str:
+        sig = (
+            f"DOE:w{self.issue_width}:nop{int(self.count_nop_issue)}"
+            f":mem={hierarchy_signature(self.memory)}"
+        )
+        if self.branch_model is not None:
+            sig += f":branch={self.branch_model.signature()}"
+        return sig
+
+
+class _DoeBlockCompiler(BlockCompiler):
+    """Emit DOE slot-drift accounting as flat superblock statements.
+
+    Fused bodies are single-issue (only direct-eligible plans fuse),
+    so exactly one slot — slot 0 — drifts: its last start cycle lives
+    in the local ``_yst``; consecutive NOP issue bumps fold into the
+    next operation's start constant.  Register-ready cycles are kept
+    in per-register locals ``_yr<n>``: registers read before being
+    written load from ``reg_write_cycle`` in the prologue, registers
+    written in the block store back once in the flush — intermediate
+    list traffic (and dead overwrites) disappears.
+
+    Two properties of a straight-line body justify folding the
+    observe loop's clamps:
+
+    * ``fetch_floor`` is loop-invariant (it only moves on a
+      mispredicted *control* op, and control ops terminate blocks;
+      with a branch model attached the terminator stays on the
+      per-instruction observe path anyway), and slot-0 start cycles
+      strictly increase, so the floor clamp can only fire on the
+      first operation of the block;
+    * NOP issue bumps fold into the next operation's start constant.
+
+    All state is re-derived from the model argument ``m`` per call —
+    see :class:`_AieBlockCompiler` for why.
+    """
+
+    def begin(self) -> None:
+        self.uses_regs = False
+        self._n_instr = 0
+        self._n_ops = 0
+        #: Folded slot-0 issue bumps of preceding NOP instructions.
+        self._nop_bias = 0
+        self._mem = False
+        self._core = False  # any non-NOP op emitted
+        #: Registers read before any in-block write (prologue loads).
+        self._loaded: set = set()
+        #: Registers written in the block so far (flush stores).
+        self._written: set = set()
+
+    def instr(self, dec: DecodedInstruction) -> Optional[List[str]]:
+        op = dec.single
+        if op is None or op.slot != 0:
+            return None
+        kind = op.kind_code
+        if kind == KIND_CTRL:
+            return None  # control ops never appear in bodies; be safe
+        self._n_instr += 1
+        if kind == KIND_NOP:
+            if self.model.count_nop_issue:
+                self._nop_bias += 1
+            return []
+        return self._emit_op(op, kind)
+
+    def term(self, dec: DecodedInstruction) -> Optional[List[str]]:
+        if self.model.branch_model is not None:
+            # Mispredictions move the fetch floor and need ``observe``.
+            return None
+        op = dec.single
+        if op is None or op.slot != 0:
+            return None
+        kind = op.kind_code
+        if kind == KIND_LOAD or kind == KIND_STORE:
+            return None
+        self._n_instr += 1
+        return self._emit_op(op, kind)
+
+    def _emit_op(self, op, kind: int) -> List[str]:
+        self._n_ops += 1
+        out: List[str] = [f"_yst += {1 + self._nop_bias}"]
+        self._nop_bias = 0
+        if not self._core:
+            out.append("if _yfl > _yst: _yst = _yfl")
+        self._core = True
+        for src in dict.fromkeys(op.srcs):
+            if src not in self._written:
+                self._loaded.add(src)
+            out.append(f"if _yr{src} > _yst: _yst = _yr{src}")
+        dsts = tuple(dict.fromkeys(op.dsts))
+        target = f"_yr{dsts[0]}" if dsts else "_yx"
+        if kind == KIND_LOAD or kind == KIND_STORE:
+            self._mem = True
+            self.uses_regs = True
+            out.append(
+                f"{target} = _yacc((regs[{op.mem_base}] + {op.mem_imm})"
+                f" & 4294967295, {kind == KIND_STORE}, 0, _yst)"
+            )
+        elif op.delay:
+            out.append(f"{target} = _yst + {op.delay}")
+        else:
+            out.append(f"{target} = _yst")
+        if dsts:
+            self._written.update(dsts)
+            for dst in dsts[1:]:
+                out.append(f"_yr{dst} = {target}")
+        out.append(f"if {target} > _ymx: _ymx = {target}")
+        return out
+
+    def flush(self) -> List[str]:
+        out: List[str] = []
+        if self._core:
+            start = f"_yst + {self._nop_bias}" if self._nop_bias else "_yst"
+            out.append(f"m.slot_last_start[0] = {start}")
+            out.append("m.max_completion = _ymx")
+            for dst in sorted(self._written):
+                out.append(f"_yrc[{dst}] = _yr{dst}")
+        elif self._nop_bias:
+            out.append(f"m.slot_last_start[0] += {self._nop_bias}")
+        if self._n_instr:
+            out.append(f"m.instructions += {self._n_instr}")
+        if self._n_ops:
+            out.append(f"m.ops += {self._n_ops}")
+        return out
+
+    def prologue(self) -> List[str]:
+        if not self._core:
+            return []
+        out: List[str] = []
+        if self._loaded or self._written:
+            out.append("_yrc = m.reg_write_cycle")
+        for src in sorted(self._loaded):
+            out.append(f"_yr{src} = _yrc[{src}]")
+        out.append("_yst = m.slot_last_start[0]")
+        out.append("_yfl = m.fetch_floor")
+        out.append("_ymx = m.max_completion")
+        if self._mem:
+            out.append("_yacc = m.memory.access")
+        return out

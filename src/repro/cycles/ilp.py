@@ -115,6 +115,9 @@ class IlpModel(CycleModel):
         for dec in plan.decs:
             observe(dec, regs)
 
+    def config_signature(self) -> str:
+        return f"ILP:pess{int(self.pessimistic_memory)}"
+
     @property
     def cycles(self) -> int:
         return self.max_completion

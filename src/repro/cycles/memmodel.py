@@ -267,6 +267,34 @@ def build_hierarchy(config: HierarchyConfig = HierarchyConfig()) -> MemoryModule
     )
 
 
+def hierarchy_signature(module: MemoryModule) -> str:
+    """Stable configuration string of a hierarchy chain.
+
+    Part of a cycle model's :meth:`~repro.cycles.base.CycleModel.
+    config_signature`, which namespaces fused plan-cache variants:
+    include every parameter that could ever be folded into emitted
+    timing code, so a config change can never resurrect stale code.
+    """
+    parts: List[str] = []
+    current: Optional[MemoryModule] = module
+    while current is not None:
+        if isinstance(current, Cache):
+            parts.append(
+                f"cache({current.name},{current.size},{current.line_size},"
+                f"{current.assoc},{current.delay})"
+            )
+        elif isinstance(current, ConnectionLimit):
+            parts.append(
+                f"port({current.ports},{int(current.reserve_completion)})"
+            )
+        elif isinstance(current, MainMemory):
+            parts.append(f"main({current.delay})")
+        else:
+            parts.append(type(current).__name__)
+        current = getattr(current, "sub", None)
+    return ">".join(parts)
+
+
 def save_hierarchy_state(module: MemoryModule) -> List[Dict[str, object]]:
     """Serialise a hierarchy chain to plain data, one dict per level.
 

@@ -108,6 +108,7 @@ def plan_shards(
     input_data: bytes = b"",
     isa_id: Optional[int] = None,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    plan_cache=None,
 ) -> ShardPlan:
     """Fast-forward functionally and checkpoint every shard boundary.
 
@@ -116,6 +117,10 @@ def plan_shards(
     ``total*i/shards`` and writes a checkpoint there.  Boundaries that
     collide (program shorter than the shard count) are deduplicated, so
     the plan may come back with fewer shards than requested.
+
+    ``plan_cache`` (a :class:`~repro.sim.plancache.PlanCache`) lets the
+    second pass — and any warm re-run — reuse the first pass's
+    superblock translations instead of recompiling every hot plan.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -130,7 +135,9 @@ def plan_shards(
         program = load_executable(
             built.elf, built.arch, isa_id=isa_id, input_data=input_data
         )
-        interp = Interpreter(program.state, engine=_FAST_ENGINE)
+        interp = Interpreter(
+            program.state, engine=_FAST_ENGINE, plan_cache=plan_cache
+        )
         return program, interp
 
     program, interp = fresh()
@@ -180,11 +187,25 @@ def _run_shard(spec: Dict[str, object]) -> Dict[str, object]:
     model = make_cycle_model(
         spec.get("model"), int(spec["issue_width"]), branch
     )
+    plan_cache = None
+    cache_spec = spec.get("plan_cache")
+    if cache_spec is not None:
+        # Workers never see the ELF, so the parent ships the digests;
+        # every worker of a warm run then reloads the same translated
+        # plans instead of recompiling them per shard.
+        from ..sim.plancache import PlanCache
+
+        plan_cache = PlanCache.open(
+            elf_digest=str(cache_spec["elf"]),
+            arch_digest=str(cache_spec["arch"]),
+            directory=cache_spec.get("dir"),
+        )
     payload = read_checkpoint(str(spec["checkpoint"]))
     restored = restore_run(payload, KAHRISMA, cycle_model=model)
     prefix = len(restored.syscalls.save_state()["stdout"])
     interp = Interpreter(
-        restored.state, cycle_model=model, engine=str(spec["engine"])
+        restored.state, cycle_model=model, engine=str(spec["engine"]),
+        plan_cache=plan_cache,
     )
     budget = spec.get("budget")
     interp.run(
@@ -314,6 +335,8 @@ def run_parallel(
     processes: Optional[int] = None,
     workload: Optional[str] = None,
     keep_checkpoints: bool = False,
+    use_plan_cache: bool = True,
+    plan_cache_dir: Optional[str] = None,
 ) -> ParallelResult:
     """Fast-forward, shard, and simulate the intervals in parallel.
 
@@ -324,6 +347,12 @@ def run_parallel(
     via ``multiprocessing`` (``fork`` start method when the platform
     offers it); ``processes`` caps the pool (default: one per shard, at
     most the CPU count).
+
+    With ``use_plan_cache`` (default) the fast-forward pass and every
+    worker share the persistent superblock translation cache
+    (``plan_cache_dir`` overrides its location): warm runs skip plan
+    translation entirely — visible as ``sim.superblock.plan_cache_hits``
+    in the merged telemetry.
     """
     import shutil
     import tempfile
@@ -334,6 +363,21 @@ def run_parallel(
         make_branch_model(branch_predictor, branch_penalty),
     )
 
+    plan_cache = None
+    cache_spec = None
+    if use_plan_cache:
+        import hashlib
+
+        from ..targetgen.codegen import architecture_digest
+        from .pipeline import open_plan_cache
+
+        plan_cache = open_plan_cache(built, directory=plan_cache_dir)
+        cache_spec = {
+            "elf": hashlib.sha256(built.elf.write()).hexdigest()[:16],
+            "arch": architecture_digest(built.arch),
+            "dir": plan_cache_dir,
+        }
+
     own_dir = None
     if checkpoint_dir is None:
         checkpoint_dir = tempfile.mkdtemp(prefix="kahrisma-shards-")
@@ -343,6 +387,7 @@ def run_parallel(
             built, shards=shards, directory=checkpoint_dir,
             input_data=input_data, isa_id=isa_id,
             max_instructions=max_instructions,
+            plan_cache=plan_cache,
         )
         ends = plan.boundaries[1:] + [plan.total_instructions]
         specs = [
@@ -355,6 +400,7 @@ def run_parallel(
                 "branch_predictor": branch_predictor,
                 "branch_penalty": branch_penalty,
                 "issue_width": built.issue_width,
+                "plan_cache": cache_spec,
             }
             for i in range(len(plan.boundaries))
         ]

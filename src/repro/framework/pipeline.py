@@ -66,6 +66,9 @@ class RunResult:
     #: Checkpoint files written when the run was invoked with
     #: ``checkpoint_every`` (in instruction order); empty otherwise.
     checkpoints: List[str] = field(default_factory=list)
+    #: The interpreter that executed the run (engine counters such as
+    #: ``superblock.translations`` / ``plan_cache_hits`` live here).
+    interpreter: object = None
 
     @property
     def cycles(self) -> Optional[int]:
@@ -154,6 +157,8 @@ def run(
     checkpoint_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
     workload: Optional[str] = None,
+    plan_cache=None,
+    fuse_cycles: bool = True,
 ) -> RunResult:
     """Load and simulate a built executable.
 
@@ -171,6 +176,12 @@ def run(
     and ``RunResult.stats`` covers the whole run, not just the resumed
     segment).  ``max_instructions`` bounds the segment executed by this
     call.
+
+    Performance (``docs/performance.md``): ``plan_cache`` (see
+    :func:`open_plan_cache`) persists superblock translations across
+    runs and processes; ``fuse_cycles=False`` disables compiling
+    AIE/DOE accounting into translated plans (the differential test
+    suite's reference configuration).
     """
     if resume_from is not None:
         from ..snapshot import load_checkpoint_program
@@ -195,6 +206,8 @@ def run(
         ip_history=ip_history,
         profiler=profiler,
         timeline=timeline,
+        plan_cache=plan_cache,
+        fuse_cycles=fuse_cycles,
     )
     checkpoints: List[str] = []
     if checkpoint_every is not None:
@@ -235,6 +248,30 @@ def run(
         profiler=profiler,
         timeline=timeline,
         checkpoints=checkpoints,
+        interpreter=interpreter,
+    )
+
+
+def open_plan_cache(built: BuildResult, *, directory: Optional[str] = None):
+    """Open the persistent superblock plan cache for one build.
+
+    The cache file is keyed by the ELF image and the architecture
+    description (plus interpreter/Python versioning — see
+    :mod:`repro.sim.plancache`), so any rebuild that changes the
+    program or the ADL selects a fresh file.  Pass the result to
+    :func:`run` as ``plan_cache``; warm runs then reload hot-plan
+    translations instead of recompiling them.
+    """
+    import hashlib
+
+    from ..sim.plancache import PlanCache
+    from ..targetgen.codegen import architecture_digest
+
+    elf_digest = hashlib.sha256(built.elf.write()).hexdigest()[:16]
+    return PlanCache.open(
+        elf_digest=elf_digest,
+        arch_digest=architecture_digest(built.arch),
+        directory=directory,
     )
 
 

@@ -60,6 +60,8 @@ class Interpreter:
         breakpoints=None,
         profiler=None,
         timeline=None,
+        plan_cache=None,
+        fuse_cycles: bool = True,
     ) -> None:
         self.state = state
         self.target = target if target is not None else build_target(state.arch)
@@ -105,6 +107,37 @@ class Interpreter:
         )
         if self.superblock is not None and profiler is not None:
             self.superblock.profiler = profiler
+        #: Persistent translation cache (:class:`repro.sim.plancache.
+        #: PlanCache`) — flushed at the end of every run().
+        self.plan_cache = plan_cache
+        if self.superblock is not None:
+            model = self.cycle_model
+            # Cycle fusion: models offering a block compiler get their
+            # accounting compiled into hot plans.  The maker sees the
+            # final model configuration (timeline already attached,
+            # profiler wrapping applied), so it can refuse.
+            maker = (
+                getattr(model, "block_compiler", None)
+                if fuse_cycles and model is not None else None
+            )
+            fuser = maker() if maker is not None else None
+            self.superblock.fuser = fuser
+            # Persisted-variant namespace: purely functional plans and
+            # block-observing models share the plain variants; fused
+            # plans are keyed by the model's timing configuration.
+            # Everything else observes per-instruction — no compiled
+            # function exists to persist.
+            if model is None:
+                cache_ns = ""
+            elif fuser is not None:
+                cache_ns = model.config_signature()
+            elif getattr(model, "observe_block", None) is not None:
+                cache_ns = ""
+            else:
+                cache_ns = None
+            if plan_cache is not None and cache_ns is not None:
+                self.superblock.plan_cache = plan_cache
+                self.superblock.cache_namespace = cache_ns
         #: Shared invalidation cell: the memory listener flips it when a
         #: store overwrites translated code, so a running superblock can
         #: abort after the offending instruction commits.
@@ -186,6 +219,8 @@ class Interpreter:
         self.stats.simops += self.state.simop_count - simops_before
         self.stats.isa_switches += self.state.isa_switches - switches_before
         self.stats.exit_code = self.state.exit_code
+        if self.plan_cache is not None:
+            self.plan_cache.save()  # no-op unless new plans were compiled
         return self.stats
 
     # -- self-modifying code ----------------------------------------------

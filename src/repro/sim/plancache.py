@@ -1,0 +1,265 @@
+"""Persistent cross-run superblock translation cache.
+
+Hot-plan translation costs an emission + ``compile`` pass per plan
+(~0.3 ms); a benchmark with a few hundred hot blocks pays ~0.1 s of
+pure translation on every run, and every worker of ``kahrisma
+parallel`` pays it again for the *same* program.  This module keeps
+translated plan sources and code objects on disk so warm starts skip
+translation entirely.
+
+Keying has two levels, mirroring the two ways a cached function can go
+stale:
+
+* the **file** key folds in everything that changes the emitted code
+  globally: the plan-cache format version, the Python bytecode magic
+  number and version (``marshal`` output is CPython-version specific),
+  the ELF image digest, the architecture-description digest and
+  :data:`~repro.sim.superblock.MAX_BLOCK_LEN`.  Any mismatch selects a
+  different file — stale files are simply never read again.
+* each **entry** (one plan, keyed by ``isa:entry_ip``) stores a digest
+  of the instruction bytes the plan covered.  The engine recomputes
+  the digest from live memory at lookup, so plans built over
+  self-modified or relocated code miss instead of resurrecting stale
+  translations.
+
+Within an entry, variants are namespaced by the observing
+configuration (``""`` for purely functional plans, the cycle model's
+``config_signature()`` for fused ones) so one file serves functional
+fast-forwarding, AIE and DOE runs side by side.
+
+Writes are atomic (tempfile + ``os.replace``) and merge with the
+on-disk state first, so concurrent shard workers lose at worst a few
+entries, never the file.  Failures to read or write the cache are
+silently ignored — the cache is a pure accelerator, never load-bearing.
+"""
+
+from __future__ import annotations
+
+import base64
+import importlib.util
+import hashlib
+import json
+import marshal
+import os
+import sys
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from ..targetgen.behavior_compiler import SIM_GLOBALS
+
+#: Bump when the on-disk layout or the generated-function calling
+#: convention changes.
+FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache directory (override: ``KAHRISMA_CACHE_DIR``)."""
+    override = os.environ.get("KAHRISMA_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "kahrisma")
+
+
+class PlanCache:
+    """Digest-keyed store of translated superblock functions.
+
+    Create via :meth:`open`; attach to a
+    :class:`~repro.sim.superblock.SuperblockEngine` through the
+    interpreter's ``plan_cache`` argument.  ``save()`` is cheap when
+    nothing changed, so callers flush unconditionally after a run.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        #: Per-process cache of deserialised callables (marshal is
+        #: cheap but not free; shard loops hit the same entries).
+        self._fns: Dict[Tuple[str, str], Dict[str, object]] = {}
+        self._load()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        *,
+        elf_digest: str,
+        arch_digest: str,
+        directory: Optional[str] = None,
+        block_len: Optional[int] = None,
+    ) -> "PlanCache":
+        """Open (creating lazily) the cache file for one program/arch."""
+        if block_len is None:
+            from .superblock import MAX_BLOCK_LEN
+            block_len = MAX_BLOCK_LEN
+        key = hashlib.sha256(
+            "\n".join(
+                [
+                    f"v{FORMAT_VERSION}",
+                    base64.b16encode(importlib.util.MAGIC_NUMBER).decode(),
+                    sys.version.split()[0],
+                    elf_digest,
+                    arch_digest,
+                    str(block_len),
+                ]
+            ).encode()
+        ).hexdigest()[:16]
+        directory = directory if directory else default_cache_dir()
+        return cls(os.path.join(directory, f"plans-{key}.json"))
+
+    # -- persistence --------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if data.get("version") != FORMAT_VERSION:
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        """Atomically merge-and-write; no-op when nothing was recorded."""
+        if not self._dirty:
+            return
+        directory = os.path.dirname(self.path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            # Merge with concurrent writers (parallel shard workers):
+            # last writer wins per entry, which is fine — every writer
+            # compiled from the same bytes.
+            merged: Dict[str, dict] = {}
+            try:
+                with open(self.path, "r", encoding="utf-8") as fh:
+                    data = json.load(fh)
+                if data.get("version") == FORMAT_VERSION:
+                    on_disk = data.get("entries")
+                    if isinstance(on_disk, dict):
+                        merged.update(on_disk)
+            except (OSError, ValueError):
+                pass
+            for key, entry in self._entries.items():
+                existing = merged.get(key)
+                if (
+                    existing is not None
+                    and existing.get("digest") == entry.get("digest")
+                ):
+                    variants = dict(existing.get("variants", {}))
+                    variants.update(entry["variants"])
+                    entry = dict(entry, variants=variants)
+                merged[key] = entry
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix=".plans-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(
+                        {"version": FORMAT_VERSION, "entries": merged}, fh
+                    )
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._entries = merged
+            self._dirty = False
+        except OSError:
+            return  # read-only HOME, full disk, ...: run uncached
+
+    # -- engine interface ---------------------------------------------------
+
+    def lookup(
+        self, isa_id: int, entry_ip: int, namespace: str, digest: str
+    ) -> Optional[Dict[str, object]]:
+        """Return ``{variant: callable}`` or None on a miss.
+
+        A hit may be empty — meaning a previous run attempted
+        translation and compiled nothing — which still tells the
+        engine not to retry.  ``digest`` must match the bytes the
+        entry was built over.
+        """
+        key = f"{isa_id}:{entry_ip}"
+        entry = self._entries.get(key)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        variants = entry.get("variants", {}).get(namespace)
+        if variants is None:
+            return None
+        cached = self._fns.get((key, namespace))
+        if cached is not None:
+            return cached
+        fns: Dict[str, object] = {}
+        for name, payload in variants.items():
+            fn = _revive(payload, isa_id, entry_ip)
+            if fn is None:
+                return None  # undecodable payload: treat as a miss
+            fns[name] = fn
+        self._fns[(key, namespace)] = fns
+        return fns
+
+    def record(
+        self,
+        isa_id: int,
+        entry_ip: int,
+        span: Tuple[int, int],
+        digest: str,
+        namespace: str,
+        variants: Dict[str, Tuple[str, object]],
+    ) -> None:
+        """Store freshly translated variants (possibly none) for a plan."""
+        key = f"{isa_id}:{entry_ip}"
+        entry = self._entries.get(key)
+        if entry is None or entry.get("digest") != digest:
+            entry = {
+                "span": [span[0], span[1]],
+                "digest": digest,
+                "variants": {},
+            }
+            self._entries[key] = entry
+        payloads: Dict[str, dict] = {}
+        for name, (source, code) in variants.items():
+            payloads[name] = {
+                "src": source,
+                "code": base64.b64encode(marshal.dumps(code)).decode(),
+            }
+        entry["variants"][namespace] = payloads
+        self._fns.pop((key, namespace), None)
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _revive(payload: dict, isa_id: int, entry_ip: int):
+    """Rebuild a callable from a cached payload; None when impossible."""
+    code = None
+    raw = payload.get("code")
+    if raw:
+        try:
+            code = marshal.loads(base64.b64decode(raw))
+        except (ValueError, EOFError, TypeError):
+            code = None
+    if code is None:
+        source = payload.get("src")
+        if not source:
+            return None
+        try:
+            code = compile(
+                source, f"<plancache:{isa_id}:{entry_ip:#x}>", "exec"
+            )
+        except SyntaxError:
+            return None
+    namespace = dict(SIM_GLOBALS)
+    try:
+        exec(code, namespace)
+    except Exception:
+        return None
+    return namespace.get("_superblock_body")

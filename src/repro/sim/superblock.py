@@ -31,11 +31,25 @@ observed successor — the block-level analogue of the paper's 1-bit
 instruction prediction — so the steady state executes without even a
 per-block hash lookup.
 
-Cycle models still observe every instruction: models exposing the
-batched :meth:`~repro.cycles.base.CycleModel.observe_block` hook get
-one call per block (ILP opts in); AIE/DOE fall back to per-instruction
-``observe`` on buffered rows, preserving their pre-commit register
-view and therefore bit-identical cycle counts.
+Cycle models still observe every instruction, three ways.  Models
+exposing the batched :meth:`~repro.cycles.base.CycleModel.observe_block`
+hook get one call per block (ILP opts in).  Models exposing a
+:meth:`~repro.cycles.base.CycleModel.block_compiler` (AIE/DOE) get
+their accounting *fused* into the translated plan: the compiler emits
+flat timing statements that the translator interleaves before each
+instruction's functional statements — reproducing the pre-commit
+register view of buffered per-instruction observation, with latencies
+constant-folded at translate time — so fused counts are
+bitwise-identical to the per-instruction path.  Everything else (and
+any configuration the fused path cannot prove safe: per-op timelines,
+profiler-wrapped models, VLIW bodies, branch-model terminators) falls
+back to per-instruction ``observe`` on buffered rows.
+
+Hot plans can also be *persisted*: when a :class:`~repro.sim.plancache.
+PlanCache` is attached, translated sources/code objects are recorded
+under the plan's instruction-byte digest and reloaded on later runs
+(or by parallel shard workers), skipping emission and ``compile``
+entirely — see :mod:`repro.sim.plancache`.
 
 Self-modifying code: plans register their pages with the memory's
 code-watch set.  A store that overwrites planned bytes invalidates the
@@ -47,6 +61,7 @@ after the offending instruction commits.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..targetgen.behavior_compiler import (
@@ -87,6 +102,9 @@ class SuperblockPlan:
         "body",
         "body_fn",
         "full_fn",
+        "fused_body_fn",
+        "fused_full_fn",
+        "code_digest",
         "exec_count",
         "obs_body",
         "term_dec",
@@ -169,9 +187,16 @@ class SuperblockPlan:
         #: ``full_fn`` covers body *and* terminator and returns the next
         #: IP (or ``~stop_ip`` on a self-modifying-code abort);
         #: ``body_fn`` covers only the body and returns None (or the
-        #: positive ``stop_ip`` on abort).
+        #: positive ``stop_ip`` on abort).  The ``fused_*`` twins carry
+        #: the same contract but take the cycle model as a third
+        #: argument and interleave its compiled accounting.
         self.body_fn = None
         self.full_fn = None
+        self.fused_body_fn = None
+        self.fused_full_fn = None
+        #: Digest of the plan's instruction bytes (persistent plan
+        #: cache key; None when no cache is attached).
+        self.code_digest = None
         self.exec_count = 0
 
         # Terminator (None for blocks capped at MAX_BLOCK_LEN or
@@ -205,17 +230,26 @@ class SuperblockPlan:
         self.pred_isa = -1
         self.pred_plan: Optional["SuperblockPlan"] = None
 
-    def translate(self) -> None:
+    def translate(self, timing=None) -> Dict[str, Tuple[str, object]]:
         """Compile the plan into flat translated functions.
 
         Called by the engine once the plan crosses
-        :data:`HOT_THRESHOLD`.  Preferred outcome is ``full_fn`` (body
-        plus an inlined branch terminator — one call per block);
-        otherwise ``body_fn`` (buffered terminator stays); otherwise
-        nothing, leaving the per-row call loop in charge.
+        :data:`HOT_THRESHOLD`.  Without ``timing`` the preferred
+        outcome is ``full_fn`` (body plus an inlined branch terminator
+        — one call per block); otherwise ``body_fn`` (buffered
+        terminator stays); otherwise nothing, leaving the per-row call
+        loop in charge.  With ``timing`` (a
+        :class:`~repro.cycles.base.BlockCompiler`) the fused variants
+        are compiled instead, interleaving the cycle model's
+        accounting; a refusal by the compiler leaves the plan on the
+        per-instruction observe path.
+
+        Returns the compiled variants as ``{name: (source, code)}``
+        for the engine's persistent plan cache.
         """
+        variants: Dict[str, Tuple[str, object]] = {}
         if self.kind == PLAN_GENERAL:
-            return
+            return variants
         body_decs = (
             self.decs[:-1] if self.term_dec is not None else self.decs
         )
@@ -223,16 +257,48 @@ class SuperblockPlan:
             op.kind_code == KIND_STORE for d in body_decs for op in d.ops
         )
         term = self.term_dec
+        if timing is not None:
+            if term is not None and term.single is not None:
+                fused = _translate_fused_plan(
+                    body_decs, body_has_store, term,
+                    self.isa_id, self.entry_ip, timing,
+                )
+                if fused is not None:
+                    self.fused_full_fn, source, code = fused
+                    variants["fused_full"] = (source, code)
+                    return variants
+            fused = _translate_fused_body(
+                body_decs, body_has_store, self.isa_id, self.entry_ip,
+                timing,
+            )
+            if fused is not None:
+                self.fused_body_fn, source, code = fused
+                variants["fused_body"] = (source, code)
+            return variants
         if term is not None and term.single is not None:
-            self.full_fn = _translate_plan(
+            full = _translate_plan(
                 body_decs, body_has_store, term,
                 self.isa_id, self.entry_ip,
             )
-            if self.full_fn is not None:
-                return
-        self.body_fn = _translate_body(
+            if full is not None:
+                self.full_fn, source, code = full
+                variants["full"] = (source, code)
+                return variants
+        body = _translate_body(
             body_decs, body_has_store, self.isa_id, self.entry_ip
         )
+        if body is not None:
+            self.body_fn, source, code = body
+            variants["body"] = (source, code)
+        return variants
+
+    def attach_variants(self, fns: Dict[str, Callable]) -> None:
+        """Adopt compiled functions reloaded from a persistent cache."""
+        self.full_fn = fns.get("full")
+        self.body_fn = fns.get("body")
+        self.fused_full_fn = fns.get("fused_full")
+        self.fused_body_fn = fns.get("fused_body")
+        self.exec_count = HOT_THRESHOLD
 
     @property
     def span(self) -> Tuple[int, int]:
@@ -252,6 +318,7 @@ def _emit_body_lines(
     body_decs: Tuple[DecodedInstruction, ...],
     has_store: bool,
     invert_abort: bool,
+    timing=None,
 ) -> Optional[Tuple[List[str], bool, set, set]]:
     """Inline every body instruction; None when not flatly translatable.
 
@@ -260,6 +327,13 @@ def _emit_body_lines(
     instruction's successor IP on a self-modifying-code hit —
     bit-inverted (negative) when the function's normal return values
     are IPs themselves (``invert_abort``).
+
+    With ``timing`` (a :class:`~repro.cycles.base.BlockCompiler` whose
+    ``begin()`` the caller already invoked) each instruction's timing
+    statements are interleaved *before* its functional statements —
+    the compiled analogue of observing pre-commit — and every abort
+    site flushes the model's prefix totals before returning.  A None
+    from ``timing.instr`` rejects the whole body.
     """
     lines: List[str] = []
     uses_regs = False
@@ -269,6 +343,12 @@ def _emit_body_lines(
         single = d.single
         if single is None:
             return None
+        if timing is not None:
+            t_stmts = timing.instr(d)
+            if t_stmts is None:
+                return None
+            for stmt in t_stmts:
+                lines.append("    " + stmt)
         if d.n_exec == 0:
             continue
         try:
@@ -284,6 +364,12 @@ def _emit_body_lines(
         if has_store and single.kind_code == KIND_STORE:
             stop = d.addr + d.size
             lines.append("    if inv[0]:")
+            if timing is not None:
+                # The aborting store has been counted (its timing ran
+                # above); flush the prefix totals, matching what the
+                # per-instruction path observes before the abort.
+                for stmt in timing.flush():
+                    lines.append("        " + stmt)
             lines.append(f"        return {~stop if invert_abort else stop}")
     return lines, uses_regs, loads, stores
 
@@ -295,7 +381,9 @@ def _compile_plan_fn(
     stores: set,
     isa_id: int,
     entry_ip: int,
-) -> Callable:
+    timing_prologue: Optional[List[str]] = None,
+    fused: bool = False,
+) -> Tuple[Callable, str, object]:
     prologue: List[str] = []
     if uses_regs:
         prologue.append("    regs = state.regs")
@@ -304,15 +392,18 @@ def _compile_plan_fn(
         prologue.append(f"    ld{size} = state.mem.load{size}")
     for size in sorted(stores):
         prologue.append(f"    st{size} = state.mem.store{size}")
-    source = "\n".join(
-        ["def _superblock_body(state, inv):"] + prologue + lines
+    if timing_prologue:
+        for stmt in timing_prologue:
+            prologue.append("    " + stmt)
+    header = (
+        "def _superblock_body(state, inv, m):" if fused
+        else "def _superblock_body(state, inv):"
     )
+    source = "\n".join([header] + prologue + lines)
+    code = compile(source, f"<superblock:{isa_id}:{entry_ip:#x}>", "exec")
     namespace: Dict[str, object] = dict(SIM_GLOBALS)
-    exec(
-        compile(source, f"<superblock:{isa_id}:{entry_ip:#x}>", "exec"),
-        namespace,
-    )
-    return namespace["_superblock_body"]
+    exec(code, namespace)
+    return namespace["_superblock_body"], source, code
 
 
 def _translate_body(
@@ -320,7 +411,7 @@ def _translate_body(
     has_store: bool,
     isa_id: int,
     entry_ip: int,
-) -> Optional[Callable]:
+) -> Optional[Tuple[Callable, str, object]]:
     """Compile a direct-eligible body into one flat Python function.
 
     The generated function executes every body instruction as inlined
@@ -343,7 +434,7 @@ def _translate_plan(
     term: DecodedInstruction,
     isa_id: int,
     entry_ip: int,
-) -> Optional[Callable]:
+) -> Optional[Tuple[Callable, str, object]]:
     """Compile body *plus* branch terminator into one flat function.
 
     Every path returns the next IP directly (branch targets and the
@@ -371,6 +462,84 @@ def _translate_plan(
     )
 
 
+def _translate_fused_body(
+    body_decs: Tuple[DecodedInstruction, ...],
+    has_store: bool,
+    isa_id: int,
+    entry_ip: int,
+    timing,
+) -> Optional[Tuple[Callable, str, object]]:
+    """Compile a body with the cycle model's accounting fused in.
+
+    Same contract as :func:`_translate_body` (returns None or the
+    positive stop IP on abort) but the generated function takes the
+    cycle model as third argument ``m`` and advances it exactly as the
+    per-instruction observe path would — the model never needs to see
+    the individual instructions.
+    """
+    timing.begin()
+    emitted = _emit_body_lines(
+        body_decs, has_store, invert_abort=False, timing=timing
+    )
+    if emitted is None or not emitted[0]:
+        return None
+    lines, uses_regs, loads, stores = emitted
+    for stmt in timing.flush():
+        lines.append("    " + stmt)
+    return _compile_plan_fn(
+        lines, uses_regs or timing.uses_regs, loads, stores,
+        isa_id, entry_ip,
+        timing_prologue=timing.prologue(), fused=True,
+    )
+
+
+def _translate_fused_plan(
+    body_decs: Tuple[DecodedInstruction, ...],
+    has_store: bool,
+    term: DecodedInstruction,
+    isa_id: int,
+    entry_ip: int,
+    timing,
+) -> Optional[Tuple[Callable, str, object]]:
+    """Fused analogue of :func:`_translate_plan` (body + terminator).
+
+    The terminator's timing statements run before its functional
+    statements (which only *read* registers — ``inline_control_stmts``
+    admits plain branches alone), and the model flush precedes every
+    return path.  ``timing.term`` may refuse — e.g. when a branch
+    model needs the per-instruction misprediction hook — pushing the
+    plan down to :func:`_translate_fused_body`.
+    """
+    single = term.single
+    inlined = inline_control_stmts(
+        single.entry.op, single.vals, term.addr, term.addr + term.size
+    )
+    if inlined is None:
+        return None
+    timing.begin()
+    emitted = _emit_body_lines(
+        body_decs, has_store, invert_abort=True, timing=timing
+    )
+    if emitted is None:
+        return None
+    t_timing = timing.term(term)
+    if t_timing is None:
+        return None
+    lines, uses_regs, loads, stores = emitted
+    for stmt in t_timing:
+        lines.append("    " + stmt)
+    for stmt in timing.flush():
+        lines.append("    " + stmt)
+    t_lines, t_regs, t_loads, t_stores = inlined
+    lines.extend(t_lines)
+    return _compile_plan_fn(
+        lines, uses_regs or t_regs or timing.uses_regs,
+        loads | t_loads, stores | t_stores,
+        isa_id, entry_ip,
+        timing_prologue=timing.prologue(), fused=True,
+    )
+
+
 class SuperblockEngine:
     """Builds, caches, chains and executes superblock plans."""
 
@@ -386,9 +555,23 @@ class SuperblockEngine:
         #: ``record_block_prefix`` per rare mid-block SMC abort.  Costs
         #: a single None-check per block when unset.
         self.profiler = None
+        #: Optional :class:`~repro.cycles.base.BlockCompiler` (set by
+        #: the interpreter when the cycle model offers one): hot plans
+        #: translate with the model's accounting fused in.
+        self.fuser = None
+        #: Optional :class:`~repro.sim.plancache.PlanCache` plus the
+        #: variant namespace to read/write (``""`` for purely
+        #: functional plans, the model's ``config_signature()`` for
+        #: fused ones).  Both None disables persistence.
+        self.plan_cache = None
+        self.cache_namespace = None
         self.plans_built = 0
         self.blocks_executed = 0
         self.chain_hits = 0
+        #: Hot-translation compile passes this run / plans reloaded
+        #: from the persistent cache instead (warm starts translate 0).
+        self.translations = 0
+        self.plan_cache_hits = 0
 
     # -- plan construction -------------------------------------------------
 
@@ -415,6 +598,22 @@ class SuperblockEngine:
                 break
             ip += dec.size
         plan = SuperblockPlan(isa_id, entry_ip, tuple(decs), terminated)
+        pcache = self.plan_cache
+        if (
+            pcache is not None
+            and self.cache_namespace is not None
+            and plan.kind != PLAN_GENERAL
+        ):
+            start, end = plan.span
+            plan.code_digest = hashlib.sha256(
+                bytes(mem.load_bytes(start, end - start))
+            ).hexdigest()[:16]
+            hit = pcache.lookup(
+                isa_id, entry_ip, self.cache_namespace, plan.code_digest
+            )
+            if hit is not None:
+                plan.attach_variants(hit)
+                self.plan_cache_hits += 1
         key = (isa_id, entry_ip)
         self.plans[key] = plan
         start, end = plan.span
@@ -423,6 +622,41 @@ class SuperblockEngine:
             self._by_page.setdefault(page, []).append(key)
         self.plans_built += 1
         return plan
+
+    # -- hot translation ---------------------------------------------------
+
+    def _hot_translate(self, plan: SuperblockPlan, model,
+                       observe_block) -> None:
+        """Translate a plan that just crossed :data:`HOT_THRESHOLD`.
+
+        The variant compiled depends on how ``model`` observes:
+        nothing at all (functional) and block-observing models without
+        stores get the plain functions; models offering a fuser get
+        the fused ones; everything else stays per-instruction — for
+        which no compiled function helps, so nothing is compiled.
+        Results (including a failed attempt's empty set, so warm runs
+        never retry) land in the persistent cache when one is attached.
+        """
+        if model is None:
+            variants = plan.translate()
+        elif self.fuser is not None:
+            variants = plan.translate(timing=self.fuser)
+        elif observe_block is not None:
+            if plan.has_store:
+                return
+            variants = plan.translate()
+        else:
+            return
+        self.translations += 1
+        if (
+            self.plan_cache is not None
+            and self.cache_namespace is not None
+            and plan.code_digest is not None
+        ):
+            self.plan_cache.record(
+                plan.isa_id, plan.entry_ip, plan.span,
+                plan.code_digest, self.cache_namespace, variants,
+            )
 
     # -- invalidation ------------------------------------------------------
 
@@ -497,6 +731,7 @@ class SuperblockEngine:
             getattr(model, "observe_block", None)
             if model is not None else None
         )
+        fuser = self.fuser if model is not None else None
         prev: Optional[SuperblockPlan] = None
 
         while not state.halted and executed < budget:
@@ -527,7 +762,7 @@ class SuperblockEngine:
             if n < HOT_THRESHOLD and plan.kind != PLAN_GENERAL:
                 plan.exec_count = n + 1
                 if n + 1 == HOT_THRESHOLD:
-                    plan.translate()
+                    self._hot_translate(plan, model, observe_block)
 
             # -- body ------------------------------------------------------
             if model is None or (
@@ -632,6 +867,50 @@ class SuperblockEngine:
                                 aborted = True
                                 break
                 observed_term = observe_block is not None
+            elif fuser is not None and plan.fused_full_fn is not None:
+                # Fully translated block with the model's accounting
+                # fused in: one call executes body, terminator and
+                # cycle bookkeeping and yields the next IP.
+                r = plan.fused_full_fn(state, inv, model)
+                if r >= 0:
+                    state.ip = r
+                    executed += plan.n_instr
+                    slots += plan.n_slots
+                    ops_exec += plan.n_exec
+                    mem_instr += plan.n_mem_instr
+                    mem_ops += plan.n_mem_ops
+                    if profiler is not None:
+                        profiler.record_block(plan)
+                    continue
+                # A store rewrote translated code mid-block; the fused
+                # flush at the abort site already charged the prefix.
+                inv[0] = False
+                stop = ~r
+                if profiler is not None:
+                    profiler.record_block_prefix(plan, stop)
+                d = _partial_stats(plan, stop)
+                executed += d[0]; slots += d[1]
+                ops_exec += d[2]; mem_instr += d[3]
+                mem_ops += d[4]
+                state.ip = stop
+                prev = None
+                continue
+            elif fuser is not None and plan.fused_body_fn is not None:
+                # Fused body; the terminator keeps full buffered
+                # semantics (and per-instruction observation) below.
+                stop = plan.fused_body_fn(state, inv, model)
+                if stop is not None:
+                    inv[0] = False
+                    if profiler is not None:
+                        profiler.record_block_prefix(plan, stop)
+                    d = _partial_stats(plan, stop)
+                    executed += d[0]; slots += d[1]
+                    ops_exec += d[2]; mem_instr += d[3]
+                    mem_ops += d[4]
+                    state.ip = stop
+                    prev = None
+                    aborted = True
+                observed_term = False
             else:
                 # Per-instruction observing path (AIE/DOE, or any block
                 # containing stores — keeps abort and observe aligned).

@@ -76,6 +76,8 @@ def collect_interpreter_metrics(interp) -> Dict[str, object]:
         out["sim.superblock.chain_hit_rate"] = (
             engine.chain_hits / blocks if blocks else 0.0
         )
+        out["sim.superblock.translations"] = engine.translations
+        out["sim.superblock.plan_cache_hits"] = engine.plan_cache_hits
     return out
 
 

@@ -36,8 +36,11 @@ class _ProfilingModel:
     """Cycle-model proxy charging per-instruction deltas to PCs."""
 
     #: Force the per-instruction observing path in the superblock
-    #: engine (see :class:`repro.cycles.base.CycleModel`).
+    #: engine (see :class:`repro.cycles.base.CycleModel`): both the
+    #: block-observe hook and cycle fusion would bypass the per-PC
+    #: delta charging that is this proxy's whole point.
     observe_block = None
+    block_compiler = None
 
     def __init__(self, inner, profiler: "HotspotProfiler") -> None:
         self.inner = inner

@@ -116,6 +116,22 @@ class TestRunParallel:
         with pytest.raises(ValueError, match="unknown cycle model"):
             run_parallel(built, shards=2, model="warp-drive")
 
+    def test_workers_hit_shared_plan_cache(self, straight, tmp_path):
+        built, result, _model = straight
+        cache_dir = str(tmp_path / "plans")
+        cold = run_parallel(built, shards=2, model="doe",
+                            plan_cache_dir=cache_dir)
+        warm = run_parallel(built, shards=2, model="doe",
+                            plan_cache_dir=cache_dir)
+        warm_metrics = warm.telemetry["metrics"]
+        # Warm workers reload every hot plan from the shared cache
+        # instead of re-translating it.
+        assert warm_metrics["sim.superblock.translations"] == 0
+        assert warm_metrics["sim.superblock.plan_cache_hits"] > 0
+        assert warm.output == cold.output == result.output
+        assert (warm.stats.executed_instructions
+                == result.stats.executed_instructions)
+
 
 class TestMergeMetricDicts:
     def test_counters_sum_config_first_exit_last(self):

@@ -1,0 +1,219 @@
+"""Persistent superblock plan cache (``repro.sim.plancache``).
+
+Unit tests for the cache file contract (keying, digests, atomic
+merge-writes) plus end-to-end warm-start behaviour: a second run of
+the same executable must reload every hot-plan translation instead of
+recompiling it, with bitwise-identical simulation results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cycles.doe import DoeModel
+from repro.framework.pipeline import (
+    build_benchmark,
+    open_plan_cache,
+    run,
+)
+from repro.sim.plancache import FORMAT_VERSION, PlanCache, default_cache_dir
+
+_BUILDS = {}
+
+
+def built_benchmark(name):
+    if name not in _BUILDS:
+        _BUILDS[name] = build_benchmark(name)
+    return _BUILDS[name]
+
+
+def fresh_cache(tmp_path, built):
+    """A new PlanCache object over the same on-disk file."""
+    return open_plan_cache(built, directory=str(tmp_path))
+
+
+SRC = "def _superblock_body(state, inv, m):\n    return 7\n"
+CODE = compile(SRC, "<test>", "exec")
+
+
+class TestCacheFile:
+    def test_open_keys_on_program_and_arch(self, tmp_path):
+        a = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                           directory=str(tmp_path))
+        b = PlanCache.open(elf_digest="bb", arch_digest="xx",
+                           directory=str(tmp_path))
+        c = PlanCache.open(elf_digest="aa", arch_digest="yy",
+                           directory=str(tmp_path))
+        assert len({a.path, b.path, c.path}) == 3
+
+    def test_roundtrip_through_new_object(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "DOE:test",
+                     {"fused_full": (SRC, CODE)})
+        cache.save()
+        warm = PlanCache(cache.path)
+        fns = warm.lookup(0, 0x1000, "DOE:test", "d1")
+        assert fns is not None
+        assert fns["fused_full"](None, None, None) == 7
+
+    def test_digest_mismatch_misses(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "",
+                     {"full": (SRC, CODE)})
+        assert cache.lookup(0, 0x1000, "", "d2") is None
+        assert cache.lookup(0, 0x1000, "", "d1") is not None
+
+    def test_namespace_isolation(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "AIE:mem=x",
+                     {"fused_body": (SRC, CODE)})
+        assert cache.lookup(0, 0x1000, "DOE:mem=x", "d1") is None
+
+    def test_empty_variants_hit_without_retry(self, tmp_path):
+        """A recorded failed translation still answers warm lookups."""
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "DOE:test", {})
+        cache.save()
+        warm = PlanCache(cache.path)
+        assert warm.lookup(0, 0x1000, "DOE:test", "d1") == {}
+
+    def test_version_mismatch_ignored(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "",
+                     {"full": (SRC, CODE)})
+        cache.save()
+        with open(cache.path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        data["version"] = FORMAT_VERSION + 1
+        with open(cache.path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        assert len(PlanCache(cache.path)) == 0
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = str(tmp_path / "plans-bad.json")
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        cache = PlanCache(path)
+        assert len(cache) == 0
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "", {})
+        cache.save()  # must overwrite the corrupt file, not crash
+        assert len(PlanCache(path)) == 1
+
+    def test_save_merges_concurrent_writers(self, tmp_path):
+        first = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        second = PlanCache(first.path)
+        first.record(0, 0x1000, (0x1000, 0x1010), "d1", "A",
+                     {"full": (SRC, CODE)})
+        second.record(0, 0x2000, (0x2000, 0x2010), "d2", "B",
+                      {"full": (SRC, CODE)})
+        first.save()
+        second.save()
+        merged = PlanCache(first.path)
+        assert merged.lookup(0, 0x1000, "A", "d1") is not None
+        assert merged.lookup(0, 0x2000, "B", "d2") is not None
+
+    def test_save_merges_namespaces_of_one_entry(self, tmp_path):
+        """AIE and DOE runs of one program share entries in one file."""
+        first = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        second = PlanCache(first.path)
+        first.record(0, 0x1000, (0x1000, 0x1010), "d1", "A",
+                     {"fused_full": (SRC, CODE)})
+        second.record(0, 0x1000, (0x1000, 0x1010), "d1", "B",
+                      {"fused_full": (SRC, CODE)})
+        first.save()
+        second.save()
+        merged = PlanCache(first.path)
+        assert merged.lookup(0, 0x1000, "A", "d1") is not None
+        assert merged.lookup(0, 0x1000, "B", "d1") is not None
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "", {})
+        cache.save()
+        names = os.listdir(str(tmp_path))
+        assert [n for n in names if n.endswith(".tmp")] == []
+
+    def test_save_is_noop_when_clean(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.save()
+        assert not os.path.exists(cache.path)
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("KAHRISMA_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == str(tmp_path)
+
+
+class TestWarmRuns:
+    def test_warm_run_skips_translation(self, tmp_path):
+        built = built_benchmark("dct4x4")
+        cold_model = DoeModel(issue_width=built.issue_width)
+        cold = run(built, engine="superblock", cycle_model=cold_model,
+                   plan_cache=fresh_cache(tmp_path, built))
+        cold_engine = cold.interpreter.superblock
+        assert cold_engine.translations > 0
+        assert os.path.exists(cold.interpreter.plan_cache.path)
+
+        warm_model = DoeModel(issue_width=built.issue_width)
+        warm = run(built, engine="superblock", cycle_model=warm_model,
+                   plan_cache=fresh_cache(tmp_path, built))
+        warm_engine = warm.interpreter.superblock
+        assert warm_engine.translations == 0
+        assert warm_engine.plan_cache_hits > 0
+        assert warm_model.cycles == cold_model.cycles
+        assert (warm.stats.architectural_dict()
+                == cold.stats.architectural_dict())
+        assert warm.output == cold.output
+
+    def test_functional_and_fused_share_a_file(self, tmp_path):
+        built = built_benchmark("qsort")
+        run(built, engine="superblock",
+            plan_cache=fresh_cache(tmp_path, built))
+        fused = run(built, engine="superblock",
+                    cycle_model=DoeModel(issue_width=built.issue_width),
+                    plan_cache=fresh_cache(tmp_path, built))
+        # Functional entries don't serve the fused namespace ...
+        assert fused.interpreter.superblock.translations > 0
+        warm = run(built, engine="superblock",
+                   cycle_model=DoeModel(issue_width=built.issue_width),
+                   plan_cache=fresh_cache(tmp_path, built))
+        # ... but both namespaces persist side by side.
+        assert warm.interpreter.superblock.translations == 0
+        assert warm.interpreter.superblock.plan_cache_hits > 0
+        files = [n for n in os.listdir(str(tmp_path))
+                 if n.startswith("plans-")]
+        assert len(files) == 1
+
+    def test_per_instruction_configs_bypass_the_cache(self, tmp_path):
+        """A profiled run neither reads nor records plan entries."""
+        from repro.telemetry import HotspotProfiler
+
+        built = built_benchmark("qsort")
+        cache = fresh_cache(tmp_path, built)
+        result = run(built, engine="superblock",
+                     cycle_model=DoeModel(issue_width=built.issue_width),
+                     profiler=HotspotProfiler(mode="block"),
+                     plan_cache=cache)
+        assert result.interpreter.superblock.plan_cache is None
+        assert len(cache) == 0
+
+    def test_no_fusion_reference_config_is_uncached(self, tmp_path):
+        """fuse_cycles=False observes per-instruction: nothing cached."""
+        built = built_benchmark("qsort")
+        cache = fresh_cache(tmp_path, built)
+        result = run(built, engine="superblock",
+                     cycle_model=DoeModel(issue_width=built.issue_width),
+                     plan_cache=cache, fuse_cycles=False)
+        assert result.interpreter.superblock.translations == 0
+        assert len(cache) == 0

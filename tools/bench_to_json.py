@@ -10,7 +10,14 @@ trajectory to diff instead of eyeballing pytest-benchmark tables:
   is computed from these);
 * ``nocache`` and ``cache`` are measured over a fixed instruction
   budget, since the uncached loop decodes every dynamic instruction
-  and would take minutes per workload.
+  and would take minutes per workload;
+* the ``cycle_models`` section times each workload under AIE and DOE
+  twice — fused accounting (compiled into translated superblocks) vs
+  the per-instruction ``observe`` path — verifies the cycle counts are
+  bitwise-identical, and reports the fused speedup;
+* the ``plan_cache`` section times a cold (fresh cache file) against a
+  warm start and records the translation/hit counters proving the warm
+  run skipped translation entirely.
 
 Run from the repository root:
 
@@ -94,6 +101,103 @@ def measure_parallel(built, shards, repeats):
     return best
 
 
+def _timed_model_run(built, kind, repeats, **kwargs):
+    from repro.framework.pipeline import run as pipeline_run
+
+    best = None
+    for _ in range(repeats):
+        model = make_model(kind, built.issue_width)
+        start = time.perf_counter()
+        result = pipeline_run(built, engine="superblock",
+                              cycle_model=model, **kwargs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[1]:
+            best = (result, elapsed, model)
+    return best
+
+
+def make_model(kind, width):
+    from repro.cycles.aie import AieModel
+    from repro.cycles.doe import DoeModel
+
+    if kind == "aie":
+        return AieModel()
+    return DoeModel(issue_width=width)
+
+
+def measure_cycle_models(built, repeats):
+    """AIE/DOE rows: fused vs per-instruction observe, same cycles."""
+    out = {}
+    for kind in ("aie", "doe"):
+        fused, fused_s, fused_model = _timed_model_run(
+            built, kind, repeats)
+        ref, ref_s, ref_model = _timed_model_run(
+            built, kind, repeats, fuse_cycles=False)
+        if fused_model.cycles != ref_model.cycles:
+            raise SystemExit(
+                f"{kind}: fused cycles {fused_model.cycles} != "
+                f"observe cycles {ref_model.cycles} — fusion is broken"
+            )
+        mips = fused.stats.executed_instructions / fused_s / 1e6
+        out[kind] = {
+            "cycles": fused_model.cycles,
+            "instructions": fused.stats.executed_instructions,
+            "fused_seconds": round(fused_s, 4),
+            "fused_mips": round(mips, 3),
+            "observe_seconds": round(ref_s, 4),
+            "observe_mips": round(
+                ref.stats.executed_instructions / ref_s / 1e6, 3),
+            "speedup_fused_vs_observe": round(ref_s / fused_s, 3),
+            "cycles_bitwise_identical": True,
+        }
+    return out
+
+
+def measure_plan_cache(built, repeats):
+    """Cold vs warm start against a fresh persistent plan cache."""
+    import tempfile
+
+    from repro.framework.pipeline import open_plan_cache
+    from repro.framework.pipeline import run as pipeline_run
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        model = make_model("doe", built.issue_width)
+        start = time.perf_counter()
+        cold = pipeline_run(
+            built, engine="superblock", cycle_model=model,
+            plan_cache=open_plan_cache(built, directory=cache_dir),
+        )
+        cold_s = time.perf_counter() - start
+        cold_engine = cold.interpreter.superblock
+        best = None
+        for _ in range(repeats):
+            model = make_model("doe", built.issue_width)
+            start = time.perf_counter()
+            warm = pipeline_run(
+                built, engine="superblock", cycle_model=model,
+                plan_cache=open_plan_cache(built, directory=cache_dir),
+            )
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[1]:
+                best = (warm, elapsed)
+        warm, warm_s = best
+        warm_engine = warm.interpreter.superblock
+    if warm_engine.translations != 0 or warm_engine.plan_cache_hits == 0:
+        raise SystemExit(
+            f"warm plan-cache run translated "
+            f"{warm_engine.translations} plans "
+            f"(hits {warm_engine.plan_cache_hits}) — cache is broken"
+        )
+    return {
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 3),
+        "cold_translations": cold_engine.translations,
+        "warm_translations": warm_engine.translations,
+        "warm_plan_cache_hits": warm_engine.plan_cache_hits,
+    }
+
+
 def measure_workload(name, engines, repeats, shards=0):
     built = build_benchmark(name)
     entry = {"engines": {}}
@@ -120,6 +224,8 @@ def measure_workload(name, engines, repeats, shards=0):
         )
     if shards:
         entry["parallel"] = measure_parallel(built, shards, repeats)
+    entry["cycle_models"] = measure_cycle_models(built, repeats)
+    entry["plan_cache"] = measure_plan_cache(built, repeats)
     return entry
 
 
@@ -186,6 +292,16 @@ def main(argv=None):
         if par:
             print(f"  {name}: parallel x{par['shards']} "
                   f"{par['mips']:.2f} MIPS (doe)")
+        for kind, row in entry.get("cycle_models", {}).items():
+            print(f"  {name}: {kind} fused {row['fused_mips']:.2f} MIPS, "
+                  f"observe {row['observe_mips']:.2f} MIPS "
+                  f"({row['speedup_fused_vs_observe']}x, "
+                  f"{row['cycles']} cycles both ways)")
+        cache = entry.get("plan_cache")
+        if cache:
+            print(f"  {name}: plan cache warm {cache['warm_speedup']}x "
+                  f"over cold ({cache['warm_plan_cache_hits']} hits, "
+                  f"{cache['warm_translations']} warm translations)")
     return 0
 
 

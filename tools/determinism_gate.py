@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""CI determinism gate for the checkpoint subsystem.
+"""CI determinism gate for the checkpoint and cycle-fusion subsystems.
 
-Two checks over one workload (default dct4x4), exit non-zero on any
+Three checks over one workload (default dct4x4), exit non-zero on any
 mismatch:
 
-1. **Resume determinism** — run straight to completion, then run again
+1. **Fusion determinism** — run with fused cycle accounting (the
+   default superblock fast path) and again with ``fuse_cycles=False``
+   (per-instruction ``observe``), and require bitwise-identical DOE
+   cycle counts, architectural statistics and slot-drift model state.
+2. **Resume determinism** — run straight to completion, then run again
    with periodic checkpointing, resume from a mid-run checkpoint, and
    require bitwise-identical architectural state: registers, memory
    digest, program output, exit code, the architectural statistics
    (``SimStats.ARCHITECTURAL_FIELDS``) and — because the resumed run
-   restores the cycle-model state — the exact DOE cycle count.
-2. **Shard merge determinism** — run ``repro.framework.parallel`` with
+   restores the cycle-model state — the exact DOE cycle count.  The
+   straight run is *fused*, so this also gates fusion × checkpointing.
+3. **Shard merge determinism** — run ``repro.framework.parallel`` with
    N shards and require the merged architectural statistics and output
    to match the straight run bitwise (cycle counts are approximate by
    design and are only reported, not gated).
+
+``--perf-smoke`` adds a wall-clock check: with a warm persistent plan
+cache, the fused DOE run must be at least ``--min-speedup`` (default
+1.5x) faster than the per-instruction observe path.
 
 Run from the repository root:
 
@@ -49,22 +58,77 @@ def check(label, straight_value, other_value):
               f"    other:    {other_value!r}")
 
 
+def doe_drift_state(model):
+    return {
+        "slot_last_start": list(model.slot_last_start),
+        "fetch_floor": model.fetch_floor,
+        "max_completion": model.max_completion,
+        "reg_write_cycle": list(model.reg_write_cycle),
+    }
+
+
+def perf_smoke(built, width, engine, min_speedup):
+    """Warm-plan-cache fused DOE must beat per-instruction observe."""
+    import time
+
+    from repro.framework.pipeline import open_plan_cache
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # Prime the cache so the timed fused run starts warm — the
+        # steady state every run after the first sees.
+        run(built, engine=engine, cycle_model=DoeModel(issue_width=width),
+            plan_cache=open_plan_cache(built, directory=cache_dir))
+        best_fused = best_ref = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            run(built, engine=engine,
+                cycle_model=DoeModel(issue_width=width),
+                plan_cache=open_plan_cache(built, directory=cache_dir))
+            best_fused = min(best_fused, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run(built, engine=engine,
+                cycle_model=DoeModel(issue_width=width),
+                fuse_cycles=False)
+            best_ref = min(best_ref, time.perf_counter() - t0)
+    speedup = best_ref / best_fused
+    print(f"  fused {best_fused * 1000:.1f} ms, per-instruction "
+          f"{best_ref * 1000:.1f} ms -> {speedup:.2f}x "
+          f"(required {min_speedup:.2f}x)")
+    if speedup < min_speedup:
+        FAILURES.append("fused DOE perf smoke")
+        print("  MISMATCH: fused DOE is not fast enough")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", default="dct4x4")
     parser.add_argument("--engine", default="superblock")
     parser.add_argument("--checkpoint-every", type=int, default=40_000)
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--perf-smoke", action="store_true",
+                        help="also gate fused-DOE wall-clock speedup")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
     args = parser.parse_args(argv)
 
     built = build_benchmark(args.workload)
     width = built.issue_width
 
-    print(f"straight run ({args.workload}, {args.engine}, doe) ...")
+    print(f"straight run ({args.workload}, {args.engine}, doe, fused) ...")
     straight_model = DoeModel(issue_width=width)
     straight = run(built, engine=args.engine, cycle_model=straight_model)
     straight_arch = straight.stats.architectural_dict()
     straight_mem = memory_digest(straight.program.state.mem)
+
+    print("per-instruction reference (fuse_cycles=False) ...")
+    ref_model = DoeModel(issue_width=width)
+    ref = run(built, engine=args.engine, cycle_model=ref_model,
+              fuse_cycles=False)
+    check("fused doe cycles", straight_model.cycles, ref_model.cycles)
+    check("fused architectural stats",
+          straight_arch, ref.stats.architectural_dict())
+    check("fused doe drift state",
+          doe_drift_state(straight_model), doe_drift_state(ref_model))
+    check("fused output", straight.output, ref.output)
 
     print(f"checkpoint + resume (every {args.checkpoint_every}) ...")
     with tempfile.TemporaryDirectory() as directory:
@@ -111,6 +175,10 @@ def main(argv=None):
     print(f"  info: shard cycle drift {drift * 100:.3f}% "
           f"({par.cycles} vs {straight_model.cycles}; approximate by "
           f"design, not gated)")
+
+    if args.perf_smoke:
+        print(f"perf smoke (warm plan cache, min {args.min_speedup}x) ...")
+        perf_smoke(built, width, args.engine, args.min_speedup)
 
     if FAILURES:
         print(f"\ndeterminism gate FAILED: {len(FAILURES)} mismatch(es)")
