@@ -3,8 +3,10 @@
 Subcommands mirror the paper's toolchain (Figure 2)::
 
     kahrisma compile app.kc -o app.elf --isa vliw4
+    kahrisma compile app.elf --models none,aie,doe   # AOT translation
     kahrisma asm app.s -o app.elf --entry '$risc$main' --entry-isa 0
     kahrisma run app.elf --model doe [--isa 2] [--trace out.trc]
+    kahrisma run app.elf --engine aot
     kahrisma run app.elf --model doe --profile --metrics m.json \
                  --timeline t.trace.json
     kahrisma report m.json
@@ -73,7 +75,80 @@ def _read_source(path: str) -> str:
         return f.read()
 
 
+def _open_plan_cache(elf: ElfFile, directory, limit=None, block_len=None):
+    import hashlib
+
+    from .sim.plancache import PlanCache
+    from .targetgen.codegen import architecture_digest
+
+    return PlanCache.open(
+        elf_digest=hashlib.sha256(elf.write()).hexdigest()[:16],
+        arch_digest=architecture_digest(KAHRISMA),
+        directory=directory,
+        block_len=block_len,
+        limit=limit,
+    )
+
+
+def cmd_compile_elf(args: argparse.Namespace) -> int:
+    """``kahrisma compile <elf>``: ahead-of-time whole-program translation.
+
+    Statically discovers every superblock entry point, translates the
+    whole program into one generated module per requested cycle-model
+    namespace and stores the modules in the plan cache, so a later
+    ``kahrisma run --engine aot`` starts warm (see docs/performance.md).
+    """
+    from .sim import aot
+
+    with open(args.input, "rb") as f:
+        elf = ElfFile.read(f.read())
+    width = KAHRISMA.isa(elf.flags).issue_width
+    cache = _open_plan_cache(
+        elf, args.plan_cache_dir,
+        limit=args.plan_cache_limit, block_len=args.max_block_len,
+    )
+    status = 0
+    for name in args.models.split(","):
+        name = name.strip()
+        model = _make_model(None if name == "none" else name, width)
+        label = "functional" if name == "none" else name
+        try:
+            module, per_entry, report = aot.compile_module(
+                elf, KAHRISMA,
+                model=model,
+                max_block_len=args.max_block_len,
+                profile_budget=args.profile_budget,
+            )
+        except ValueError as exc:
+            print(f"{label}: {exc}")
+            status = 1
+            continue
+        cache.record_module(module.namespace, module.payload())
+        for (isa_id, entry_ip), (plan, variants) in per_entry.items():
+            cache.record(
+                isa_id, entry_ip, plan.span, plan.code_digest,
+                module.namespace, variants,
+            )
+        print(
+            f"{label}: {report['covered']} blocks, "
+            f"{report['traces']} traces, "
+            f"{report['static_coverage'] * 100:.1f}% static coverage, "
+            f"{report['seconds']:.2f}s"
+        )
+    cache.save()
+    print(f"plan cache: {cache.path}")
+    return status
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
+    if args.input not in PROGRAMS:
+        try:
+            with open(args.input, "rb") as f:
+                magic = f.read(4)
+        except OSError:
+            magic = b""
+        if magic == b"\x7fELF":
+            return cmd_compile_elf(args)
     source = _read_source(args.input)
     isa_map = _parse_isa_map(args.mixed)
     if isa_map:
@@ -216,16 +291,26 @@ def cmd_run(args: argparse.Namespace) -> int:
         timeline = TimelineRecorder(max_events=args.timeline_events)
     tracer = Tracer.to_file(args.trace) if args.trace else None
     plan_cache = None
-    if args.engine == "superblock" and not args.no_plan_cache:
-        import hashlib
+    if args.engine in ("superblock", "aot") and not args.no_plan_cache:
+        plan_cache = _open_plan_cache(
+            elf, args.plan_cache_dir,
+            limit=args.plan_cache_limit, block_len=args.max_block_len,
+        )
+    aot_module = None
+    if (
+        args.engine == "aot"
+        and tracer is None
+        and profiler is None
+        and timeline is None
+        and (not args.no_cycle_fusion or model is None)
+    ):
+        from .sim import aot
 
-        from .sim.plancache import PlanCache
-        from .targetgen.codegen import architecture_digest
-
-        plan_cache = PlanCache.open(
-            elf_digest=hashlib.sha256(elf.write()).hexdigest()[:16],
-            arch_digest=architecture_digest(KAHRISMA),
-            directory=args.plan_cache_dir,
+        aot_module = aot.prepare(
+            elf, KAHRISMA,
+            model=model,
+            plan_cache=plan_cache,
+            max_block_len=args.max_block_len,
         )
     checkpoints = []
     try:
@@ -233,7 +318,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                              tracer=tracer, engine=args.engine,
                              profiler=profiler, timeline=timeline,
                              plan_cache=plan_cache,
-                             fuse_cycles=not args.no_cycle_fusion)
+                             fuse_cycles=not args.no_cycle_fusion,
+                             aot_module=aot_module,
+                             max_block_len=args.max_block_len)
         if args.checkpoint_every:
             from .snapshot import run_with_checkpoints
 
@@ -452,13 +539,34 @@ def main(argv: Optional[list] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compile", help="compile KC source to an executable")
-    p.add_argument("input", help="KC source file or bundled program name")
+    p = sub.add_parser(
+        "compile",
+        help="compile KC source to an executable, or ahead-of-time "
+             "translate an executable for `run --engine aot`",
+    )
+    p.add_argument("input",
+                   help="KC source file, bundled program name, or an "
+                        "ELF executable (AOT whole-program translation)")
     p.add_argument("-o", "--output", default="a.elf")
     p.add_argument("--isa", default="risc",
                    choices=["risc", "vliw2", "vliw4", "vliw6", "vliw8"])
     p.add_argument("--mixed", help="per-function ISA map: fn=isa,fn=isa,...")
     p.add_argument("--emit-asm", help="also write the assembly file")
+    p.add_argument("--models", default="none,aie,doe",
+                   help="ELF input: cycle-model namespaces to translate "
+                        "(comma list of none/aie/doe; default all three)")
+    p.add_argument("--plan-cache-dir", metavar="DIR",
+                   help="ELF input: plan-cache directory (default: "
+                        "$KAHRISMA_CACHE_DIR or ~/.cache/kahrisma)")
+    p.add_argument("--plan-cache-limit", type=int, metavar="N",
+                   help="ELF input: LRU cap on per-plan cache entries")
+    p.add_argument("--max-block-len", type=int, metavar="N",
+                   help="ELF input: superblock instruction cap "
+                        "(default 64; folded into the plan-cache key)")
+    p.add_argument("--profile-budget", type=int, default=1_000_000,
+                   metavar="N",
+                   help="ELF input: instructions of profile-guided "
+                        "replay seeding discovery (0 disables)")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("asm", help="assemble + link an assembly file")
@@ -476,10 +584,13 @@ def main(argv: Optional[list] = None) -> int:
                    help="override the initial ISA id")
     p.add_argument("--trace", help="write a trace file")
     p.add_argument("--engine",
-                   choices=["nocache", "cache", "predict", "superblock"],
+                   choices=["nocache", "cache", "predict", "superblock",
+                            "aot"],
                    default="superblock",
-                   help="execution engine (superblock is fastest; "
-                        "tracing falls back to the featureful loop)")
+                   help="execution engine (aot dispatches a whole-program "
+                        "ahead-of-time module — see `kahrisma compile "
+                        "<elf>`; tracing falls back to the featureful "
+                        "loop)")
     p.add_argument("--max-instructions", type=int, default=100_000_000)
     p.add_argument("--metrics", metavar="PATH",
                    help="write the telemetry metrics/report JSON")
@@ -517,6 +628,12 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--plan-cache-dir", metavar="DIR",
                    help="plan-cache directory (default: "
                         "$KAHRISMA_CACHE_DIR or ~/.cache/kahrisma)")
+    p.add_argument("--plan-cache-limit", type=int, metavar="N",
+                   help="LRU cap on per-plan cache entries "
+                        "(docs/performance.md)")
+    p.add_argument("--max-block-len", type=int, metavar="N",
+                   help="superblock instruction cap (default 64; folded "
+                        "into the plan-cache key)")
     p.add_argument("--no-cycle-fusion", action="store_true",
                    help="keep AIE/DOE accounting on the per-instruction "
                         "observe path instead of compiling it into "

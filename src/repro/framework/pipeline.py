@@ -159,6 +159,8 @@ def run(
     workload: Optional[str] = None,
     plan_cache=None,
     fuse_cycles: bool = True,
+    aot_module=None,
+    max_block_len: Optional[int] = None,
 ) -> RunResult:
     """Load and simulate a built executable.
 
@@ -181,7 +183,18 @@ def run(
     :func:`open_plan_cache`) persists superblock translations across
     runs and processes; ``fuse_cycles=False`` disables compiling
     AIE/DOE accounting into translated plans (the differential test
-    suite's reference configuration).
+    suite's reference configuration); ``max_block_len`` overrides the
+    64-instruction superblock cap (also folded into the plan-cache
+    key — see :func:`open_plan_cache`).
+
+    ``engine="aot"`` (``docs/performance.md``) dispatches through a
+    whole-program ahead-of-time module: pass one as ``aot_module``
+    (from :func:`repro.sim.aot.prepare` or a ``kahrisma compile``
+    artifact in the plan cache), or leave it None and this function
+    prepares one automatically — reviving it from ``plan_cache`` when
+    present, compiling in place otherwise.  Configurations without an
+    AOT representation (tracers, profilers, per-instruction-observing
+    models) transparently degrade to the interactive engine.
     """
     if resume_from is not None:
         from ..snapshot import load_checkpoint_program
@@ -196,6 +209,23 @@ def run(
             built.elf, built.arch, isa_id=isa_id, input_data=input_data
         )
         base_stats = None
+    if (
+        engine == "aot"
+        and aot_module is None
+        and tracer is None
+        and profiler is None
+        and timeline is None
+        and (fuse_cycles or cycle_model is None)
+    ):
+        from ..sim import aot
+
+        aot_module = aot.prepare(
+            built.elf, built.arch,
+            model=cycle_model,
+            plan_cache=plan_cache,
+            max_block_len=max_block_len,
+            input_data=input_data,
+        )
     interpreter = Interpreter(
         program.state,
         cycle_model=cycle_model,
@@ -208,6 +238,8 @@ def run(
         timeline=timeline,
         plan_cache=plan_cache,
         fuse_cycles=fuse_cycles,
+        aot_module=aot_module,
+        max_block_len=max_block_len,
     )
     checkpoints: List[str] = []
     if checkpoint_every is not None:
@@ -252,15 +284,23 @@ def run(
     )
 
 
-def open_plan_cache(built: BuildResult, *, directory: Optional[str] = None):
+def open_plan_cache(
+    built: BuildResult,
+    *,
+    directory: Optional[str] = None,
+    block_len: Optional[int] = None,
+    limit: Optional[int] = None,
+):
     """Open the persistent superblock plan cache for one build.
 
-    The cache file is keyed by the ELF image and the architecture
-    description (plus interpreter/Python versioning — see
-    :mod:`repro.sim.plancache`), so any rebuild that changes the
-    program or the ADL selects a fresh file.  Pass the result to
-    :func:`run` as ``plan_cache``; warm runs then reload hot-plan
-    translations instead of recompiling them.
+    The cache file is keyed by the ELF image, the architecture
+    description and the superblock cap (plus interpreter/Python
+    versioning — see :mod:`repro.sim.plancache`), so any rebuild that
+    changes the program, the ADL or ``block_len`` selects a fresh
+    file.  Pass the result to :func:`run` as ``plan_cache``; warm runs
+    then reload hot-plan translations (and whole-program AOT modules)
+    instead of recompiling them.  ``limit`` caps the number of
+    per-plan entries kept on disk (LRU eviction at save time).
     """
     import hashlib
 
@@ -272,6 +312,8 @@ def open_plan_cache(built: BuildResult, *, directory: Optional[str] = None):
         elf_digest=elf_digest,
         arch_digest=architecture_digest(built.arch),
         directory=directory,
+        block_len=block_len,
+        limit=limit,
     )
 
 

@@ -10,7 +10,12 @@ performance experiment (Table I / Section VII-A):
                    skips most hash lookups,
 * ``superblock`` — straight-line runs are translated into cached
                    execution plans chained block-to-block
-                   (:mod:`repro.sim.superblock`).
+                   (:mod:`repro.sim.superblock`),
+* ``aot``        — whole-program ahead-of-time translation: a
+                   precompiled dense IP→function table dispatches
+                   covered blocks (:mod:`repro.sim.aot`), with the
+                   interactive superblock engine as the fallback for
+                   uncovered or invalidated IPs.
 
 Parallel operations of a VLIW instruction are executed with
 read-before-write semantics: every generated simulation function buffers
@@ -40,7 +45,7 @@ from .superblock import SuperblockEngine
 _UNLIMITED = 1 << 62
 
 #: Valid ``engine=`` arguments, slowest to fastest.
-ENGINES = ("nocache", "cache", "predict", "superblock")
+ENGINES = ("nocache", "cache", "predict", "superblock", "aot")
 
 
 class Interpreter:
@@ -62,6 +67,8 @@ class Interpreter:
         timeline=None,
         plan_cache=None,
         fuse_cycles: bool = True,
+        aot_module=None,
+        max_block_len=None,
     ) -> None:
         self.state = state
         self.target = target if target is not None else build_target(state.arch)
@@ -96,14 +103,16 @@ class Interpreter:
             )
         else:
             use_decode_cache = engine != "nocache"
-            use_prediction = engine in ("predict", "superblock")
+            use_prediction = engine in ("predict", "superblock", "aot")
         self.engine = engine
         self.use_decode_cache = use_decode_cache
         self.use_prediction = use_prediction
         self.cache = DecodeCache(self.target)
-        #: Superblock translation engine (only for engine="superblock").
+        #: Superblock translation engine (engine="superblock", and the
+        #: interactive fallback of engine="aot").
         self.superblock = (
-            SuperblockEngine(self.cache) if engine == "superblock" else None
+            SuperblockEngine(self.cache, max_block_len=max_block_len)
+            if engine in ("superblock", "aot") else None
         )
         if self.superblock is not None and profiler is not None:
             self.superblock.profiler = profiler
@@ -138,6 +147,23 @@ class Interpreter:
             if plan_cache is not None and cache_ns is not None:
                 self.superblock.plan_cache = plan_cache
                 self.superblock.cache_namespace = cache_ns
+        #: Ahead-of-time table binding (:class:`repro.sim.aot.AotBinding`,
+        #: engine="aot" only).  The module must serve exactly this
+        #: run's variant namespace — functional for no model, the
+        #: model's configuration signature for fused timing; any other
+        #: observing mode has no AOT representation and the engine
+        #: degrades to the interactive superblock loop (self.aot None).
+        self.aot = None
+        if engine == "aot" and aot_module is not None:
+            model = self.cycle_model
+            if model is None:
+                wanted = "" if not aot_module.fused else None
+            elif self.superblock.fuser is not None:
+                wanted = model.config_signature()
+            else:
+                wanted = None
+            if wanted is not None and aot_module.namespace == wanted:
+                self.aot = aot_module.bind(state.mem)
         #: Shared invalidation cell: the memory listener flips it when a
         #: store overwrites translated code, so a running superblock can
         #: abort after the offending instruction commits.
@@ -197,6 +223,8 @@ class Interpreter:
                 # Block-mode profiling of the superblock engine instead
                 # records per executed plan and keeps the fast path.
                 self._loop_full(budget)
+            elif self.engine == "aot":
+                self._loop_aot(budget)
             elif self.engine == "superblock":
                 self._loop_superblock(budget)
             elif self.engine == "cache":
@@ -231,6 +259,11 @@ class Interpreter:
         engine = self.superblock
         if engine is not None and engine.invalidate_write(page, addr, length):
             hit = True
+        binding = self.aot
+        if binding is not None and binding.invalidate_write(
+            page, addr, length
+        ):
+            hit = True
         if hit:
             self._inv[0] = True
             if self.profiler is not None:
@@ -246,6 +279,62 @@ class Interpreter:
                 )
 
     # -- loop variants -----------------------------------------------------
+
+    def _loop_aot(self, budget: int) -> None:
+        """Dense-table AOT dispatch with an interactive-block fallback.
+
+        The bound table runs chained covered blocks without hash
+        lookups; whenever dispatch stops at an uncovered (or
+        invalidated) IP, exactly one block runs through the interactive
+        superblock engine — building, caching and possibly hot-
+        translating its plan as usual — before re-entering the table.
+        ISA switches, halts, simops and self-modified code all live on
+        the fallback path, so the generated loop never checks for them.
+        """
+        aot = self.aot
+        if aot is None:
+            # No module serves this run's observing configuration (or
+            # none was prepared): the interactive engine is the tier
+            # below and bitwise-identical.
+            self._loop_superblock(budget)
+            return
+        state = self.state
+        sb = self.superblock
+        mem = state.mem
+        model = self.cycle_model
+        inv = self._inv
+        total = 0
+        tail = False
+        while not state.halted and total < budget:
+            executed, reason = aot.dispatch(
+                state, inv, model, budget - total
+            )
+            total += executed
+            if state.halted or total >= budget:
+                break
+            if reason == "budget":
+                tail = True
+                break
+            # Uncovered IP: one interactive block, then back to the
+            # table.  An undecodable entry raises here exactly as
+            # executing it interactively would.
+            plan = sb.plans.get((state.isa_id, state.ip))
+            if plan is None:
+                plan = sb.build(mem, state.isa_id, state.ip)
+            if plan.n_instr > budget - total:
+                tail = True
+                break
+            ex, sl, op, mi, mo = sb.execute(
+                state, model, plan.n_instr, inv
+            )
+            self._flush(ex, sl, op, 0, 0, 0, mi, mo)
+            total += ex
+        ex, sl, op, mi, mo = aot.drain()
+        self._flush(ex, sl, op, 0, 0, 0, mi, mo)
+        if tail and not state.halted and total < budget:
+            # The next whole block would overrun the budget: finish
+            # the remaining instructions one at a time.
+            self._loop_predict(budget - total)
 
     def _loop_superblock(self, budget: int) -> None:
         """Chained superblock plans, with a per-instruction tail."""

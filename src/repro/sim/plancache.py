@@ -27,9 +27,23 @@ configuration (``""`` for purely functional plans, the cycle model's
 ``config_signature()`` for fused ones) so one file serves functional
 fast-forwarding, AIE and DOE runs side by side.
 
+Besides per-plan entries the cache stores **whole-program modules**:
+the ahead-of-time tier (:mod:`repro.sim.aot`) translates every
+discovered plan into a single generated module per variant namespace
+and persists it under the same digest key, so ``kahrisma compile``
+output and warm ``--engine aot`` runs share the cache with the
+interactive engine's entries.  Modules are megabyte-scale (one source
+string plus marshalled bytecode for the whole program), so they live
+in *side files* next to the JSON (``plans-<key>.mod-<ns>.bin``,
+plain ``marshal``) — warm superblock runs never parse module blobs,
+and warm aot runs load them without JSON/base64 overhead.
+
 Writes are atomic (tempfile + ``os.replace``) and merge with the
 on-disk state first, so concurrent shard workers lose at worst a few
-entries, never the file.  Failures to read or write the cache are
+entries, never the file.  An optional entry cap (``limit``, the CLI's
+``--plan-cache-limit``) evicts least-recently-used plan entries at
+save time so the file cannot grow unboundedly across runs; evictions
+are counted for telemetry.  Failures to read or write the cache are
 silently ignored — the cache is a pure accelerator, never load-bearing.
 """
 
@@ -71,10 +85,20 @@ class PlanCache:
     nothing changed, so callers flush unconditionally after a run.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, limit: Optional[int] = None) -> None:
         self.path = path
         self._entries: Dict[str, dict] = {}
         self._dirty = False
+        #: Per-plan entry cap (``--plan-cache-limit``).  ``save()``
+        #: evicts least-recently-used entries beyond it so the cache
+        #: file cannot grow unboundedly across runs.  None = unlimited.
+        self.limit = limit
+        #: Entries evicted by this process (telemetry counter).
+        self.evictions = 0
+        #: Logical LRU clock: bumped on every lookup hit and record.
+        #: Persisted per entry as ``"t"``; approximate across
+        #: concurrent writers, which is all LRU needs.
+        self._tick = 0
         #: Per-process cache of deserialised callables (marshal is
         #: cheap but not free; shard loops hit the same entries).
         self._fns: Dict[Tuple[str, str], Dict[str, object]] = {}
@@ -90,6 +114,7 @@ class PlanCache:
         arch_digest: str,
         directory: Optional[str] = None,
         block_len: Optional[int] = None,
+        limit: Optional[int] = None,
     ) -> "PlanCache":
         """Open (creating lazily) the cache file for one program/arch."""
         if block_len is None:
@@ -108,7 +133,8 @@ class PlanCache:
             ).encode()
         ).hexdigest()[:16]
         directory = directory if directory else default_cache_dir()
-        return cls(os.path.join(directory, f"plans-{key}.json"))
+        return cls(os.path.join(directory, f"plans-{key}.json"),
+                   limit=limit)
 
     # -- persistence --------------------------------------------------------
 
@@ -123,6 +149,10 @@ class PlanCache:
         entries = data.get("entries")
         if isinstance(entries, dict):
             self._entries = entries
+        self._tick = max(
+            (int(e.get("t", 0)) for e in self._entries.values()),
+            default=0,
+        )
 
     def save(self) -> None:
         """Atomically merge-and-write; no-op when nothing was recorded."""
@@ -154,13 +184,25 @@ class PlanCache:
                     variants.update(entry["variants"])
                     entry = dict(entry, variants=variants)
                 merged[key] = entry
+            limit = self.limit
+            if limit is not None and len(merged) > limit:
+                # LRU eviction: drop the stalest plan entries (lowest
+                # logical timestamp) until the cap holds.  Modules are
+                # exempt — they are the aot engine's working set.
+                victims = sorted(
+                    merged, key=lambda k: int(merged[k].get("t", 0))
+                )[: len(merged) - limit]
+                for key in victims:
+                    del merged[key]
+                self.evictions += len(victims)
             fd, tmp = tempfile.mkstemp(
                 dir=directory, prefix=".plans-", suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
                     json.dump(
-                        {"version": FORMAT_VERSION, "entries": merged}, fh
+                        {"version": FORMAT_VERSION, "entries": merged},
+                        fh,
                     )
                 os.replace(tmp, self.path)
             except BaseException:
@@ -190,6 +232,12 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None or entry.get("digest") != digest:
             return None
+        # LRU touch.  Deliberately does not mark the cache dirty: the
+        # refreshed timestamps persist whenever a translation (or an
+        # eviction) forces a write anyway, which is all the
+        # approximate recency order needs.
+        self._tick += 1
+        entry["t"] = self._tick
         variants = entry.get("variants", {}).get(namespace)
         if variants is None:
             return None
@@ -224,6 +272,8 @@ class PlanCache:
                 "variants": {},
             }
             self._entries[key] = entry
+        self._tick += 1
+        entry["t"] = self._tick
         payloads: Dict[str, dict] = {}
         for name, (source, code) in variants.items():
             payloads[name] = {
@@ -233,6 +283,76 @@ class PlanCache:
         entry["variants"][namespace] = payloads
         self._fns.pop((key, namespace), None)
         self._dirty = True
+
+    # -- whole-module (ahead-of-time) interface -----------------------------
+
+    def _module_path(self, namespace: str) -> str:
+        """Side-file path for one module namespace.
+
+        Namespaces are configuration signatures with arbitrary
+        characters, so the filename carries a short digest instead.
+        """
+        stem = self.path[:-5] if self.path.endswith(".json") else self.path
+        tag = hashlib.sha256(namespace.encode()).hexdigest()[:12]
+        return f"{stem}.mod-{tag}.bin"
+
+    def module_stamp(self, namespace: str) -> Optional[Tuple[int, int]]:
+        """Cheap identity stamp of the stored module: (size, mtime_ns).
+
+        Lets :func:`repro.sim.aot.prepare` serve its per-process memo
+        without re-reading (and re-``exec``-ing) a megabyte module on
+        every run; None when no module is stored.
+        """
+        try:
+            st = os.stat(self._module_path(namespace))
+        except OSError:
+            return None
+        return (st.st_size, st.st_mtime_ns)
+
+    def lookup_module(self, namespace: str) -> Optional[dict]:
+        """Return the stored AOT module payload for ``namespace``.
+
+        The payload is the dict :meth:`record_module` stored (source,
+        marshalled code, per-entry metadata); :mod:`repro.sim.aot`
+        revives it.  The file key already pins the ELF image, the
+        architecture and the block cap, so the namespace — the cycle
+        model's configuration signature, ``""`` for functional — is
+        the only remaining coordinate.
+        """
+        try:
+            with open(self._module_path(namespace), "rb") as fh:
+                payload = marshal.load(fh)
+        except (OSError, ValueError, EOFError, TypeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def record_module(self, namespace: str, payload: dict) -> None:
+        """Store one compiled AOT module (overwriting any old one).
+
+        Written immediately (atomic tempfile + rename): module
+        compilation is expensive enough that deferring the write to
+        :meth:`save` buys nothing, and an exclusive side file per
+        namespace cannot conflict with concurrent entry writers.
+        """
+        path = self._module_path(namespace)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix=".mod-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    marshal.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, ValueError):
+            return  # best effort, same contract as save()
 
     def __len__(self) -> int:
         return len(self._entries)

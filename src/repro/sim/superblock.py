@@ -92,6 +92,54 @@ PLAN_DIRECT_MEM = 1
 PLAN_GENERAL = 2
 
 
+def walk_block(
+    cache: DecodeCache,
+    mem: Memory,
+    isa_id: int,
+    entry_ip: int,
+    max_len: int = MAX_BLOCK_LEN,
+) -> Tuple[Tuple[DecodedInstruction, ...], bool]:
+    """Walk one straight-line run through the decode cache.
+
+    The single definition of a superblock's extent, shared by the
+    interactive engine (:meth:`SuperblockEngine.build`) and the
+    ahead-of-time compiler (:mod:`repro.sim.aot`) so both tiers carve
+    identical blocks from identical bytes.  Returns the decoded
+    instructions and whether the run ended on a control transfer
+    (``False``: capped at ``max_len`` or truncated before an
+    undecodable word).  An undecodable *entry* raises, exactly like
+    executing it would.
+    """
+    decs: List[DecodedInstruction] = []
+    terminated = False
+    ip = entry_ip
+    while len(decs) < max_len:
+        try:
+            dec = cache.lookup(mem, isa_id, ip)
+        except DecodeError:
+            if not decs:
+                # The entry itself is undecodable: executing it
+                # would raise identically, so let it propagate.
+                raise
+            # Truncate before the bad word; if control ever falls
+            # through to it, the next build raises at its entry.
+            break
+        decs.append(dec)
+        if dec.is_control:
+            terminated = True
+            break
+        ip += dec.size
+    return tuple(decs), terminated
+
+
+def plan_digest(mem: Memory, span: Tuple[int, int]) -> str:
+    """Digest of the instruction bytes a plan covers (cache key)."""
+    start, end = span
+    return hashlib.sha256(
+        bytes(mem.load_bytes(start, end - start))
+    ).hexdigest()[:16]
+
+
 class SuperblockPlan:
     """One translated straight-line run plus its terminator."""
 
@@ -543,8 +591,20 @@ def _translate_fused_plan(
 class SuperblockEngine:
     """Builds, caches, chains and executes superblock plans."""
 
-    def __init__(self, cache: DecodeCache, *, chain: bool = True) -> None:
+    def __init__(
+        self,
+        cache: DecodeCache,
+        *,
+        chain: bool = True,
+        max_block_len: Optional[int] = None,
+    ) -> None:
         self.cache = cache
+        #: Straight-line cap (satellite of the AOT tier: previously the
+        #: module constant :data:`MAX_BLOCK_LEN`, now per-engine so the
+        #: cap ablation and the plan-cache key can vary it).
+        self.max_block_len = (
+            MAX_BLOCK_LEN if max_block_len is None else max_block_len
+        )
         self.plans: Dict[Tuple[int, int], SuperblockPlan] = {}
         self._by_page: Dict[int, List[Tuple[int, int]]] = {}
         #: Block chaining toggle (the ablation bench measures its win).
@@ -577,37 +637,17 @@ class SuperblockEngine:
 
     def build(self, mem: Memory, isa_id: int, entry_ip: int) -> SuperblockPlan:
         """Translate the straight-line run starting at ``entry_ip``."""
-        cache = self.cache
-        decs: List[DecodedInstruction] = []
-        terminated = False
-        ip = entry_ip
-        while len(decs) < MAX_BLOCK_LEN:
-            try:
-                dec = cache.lookup(mem, isa_id, ip)
-            except DecodeError:
-                if not decs:
-                    # The entry itself is undecodable: executing it
-                    # would raise identically, so let it propagate.
-                    raise
-                # Truncate before the bad word; if control ever falls
-                # through to it, the next build raises at its entry.
-                break
-            decs.append(dec)
-            if dec.is_control:
-                terminated = True
-                break
-            ip += dec.size
-        plan = SuperblockPlan(isa_id, entry_ip, tuple(decs), terminated)
+        decs, terminated = walk_block(
+            self.cache, mem, isa_id, entry_ip, self.max_block_len
+        )
+        plan = SuperblockPlan(isa_id, entry_ip, decs, terminated)
         pcache = self.plan_cache
         if (
             pcache is not None
             and self.cache_namespace is not None
             and plan.kind != PLAN_GENERAL
         ):
-            start, end = plan.span
-            plan.code_digest = hashlib.sha256(
-                bytes(mem.load_bytes(start, end - start))
-            ).hexdigest()[:16]
+            plan.code_digest = plan_digest(mem, plan.span)
             hit = pcache.lookup(
                 isa_id, entry_ip, self.cache_namespace, plan.code_digest
             )

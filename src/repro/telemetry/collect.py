@@ -10,6 +10,8 @@ prefix                    source
 ``sim.*``                 :class:`~repro.sim.stats.SimStats`
 ``sim.decode.*``          :class:`~repro.sim.decode_cache.DecodeCache`
 ``sim.superblock.*``      :class:`~repro.sim.superblock.SuperblockEngine`
+``sim.aot.*``             :class:`~repro.sim.aot.AotBinding` (engine=aot)
+``sim.plancache.*``       :class:`~repro.sim.plancache.PlanCache`
 ``cycles.<model>.*``      the attached cycle model (ilp/aie/doe/rtl)
 ``cycles.<model>.branch.*``  its optional branch-misprediction model
 ``mem.cache.<name>.*``    each :class:`~repro.cycles.memmodel.Cache`
@@ -78,6 +80,21 @@ def collect_interpreter_metrics(interp) -> Dict[str, object]:
         )
         out["sim.superblock.translations"] = engine.translations
         out["sim.superblock.plan_cache_hits"] = engine.plan_cache_hits
+    binding = getattr(interp, "aot", None)
+    if binding is not None:
+        out["sim.aot.entries_total"] = binding.entries_total
+        out["sim.aot.entries_bound"] = binding.entries_bound
+        out["sim.aot.entries_stale"] = binding.entries_stale
+        out["sim.aot.traces_total"] = binding.traces_total
+        out["sim.aot.traces_bound"] = binding.traces_bound
+        out["sim.aot.dispatches"] = binding.dispatches
+        out["sim.aot.blocks_executed"] = binding.blocks_executed
+        out["sim.aot.aborts"] = binding.aborts
+        out["sim.aot.rows_invalidated"] = binding.rows_invalidated
+    plan_cache = getattr(interp, "plan_cache", None)
+    if plan_cache is not None:
+        out["sim.plancache.entries"] = len(plan_cache)
+        out["sim.plancache.evictions"] = plan_cache.evictions
     return out
 
 

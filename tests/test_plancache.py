@@ -155,6 +155,104 @@ class TestCacheFile:
         assert default_cache_dir() == str(tmp_path)
 
 
+class TestEntryLimit:
+    def _record_n(self, cache, n):
+        for i in range(n):
+            cache.record(0, 0x1000 + 16 * i,
+                         (0x1000 + 16 * i, 0x1010 + 16 * i),
+                         f"d{i}", "", {"full": (SRC, CODE)})
+
+    def test_lru_eviction_at_save(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path), limit=3)
+        self._record_n(cache, 5)
+        # Touch the two oldest so the *middle* entries become stale.
+        assert cache.lookup(0, 0x1000, "", "d0") is not None
+        assert cache.lookup(0, 0x1010, "", "d1") is not None
+        cache.save()
+        assert cache.evictions == 2
+        warm = PlanCache(cache.path)
+        assert len(warm) == 3
+        assert warm.lookup(0, 0x1000, "", "d0") is not None
+        assert warm.lookup(0, 0x1010, "", "d1") is not None
+        assert warm.lookup(0, 0x1020, "", "d2") is None
+
+    def test_no_limit_keeps_everything(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        self._record_n(cache, 5)
+        cache.save()
+        assert cache.evictions == 0
+        assert len(PlanCache(cache.path)) == 5
+
+    def test_under_limit_no_eviction(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path), limit=8)
+        self._record_n(cache, 5)
+        cache.save()
+        assert cache.evictions == 0
+        assert len(PlanCache(cache.path)) == 5
+
+    def test_limit_via_open_plan_cache(self, tmp_path):
+        built = built_benchmark("dct4x4")
+        cache = open_plan_cache(built, directory=str(tmp_path), limit=7)
+        assert cache.limit == 7
+
+    def test_eviction_counter_reaches_telemetry(self, tmp_path):
+        from repro.telemetry.collect import collect_interpreter_metrics
+
+        built = built_benchmark("dct4x4")
+        cache = open_plan_cache(built, directory=str(tmp_path), limit=4)
+        result = run(built, engine="superblock", plan_cache=cache)
+        metrics = collect_interpreter_metrics(result.interpreter)
+        assert metrics["sim.plancache.evictions"] == cache.evictions
+        assert metrics["sim.plancache.evictions"] > 0
+        assert metrics["sim.plancache.entries"] == len(cache)
+
+
+class TestModuleSideFiles:
+    PAYLOAD = {"format": 1, "namespace": "", "code": b"\x00\x01",
+               "entries": []}
+
+    def test_roundtrip(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        assert cache.lookup_module("") is None
+        assert cache.module_stamp("") is None
+        cache.record_module("", self.PAYLOAD)
+        assert cache.lookup_module("") == self.PAYLOAD
+        assert cache.module_stamp("") is not None
+        # A fresh object over the same path sees the module without
+        # any save() — side files are written immediately.
+        assert PlanCache(cache.path).lookup_module("") == self.PAYLOAD
+
+    def test_namespaces_get_separate_files(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record_module("", self.PAYLOAD)
+        cache.record_module("DOE:w1", dict(self.PAYLOAD, namespace="DOE:w1"))
+        assert cache.lookup_module("")["namespace"] == ""
+        assert cache.lookup_module("DOE:w1")["namespace"] == "DOE:w1"
+        mods = [n for n in os.listdir(str(tmp_path)) if ".mod-" in n]
+        assert len(mods) == 2
+
+    def test_stamp_changes_on_rewrite(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record_module("", self.PAYLOAD)
+        before = cache.module_stamp("")
+        cache.record_module("", dict(self.PAYLOAD, code=b"\x00\x01\x02"))
+        assert cache.module_stamp("") != before
+
+    def test_corrupt_module_file_is_a_miss(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record_module("", self.PAYLOAD)
+        with open(cache._module_path(""), "wb") as fh:
+            fh.write(b"garbage")
+        assert cache.lookup_module("") is None
+
+
 class TestWarmRuns:
     def test_warm_run_skips_translation(self, tmp_path):
         built = built_benchmark("dct4x4")

@@ -17,7 +17,16 @@ trajectory to diff instead of eyeballing pytest-benchmark tables:
   bitwise-identical, and reports the fused speedup;
 * the ``plan_cache`` section times a cold (fresh cache file) against a
   warm start and records the translation/hit counters proving the warm
-  run skipped translation entirely.
+  run skipped translation entirely;
+* the ``aot`` section compiles the whole program ahead of time
+  (``kahrisma compile`` in-process), records the compile cost and
+  static coverage, and times the warm ``engine="aot"`` run against the
+  warm-cache superblock engine (the ``aot`` engine is excluded from
+  the generic engine loop — without a compiled module it just *is*
+  the superblock engine);
+* the ``block_len_ablation`` section re-times the functional
+  superblock run under ``--max-block-len`` caps, showing what the
+  64-instruction default buys over short blocks.
 
 Run from the repository root:
 
@@ -198,10 +207,116 @@ def measure_plan_cache(built, repeats):
     }
 
 
+def measure_aot(built, repeats):
+    """Ahead-of-time tier: compile cost, coverage, warm-run speedup.
+
+    Compiles the functional module once (timed — the ``kahrisma
+    compile`` cost a user pays), records it into a fresh plan cache,
+    then times warm ``engine="aot"`` runs against warm-cache
+    superblock runs, each reviving from its own freshly opened cache
+    handle so neither side keeps in-process state.
+    """
+    import tempfile
+
+    from repro.framework.pipeline import open_plan_cache
+    from repro.framework.pipeline import run as pipeline_run
+    from repro.sim import aot
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = open_plan_cache(built, directory=cache_dir)
+        start = time.perf_counter()
+        module, per_entry, report = aot.compile_module(
+            built.elf, built.arch, model=None
+        )
+        compile_s = time.perf_counter() - start
+        cache.record_module(module.namespace, module.payload())
+        for (isa_id, entry_ip), (plan, variants) in per_entry.items():
+            cache.record(
+                isa_id, entry_ip, plan.span, plan.code_digest,
+                module.namespace, variants,
+            )
+        cache.save()
+        # Prime the superblock side so both engines start warm.
+        pipeline_run(built, engine="superblock",
+                     plan_cache=open_plan_cache(built, directory=cache_dir))
+        best_sb = best_aot = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pipeline_run(built, engine="superblock",
+                         plan_cache=open_plan_cache(built,
+                                                    directory=cache_dir))
+            elapsed = time.perf_counter() - start
+            if best_sb is None or elapsed < best_sb:
+                best_sb = elapsed
+            start = time.perf_counter()
+            result = pipeline_run(built, engine="aot",
+                                  plan_cache=open_plan_cache(
+                                      built, directory=cache_dir))
+            elapsed = time.perf_counter() - start
+            if best_aot is None or elapsed < best_aot[1]:
+                best_aot = (result, elapsed)
+        result, aot_s = best_aot
+    binding = result.interpreter.aot
+    if binding is None or binding.entries_bound == 0:
+        raise SystemExit(
+            "warm aot run bound no table entries — the module cache "
+            "is broken"
+        )
+    instructions = result.stats.executed_instructions
+    return {
+        "compile_seconds": round(compile_s, 4),
+        "static_coverage": report["static_coverage"],
+        "entries": report["covered"],
+        "traces": report["traces"],
+        "warm_seconds": round(aot_s, 4),
+        "warm_mips": round(instructions / aot_s / 1e6, 3),
+        "warm_superblock_seconds": round(best_sb, 4),
+        "aot_vs_superblock_speedup": round(best_sb / aot_s, 3),
+        "entries_bound": binding.entries_bound,
+        "dispatches": binding.dispatches,
+        "table_blocks_fraction": round(
+            binding.blocks_executed
+            / max(binding.blocks_executed
+                  + result.interpreter.superblock.blocks_executed, 1),
+            4,
+        ),
+    }
+
+
+#: ``--max-block-len`` caps for the superblock ablation (None = the
+#: engine's 64-instruction default).
+ABLATION_CAPS = (4, 16, None)
+
+
+def measure_block_len(built, repeats):
+    """Functional superblock MIPS under each ``--max-block-len`` cap."""
+    from repro.framework.pipeline import run as pipeline_run
+
+    out = {}
+    for cap in ABLATION_CAPS:
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = pipeline_run(built, engine="superblock",
+                                  max_block_len=cap)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[1]:
+                best = (result, elapsed)
+        result, elapsed = best
+        out["default" if cap is None else str(cap)] = {
+            "mips": round(
+                result.stats.executed_instructions / elapsed / 1e6, 3),
+            "seconds": round(elapsed, 4),
+        }
+    return out
+
+
 def measure_workload(name, engines, repeats, shards=0):
     built = build_benchmark(name)
     entry = {"engines": {}}
     for engine in engines:
+        if engine == "aot":
+            continue  # measured with a compiled module in measure_aot
         budget = BUDGETED.get(engine)
         best = None
         for _ in range(repeats):
@@ -226,6 +341,8 @@ def measure_workload(name, engines, repeats, shards=0):
         entry["parallel"] = measure_parallel(built, shards, repeats)
     entry["cycle_models"] = measure_cycle_models(built, repeats)
     entry["plan_cache"] = measure_plan_cache(built, repeats)
+    entry["aot"] = measure_aot(built, repeats)
+    entry["block_len_ablation"] = measure_block_len(built, repeats)
     return entry
 
 
@@ -302,6 +419,18 @@ def main(argv=None):
             print(f"  {name}: plan cache warm {cache['warm_speedup']}x "
                   f"over cold ({cache['warm_plan_cache_hits']} hits, "
                   f"{cache['warm_translations']} warm translations)")
+        aot_row = entry.get("aot")
+        if aot_row:
+            print(f"  {name}: aot compile {aot_row['compile_seconds']}s "
+                  f"({aot_row['static_coverage'] * 100:.1f}% static "
+                  f"coverage), warm {aot_row['warm_mips']:.2f} MIPS "
+                  f"({aot_row['aot_vs_superblock_speedup']}x over warm "
+                  f"superblock)")
+        ablation = entry.get("block_len_ablation")
+        if ablation:
+            row = ", ".join(f"cap {cap} {data['mips']:.2f} MIPS"
+                            for cap, data in ablation.items())
+            print(f"  {name}: block-len ablation: {row}")
     return 0
 
 

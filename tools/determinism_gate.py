@@ -20,9 +20,19 @@ mismatch:
    to match the straight run bitwise (cycle counts are approximate by
    design and are only reported, not gated).
 
-``--perf-smoke`` adds a wall-clock check: with a warm persistent plan
+4. **AOT cross-engine determinism** — run each workload in
+   ``--aot-benchmarks`` (default: the main workload; ``all`` = every
+   bundled benchmark) under ``engine="aot"`` — functional and fused
+   DOE — and require bitwise-identical registers, memory digest,
+   output, exit code, architectural statistics and cycle counts
+   against the superblock engine.
+
+``--perf-smoke`` adds wall-clock checks: with a warm persistent plan
 cache, the fused DOE run must be at least ``--min-speedup`` (default
-1.5x) faster than the per-instruction observe path.
+1.5x) faster than the per-instruction observe path, and the warm AOT
+functional run of ``--aot-perf-workload`` (default cjpeg, a
+high-table-coverage workload) must be at least ``--min-aot-speedup``
+(default 1.3x) faster than the warm-cache superblock run.
 
 Run from the repository root:
 
@@ -99,6 +109,81 @@ def perf_smoke(built, width, engine, min_speedup):
         print("  MISMATCH: fused DOE is not fast enough")
 
 
+def aot_cross_engine(name):
+    """aot vs superblock: functional and fused DOE, bitwise."""
+    built = build_benchmark(name)
+    width = built.issue_width
+
+    sb = run(built, engine="superblock")
+    via_aot = run(built, engine="aot")
+    binding = via_aot.interpreter.aot
+    bound = f"{binding.entries_bound}/{binding.entries_total}" \
+        if binding is not None else "none"
+    print(f"  {name}: functional aot module bound {bound}, "
+          f"{binding.dispatches if binding else 0} dispatches")
+    check(f"{name} aot functional architectural stats",
+          sb.stats.architectural_dict(),
+          via_aot.stats.architectural_dict())
+    check(f"{name} aot functional registers",
+          list(sb.program.state.regs), list(via_aot.program.state.regs))
+    check(f"{name} aot functional memory digest",
+          memory_digest(sb.program.state.mem),
+          memory_digest(via_aot.program.state.mem))
+    check(f"{name} aot functional output", sb.output, via_aot.output)
+    check(f"{name} aot functional exit code",
+          sb.exit_code, via_aot.exit_code)
+
+    sb_model = DoeModel(issue_width=width)
+    sb_doe = run(built, engine="superblock", cycle_model=sb_model)
+    aot_model = DoeModel(issue_width=width)
+    aot_doe = run(built, engine="aot", cycle_model=aot_model)
+    check(f"{name} aot doe cycles", sb_model.cycles, aot_model.cycles)
+    check(f"{name} aot doe drift state",
+          doe_drift_state(sb_model), doe_drift_state(aot_model))
+    check(f"{name} aot doe architectural stats",
+          sb_doe.stats.architectural_dict(),
+          aot_doe.stats.architectural_dict())
+    check(f"{name} aot doe output", sb_doe.output, aot_doe.output)
+
+
+def aot_perf_smoke(name, min_speedup):
+    """Warm AOT must beat the warm-cache superblock engine.
+
+    Measured on a high-coverage workload (default cjpeg): blocks
+    ending in simops or ISA switches run on the interactive fallback
+    path by design, so simop-dense microbenchmarks measure the
+    fallback, not the table.
+    """
+    import time
+
+    from repro.framework.pipeline import open_plan_cache
+
+    built = build_benchmark(name)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # Cold pass: compile the module and populate the plan cache.
+        run(built, engine="aot",
+            plan_cache=open_plan_cache(built, directory=cache_dir))
+        run(built, engine="superblock",
+            plan_cache=open_plan_cache(built, directory=cache_dir))
+        best_sb = best_aot = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            run(built, engine="superblock",
+                plan_cache=open_plan_cache(built, directory=cache_dir))
+            best_sb = min(best_sb, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run(built, engine="aot",
+                plan_cache=open_plan_cache(built, directory=cache_dir))
+            best_aot = min(best_aot, time.perf_counter() - t0)
+    speedup = best_sb / best_aot
+    print(f"  {name}: superblock {best_sb * 1000:.1f} ms, aot "
+          f"{best_aot * 1000:.1f} ms -> {speedup:.2f}x "
+          f"(required {min_speedup:.2f}x)")
+    if speedup < min_speedup:
+        FAILURES.append("aot perf smoke")
+        print("  MISMATCH: warm aot is not fast enough")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", default="dct4x4")
@@ -106,8 +191,18 @@ def main(argv=None):
     parser.add_argument("--checkpoint-every", type=int, default=40_000)
     parser.add_argument("--shards", type=int, default=2)
     parser.add_argument("--perf-smoke", action="store_true",
-                        help="also gate fused-DOE wall-clock speedup")
+                        help="also gate fused-DOE and aot wall-clock "
+                             "speedups")
     parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--min-aot-speedup", type=float, default=1.3)
+    parser.add_argument("--aot-perf-workload", default="cjpeg",
+                        help="workload for the aot perf smoke (default "
+                             "cjpeg: high table coverage — simop-dense "
+                             "workloads measure the fallback path)")
+    parser.add_argument("--aot-benchmarks", default=None,
+                        help="comma list of workloads for the aot "
+                             "cross-engine section; 'all' = every "
+                             "bundled benchmark (default: --workload)")
     args = parser.parse_args(argv)
 
     built = build_benchmark(args.workload)
@@ -176,9 +271,24 @@ def main(argv=None):
           f"({par.cycles} vs {straight_model.cycles}; approximate by "
           f"design, not gated)")
 
+    if args.aot_benchmarks == "all":
+        from repro.programs import program_names
+
+        aot_names = sorted(program_names())
+    elif args.aot_benchmarks:
+        aot_names = [n.strip() for n in args.aot_benchmarks.split(",")]
+    else:
+        aot_names = [args.workload]
+    print(f"aot cross-engine ({', '.join(aot_names)}) ...")
+    for name in aot_names:
+        aot_cross_engine(name)
+
     if args.perf_smoke:
         print(f"perf smoke (warm plan cache, min {args.min_speedup}x) ...")
         perf_smoke(built, width, args.engine, args.min_speedup)
+        print(f"aot perf smoke (warm module, min "
+              f"{args.min_aot_speedup}x) ...")
+        aot_perf_smoke(args.aot_perf_workload, args.min_aot_speedup)
 
     if FAILURES:
         print(f"\ndeterminism gate FAILED: {len(FAILURES)} mismatch(es)")
