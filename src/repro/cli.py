@@ -43,6 +43,7 @@ from .lang.driver import compile_mixed, compile_source
 from .programs import PROGRAMS, load_program
 from .rtl.pipeline import RtlPipeline
 from .sim.disasm import disassemble_range
+from .sim.errors import SimulationError
 from .sim.interpreter import Interpreter
 from .sim.tracing import Tracer
 from .telemetry import (
@@ -73,6 +74,18 @@ def _read_source(path: str) -> str:
         return load_program(path)
     with open(path, "r", encoding="utf-8") as f:
         return f.read()
+
+
+class _NullSink:
+    """Event sink for ``--live``/``--prom`` without ``--events``: the
+    stream machinery (heartbeat slicing, subscribers) runs, but no
+    NDJSON is written anywhere."""
+
+    def write(self, _text: str) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
 
 
 def _open_plan_cache(elf: ElfFile, directory, limit=None, block_len=None):
@@ -242,8 +255,47 @@ def _check_run_flags(args: argparse.Namespace) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     _check_run_flags(args)
+    from .telemetry.flight import FlightRecorder
+    from .telemetry.stream import (
+        EventStream,
+        LiveProgress,
+        PrometheusSnapshot,
+        write_prometheus,
+    )
+
     with open(args.input, "rb") as f:
         elf = ElfFile.read(f.read())
+    # ``--events -`` makes stdout the NDJSON channel: the human summary
+    # and the program's own output move to stderr so the stream stays
+    # machine-parseable end to end.
+    events_to_stdout = args.events == "-"
+    out = sys.stderr if events_to_stdout else sys.stdout
+    events = None
+    if args.events:
+        events = EventStream.open(args.events, heartbeat_every=args.heartbeat)
+    elif args.live or args.prom:
+        events = EventStream(
+            sink=_NullSink(), heartbeat_every=args.heartbeat
+        )
+    live = None
+    if args.live:
+        live = LiveProgress(sys.stderr, label=args.input)
+        events.subscribe(live)
+    prom = None
+    if args.prom:
+        prom = PrometheusSnapshot(args.prom)
+        events.subscribe(prom)
+    # Flight recording is default-armed on the translated engines
+    # (block-granularity trail, <5% overhead — docs/observability.md);
+    # the interactive engines would pay the featureful-loop price, so
+    # they record only when --flight asks for it explicitly.
+    flight = None
+    if not args.no_flight and (
+        args.flight or args.engine in ("superblock", "aot")
+    ):
+        flight = FlightRecorder(capacity=args.flight_size)
+        if args.flight:
+            flight.dump_path = args.flight
     resume_payload = None
     if args.resume:
         from .snapshot import CheckpointError, read_checkpoint
@@ -320,7 +372,16 @@ def cmd_run(args: argparse.Namespace) -> int:
                              plan_cache=plan_cache,
                              fuse_cycles=not args.no_cycle_fusion,
                              aot_module=aot_module,
-                             max_block_len=args.max_block_len)
+                             max_block_len=args.max_block_len,
+                             events=events, flight=flight)
+        if events is not None:
+            events.emit(
+                "run-start",
+                workload=args.input,
+                engine=interp.engine,
+                model=None if args.model == "none" else args.model,
+                heartbeat_every=events.heartbeat_every,
+            )
         if args.checkpoint_every:
             from .snapshot import run_with_checkpoints
 
@@ -340,6 +401,21 @@ def cmd_run(args: argparse.Namespace) -> int:
                 whole = base_stats.copy()
                 whole.merge(stats)
                 stats = whole
+    except SimulationError as exc:
+        # The interpreter already attached the flight snapshot (and
+        # dumped --flight JSON); render the trail so the crash comes
+        # with the blocks that led up to it.
+        if live is not None:
+            live.close()
+        if flight is not None:
+            print(flight.format(debug_info=program.debug_info),
+                  file=sys.stderr)
+            if flight.dump_path:
+                print(f"flight dump:  wrote {flight.dump_path}",
+                      file=sys.stderr)
+        if events is not None:
+            events.close()
+        raise
     finally:
         # Flush partial telemetry even when the simulation aborts —
         # a truncated trace/timeline localises the fault.
@@ -347,49 +423,78 @@ def cmd_run(args: argparse.Namespace) -> int:
             tracer.close()
         if timeline is not None and args.timeline:
             timeline.write(args.timeline)
-    sys.stdout.write(program.output)
-    print("---")
-    print(f"instructions: {stats.executed_instructions}")
-    print(f"exit code:    {program.state.exit_code}")
-    print(f"mips:         {stats.mips:.3f}")
-    print(f"decode cache: {stats.decode_avoidance * 100:.3f}% decodes avoided")
-    print(f"prediction:   {stats.lookup_avoidance * 100:.3f}% lookups avoided")
+    if events is not None:
+        events.emit(
+            "run-end",
+            instructions=stats.executed_instructions,
+            exit_code=program.state.exit_code,
+            elapsed_seconds=round(stats.elapsed_seconds, 6),
+            mips=round(stats.mips, 3),
+            halted=program.state.halted,
+        )
+        events.close()
+    out.write(program.output)
+    print("---", file=out)
+    print(f"instructions: {stats.executed_instructions}", file=out)
+    print(f"exit code:    {program.state.exit_code}", file=out)
+    print(f"mips:         {stats.mips:.3f}", file=out)
+    print(f"decode cache: {stats.decode_avoidance * 100:.3f}% decodes "
+          f"avoided", file=out)
+    print(f"prediction:   {stats.lookup_avoidance * 100:.3f}% lookups "
+          f"avoided", file=out)
     if model is not None:
-        print(f"{args.model} cycles:   {model.cycles}")
+        print(f"{args.model} cycles:   {model.cycles}", file=out)
     if branch_model is not None:
-        print(f"branches:     {branch_model.summary()}")
+        print(f"branches:     {branch_model.summary()}", file=out)
     if args.timeline:
         print(f"timeline:     wrote {args.timeline} "
-              f"({len(timeline)} events, {timeline.dropped} dropped)")
+              f"({len(timeline)} events, {timeline.dropped} dropped)",
+              file=out)
     if checkpoints:
         print(f"checkpoints:  wrote {len(checkpoints)} into "
-              f"{args.checkpoint_dir}")
+              f"{args.checkpoint_dir}", file=out)
+    if args.flight and flight is not None:
+        flight.dump()
+        print(f"flight:       wrote {args.flight} "
+              f"({len(flight)} entries)", file=out)
     report = None
-    if args.metrics or profiler is not None:
+    if args.metrics or profiler is not None or args.prom:
         report = build_run_report(
             interp, model,
             profiler=profiler,
             debug_info=program.debug_info,
             workload=args.input,
         )
+    if args.prom:
+        # Final snapshot from the complete post-run metrics (heartbeat
+        # refreshes stop before the last slice).
+        write_prometheus(report["metrics"], args.prom)
+        print(f"prometheus:   wrote {args.prom} "
+              f"({prom.writes} heartbeat refreshes)", file=out)
     if args.metrics:
         write_report(report, args.metrics)
-        print(f"metrics:      wrote {args.metrics}")
+        print(f"metrics:      wrote {args.metrics}", file=out)
     if profiler is not None:
-        print()
+        print(file=out)
         print(render_report({k: v for k, v in report.items()
-                             if k != "metrics"}, top=args.top))
+                             if k != "metrics"}, top=args.top), file=out)
     return program.state.exit_code
 
 
 def cmd_parallel(args: argparse.Namespace) -> int:
     from .framework.parallel import run_parallel
+    from .telemetry.stream import EventStream
 
     source = _read_source(args.input)
     isa_map = _parse_isa_map(args.mixed)
     built = build(
         source, isa=args.isa, isa_map=isa_map or None, filename=args.input
     )
+    events_to_stdout = args.events == "-"
+    out = sys.stderr if events_to_stdout else sys.stdout
+    events = None
+    if args.events:
+        events = EventStream.open(args.events, heartbeat_every=args.heartbeat)
     try:
         result = run_parallel(
             built,
@@ -405,19 +510,23 @@ def cmd_parallel(args: argparse.Namespace) -> int:
             keep_checkpoints=args.keep_checkpoints,
             use_plan_cache=not args.no_plan_cache,
             plan_cache_dir=args.plan_cache_dir,
+            events=events,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
-    sys.stdout.write(result.output)
-    print("---")
+    finally:
+        if events is not None:
+            events.close()
+    out.write(result.output)
+    print("---", file=out)
     plan = result.plan
     print(f"shards:       {len(result.shard_results)} over "
-          f"{plan.total_instructions} instructions")
-    print(f"instructions: {result.stats.executed_instructions}")
-    print(f"exit code:    {result.exit_code}")
+          f"{plan.total_instructions} instructions", file=out)
+    print(f"instructions: {result.stats.executed_instructions}", file=out)
+    print(f"exit code:    {result.exit_code}", file=out)
     if result.cycles is not None:
         print(f"{args.model} cycles:   {result.cycles} "
-              f"(approximate: shard models start cold)")
+              f"(approximate: shard models start cold)", file=out)
     for i, shard in enumerate(result.shard_results):
         start = plan.boundaries[i]
         end = (plan.boundaries[i + 1] if i + 1 < len(plan.boundaries)
@@ -425,18 +534,39 @@ def cmd_parallel(args: argparse.Namespace) -> int:
         cycles = shard["cycles"]
         extra = f"  cycles {cycles}" if cycles is not None else ""
         print(f"  shard {i}: [{start}, {end})  "
-              f"instructions {shard['stats'].executed_instructions}{extra}")
+              f"instructions {shard['stats'].executed_instructions}{extra}",
+              file=out)
     if args.metrics:
         write_report(result.telemetry, args.metrics)
-        print(f"metrics:      wrote {args.metrics}")
+        print(f"metrics:      wrote {args.metrics}", file=out)
     return result.exit_code
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     import json
 
+    from .telemetry.stream import (
+        looks_like_event_stream,
+        render_event_summary,
+        summarize_events,
+        validate_stream_text,
+    )
+
     with open(args.metrics, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+        text = f.read()
+    if looks_like_event_stream(text):
+        # NDJSON event stream (`kahrisma run --events`): summarize it
+        # instead of rendering a metrics table.
+        try:
+            events = validate_stream_text(text)
+        except ValueError as exc:
+            raise SystemExit(f"{args.metrics}: {exc}")
+        print(render_event_summary(summarize_events(events)))
+        return 0
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"{args.metrics}: not JSON ({exc})")
     if doc.get("schema") != "kahrisma-telemetry":
         print(f"warning: {args.metrics} does not look like a telemetry "
               f"report (schema={doc.get('schema')!r})", file=sys.stderr)
@@ -638,6 +768,32 @@ def main(argv: Optional[list] = None) -> int:
                    help="keep AIE/DOE accounting on the per-instruction "
                         "observe path instead of compiling it into "
                         "translated superblocks")
+    p.add_argument("--events", metavar="PATH",
+                   help="stream NDJSON run events (run-start, periodic "
+                        "heartbeats, syscalls, ISA switches, SMC, "
+                        "checkpoints, run-end) to PATH, or '-' for "
+                        "stdout (the summary and program output move "
+                        "to stderr)")
+    p.add_argument("--heartbeat", type=int, default=250_000, metavar="N",
+                   help="heartbeat cadence in executed instructions "
+                        "(default 250000)")
+    p.add_argument("--live", action="store_true",
+                   help="rewrite a one-line progress bar on stderr from "
+                        "the heartbeat events")
+    p.add_argument("--prom", metavar="PATH",
+                   help="keep a Prometheus text-exposition snapshot of "
+                        "the run metrics at PATH (atomically refreshed "
+                        "per heartbeat)")
+    p.add_argument("--flight", metavar="PATH",
+                   help="write the flight-recorder ring buffer as JSON "
+                        "(always written on trap; also arms recording "
+                        "on the interactive engines)")
+    p.add_argument("--flight-size", type=int, default=512, metavar="N",
+                   help="flight-recorder ring capacity in blocks "
+                        "(default 512)")
+    p.add_argument("--no-flight", action="store_true",
+                   help="disable the flight recorder (default-armed on "
+                        "the superblock/aot engines)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -676,6 +832,13 @@ def main(argv: Optional[list] = None) -> int:
                    help="plan-cache directory shared by the workers")
     p.add_argument("--metrics", metavar="PATH",
                    help="write the merged telemetry JSON")
+    p.add_argument("--events", metavar="PATH",
+                   help="stream NDJSON run events to PATH ('-' for "
+                        "stdout); worker events arrive shard-tagged "
+                        "after the merge")
+    p.add_argument("--heartbeat", type=int, default=250_000, metavar="N",
+                   help="per-shard heartbeat cadence in executed "
+                        "instructions (default 250000)")
     p.set_defaults(func=cmd_parallel)
 
     p = sub.add_parser("report",

@@ -203,9 +203,21 @@ def _run_shard(spec: Dict[str, object]) -> Dict[str, object]:
     payload = read_checkpoint(str(spec["checkpoint"]))
     restored = restore_run(payload, KAHRISMA, cycle_model=model)
     prefix = len(restored.syscalls.save_state()["stdout"])
+    events = None
+    events_spec = spec.get("events")
+    if events_spec is not None:
+        # Buffered (sink-less) stream: the event dicts are picklable
+        # and shipped back to the coordinator, which re-sequences them
+        # into the merged stream tagged with this shard's index.
+        from ..telemetry.stream import EventStream
+
+        events = EventStream(
+            heartbeat_every=int(events_spec["heartbeat_every"]),
+            shard=int(spec["shard"]),
+        )
     interp = Interpreter(
         restored.state, cycle_model=model, engine=str(spec["engine"]),
-        plan_cache=plan_cache,
+        plan_cache=plan_cache, events=events,
     )
     budget = spec.get("budget")
     interp.run(
@@ -222,12 +234,21 @@ def _run_shard(spec: Dict[str, object]) -> Dict[str, object]:
         "stdout_delta": stdout[prefix:],
         "exit_code": restored.state.exit_code,
         "halted": restored.state.halted,
+        "events": events.events if events is not None else None,
     }
 
 
 #: Metric keys that describe configuration, not accumulated work —
 #: merged by taking the first shard's value instead of summing.
 _CONFIG_SUFFIXES = (".delay", ".ports", ".penalty")
+#: Point-in-time occupancy gauges (decode/plan/AOT table sizes):
+#: summing them across shards double-counts structures each worker
+#: rebuilds independently, so the merge takes the maximum instead.
+_GAUGE_SUFFIXES = (
+    ".decode.entries", ".plans_live", ".plancache.entries",
+    ".entries_total", ".entries_bound", ".entries_stale",
+    ".traces_total", ".traces_bound", ".invalidation_version",
+)
 #: Derived ratios are dropped during the sum and recomputed afterwards
 #: where the inputs are available.
 _DERIVED_SUFFIXES = (
@@ -253,6 +274,9 @@ def merge_metric_dicts(dicts: List[Dict[str, object]]) -> Dict[str, object]:
                 continue
             if key.endswith(_CONFIG_SUFFIXES):
                 merged.setdefault(key, value)
+                continue
+            if key.endswith(_GAUGE_SUFFIXES):
+                merged[key] = max(merged.get(key, 0), value)
                 continue
             if key.endswith(_DERIVED_SUFFIXES):
                 continue
@@ -337,6 +361,7 @@ def run_parallel(
     keep_checkpoints: bool = False,
     use_plan_cache: bool = True,
     plan_cache_dir: Optional[str] = None,
+    events=None,
 ) -> ParallelResult:
     """Fast-forward, shard, and simulate the intervals in parallel.
 
@@ -353,6 +378,13 @@ def run_parallel(
     (``plan_cache_dir`` overrides its location): warm runs skip plan
     translation entirely — visible as ``sim.superblock.plan_cache_hits``
     in the merged telemetry.
+
+    ``events`` (a :class:`repro.telemetry.stream.EventStream`) makes
+    the sharded run observable: the coordinator emits run-start /
+    run-end, each worker records its own heartbeat/syscall/ISA-switch
+    events into a buffered per-shard stream, and the buffers are merged
+    into the coordinator stream (tagged with their shard index) as
+    results arrive.
     """
     import shutil
     import tempfile
@@ -378,6 +410,15 @@ def run_parallel(
             "dir": plan_cache_dir,
         }
 
+    if events is not None:
+        events.emit(
+            "run-start",
+            workload=workload,
+            engine=engine,
+            model=None if model == "none" else model,
+            heartbeat_every=events.heartbeat_every,
+            shards=shards,
+        )
     own_dir = None
     if checkpoint_dir is None:
         checkpoint_dir = tempfile.mkdtemp(prefix="kahrisma-shards-")
@@ -401,6 +442,10 @@ def run_parallel(
                 "branch_penalty": branch_penalty,
                 "issue_width": built.issue_width,
                 "plan_cache": cache_spec,
+                "events": (
+                    {"heartbeat_every": events.heartbeat_every}
+                    if events is not None else None
+                ),
             }
             for i in range(len(plan.boundaries))
         ]
@@ -425,6 +470,12 @@ def run_parallel(
     merged = SimStats()
     for result in results:
         merged.merge(result["stats"])
+    if events is not None:
+        from ..telemetry.stream import merge_shard_events
+
+        merge_shard_events(
+            events, [r.get("events") for r in results]
+        )
     last = results[-1]
     if not last["halted"]:
         raise RuntimeError(
@@ -447,6 +498,15 @@ def run_parallel(
         "shard_boundaries": list(plan.boundaries),
         "metrics": merge_metric_dicts([r["metrics"] for r in results]),
     }
+    if events is not None:
+        events.emit(
+            "run-end",
+            instructions=merged.executed_instructions,
+            exit_code=int(last["exit_code"]),
+            elapsed_seconds=round(merged.elapsed_seconds, 6),
+            mips=round(merged.mips, 3),
+            halted=bool(last["halted"]),
+        )
     return ParallelResult(
         stats=merged,
         output=output,

@@ -161,6 +161,8 @@ def run(
     fuse_cycles: bool = True,
     aot_module=None,
     max_block_len: Optional[int] = None,
+    events=None,
+    flight=None,
 ) -> RunResult:
     """Load and simulate a built executable.
 
@@ -195,6 +197,13 @@ def run(
     present, compiling in place otherwise.  Configurations without an
     AOT representation (tracers, profilers, per-instruction-observing
     models) transparently degrade to the interactive engine.
+
+    Live observability (``docs/observability.md``): ``events`` (a
+    :class:`repro.telemetry.stream.EventStream`) receives run-start /
+    heartbeat / syscall / ISA-switch / SMC / checkpoint / run-end
+    events while the simulation runs; ``flight`` (a
+    :class:`repro.telemetry.flight.FlightRecorder`) keeps a bounded
+    trail of recent blocks, dumped on trap.
     """
     if resume_from is not None:
         from ..snapshot import load_checkpoint_program
@@ -240,7 +249,20 @@ def run(
         fuse_cycles=fuse_cycles,
         aot_module=aot_module,
         max_block_len=max_block_len,
+        events=events,
+        flight=flight,
     )
+    if events is not None:
+        events.emit(
+            "run-start",
+            workload=workload,
+            engine=interpreter.engine,
+            model=(
+                str(getattr(cycle_model, "name", type(cycle_model).__name__))
+                if cycle_model is not None else None
+            ),
+            heartbeat_every=events.heartbeat_every,
+        )
     checkpoints: List[str] = []
     if checkpoint_every is not None:
         from ..snapshot import run_with_checkpoints
@@ -261,6 +283,15 @@ def run(
             whole = base_stats.copy()
             whole.merge(stats)
             stats = whole
+    if events is not None:
+        events.emit(
+            "run-end",
+            instructions=stats.executed_instructions,
+            exit_code=program.state.exit_code,
+            elapsed_seconds=round(stats.elapsed_seconds, 6),
+            mips=round(stats.mips, 3),
+            halted=program.state.halted,
+        )
     telemetry = None
     if collect_metrics or profiler is not None:
         from ..telemetry import build_run_report

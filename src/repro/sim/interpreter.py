@@ -69,6 +69,8 @@ class Interpreter:
         fuse_cycles: bool = True,
         aot_module=None,
         max_block_len=None,
+        events=None,
+        flight=None,
     ) -> None:
         self.state = state
         self.target = target if target is not None else build_target(state.arch)
@@ -181,6 +183,28 @@ class Interpreter:
         self.stopped_at_breakpoint = False
         self._resume_over_breakpoint = False
         self.stats = SimStats()
+        #: Live event stream (:class:`repro.telemetry.stream.EventStream`):
+        #: run() slices the instruction budget at the stream's heartbeat
+        #: cadence (exactly the mechanism periodic checkpointing uses,
+        #: so slicing is covered by the determinism gate) and emits
+        #: heartbeat/syscall/ISA-switch/SMC/trap events.  Costs nothing
+        #: when unset — no engine loop checks for it.
+        self.events = events
+        #: Flight recorder (:class:`repro.telemetry.flight.FlightRecorder`):
+        #: block-granularity trail on the superblock/AOT fast paths via
+        #: the engine's observer seam; per-instruction trail on the
+        #: interactive engines via the featureful loop.
+        self.flight = flight
+        if flight is not None and self.superblock is not None:
+            sb = self.superblock
+            if sb.profiler is None:
+                sb.profiler = flight
+            else:
+                from ..telemetry.flight import _BlockFanout
+
+                sb.profiler = _BlockFanout(sb.profiler, flight)
+        if events is not None or flight is not None:
+            self._install_observers()
 
     # -- public API -------------------------------------------------------
 
@@ -206,41 +230,21 @@ class Interpreter:
         switches_before = self.state.isa_switches
         start = time.perf_counter()
         try:
-            profiler = self.profiler
-            if (
-                self.tracer is not None
-                or self.ip_history is not None
-                or self.breakpoints
-            ):
-                # Tracing, IP history and breakpoints need per-op
-                # bookkeeping the translated plans deliberately skip, so
-                # every engine falls back to the featureful loop here.
-                self._loop_full(budget)
-            elif profiler is not None and not (
-                self.engine == "superblock" and profiler.mode == "block"
-            ):
-                # Exact profiling counts every PC: featureful loop.
-                # Block-mode profiling of the superblock engine instead
-                # records per executed plan and keeps the fast path.
-                self._loop_full(budget)
-            elif self.engine == "aot":
-                self._loop_aot(budget)
-            elif self.engine == "superblock":
-                self._loop_superblock(budget)
-            elif self.engine == "cache":
-                self._loop_cache(budget)
-            elif self.engine == "nocache":
-                self._loop_nocache(budget)
+            if self.events is not None:
+                self._dispatch_with_heartbeats(budget, start)
             else:
-                self._loop_predict(budget)
-        except SimulationError:
+                self._dispatch(budget)
+        except SimulationError as exc:
+            self._on_trap(exc)
             raise
         except Exception as exc:  # annotate unexpected faults with the IP
-            raise SimulationError(
+            wrapped = SimulationError(
                 f"internal fault: {exc!r}",
                 ip=self.state.ip,
                 isa=self.state.isa.name,
-            ) from exc
+            )
+            self._on_trap(wrapped)
+            raise wrapped from exc
         self.stats.elapsed_seconds += time.perf_counter() - start
         self.stats.decoded_instructions += self.cache.decodes - decodes_before
         self.stats.cache_lookups += self.cache.lookups - lookups_before
@@ -250,6 +254,138 @@ class Interpreter:
         if self.plan_cache is not None:
             self.plan_cache.save()  # no-op unless new plans were compiled
         return self.stats
+
+    def _dispatch(self, budget: int) -> None:
+        """Select and run the engine loop for one budget segment."""
+        profiler = self.profiler
+        if (
+            self.tracer is not None
+            or self.ip_history is not None
+            or self.breakpoints
+        ):
+            # Tracing, IP history and breakpoints need per-op
+            # bookkeeping the translated plans deliberately skip, so
+            # every engine falls back to the featureful loop here.
+            self._loop_full(budget)
+        elif profiler is not None and not (
+            self.engine == "superblock" and profiler.mode == "block"
+        ):
+            # Exact profiling counts every PC: featureful loop.
+            # Block-mode profiling of the superblock engine instead
+            # records per executed plan and keeps the fast path.
+            self._loop_full(budget)
+        elif self.flight is not None and self.engine in (
+            "nocache", "cache", "predict"
+        ):
+            # The interactive engines have no block-granularity seam;
+            # flight recording uses the featureful loop's
+            # per-instruction trail (priced in docs/observability.md).
+            self._loop_full(budget)
+        elif self.engine == "aot":
+            self._loop_aot(budget)
+        elif self.engine == "superblock":
+            self._loop_superblock(budget)
+        elif self.engine == "cache":
+            self._loop_cache(budget)
+        elif self.engine == "nocache":
+            self._loop_nocache(budget)
+        else:
+            self._loop_predict(budget)
+
+    # -- live events -------------------------------------------------------
+
+    def _dispatch_with_heartbeats(self, budget: int, start: float) -> None:
+        """Run in heartbeat-sized slices, emitting one event per slice.
+
+        Architecturally identical to one _dispatch(budget) call: the
+        checkpoint runner slices run() the same way and the determinism
+        gate proves bitwise-equal cycles and state under slicing
+        (including fused DOE accounting).
+        """
+        events = self.events
+        every = events.heartbeat_every
+        start_exec = self.stats.executed_instructions
+        done = 0
+        while done < budget and not self.state.halted:
+            before = self.stats.executed_instructions
+            self._dispatch(min(every, budget - done))
+            executed = self.stats.executed_instructions - before
+            done += executed
+            if executed == 0 or self.stopped_at_breakpoint:
+                break
+            if done < budget and not self.state.halted:
+                self._emit_heartbeat(start, start_exec)
+
+    def _emit_heartbeat(self, start: float, start_exec: int) -> None:
+        from ..telemetry.collect import collect_run_metrics
+
+        elapsed = time.perf_counter() - start
+        instructions = self.stats.executed_instructions
+        counters = collect_run_metrics(self, self.cycle_model)
+        # SimStats derives simops/ISA-switch counts from state deltas
+        # at the *end* of run(); mid-run, read the live state counters.
+        counters["sim.simops"] = self.state.simop_count
+        counters["sim.isa_switches"] = self.state.isa_switches
+        model = self.cycle_model
+        self.events.emit(
+            "heartbeat",
+            instructions=instructions,
+            mips=(
+                round((instructions - start_exec) / elapsed / 1e6, 3)
+                if elapsed > 0 else 0.0
+            ),
+            cycles=model.cycles if model is not None else None,
+            counters=counters,
+        )
+
+    def _install_observers(self) -> None:
+        """Route ProcessorState hooks into the event stream / recorder.
+
+        ``switch_isa``/``simop`` calls are emitted by the behaviour
+        compiler into *every* generated simulation function — including
+        translated superblock plans and AOT modules — so these hooks
+        see each event regardless of engine.  The architectural IP may
+        lag inside a translated block (plans commit it at exits); the
+        reported ``ip`` is the best available anchor, not a promise.
+        """
+        events, flight, state = self.events, self.flight, self.state
+
+        def on_isa_switch(st, from_isa, to_isa):
+            if flight is not None:
+                flight.record_isa_switch(st.ip, from_isa, to_isa)
+            if events is not None:
+                events.emit(
+                    "isa-switch", ip=st.ip,
+                    from_isa=from_isa, to_isa=to_isa,
+                )
+
+        def on_simop(st, ident):
+            from ..libc import LIBC_BY_ID
+
+            fn = LIBC_BY_ID.get(ident)
+            name = fn.name if fn is not None else f"simop{ident}"
+            if flight is not None:
+                flight.record_syscall(st.ip, ident, name)
+            if events is not None:
+                events.emit("syscall", ip=st.ip, ident=ident, name=name)
+
+        state.on_isa_switch = on_isa_switch
+        state.on_simop = on_simop
+
+    def _on_trap(self, exc) -> None:
+        """Attach flight-recorder context to a fatal simulation error."""
+        flight = self.flight
+        if flight is not None:
+            flight.record_trap(self.state.ip, str(exc))
+            exc.flight = flight.snapshot()
+            try:
+                dumped = flight.dump()
+            except OSError:
+                dumped = None
+            if dumped is not None:
+                exc.flight_dump = dumped
+        if self.events is not None:
+            self.events.emit("trap", error=str(exc), ip=self.state.ip)
 
     # -- self-modifying code ----------------------------------------------
 
@@ -266,6 +402,10 @@ class Interpreter:
             hit = True
         if hit:
             self._inv[0] = True
+            if self.flight is not None:
+                self.flight.record_smc(addr, length)
+            if self.events is not None:
+                self.events.emit("smc-invalidate", addr=addr, length=length)
             if self.profiler is not None:
                 # Attribute the invalidation to the overwritten code
                 # address (the store's own PC may be mid-block and the
@@ -303,12 +443,19 @@ class Interpreter:
         mem = state.mem
         model = self.cycle_model
         inv = self._inv
+        flight = self.flight
         total = 0
         tail = False
         while not state.halted and total < budget:
+            entry_isa, entry_ip = state.isa_id, state.ip
             executed, reason = aot.dispatch(
                 state, inv, model, budget - total
             )
+            if flight is not None and executed:
+                # One trail entry per dense-table dispatch segment (a
+                # chain of covered blocks): block-granularity context
+                # at far below block-granularity cost.
+                flight.record_dispatch(entry_isa, entry_ip, executed)
             total += executed
             if state.halted or total >= budget:
                 break
@@ -559,6 +706,8 @@ class Interpreter:
         pc_counts = (
             profiler.pc_instructions if profiler is not None else None
         )
+        flight = self.flight
+        flight_append = flight.blocks.append if flight is not None else None
         prev = None
         while not state.halted and executed < budget:
             ip = state.ip
@@ -572,6 +721,8 @@ class Interpreter:
                 history.append(ip)
             if pc_counts is not None:
                 pc_counts[ip] = pc_counts.get(ip, 0) + 1
+            if flight_append is not None:
+                flight_append(("instr", state.isa_id, ip, 1))
             if self.use_decode_cache:
                 if (
                     self.use_prediction

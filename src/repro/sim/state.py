@@ -41,6 +41,8 @@ class ProcessorState:
         "syscall_handler",
         "isa_switches",
         "simop_count",
+        "on_isa_switch",
+        "on_simop",
     )
 
     def __init__(self, arch: Architecture, *, isa_id: Optional[int] = None) -> None:
@@ -60,6 +62,13 @@ class ProcessorState:
         self.syscall_handler: Optional[Callable[["ProcessorState", int], Optional[int]]] = None
         self.isa_switches = 0
         self.simop_count = 0
+        #: Host-side observability listeners (installed by the
+        #: interpreter when an event stream or flight recorder is
+        #: attached; excluded from checkpoints like syscall_handler).
+        #: Called even from inside translated plans, because generated
+        #: simulation functions route through switch_isa()/simop().
+        self.on_isa_switch: Optional[Callable[["ProcessorState", int, int], None]] = None
+        self.on_simop: Optional[Callable[["ProcessorState", int], None]] = None
 
     # -- hooks called from generated simulation functions ----------------
 
@@ -69,8 +78,11 @@ class ProcessorState:
             raise SimulationError(
                 f"switchtarget to undefined ISA {isa_id}", ip=self.ip
             )
+        prev = self.isa_id
         self.isa_id = isa_id
         self.isa_switches += 1
+        if self.on_isa_switch is not None:
+            self.on_isa_switch(self, prev, isa_id)
 
     def simop(self, ident: int) -> Optional[int]:
         """``SIMOP`` semantics: run an emulated C library function."""
@@ -80,6 +92,8 @@ class ProcessorState:
                 f"is installed", ip=self.ip,
             )
         self.simop_count += 1
+        if self.on_simop is not None:
+            self.on_simop(self, ident)
         return self.syscall_handler(self, ident)
 
     # -- checkpointing ----------------------------------------------------

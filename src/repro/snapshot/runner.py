@@ -103,6 +103,12 @@ def run_with_checkpoints(
         )
         write_checkpoint(path, payload)
         paths.append(path)
+        if interp.events is not None:
+            interp.events.emit(
+                "checkpoint",
+                path=path,
+                instructions=merged.executed_instructions,
+            )
     final = base.copy()
     final.merge(interp.stats)
     return CheckpointedRun(stats=final, checkpoints=paths)

@@ -18,7 +18,14 @@ subsystem instead of ad-hoc counters:
 * :mod:`repro.telemetry.timeline` — Chrome ``trace_event`` export (one
   track per VLIW slot under DOE) loadable in Perfetto;
 * :mod:`repro.telemetry.report` — machine-readable run reports and the
-  ``kahrisma report`` table renderer.
+  ``kahrisma report`` table renderer;
+* :mod:`repro.telemetry.stream` — live schema-versioned NDJSON event
+  streaming (heartbeats, syscalls, ISA switches, SMC, checkpoints)
+  with shard-merge, a terminal progress line and a Prometheus
+  text-exposition snapshot writer;
+* :mod:`repro.telemetry.flight` — a bounded ring-buffer flight
+  recorder dumped on trap, plus lockstep cross-engine divergence
+  forensics (first divergent PC, register/memory delta, block trails).
 
 See ``docs/observability.md`` for the metric namespace and formats.
 """
@@ -29,6 +36,11 @@ from .collect import (  # noqa: F401
     collect_memory_metrics,
     collect_model_metrics,
     collect_run_metrics,
+)
+from .flight import (  # noqa: F401
+    FlightRecorder,
+    format_forensics,
+    run_lockstep,
 )
 from .profiler import HotspotProfiler  # noqa: F401
 from .registry import (  # noqa: F401
@@ -43,5 +55,19 @@ from .report import (  # noqa: F401
     build_run_report,
     render_report,
     write_report,
+)
+from .stream import (  # noqa: F401
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    EventStream,
+    LiveProgress,
+    PrometheusSnapshot,
+    merge_shard_events,
+    prometheus_lines,
+    render_event_summary,
+    summarize_events,
+    validate_event,
+    validate_stream_text,
+    write_prometheus,
 )
 from .timeline import TimelineRecorder  # noqa: F401

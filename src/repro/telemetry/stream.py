@@ -1,0 +1,529 @@
+"""Streaming observability plane: schema-versioned NDJSON run events.
+
+PR 2's telemetry is post-hoc — metrics, profiles and timelines
+materialize after a run completes.  This module is the *live* side:
+an event bus the interpreter (all engines), the checkpoint runner and
+the parallel shard coordinator emit into while the simulation runs,
+so long-lived clients (``kahrisma run --events -``, the future
+``kahrisma serve``) see progress as it happens instead of a silent
+multi-second gap.
+
+Design rules (same contract as the rest of ``repro.telemetry``):
+
+* **Free when off.**  No engine loop ever checks for an event stream;
+  heartbeats are driven by budget slicing in
+  :meth:`~repro.sim.interpreter.Interpreter.run` (exactly the
+  mechanism checkpointing already uses, so slicing is covered by the
+  determinism gate) and the rare-event hooks (syscall, ISA switch,
+  SMC) cost one ``None`` check per *event*, not per instruction.
+* **Schema-versioned NDJSON.**  One JSON object per line; every event
+  carries ``v`` (:data:`EVENT_SCHEMA_VERSION`), a stream-monotonic
+  ``seq`` and a relative wall-clock ``t``.  :func:`validate_event` /
+  :func:`validate_stream_text` are the single source of truth for the
+  per-type required fields — tests and the CI streaming smoke job
+  validate against them.
+* **Shard-transparent.**  Parallel workers emit into buffered streams
+  tagged with their shard index; :func:`merge_shard_events` replays
+  them through the coordinator's stream, so a sharded run produces one
+  well-formed event file.
+
+Event types (see ``docs/observability.md`` for the field reference)::
+
+    run-start      workload, engine, model, heartbeat_every
+    heartbeat      instructions, mips, cycles, counters{...}
+    syscall        ip, ident, name
+    isa-switch     ip, from_isa, to_isa
+    smc-invalidate addr, length
+    checkpoint     path, instructions
+    trap           error, ip
+    run-end        instructions, exit_code, elapsed_seconds, mips, halted
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+#: Stream format identifiers; bump the version on any change that
+#: removes or renames a required field of an existing event type.
+EVENT_SCHEMA = "kahrisma-events"
+EVENT_SCHEMA_VERSION = 1
+
+#: Default heartbeat cadence in executed instructions (~20-40 beats/s
+#: at superblock/AOT speeds; override per stream or via --heartbeat).
+DEFAULT_HEARTBEAT_EVERY = 250_000
+
+#: Envelope fields present on every event.
+ENVELOPE_FIELDS = ("v", "seq", "t", "type")
+
+#: type -> required payload fields (the envelope is implicit).  This
+#: mapping is the event-schema contract validated by tests and CI.
+EVENT_TYPES: Dict[str, tuple] = {
+    "run-start": ("workload", "engine", "model", "heartbeat_every"),
+    "heartbeat": ("instructions", "mips", "cycles", "counters"),
+    "syscall": ("ip", "ident", "name"),
+    "isa-switch": ("ip", "from_isa", "to_isa"),
+    "smc-invalidate": ("addr", "length"),
+    "checkpoint": ("path", "instructions"),
+    "trap": ("error", "ip"),
+    "run-end": ("instructions", "exit_code", "elapsed_seconds", "mips",
+                "halted"),
+}
+
+
+class EventStream:
+    """Emit schema-versioned run events as NDJSON (or into a buffer).
+
+    ``sink`` is any object with ``write(str)`` (events are written one
+    JSON line at a time and flushed, so ``--events -`` pipes live);
+    ``sink=None`` buffers event dicts in :attr:`events` instead — the
+    mode parallel shard workers use to ship their events back to the
+    coordinator.  ``shard`` tags every emitted event with a shard
+    index.  Subscribers (:meth:`subscribe`) see every event dict after
+    it is written — that is how ``--live`` progress and the Prometheus
+    snapshot writer attach without a second event path.
+    """
+
+    def __init__(
+        self,
+        sink=None,
+        *,
+        heartbeat_every: int = DEFAULT_HEARTBEAT_EVERY,
+        shard: Optional[int] = None,
+        _now: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._sink = sink
+        self._own_sink = False
+        #: Buffered events (``sink=None`` mode only).
+        self.events: Optional[List[dict]] = [] if sink is None else None
+        self.subscribers: List[Callable[[dict], None]] = []
+        self.seq = 0
+        self.shard = shard
+        self.heartbeat_every = max(1, int(heartbeat_every))
+        self._now = _now
+        self._t0 = _now()
+        self.closed = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        heartbeat_every: int = DEFAULT_HEARTBEAT_EVERY,
+        shard: Optional[int] = None,
+    ) -> "EventStream":
+        """Open a stream onto a file path (``"-"`` = stdout).
+
+        File sinks opened here are closed by :meth:`close`; stdout is
+        not.
+        """
+        if path == "-":
+            return cls(sys.stdout, heartbeat_every=heartbeat_every,
+                       shard=shard)
+        sink = open(path, "w", encoding="utf-8")
+        stream = cls(sink, heartbeat_every=heartbeat_every, shard=shard)
+        stream._own_sink = True
+        return stream
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, type_: str, **fields) -> dict:
+        """Emit one event; returns the completed event dict."""
+        event: Dict[str, object] = {
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "t": round(self._now() - self._t0, 6),
+            "type": type_,
+        }
+        if self.shard is not None:
+            event["shard"] = self.shard
+        event.update(fields)
+        self.seq += 1
+        self._deliver(event)
+        return event
+
+    def emit_raw(self, event: dict, *, shard: Optional[int] = None) -> dict:
+        """Re-emit an already-built event (shard merge path).
+
+        The event keeps its own ``t`` (shard-local clock) and payload;
+        ``seq`` is reassigned so the merged stream stays monotonic, and
+        ``shard`` tags the origin when given.
+        """
+        event = dict(event)
+        event["seq"] = self.seq
+        if shard is not None:
+            event["shard"] = shard
+        self.seq += 1
+        self._deliver(event)
+        return event
+
+    def _deliver(self, event: dict) -> None:
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+            flush = getattr(self._sink, "flush", None)
+            if flush is not None:
+                flush()
+        else:
+            self.events.append(event)
+        for subscriber in self.subscribers:
+            subscriber(event)
+
+    def subscribe(self, fn: Callable[[dict], None]) -> None:
+        """Attach a callable invoked with every emitted event dict."""
+        self.subscribers.append(fn)
+
+    def close(self) -> None:
+        """Flush and close an owned file sink (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for subscriber in self.subscribers:
+            close = getattr(subscriber, "close", None)
+            if close is not None:
+                close()
+        if self._own_sink and self._sink is not None:
+            self._sink.close()
+
+    def __len__(self) -> int:
+        return self.seq
+
+
+# -- validation -------------------------------------------------------------
+
+
+def validate_event(event: dict) -> None:
+    """Raise ``ValueError`` unless ``event`` conforms to the schema."""
+    if not isinstance(event, dict):
+        raise ValueError(f"event is not an object: {event!r}")
+    for field in ENVELOPE_FIELDS:
+        if field not in event:
+            raise ValueError(f"event missing envelope field {field!r}: "
+                             f"{event!r}")
+    if event["v"] != EVENT_SCHEMA_VERSION:
+        raise ValueError(f"unsupported event schema version {event['v']!r}")
+    type_ = event["type"]
+    required = EVENT_TYPES.get(type_)
+    if required is None:
+        raise ValueError(f"unknown event type {type_!r}")
+    missing = [f for f in required if f not in event]
+    if missing:
+        raise ValueError(f"{type_} event missing fields {missing}: {event!r}")
+    if not isinstance(event["seq"], int) or event["seq"] < 0:
+        raise ValueError(f"bad seq in {event!r}")
+
+
+def validate_stream_text(text: str) -> List[dict]:
+    """Parse and validate an NDJSON stream; returns the event dicts.
+
+    Checks per-line JSON, per-event schema and stream-monotonic
+    ``seq``.  Blank lines are ignored (a convenience for files under
+    concatenation).
+    """
+    events: List[dict] = []
+    last_seq = -1
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: not JSON ({exc})") from exc
+        validate_event(event)
+        if event["seq"] <= last_seq:
+            raise ValueError(
+                f"line {lineno}: seq {event['seq']} not monotonic "
+                f"(previous {last_seq})"
+            )
+        last_seq = event["seq"]
+        events.append(event)
+    return events
+
+
+# -- shard merge ------------------------------------------------------------
+
+
+def merge_shard_events(
+    stream: EventStream, shard_event_lists: Iterable[List[dict]]
+) -> int:
+    """Replay buffered per-shard events through the coordinator stream.
+
+    Events keep their shard-local payload and clock; each is tagged
+    with its shard index and re-sequenced into the merged stream.
+    Returns the number of events merged.
+    """
+    merged = 0
+    for shard, events in enumerate(shard_event_lists):
+        for event in events or ():
+            shard_tag = event.get("shard", shard)
+            stream.emit_raw(event, shard=shard_tag)
+            merged += 1
+    return merged
+
+
+# -- stream summaries (kahrisma report) -------------------------------------
+
+
+def looks_like_event_stream(text: str) -> bool:
+    """Heuristic: is this file an NDJSON event stream (vs a report)?
+
+    A telemetry run report is one indented JSON document; an event
+    stream's first line is a complete JSON object with a ``type``
+    field from the event schema.
+    """
+    first = text.lstrip().split("\n", 1)[0]
+    try:
+        doc = json.loads(first)
+    except ValueError:
+        return False
+    return isinstance(doc, dict) and doc.get("type") in EVENT_TYPES
+
+
+def summarize_events(events: Iterable[dict]) -> dict:
+    """Fold an event stream into the ``kahrisma report`` summary."""
+    counts: Dict[str, int] = {}
+    shards: Dict[object, int] = {}
+    heartbeats: List[dict] = []
+    syscalls: Dict[str, int] = {}
+    run_start: Optional[dict] = None
+    run_end: Optional[dict] = None
+    traps: List[dict] = []
+    for event in events:
+        type_ = event.get("type", "?")
+        counts[type_] = counts.get(type_, 0) + 1
+        if "shard" in event:
+            shards[event["shard"]] = shards.get(event["shard"], 0) + 1
+        if type_ == "heartbeat":
+            heartbeats.append(event)
+        elif type_ == "run-start" and run_start is None:
+            run_start = event
+        elif type_ == "run-end":
+            run_end = event
+        elif type_ == "syscall":
+            name = str(event.get("name", event.get("ident", "?")))
+            syscalls[name] = syscalls.get(name, 0) + 1
+        elif type_ == "trap":
+            traps.append(event)
+    summary: Dict[str, object] = {
+        "schema": EVENT_SCHEMA,
+        "schema_version": EVENT_SCHEMA_VERSION,
+        "events": sum(counts.values()),
+        "by_type": dict(sorted(counts.items())),
+        "shards": dict(sorted(shards.items(), key=lambda kv: str(kv[0]))),
+        "syscalls_by_name": dict(sorted(syscalls.items())),
+        "traps": traps,
+    }
+    if run_start is not None:
+        for key in ("workload", "engine", "model"):
+            summary[key] = run_start.get(key)
+    if run_end is not None:
+        summary["instructions"] = run_end.get("instructions")
+        summary["exit_code"] = run_end.get("exit_code")
+        summary["elapsed_seconds"] = run_end.get("elapsed_seconds")
+        summary["mips"] = run_end.get("mips")
+        summary["halted"] = run_end.get("halted")
+    if heartbeats:
+        instr = [int(h.get("instructions", 0)) for h in heartbeats]
+        gaps = [b - a for a, b in zip(instr, instr[1:]) if b >= a]
+        mips = [float(h.get("mips") or 0.0) for h in heartbeats]
+        summary["heartbeats"] = {
+            "count": len(heartbeats),
+            "first_instructions": instr[0],
+            "last_instructions": instr[-1],
+            "mean_interval_instructions": (
+                round(sum(gaps) / len(gaps), 1) if gaps else None
+            ),
+            "min_mips": round(min(mips), 3),
+            "max_mips": round(max(mips), 3),
+        }
+    return summary
+
+
+def render_event_summary(summary: dict) -> str:
+    """Render :func:`summarize_events` output as text tables."""
+    lines = [
+        f"event stream schema v{summary.get('schema_version', '?')}  "
+        + "  ".join(
+            f"{k}={summary[k]}"
+            for k in ("workload", "engine", "model")
+            if summary.get(k)
+        )
+    ]
+    lines.append("")
+    lines.append("== events ==")
+    for type_, n in summary.get("by_type", {}).items():
+        lines.append(f"{type_:<16} {n:>8}")
+    lines.append(f"{'total':<16} {summary.get('events', 0):>8}")
+    hb = summary.get("heartbeats")
+    if hb:
+        lines.append("")
+        lines.append("== heartbeats ==")
+        lines.append(f"count                 {hb['count']}")
+        lines.append(f"instructions          {hb['first_instructions']} "
+                     f"-> {hb['last_instructions']}")
+        if hb.get("mean_interval_instructions") is not None:
+            lines.append(f"mean interval         "
+                         f"{hb['mean_interval_instructions']} instructions")
+        lines.append(f"mips                  {hb['min_mips']} "
+                     f"-> {hb['max_mips']}")
+    shards = summary.get("shards")
+    if shards:
+        lines.append("")
+        lines.append("== shards ==")
+        for shard, n in shards.items():
+            lines.append(f"shard {shard:<10} {n:>8} events")
+    syscalls = summary.get("syscalls_by_name")
+    if syscalls:
+        lines.append("")
+        lines.append("== syscalls ==")
+        for name, n in syscalls.items():
+            lines.append(f"{name:<16} {n:>8}")
+    if summary.get("instructions") is not None:
+        lines.append("")
+        lines.append("== run ==")
+        lines.append(f"instructions          {summary['instructions']}")
+        lines.append(f"exit code             {summary.get('exit_code')}")
+        lines.append(f"elapsed               "
+                     f"{summary.get('elapsed_seconds')}s")
+        lines.append(f"mips                  {summary.get('mips')}")
+        lines.append(f"halted                {summary.get('halted')}")
+    for trap in summary.get("traps", []):
+        lines.append("")
+        lines.append(f"TRAP at ip={trap.get('ip')}: {trap.get('error')}")
+    return "\n".join(lines)
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def prometheus_lines(
+    metrics: Dict[str, object], *, prefix: str = "kahrisma_"
+) -> List[str]:
+    """Render a flat metric dict as Prometheus text-exposition lines.
+
+    Metric names swap dots for underscores under ``prefix``; only
+    numeric values are exported (strings like ``sim.engine`` become a
+    label on the synthetic ``kahrisma_run_info`` gauge).
+    """
+    lines: List[str] = []
+    labels: List[str] = []
+    for key in sorted(metrics):
+        value = metrics[key]
+        name = prefix + key.replace(".", "_").replace("-", "_")
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, (int, float)):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value}")
+        elif isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            labels.append(
+                f'{key.replace(".", "_").replace("-", "_")}="{escaped}"'
+            )
+    info = prefix + "run_info"
+    lines.append(f"# TYPE {info} gauge")
+    lines.append(f"{info}{{{','.join(labels)}}} 1" if labels else f"{info} 1")
+    return lines
+
+
+def write_prometheus(
+    metrics: Dict[str, object], path: str, *, prefix: str = "kahrisma_"
+) -> None:
+    """Atomically write a Prometheus text-exposition snapshot file.
+
+    Written tmp-then-rename so a scraper (node_exporter textfile
+    collector style) never reads a torn file.
+    """
+    import os
+
+    text = "\n".join(prometheus_lines(metrics, prefix=prefix)) + "\n"
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+class PrometheusSnapshot:
+    """Event-stream subscriber keeping a Prometheus snapshot file fresh.
+
+    Rewrites ``path`` from each heartbeat's ``counters`` payload, so a
+    scraper sees run progress while the simulation is still executing.
+    The caller should write one final snapshot from the complete
+    post-run metrics (heartbeats stop before the run's last slice).
+    """
+
+    def __init__(self, path: str, *, prefix: str = "kahrisma_") -> None:
+        self.path = path
+        self.prefix = prefix
+        self.writes = 0
+
+    def __call__(self, event: dict) -> None:
+        if event.get("type") != "heartbeat":
+            return
+        counters = event.get("counters") or {}
+        try:
+            write_prometheus(counters, self.path, prefix=self.prefix)
+        except OSError:
+            return  # a failed snapshot must never kill the run
+        self.writes += 1
+
+
+# -- live progress ----------------------------------------------------------
+
+
+class LiveProgress:
+    """Event-stream subscriber rendering a one-line terminal progress bar.
+
+    Rewrites one ``\\r``-terminated line per heartbeat on ``out``
+    (default stderr, so it never pollutes piped event/metric output)
+    and finishes it with the run-end summary.
+    """
+
+    def __init__(self, out=None, *, label: str = "") -> None:
+        self.out = out if out is not None else sys.stderr
+        self.label = label
+        self._width = 0
+        self._open_line = False
+
+    def _write(self, text: str) -> None:
+        pad = max(0, self._width - len(text))
+        self.out.write("\r" + text + " " * pad)
+        flush = getattr(self.out, "flush", None)
+        if flush is not None:
+            flush()
+        self._width = len(text)
+        self._open_line = True
+
+    def __call__(self, event: dict) -> None:
+        type_ = event.get("type")
+        prefix = f"{self.label}: " if self.label else ""
+        if type_ == "heartbeat":
+            cycles = event.get("cycles")
+            extra = f"  {cycles} cycles" if cycles is not None else ""
+            shard = event.get("shard")
+            tag = f" [shard {shard}]" if shard is not None else ""
+            self._write(
+                f"{prefix}{event.get('instructions', 0):,} instructions  "
+                f"{float(event.get('mips') or 0.0):.2f} MIPS{extra}{tag}"
+            )
+        elif type_ == "run-end":
+            self._write(
+                f"{prefix}{event.get('instructions', 0):,} instructions  "
+                f"exit {event.get('exit_code')}  "
+                f"{float(event.get('mips') or 0.0):.2f} MIPS  "
+                f"{float(event.get('elapsed_seconds') or 0.0):.2f}s"
+            )
+            self.out.write("\n")
+            self._open_line = False
+        elif type_ == "trap":
+            self.close()
+            self.out.write(f"{prefix}TRAP: {event.get('error')}\n")
+
+    def close(self) -> None:
+        if self._open_line:
+            self.out.write("\n")
+            self._open_line = False

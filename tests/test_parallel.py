@@ -149,6 +149,18 @@ class TestMergeMetricDicts:
         assert merged["sim.engine"] == "superblock"
         assert merged["sim.elapsed_seconds"] == 1.5
 
+    def test_engine_gauges_take_max_not_sum(self):
+        merged = merge_metric_dicts([
+            {"sim.decode.entries": 100, "sim.superblock.plans_live": 10,
+             "sim.plancache.entries": 400, "sim.aot.entries_bound": 120},
+            {"sim.decode.entries": 80, "sim.superblock.plans_live": 30,
+             "sim.plancache.entries": 400, "sim.aot.entries_bound": 115},
+        ])
+        assert merged["sim.decode.entries"] == 100
+        assert merged["sim.superblock.plans_live"] == 30
+        assert merged["sim.plancache.entries"] == 400
+        assert merged["sim.aot.entries_bound"] == 120
+
     def test_derived_ratios_recomputed(self):
         merged = merge_metric_dicts([
             {"mem.cache.l1.hits": 8, "mem.cache.l1.misses": 2,

@@ -26,7 +26,13 @@ trajectory to diff instead of eyeballing pytest-benchmark tables:
   the superblock engine);
 * the ``block_len_ablation`` section re-times the functional
   superblock run under ``--max-block-len`` caps, showing what the
-  64-instruction default buys over short blocks.
+  64-instruction default buys over short blocks;
+* the ``observability`` section times the superblock and warm AOT
+  engines with live event streaming (NDJSON file sink) *and* the
+  flight recorder attached against a bare run, recording the overhead
+  fraction and the heartbeat/event counts (the <5 % contract in
+  ``docs/observability.md``; the hard CI gate lives in
+  ``tools/telemetry_overhead.py``).
 
 Run from the repository root:
 
@@ -283,6 +289,71 @@ def measure_aot(built, repeats):
     }
 
 
+def measure_observability(built, repeats, heartbeat=250_000):
+    """Streaming + flight overhead per engine (superblock, warm aot).
+
+    Both configurations run against the same warm persistent plan
+    cache, so each engine's comparison is steady-state vs steady-state
+    with the only delta being the attached observers (an NDJSON event
+    stream writing to a file and a 512-entry flight recorder).
+    """
+    import tempfile
+
+    from repro.framework.pipeline import open_plan_cache
+    from repro.framework.pipeline import run as pipeline_run
+    from repro.telemetry import EventStream, FlightRecorder
+
+    out = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        events_path = os.path.join(workdir, "events.ndjson")
+        cache_dir = os.path.join(workdir, "plancache")
+        # Prime once: compiles the aot module and fills the plan cache.
+        pipeline_run(built, engine="aot",
+                     plan_cache=open_plan_cache(built, directory=cache_dir))
+        for engine in ("superblock", "aot"):
+            best_base = best_obs = None
+            events = heartbeats = flight_entries = 0
+            for _ in range(repeats):
+                start = time.perf_counter()
+                pipeline_run(built, engine=engine,
+                             plan_cache=open_plan_cache(
+                                 built, directory=cache_dir))
+                elapsed = time.perf_counter() - start
+                if best_base is None or elapsed < best_base:
+                    best_base = elapsed
+                stream = EventStream.open(
+                    events_path, heartbeat_every=heartbeat
+                )
+                flight = FlightRecorder(capacity=512)
+                start = time.perf_counter()
+                pipeline_run(built, engine=engine,
+                             plan_cache=open_plan_cache(
+                                 built, directory=cache_dir),
+                             events=stream, flight=flight)
+                elapsed = time.perf_counter() - start
+                stream.close()
+                if best_obs is None or elapsed < best_obs:
+                    best_obs = elapsed
+                    with open(events_path, encoding="utf-8") as fh:
+                        lines = [json.loads(line) for line in fh
+                                 if line.strip()]
+                    events = len(lines)
+                    heartbeats = sum(
+                        1 for e in lines if e["type"] == "heartbeat"
+                    )
+                    flight_entries = len(flight)
+            out[engine] = {
+                "baseline_seconds": round(best_base, 4),
+                "streamed_seconds": round(best_obs, 4),
+                "overhead": round(best_obs / best_base - 1.0, 4),
+                "heartbeat_every": heartbeat,
+                "heartbeats": heartbeats,
+                "events": events,
+                "flight_entries": flight_entries,
+            }
+    return out
+
+
 #: ``--max-block-len`` caps for the superblock ablation (None = the
 #: engine's 64-instruction default).
 ABLATION_CAPS = (4, 16, None)
@@ -343,6 +414,7 @@ def measure_workload(name, engines, repeats, shards=0):
     entry["plan_cache"] = measure_plan_cache(built, repeats)
     entry["aot"] = measure_aot(built, repeats)
     entry["block_len_ablation"] = measure_block_len(built, repeats)
+    entry["observability"] = measure_observability(built, repeats)
     return entry
 
 
@@ -431,6 +503,14 @@ def main(argv=None):
             row = ", ".join(f"cap {cap} {data['mips']:.2f} MIPS"
                             for cap, data in ablation.items())
             print(f"  {name}: block-len ablation: {row}")
+        obs = entry.get("observability")
+        if obs:
+            row = ", ".join(
+                f"{engine} {data['overhead']:+.1%} "
+                f"({data['heartbeats']} heartbeats)"
+                for engine, data in obs.items()
+            )
+            print(f"  {name}: streaming+flight overhead: {row}")
     return 0
 
 

@@ -25,7 +25,17 @@ mismatch:
    bundled benchmark) under ``engine="aot"`` — functional and fused
    DOE — and require bitwise-identical registers, memory digest,
    output, exit code, architectural statistics and cycle counts
-   against the superblock engine.
+   against the superblock engine.  On a mismatch the gate reruns the
+   pair in lockstep (:func:`repro.telemetry.run_lockstep`) and prints
+   a forensic report: first divergent PC, register delta and the
+   last-N blocks both engines executed.
+
+5. **Forensics self-test** (``--forensics-selftest``) — inject a
+   register fault mid-run on one lockstep side and require the
+   forensics pipeline to localize it: a non-empty report naming the
+   first divergent PC, the corrupted register and both block trails.
+   This proves the divergence tooling end-to-end before CI has to
+   trust it on a real mismatch.
 
 ``--perf-smoke`` adds wall-clock checks: with a warm persistent plan
 cache, the fused DOE run must be at least ``--min-speedup`` (default
@@ -54,6 +64,7 @@ from repro.cycles.doe import DoeModel  # noqa: E402
 from repro.framework.parallel import run_parallel  # noqa: E402
 from repro.framework.pipeline import build_benchmark, run  # noqa: E402
 from repro.snapshot import memory_digest  # noqa: E402
+from repro.telemetry import format_forensics, run_lockstep  # noqa: E402
 
 FAILURES = []
 
@@ -109,10 +120,25 @@ def perf_smoke(built, width, engine, min_speedup):
         print("  MISMATCH: fused DOE is not fast enough")
 
 
+def aot_forensics(built, name):
+    """Rerun a mismatching superblock/aot pair in lockstep and report."""
+    print(f"  rerunning {name} in lockstep for forensics ...")
+    report = run_lockstep(
+        built,
+        {"engine": "superblock", "label": "superblock"},
+        {"engine": "aot", "label": "aot"},
+    )
+    if report is None:
+        print("  lockstep rerun agreed to completion (flaky host state?)")
+        return
+    print(format_forensics(report, getattr(built, "debug_info", None)))
+
+
 def aot_cross_engine(name):
     """aot vs superblock: functional and fused DOE, bitwise."""
     built = build_benchmark(name)
     width = built.issue_width
+    failures_before = len(FAILURES)
 
     sb = run(built, engine="superblock")
     via_aot = run(built, engine="aot")
@@ -144,6 +170,9 @@ def aot_cross_engine(name):
           sb_doe.stats.architectural_dict(),
           aot_doe.stats.architectural_dict())
     check(f"{name} aot doe output", sb_doe.output, aot_doe.output)
+
+    if len(FAILURES) > failures_before:
+        aot_forensics(built, name)
 
 
 def aot_perf_smoke(name, min_speedup):
@@ -184,6 +213,54 @@ def aot_perf_smoke(name, min_speedup):
         print("  MISMATCH: warm aot is not fast enough")
 
 
+def forensics_selftest(built):
+    """Injected fault must yield a localized forensic report.
+
+    Flips one bit of the stack pointer on the lockstep B side at a
+    fixed instruction boundary and requires :func:`run_lockstep` to
+    come back with a report that (a) exists, (b) names the first
+    divergent PC at exactly the injection boundary, (c) blames a
+    register, and (d) carries non-empty block trails from both
+    engines — everything CI relies on when a *real* divergence hits.
+    """
+    sp = built.arch.register_file.by_role("sp")[0].name
+    inject = {"at": 50_000, "reg": sp, "xor": 8}
+    report = run_lockstep(
+        built,
+        {"engine": "superblock", "label": "superblock"},
+        {"engine": "aot", "label": "aot"},
+        inject=inject,
+    )
+    if report is None:
+        FAILURES.append("forensics selftest: no divergence detected")
+        print("  MISMATCH: injected fault produced no report")
+        return
+    problems = []
+    if report.get("first_divergent_pc") is None:
+        problems.append("no first_divergent_pc")
+    if report.get("first_divergent_instruction") != inject["at"]:
+        problems.append(
+            f"localized instruction "
+            f"{report.get('first_divergent_instruction')} != {inject['at']}"
+        )
+    delta = (report.get("replay_register_delta")
+             or report.get("register_delta") or [])
+    if not any(entry.get("name") == sp for entry in delta):
+        problems.append(f"register delta does not name {sp}")
+    for key in ("recent_blocks_a", "recent_blocks_b"):
+        if not (report.get(key) or {}).get("blocks"):
+            problems.append(f"{key} trail empty")
+    if problems:
+        FAILURES.append("forensics selftest")
+        for problem in problems:
+            print(f"  MISMATCH: forensics selftest: {problem}")
+        return
+    pc = report["first_divergent_pc"]
+    print(f"  ok: injected {sp}^=8 at #{inject['at']} localized to "
+          f"pc={pc:#x}, {len(report['recent_blocks_a']['blocks'])}+"
+          f"{len(report['recent_blocks_b']['blocks'])} trail entries")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", default="dct4x4")
@@ -199,6 +276,11 @@ def main(argv=None):
                         help="workload for the aot perf smoke (default "
                              "cjpeg: high table coverage — simop-dense "
                              "workloads measure the fallback path)")
+    parser.add_argument("--forensics-selftest", action="store_true",
+                        help="inject a register fault into a lockstep "
+                             "run and require the forensics report to "
+                             "localize it (first divergent PC, register "
+                             "delta, block trails)")
     parser.add_argument("--aot-benchmarks", default=None,
                         help="comma list of workloads for the aot "
                              "cross-engine section; 'all' = every "
@@ -282,6 +364,10 @@ def main(argv=None):
     print(f"aot cross-engine ({', '.join(aot_names)}) ...")
     for name in aot_names:
         aot_cross_engine(name)
+
+    if args.forensics_selftest:
+        print("forensics self-test (injected sp fault) ...")
+        forensics_selftest(built)
 
     if args.perf_smoke:
         print(f"perf smoke (warm plan cache, min {args.min_speedup}x) ...")
