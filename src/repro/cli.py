@@ -15,6 +15,8 @@ Subcommands mirror the paper's toolchain (Figure 2)::
     kahrisma select app.kc
     kahrisma targetgen --emit-sim gen_sim.py --emit-stubs libc.s
     kahrisma programs
+    kahrisma serve --port 8321 --workers 4
+    kahrisma submit dct4x4 --engine aot --follow
 """
 
 from __future__ import annotations
@@ -279,6 +281,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     live = None
     if args.live:
+        # Progress rendering is pinned to stderr (never `out`): with
+        # `--events -` the NDJSON stream owns stdout, and a \r-rewritten
+        # progress line interleaved into it would corrupt the stream.
+        # tests/test_cli.py asserts this stdout purity.
         live = LiveProgress(sys.stderr, label=args.input)
         events.subscribe(live)
     prom = None
@@ -661,6 +667,168 @@ def cmd_programs(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_limits(specs):
+    """``name=running:queued`` flags -> {name: TenantLimits}."""
+    from .serve import TenantLimits
+
+    tenants = {}
+    for spec in specs or ():
+        name, sep, limits = spec.partition("=")
+        running, _, queued = limits.partition(":")
+        try:
+            if not sep or not name:
+                raise ValueError
+            tenants[name] = TenantLimits(
+                max_running=int(running),
+                max_queued=int(queued) if queued else 256,
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--tenant expects name=max_running[:max_queued], "
+                f"got {spec!r}"
+            )
+    return tenants
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``kahrisma serve``: run the simulation-as-a-service HTTP server.
+
+    Job submission, scheduling, live event relay and metrics — see
+    docs/serving.md.  Blocks until interrupted.
+    """
+    import asyncio
+
+    from .serve import KahrismaServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        tenant_max_running=args.tenant_max_running,
+        tenant_max_queued=args.tenant_max_queued,
+        max_depth=args.max_depth,
+        tenants=_parse_tenant_limits(args.tenant),
+        checkpoint_dir=args.checkpoint_dir,
+        plan_cache_dir=args.plan_cache_dir,
+        use_plan_cache=not args.no_plan_cache,
+    )
+    server = KahrismaServer(config)
+
+    async def main() -> None:
+        await server.start()
+        host, port = server.address
+        print(
+            f"kahrisma serve: http://{host}:{port}  "
+            f"({config.workers} workers, checkpoints in "
+            f"{config.checkpoint_dir})",
+            file=sys.stderr, flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("kahrisma serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``kahrisma submit``: run a program on a ``kahrisma serve`` server."""
+    import json
+
+    from .serve.client import KahrismaClient, ServeError
+    from .telemetry.stream import LiveProgress
+
+    spec: Dict[str, object] = {
+        "isa": args.isa,
+        "engine": args.engine,
+        "model": args.model,
+        "branch_predictor": args.branch_predictor,
+        "branch_penalty": args.branch_penalty,
+        "max_instructions": args.max_instructions,
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "heartbeat_every": args.heartbeat,
+        "checkpoint_on_cancel": not args.no_cancel_checkpoint,
+    }
+    if args.input in PROGRAMS:
+        spec["program"] = args.input
+    else:
+        spec["source"] = _read_source(args.input)
+        spec["label"] = args.input
+    isa_map = _parse_isa_map(args.mixed)
+    if isa_map:
+        spec["isa_map"] = isa_map
+    if args.resume:
+        spec["resume_from"] = args.resume
+    client = KahrismaClient(args.server)
+    try:
+        job = client.submit(spec)
+        job_id = str(job["id"])
+        # Same stdout discipline as `kahrisma run`: `--events -` makes
+        # stdout the NDJSON channel, everything human moves to stderr.
+        events_to_stdout = args.events == "-"
+        out = sys.stderr if events_to_stdout else sys.stdout
+        print(f"submitted {job_id} ({job['state']}) to {args.server}",
+              file=sys.stderr)
+        if args.no_wait:
+            print(job_id, file=out)
+            return 0
+        if args.events or args.follow:
+            sink = None
+            if args.events:
+                sink = (sys.stdout if events_to_stdout
+                        else open(args.events, "w", encoding="utf-8"))
+            live = LiveProgress(sys.stderr, label=job_id) \
+                if args.follow else None
+            try:
+                for event in client.events(job_id):
+                    if sink is not None:
+                        sink.write(
+                            json.dumps(event, sort_keys=True) + "\n"
+                        )
+                        sink.flush()
+                    if live is not None:
+                        live(event)
+            finally:
+                if live is not None:
+                    live.close()
+                if sink is not None and sink is not sys.stdout:
+                    sink.close()
+        result = client.wait(job_id, timeout=args.timeout)
+    except ServeError as exc:
+        raise SystemExit(f"kahrisma submit: {exc}")
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True), file=out)
+        return 0 if result["state"] == "done" else 1
+    state = result["state"]
+    if result.get("output"):
+        out.write(str(result["output"]))
+    print("---", file=out)
+    print(f"job:          {job_id} ({state})", file=out)
+    if result.get("error"):
+        print(f"error:        {result['error']}", file=out)
+    if result.get("instructions") is not None:
+        print(f"instructions: {result['instructions']}", file=out)
+    if result.get("exit_code") is not None:
+        print(f"exit code:    {result['exit_code']}", file=out)
+    if result.get("cycles") is not None:
+        print(f"cycles:       {result['cycles']}", file=out)
+    if result.get("mips") is not None:
+        print(f"mips:         {result['mips']}", file=out)
+    if result.get("checkpoint"):
+        print(f"checkpoint:   {result['checkpoint']} (resumable)",
+              file=out)
+    if state == "failed" and result.get("flight"):
+        print(result["flight"], file=sys.stderr)
+    if state != "done":
+        return 1
+    return int(result.get("exit_code") or 0)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="kahrisma",
@@ -880,6 +1048,92 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--cycles", action="store_true",
                    help="require identical cycle numbers too")
     p.set_defaults(func=cmd_trace_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP server "
+             "(docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (0 picks a free port; default 8321)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes executing jobs (default 2)")
+    p.add_argument("--tenant-max-running", type=int, default=2,
+                   metavar="N",
+                   help="default per-tenant concurrent-job cap "
+                        "(default 2)")
+    p.add_argument("--tenant-max-queued", type=int, default=256,
+                   metavar="N",
+                   help="default per-tenant queue-depth cap "
+                        "(default 256)")
+    p.add_argument("--max-depth", type=int, default=10_000, metavar="N",
+                   help="global queue-depth cap across tenants "
+                        "(default 10000)")
+    p.add_argument("--tenant", action="append", metavar="NAME=R[:Q]",
+                   help="per-tenant override: max_running and optional "
+                        "max_queued (repeatable)")
+    p.add_argument("--checkpoint-dir", default="serve-checkpoints",
+                   help="where cancelled jobs drop resumable "
+                        "checkpoints (default: serve-checkpoints/)")
+    p.add_argument("--plan-cache-dir", metavar="DIR",
+                   help="plan-cache directory shared by all workers "
+                        "(default: $KAHRISMA_CACHE_DIR or "
+                        "~/.cache/kahrisma)")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="workers translate superblocks per job instead "
+                        "of sharing the persistent plan cache")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a program to a running `kahrisma serve` server",
+    )
+    p.add_argument("input", help="KC source file or bundled program name")
+    p.add_argument("--server", default="http://127.0.0.1:8321",
+                   help="server base URL (default http://127.0.0.1:8321)")
+    p.add_argument("--isa", default="risc",
+                   choices=["risc", "vliw2", "vliw4", "vliw6", "vliw8"])
+    p.add_argument("--mixed", help="per-function ISA map: fn=isa,fn=isa,...")
+    p.add_argument("--engine",
+                   choices=["nocache", "cache", "predict", "superblock",
+                            "aot"],
+                   default="superblock")
+    p.add_argument("--model", choices=["none", "ilp", "aie", "doe", "rtl"],
+                   default="none")
+    p.add_argument("--branch-predictor",
+                   choices=["perfect", "not-taken", "bimodal", "gshare"],
+                   default="perfect")
+    p.add_argument("--branch-penalty", type=int, default=3)
+    p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.add_argument("--tenant", default="default",
+                   help="tenant the job is accounted to (default: "
+                        "default)")
+    p.add_argument("--priority", type=int, default=10,
+                   help="scheduling priority; lower runs sooner "
+                        "(default 10)")
+    p.add_argument("--heartbeat", type=int, default=250_000, metavar="N",
+                   help="heartbeat cadence and cancellation latency in "
+                        "executed instructions (default 250000)")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume from a (server-local) checkpoint file — "
+                        "e.g. one written by cancelling a previous job")
+    p.add_argument("--no-cancel-checkpoint", action="store_true",
+                   help="do not write a resumable checkpoint if this "
+                        "job is cancelled")
+    p.add_argument("--events", metavar="PATH",
+                   help="relay the job's live NDJSON events to PATH, or "
+                        "'-' for stdout (summary moves to stderr)")
+    p.add_argument("--follow", action="store_true",
+                   help="rewrite a one-line progress bar on stderr from "
+                        "the relayed heartbeats")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and exit without waiting")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the result (default 300)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result document as JSON")
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("programs", help="list bundled benchmark programs")
     p.set_defaults(func=cmd_programs)

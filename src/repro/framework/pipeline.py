@@ -7,6 +7,7 @@ This is the primary public API of the reproduction.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -69,6 +70,12 @@ class RunResult:
     #: The interpreter that executed the run (engine counters such as
     #: ``superblock.translations`` / ``plan_cache_hits`` live here).
     interpreter: object = None
+    #: True when the run stopped because the ``cancel`` hook fired
+    #: (``docs/serving.md``); the architectural state is then mid-run.
+    cancelled: bool = False
+    #: Resumable checkpoint written on cancellation when the run was
+    #: invoked with ``cancel_checkpoint_dir``; None otherwise.
+    cancel_checkpoint: Optional[str] = None
 
     @property
     def cycles(self) -> Optional[int]:
@@ -163,6 +170,8 @@ def run(
     max_block_len: Optional[int] = None,
     events=None,
     flight=None,
+    cancel=None,
+    cancel_checkpoint_dir: Optional[str] = None,
 ) -> RunResult:
     """Load and simulate a built executable.
 
@@ -204,6 +213,13 @@ def run(
     events while the simulation runs; ``flight`` (a
     :class:`repro.telemetry.flight.FlightRecorder`) keeps a bounded
     trail of recent blocks, dumped on trap.
+
+    Cancellation (``docs/serving.md``): ``cancel`` is a zero-argument
+    callable polled between budget slices; when it returns true the
+    run stops at the next instruction boundary, ``RunResult.cancelled``
+    is set, and — with ``cancel_checkpoint_dir`` — a resumable
+    checkpoint is written there (``RunResult.cancel_checkpoint``), so
+    a preempted job can be rescheduled via ``resume_from``.
     """
     if resume_from is not None:
         from ..snapshot import load_checkpoint_program
@@ -251,6 +267,7 @@ def run(
         max_block_len=max_block_len,
         events=events,
         flight=flight,
+        cancel=cancel,
     )
     if events is not None:
         events.emit(
@@ -283,6 +300,38 @@ def run(
             whole = base_stats.copy()
             whole.merge(stats)
             stats = whole
+    cancelled = bool(getattr(interpreter, "cancelled", False))
+    cancel_checkpoint = None
+    if (
+        cancelled
+        and cancel_checkpoint_dir is not None
+        and not program.state.halted
+    ):
+        from ..snapshot import checkpoint_path, snapshot_run, write_checkpoint
+
+        payload = snapshot_run(
+            program.state, program.syscalls,
+            stats=stats,
+            cycle_model=cycle_model,
+            meta={
+                "instructions": stats.executed_instructions,
+                "engine": interpreter.engine,
+                "workload": workload,
+                "cancelled": True,
+            },
+        )
+        os.makedirs(cancel_checkpoint_dir, exist_ok=True)
+        cancel_checkpoint = checkpoint_path(
+            cancel_checkpoint_dir, stats.executed_instructions,
+            prefix="cancel",
+        )
+        write_checkpoint(cancel_checkpoint, payload)
+        if events is not None:
+            events.emit(
+                "checkpoint",
+                path=cancel_checkpoint,
+                instructions=stats.executed_instructions,
+            )
     if events is not None:
         events.emit(
             "run-end",
@@ -312,6 +361,8 @@ def run(
         timeline=timeline,
         checkpoints=checkpoints,
         interpreter=interpreter,
+        cancelled=cancelled,
+        cancel_checkpoint=cancel_checkpoint,
     )
 
 

@@ -1,0 +1,65 @@
+"""Simulation-as-a-service: the ``kahrisma serve`` subsystem.
+
+The interactive CLI treats the simulator as a one-shot tool; this
+package treats it as a *service* (ROADMAP item 1): a long-lived
+asyncio HTTP server that accepts run requests, schedules them onto a
+pool of warm worker processes, and streams each job's live
+``kahrisma-events`` NDJSON back to clients while it runs.
+
+Layers (one module each, composable without the server)::
+
+    protocol   job specs, lifecycle states, wire documents
+    scheduler  priority queue with per-tenant limits + fair pick
+    workers    process pool executing jobs via pipeline.run
+    server     asyncio HTTP front end (submit/status/result/cancel/
+               events/metrics)
+    client     blocking HTTP client + `kahrisma submit`
+
+Design constraints inherited from the rest of the repo:
+
+* stdlib only — asyncio streams and a minimal HTTP/1.1 layer instead
+  of a web framework;
+* every worker shares the persistent plan cache
+  (:mod:`repro.sim.plancache`), so a fleet serving the same binaries
+  runs warm: zero translations after the first job per program;
+* cancellation rides the budget-slicing seam of
+  :meth:`repro.sim.interpreter.Interpreter.run` — a cancelled job
+  stops at the next slice and can drop a resumable checkpoint;
+* live streaming relays each job's schema-v1 event stream verbatim
+  (``GET /jobs/<id>/events`` is valid NDJSON end to end).
+
+See ``docs/serving.md`` for the HTTP API and deployment notes.
+"""
+
+from .protocol import (  # noqa: F401
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobSpec,
+    SpecError,
+    job_id_new,
+)
+from .scheduler import QueueFull, Scheduler, TenantLimits  # noqa: F401
+from .server import (  # noqa: F401
+    KahrismaServer,
+    ServerConfig,
+    ServerHandle,
+    start_in_thread,
+)
+from .client import KahrismaClient, ServeError  # noqa: F401
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "SpecError",
+    "job_id_new",
+    "QueueFull",
+    "Scheduler",
+    "TenantLimits",
+    "KahrismaServer",
+    "ServerConfig",
+    "ServerHandle",
+    "start_in_thread",
+    "KahrismaClient",
+    "ServeError",
+]

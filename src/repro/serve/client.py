@@ -1,0 +1,207 @@
+"""Blocking HTTP client for a running ``kahrisma serve`` instance.
+
+Backs ``kahrisma submit`` and the load bench; usable as a library::
+
+    from repro.serve.client import KahrismaClient
+
+    client = KahrismaClient("http://127.0.0.1:8321")
+    job = client.submit({"program": "dct4x4", "engine": "superblock"})
+    result = client.wait(job["id"])
+    print(result["output"])
+
+``http.client`` only (stdlib rule) — one connection per call, matching
+the server's ``Connection: close`` responses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Callable, Dict, Iterator, Optional
+from urllib.parse import urlencode, urlsplit
+
+
+class ServeError(Exception):
+    """An HTTP-level failure talking to the server.
+
+    ``status`` is the HTTP status code (0 when the connection itself
+    failed); the message carries the server's ``error`` field.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class KahrismaClient:
+    """Thin blocking wrapper over the serve HTTP API."""
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parts.scheme!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8321
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connect(self, timeout: Optional[float] = None):
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[dict] = None,
+        query: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        conn = self._connect(timeout)
+        try:
+            conn.request(
+                method, path, body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload else {},
+            )
+            response = conn.getresponse()
+            text = response.read().decode("utf-8", errors="replace")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                0, f"cannot reach {self.host}:{self.port}: {exc}"
+            )
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(text) if text else {}
+        except ValueError:
+            doc = {"error": text.strip()}
+        if response.status >= 400:
+            raise ServeError(
+                response.status,
+                str(doc.get("error", f"HTTP {response.status}")),
+            )
+        return doc
+
+    # -- API ----------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus text from ``/metrics``."""
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            text = response.read().decode("utf-8", errors="replace")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                0, f"cannot reach {self.host}:{self.port}: {exc}"
+            )
+        finally:
+            conn.close()
+        if response.status != 200:
+            raise ServeError(response.status, text.strip())
+        return text
+
+    def submit(self, spec: dict) -> dict:
+        """POST /jobs; returns ``{"id": ..., "state": "queued"}``."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, tenant: Optional[str] = None) -> list:
+        query = {"tenant": tenant} if tenant else None
+        return self._request("GET", "/jobs", query=query)["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """Result of a terminal job (409 via ServeError otherwise)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0) -> dict:
+        """Block until the job is terminal; returns the result doc.
+
+        Server-side wait (``?wait=1``) so there is no polling loop;
+        retries while the deadline allows if the server's own wait
+        window (capped per request) expires first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(408, f"job {job_id} not terminal "
+                                      f"after {timeout}s")
+            window = min(remaining, 60.0)
+            try:
+                return self._request(
+                    "GET", f"/jobs/{job_id}/result",
+                    query={"wait": 1, "timeout": round(window, 3)},
+                    timeout=window + 30.0,
+                )
+            except ServeError as exc:
+                if exc.status != 408:
+                    raise
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def events(
+        self,
+        job_id: str,
+        *,
+        on_event: Optional[Callable[[dict], None]] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[dict]:
+        """Stream the job's live NDJSON events as dicts.
+
+        Yields every relayed event until the server closes the stream
+        (job terminal).  ``on_event`` is additionally invoked per
+        event when given (convenient for progress rendering while
+        still collecting the list).
+        """
+        conn = self._connect(timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                text = response.read().decode("utf-8", errors="replace")
+                try:
+                    doc = json.loads(text)
+                except ValueError:
+                    doc = {"error": text.strip()}
+                raise ServeError(
+                    response.status, str(doc.get("error", text))
+                )
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    event = json.loads(line.decode("utf-8"))
+                    if on_event is not None:
+                        on_event(event)
+                    yield event
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                0, f"event stream from {self.host}:{self.port} "
+                   f"failed: {exc}"
+            )
+        finally:
+            conn.close()

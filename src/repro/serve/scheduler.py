@@ -1,0 +1,203 @@
+"""Multi-tenant job scheduling for ``kahrisma serve``.
+
+A plain (non-async) data structure the server wraps: the asyncio loop
+is single-threaded, so no internal locking is needed — what matters
+is the *policy*:
+
+* **Priority within a tenant** — each tenant keeps a min-heap ordered
+  by ``(priority, seq)``: lower priority values run sooner, FIFO
+  within a priority class (``seq`` is the global submission counter,
+  so starvation within a tenant is impossible).
+* **Fairness across tenants** — :meth:`acquire` picks among tenants
+  that still have headroom (running < ``max_running``) the one with
+  the *fewest running jobs first*, breaking ties by best queued
+  priority then oldest submission.  A tenant spraying thousands of
+  jobs therefore cannot crowd out a tenant submitting one: the idle
+  tenant's first job is picked ahead of the busy tenant's Nth.
+* **Bounded queues** — per-tenant queue depth (``max_queued``) and a
+  global cap (``max_depth``) reject at submit time
+  (:class:`QueueFull` → HTTP 429/503) instead of letting memory grow
+  with unserved work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .protocol import Job
+
+
+@dataclass
+class TenantLimits:
+    """Per-tenant admission and concurrency caps."""
+
+    #: Jobs of one tenant allowed to run simultaneously.
+    max_running: int = 2
+    #: Jobs of one tenant allowed to wait in the queue.
+    max_queued: int = 256
+
+
+class QueueFull(Exception):
+    """Submission rejected by an admission cap.
+
+    ``scope`` is ``"tenant"`` (the submitting tenant is over its
+    queue depth → HTTP 429) or ``"global"`` (the whole server is →
+    HTTP 503).
+    """
+
+    def __init__(self, scope: str, message: str) -> None:
+        super().__init__(message)
+        self.scope = scope
+
+
+class Scheduler:
+    """Priority queue with per-tenant limits and fair tenant pick."""
+
+    def __init__(
+        self,
+        *,
+        limits: Optional[TenantLimits] = None,
+        per_tenant: Optional[Dict[str, TenantLimits]] = None,
+        max_depth: int = 10_000,
+    ) -> None:
+        #: Default limits for tenants without an explicit entry.
+        self.limits = limits if limits is not None else TenantLimits()
+        #: Per-tenant overrides (tenant name -> limits).
+        self.per_tenant = dict(per_tenant) if per_tenant else {}
+        self.max_depth = max_depth
+        #: tenant -> heap of (priority, seq, job) awaiting dispatch.
+        self._queues: Dict[str, List[tuple]] = {}
+        #: tenant -> currently running job count.
+        self._running: Dict[str, int] = {}
+        self._seq = 0
+        self._depth = 0
+        # -- telemetry counters (serve.scheduler.*) --
+        self.submitted = 0
+        self.rejected_tenant = 0
+        self.rejected_global = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.cancelled_queued = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def limits_for(self, tenant: str) -> TenantLimits:
+        return self.per_tenant.get(tenant, self.limits)
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (all tenants)."""
+        return self._depth
+
+    @property
+    def running(self) -> int:
+        """Jobs currently running (all tenants)."""
+        return sum(self._running.values())
+
+    def queued_for(self, tenant: str) -> int:
+        return len(self._queues.get(tenant, ()))
+
+    def running_for(self, tenant: str) -> int:
+        return self._running.get(tenant, 0)
+
+    def submit(self, job: Job) -> None:
+        """Enqueue or raise :class:`QueueFull`; assigns ``job.seq``."""
+        tenant = job.spec.tenant
+        if self._depth >= self.max_depth:
+            self.rejected_global += 1
+            raise QueueFull(
+                "global",
+                f"server queue full ({self.max_depth} jobs)",
+            )
+        if self.queued_for(tenant) >= self.limits_for(tenant).max_queued:
+            self.rejected_tenant += 1
+            raise QueueFull(
+                "tenant",
+                f"tenant {tenant!r} queue full "
+                f"({self.limits_for(tenant).max_queued} jobs)",
+            )
+        self._seq += 1
+        job.seq = self._seq
+        heapq.heappush(
+            self._queues.setdefault(tenant, []),
+            (job.spec.priority, job.seq, job),
+        )
+        self._depth += 1
+        self.submitted += 1
+
+    # -- dispatch -----------------------------------------------------------
+
+    def acquire(self) -> Optional[Job]:
+        """Pop the next runnable job honoring limits and fairness.
+
+        Returns None when nothing is runnable (queues empty, or every
+        queued tenant is at its running cap).  The caller must pair
+        every acquire with a later :meth:`release`.
+        """
+        best_tenant = None
+        best_key = None
+        for tenant, queue in self._queues.items():
+            if not queue:
+                continue
+            running = self._running.get(tenant, 0)
+            if running >= self.limits_for(tenant).max_running:
+                continue
+            priority, seq, _job = queue[0]
+            key = (running, priority, seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_tenant = tenant
+        if best_tenant is None:
+            return None
+        _, _, job = heapq.heappop(self._queues[best_tenant])
+        if not self._queues[best_tenant]:
+            del self._queues[best_tenant]
+        self._depth -= 1
+        self._running[best_tenant] = self._running.get(best_tenant, 0) + 1
+        self.dispatched += 1
+        return job
+
+    def release(self, job: Job) -> None:
+        """A previously acquired job finished (any terminal state)."""
+        tenant = job.spec.tenant
+        count = self._running.get(tenant, 0)
+        if count <= 1:
+            self._running.pop(tenant, None)
+        else:
+            self._running[tenant] = count - 1
+        self.completed += 1
+
+    def remove(self, job: Job) -> bool:
+        """Remove a still-queued job (cancellation before dispatch)."""
+        queue = self._queues.get(job.spec.tenant)
+        if not queue:
+            return False
+        for i, (_p, _s, queued) in enumerate(queue):
+            if queued.id == job.id:
+                queue[i] = queue[-1]
+                queue.pop()
+                heapq.heapify(queue)
+                if not queue:
+                    del self._queues[job.spec.tenant]
+                self._depth -= 1
+                self.cancelled_queued += 1
+                return True
+        return False
+
+    # -- telemetry ----------------------------------------------------------
+
+    def metrics(self) -> Dict[str, object]:
+        """Flat ``serve.scheduler.*`` counter dict."""
+        return {
+            "serve.scheduler.depth": self.depth,
+            "serve.scheduler.running": self.running,
+            "serve.scheduler.tenants_queued": len(self._queues),
+            "serve.scheduler.submitted": self.submitted,
+            "serve.scheduler.dispatched": self.dispatched,
+            "serve.scheduler.completed": self.completed,
+            "serve.scheduler.rejected_tenant": self.rejected_tenant,
+            "serve.scheduler.rejected_global": self.rejected_global,
+            "serve.scheduler.cancelled_queued": self.cancelled_queued,
+        }

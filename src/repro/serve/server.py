@@ -1,0 +1,604 @@
+"""Asyncio HTTP front end of ``kahrisma serve``.
+
+Single-loop design: all job state (the scheduler, the job table, the
+per-job watcher queues) is touched only from the asyncio event loop
+thread.  Worker processes talk back over one multiprocessing queue; a
+pump thread bridges it onto the loop with ``call_soon_threadsafe``, so
+no lock protects the job table — the loop serializes everything.
+
+The HTTP layer is a minimal hand-rolled HTTP/1.1 on asyncio streams
+(stdlib-only rule): every response carries ``Connection: close``, and
+the live event relay (``GET /jobs/<id>/events``) is close-delimited
+NDJSON — buffered replay first, then live events as they arrive, until
+the job reaches a terminal state.
+
+Routes (see ``docs/serving.md`` for the full API reference)::
+
+    GET  /healthz                liveness + pool/queue gauges
+    GET  /metrics                Prometheus text exposition
+    POST /jobs                   submit a JobSpec document
+    GET  /jobs[?tenant=T]        list known jobs (newest first)
+    GET  /jobs/<id>              status document
+    GET  /jobs/<id>/result       result document (``?wait=1`` blocks)
+    POST /jobs/<id>/cancel       cancel queued or running
+    GET  /jobs/<id>/events       NDJSON live event relay
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from .protocol import Job, JobSpec, SpecError, job_id_new
+from .scheduler import QueueFull, Scheduler, TenantLimits
+from .workers import WorkerPool
+
+#: Submitted request bodies beyond this are rejected (413).
+BODY_LIMIT = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Raised by handlers to produce a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``kahrisma serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 picks a free port (tests, load bench).
+    port: int = 8321
+    #: Worker process count (also the global running-job ceiling).
+    workers: int = 2
+    #: Default per-tenant limits; per-tenant overrides via ``tenants``.
+    tenant_max_running: int = 2
+    tenant_max_queued: int = 256
+    #: Global queue-depth cap across all tenants.
+    max_depth: int = 10_000
+    #: Named per-tenant overrides (tenant -> TenantLimits).
+    tenants: Dict[str, TenantLimits] = field(default_factory=dict)
+    #: Where cancelled jobs drop resumable checkpoints.
+    checkpoint_dir: str = "serve-checkpoints"
+    #: Plan-cache directory shared by all workers (None = default).
+    plan_cache_dir: Optional[str] = None
+    use_plan_cache: bool = True
+    #: Live events buffered per job for late /events subscribers.
+    event_buffer: int = 4096
+    #: Terminal jobs retained for status/result queries (LRU evicted).
+    jobs_kept: int = 1000
+
+
+class KahrismaServer:
+    """The serve subsystem wired together: scheduler + pool + HTTP."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.scheduler = Scheduler(
+            limits=TenantLimits(
+                max_running=self.config.tenant_max_running,
+                max_queued=self.config.tenant_max_queued,
+            ),
+            per_tenant=self.config.tenants,
+            max_depth=self.config.max_depth,
+        )
+        self.jobs: Dict[str, Job] = {}
+        self.pool: Optional[WorkerPool] = None
+        self.started_at = time.time()
+        #: Bound address after :meth:`start` (resolves port=0).
+        self.address: Optional[tuple] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pump: Optional[threading.Thread] = None
+        self._pump_stop = threading.Event()
+        #: job id -> asyncio.Event set when the job turns terminal.
+        self._done_events: Dict[str, asyncio.Event] = {}
+        #: job id -> live /events subscriber queues.
+        self._watchers: Dict[str, List[asyncio.Queue]] = {}
+        #: jobs in terminal order, for retention eviction.
+        self._terminal_order: List[str] = []
+        # -- serve.* counters --
+        self.http_requests = 0
+        self.http_errors = 0
+        self.jobs_by_state = {
+            "done": 0, "cancelled": 0, "failed": 0,
+        }
+        self.events_relayed = 0
+        self.events_dropped = 0
+        self.workers_ready = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, spawn workers, start the pump thread."""
+        self._loop = asyncio.get_running_loop()
+        self.pool = WorkerPool(
+            self.config.workers,
+            checkpoint_dir=self.config.checkpoint_dir,
+            plan_cache_dir=self.config.plan_cache_dir,
+            use_plan_cache=self.config.use_plan_cache,
+        )
+        self._pump_stop.clear()
+        self._pump = threading.Thread(
+            target=self._pump_messages, name="kahrisma-serve-pump",
+            daemon=True,
+        )
+        self._pump.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, stop workers, end open event relays."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pump_stop.set()
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+        if self._pump is not None:
+            self._pump.join(timeout=5.0)
+            self._pump = None
+        for queues in self._watchers.values():
+            for queue in queues:
+                queue.put_nowait(None)
+        self._watchers.clear()
+
+    def _pump_messages(self) -> None:
+        """Bridge the worker message queue onto the event loop."""
+        assert self.pool is not None and self._loop is not None
+        messages = self.pool.messages
+        while not self._pump_stop.is_set():
+            try:
+                msg = messages.get(timeout=0.2)
+            except Exception:
+                continue  # timeout or closing queue
+            try:
+                self._loop.call_soon_threadsafe(self._on_message, msg)
+            except RuntimeError:
+                break  # loop shut down
+
+    # -- worker messages (loop thread) --------------------------------------
+
+    def _on_message(self, msg: tuple) -> None:
+        kind, worker_id, job_id, payload = msg
+        if kind == "ready":
+            self.workers_ready += 1
+            self._schedule()
+            return
+        job = self.jobs.get(job_id)
+        if kind == "event":
+            if job is not None and not job.terminal:
+                job.events.append(payload)
+                if len(job.events) > self.config.event_buffer:
+                    del job.events[0]
+                    job.events_dropped += 1
+                    self.events_dropped += 1
+                self.events_relayed += 1
+                for queue in self._watchers.get(job_id, ()):
+                    queue.put_nowait(payload)
+            return
+        if kind == "done":
+            if self.pool is not None:
+                self.pool.worker(worker_id).job_id = None
+            if job is not None and not job.terminal:
+                job.state = payload.get("state", "failed")
+                job.finished_at = time.time()
+                job.result = payload
+                job.error = payload.get("error")
+                job.checkpoint = payload.get("checkpoint")
+                self.scheduler.release(job)
+                self._finish(job)
+            self._schedule()
+
+    def _finish(self, job: Job) -> None:
+        """Terminal bookkeeping shared by done/cancelled paths."""
+        self.jobs_by_state[job.state] = (
+            self.jobs_by_state.get(job.state, 0) + 1
+        )
+        event = self._done_events.pop(job.id, None)
+        if event is not None:
+            event.set()
+        for queue in self._watchers.pop(job.id, ()):
+            queue.put_nowait(None)
+        self._terminal_order.append(job.id)
+        while len(self._terminal_order) > self.config.jobs_kept:
+            evicted = self._terminal_order.pop(0)
+            self.jobs.pop(evicted, None)
+
+    def _schedule(self) -> None:
+        """Dispatch queued jobs onto idle workers (fairness in acquire)."""
+        if self.pool is None:
+            return
+        while True:
+            worker = self.pool.idle_worker()
+            if worker is None:
+                return
+            job = self.scheduler.acquire()
+            if job is None:
+                return
+            job.state = "running"
+            job.started_at = time.time()
+            job.worker = worker.id
+            worker.dispatch(job.id, job.spec)
+
+    # -- job operations (loop thread) ---------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Validate, admit and (if a worker is idle) dispatch a job."""
+        job = Job(id=job_id_new(), spec=spec, submitted_at=time.time())
+        self.scheduler.submit(job)  # may raise QueueFull
+        self.jobs[job.id] = job
+        self._done_events[job.id] = asyncio.Event()
+        self._schedule()
+        return job
+
+    def cancel(self, job: Job) -> Dict[str, object]:
+        """Cancel a queued job immediately or a running one at its
+        next budget slice; terminal jobs are left untouched."""
+        if job.terminal:
+            return {"id": job.id, "state": job.state,
+                    "already_terminal": True}
+        job.cancel_requested = True
+        if job.state == "queued":
+            if self.scheduler.remove(job):
+                job.state = "cancelled"
+                job.finished_at = time.time()
+                self._finish(job)
+            return {"id": job.id, "state": job.state}
+        if self.pool is not None and job.worker is not None:
+            self.pool.worker(job.worker).cancel()
+        return {"id": job.id, "state": job.state,
+                "cancelling": True}
+
+    def metrics(self) -> Dict[str, object]:
+        """Flat ``serve.*`` metric dict for /metrics exposition."""
+        out: Dict[str, object] = {
+            "serve.uptime_seconds": round(
+                time.time() - self.started_at, 3
+            ),
+            "serve.workers": len(self.pool) if self.pool else 0,
+            "serve.workers_ready": self.workers_ready,
+            "serve.workers_busy": (
+                sum(1 for w in self.pool.workers if w.job_id is not None)
+                if self.pool else 0
+            ),
+            "serve.http.requests": self.http_requests,
+            "serve.http.errors": self.http_errors,
+            "serve.jobs.known": len(self.jobs),
+            "serve.jobs.done": self.jobs_by_state.get("done", 0),
+            "serve.jobs.cancelled": self.jobs_by_state.get("cancelled", 0),
+            "serve.jobs.failed": self.jobs_by_state.get("failed", 0),
+            "serve.events.relayed": self.events_relayed,
+            "serve.events.dropped": self.events_dropped,
+        }
+        out.update(self.scheduler.metrics())
+        return out
+
+    # -- HTTP layer ---------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, body = request
+            self.http_requests += 1
+            await self._route(method, path, query, body, writer)
+        except _HttpError as exc:
+            self.http_errors += 1
+            await self._send_json(
+                writer, exc.status, {"error": str(exc)}
+            )
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        except Exception as exc:  # never kill the accept loop
+            self.http_errors += 1
+            try:
+                await self._send_json(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+            except OSError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = (
+                line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > BODY_LIMIT:
+            raise _HttpError(413, f"body exceeds {BODY_LIMIT} bytes")
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        query = {
+            k: v[-1] for k, v in parse_qs(parts.query).items()
+        }
+        return method.upper(), parts.path, query, body
+
+    async def _send_json(self, writer, status: int, doc) -> None:
+        payload = (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+        await self._send_raw(
+            writer, status, "application/json", payload
+        )
+
+    async def _send_raw(
+        self, writer, status: int, ctype: str, payload: bytes
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "?")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    async def _route(self, method, path, query, body, writer) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {
+                "ok": True,
+                "workers": len(self.pool) if self.pool else 0,
+                "queued": self.scheduler.depth,
+                "running": self.scheduler.running,
+            })
+            return
+        if path == "/metrics" and method == "GET":
+            from ..telemetry.stream import prometheus_lines
+
+            text = "\n".join(prometheus_lines(self.metrics())) + "\n"
+            await self._send_raw(
+                writer, 200, "text/plain; version=0.0.4",
+                text.encode("utf-8"),
+            )
+            return
+        if path == "/jobs":
+            if method == "POST":
+                await self._route_submit(body, writer)
+                return
+            if method == "GET":
+                tenant = query.get("tenant")
+                docs = [
+                    job.status_doc()
+                    for job in self.jobs.values()
+                    if tenant is None or job.spec.tenant == tenant
+                ]
+                docs.sort(
+                    key=lambda d: d["submitted_at"], reverse=True
+                )
+                await self._send_json(writer, 200, {"jobs": docs})
+                return
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, action = rest.partition("/")
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise _HttpError(404, f"unknown job {job_id!r}")
+            if not action and method == "GET":
+                await self._send_json(writer, 200, job.status_doc())
+                return
+            if action == "result" and method == "GET":
+                await self._route_result(job, query, writer)
+                return
+            if action == "cancel" and method == "POST":
+                await self._send_json(writer, 200, self.cancel(job))
+                return
+            if action == "events" and method == "GET":
+                await self._route_events(job, writer)
+                return
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _route_submit(self, body: bytes, writer) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except ValueError:
+            raise _HttpError(400, "body is not valid JSON")
+        try:
+            spec = JobSpec.from_doc(doc)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc))
+        try:
+            job = self.submit(spec)
+        except QueueFull as exc:
+            raise _HttpError(
+                429 if exc.scope == "tenant" else 503, str(exc)
+            )
+        await self._send_json(writer, 200, {
+            "id": job.id,
+            "state": job.state,
+            "tenant": job.spec.tenant,
+            "queued": self.scheduler.queued_for(job.spec.tenant),
+        })
+
+    async def _route_result(self, job: Job, query, writer) -> None:
+        if not job.terminal and query.get("wait") in ("1", "true"):
+            timeout = float(query.get("timeout", "300"))
+            event = self._done_events.get(job.id)
+            if event is not None:
+                try:
+                    await asyncio.wait_for(event.wait(), timeout)
+                except asyncio.TimeoutError:
+                    raise _HttpError(
+                        408, f"job {job.id} still {job.state} "
+                        f"after {timeout}s"
+                    )
+        if not job.terminal:
+            raise _HttpError(
+                409, f"job {job.id} is {job.state}; pass ?wait=1 "
+                f"to block until it finishes"
+            )
+        await self._send_json(writer, 200, job.result_doc())
+
+    async def _route_events(self, job: Job, writer) -> None:
+        """NDJSON relay: buffered replay, then live until terminal.
+
+        The relayed lines are the worker's ``kahrisma-events`` v1
+        dicts verbatim — the stream a client sees validates against
+        :func:`repro.telemetry.stream.validate_stream_text`.
+        """
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        queue: Optional[asyncio.Queue] = None
+        if not job.terminal:
+            queue = asyncio.Queue()
+            self._watchers.setdefault(job.id, []).append(queue)
+        # Replay after subscribing so no event can fall in the gap;
+        # live events already replayed are skipped by seq.
+        last_seq = -1
+        for event in list(job.events):
+            writer.write(
+                (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+            )
+            last_seq = max(last_seq, int(event.get("seq", -1)))
+        await writer.drain()
+        if queue is None:
+            return
+        try:
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                if int(event.get("seq", -1)) <= last_seq:
+                    continue
+                writer.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode(
+                        "utf-8"
+                    )
+                )
+                await writer.drain()
+        finally:
+            queues = self._watchers.get(job.id)
+            if queues is not None and queue in queues:
+                queues.remove(queue)
+
+
+# -- embedding helpers -------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, load bench).
+
+    ``base_url`` resolves the actual port (``port=0`` supported);
+    :meth:`stop` shuts the loop, pool and thread down.
+    """
+
+    def __init__(self, server: KahrismaServer, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.server = server
+        self.thread = thread
+        self.loop = loop
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server.address
+        return f"http://{host}:{port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        async def _stop():
+            await self.server.stop()
+            asyncio.get_running_loop().stop()
+
+        if self.loop.is_running():
+            asyncio.run_coroutine_threadsafe(_stop(), self.loop)
+        self.thread.join(timeout)
+
+
+def start_in_thread(
+    config: Optional[ServerConfig] = None,
+) -> ServerHandle:
+    """Start a :class:`KahrismaServer` on a dedicated loop thread.
+
+    Blocks until the socket is bound (so ``base_url`` is immediately
+    usable) and raises whatever :meth:`KahrismaServer.start` raised.
+    """
+    server = KahrismaServer(config)
+    ready = threading.Event()
+    boot_error: List[BaseException] = []
+    loop_box: List[asyncio.AbstractEventLoop] = []
+
+    def main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_box.append(loop)
+
+        async def boot():
+            try:
+                await server.start()
+            except BaseException as exc:
+                boot_error.append(exc)
+                raise
+            finally:
+                ready.set()
+
+        try:
+            loop.run_until_complete(boot())
+        except BaseException:
+            loop.close()
+            return
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=main, name="kahrisma-serve", daemon=True
+    )
+    thread.start()
+    ready.wait(timeout=30.0)
+    if boot_error:
+        thread.join(timeout=5.0)
+        raise boot_error[0]
+    if server.address is None:
+        raise RuntimeError("server failed to start within 30s")
+    return ServerHandle(server, thread, loop_box[0])

@@ -44,6 +44,10 @@ from .superblock import SuperblockEngine
 
 _UNLIMITED = 1 << 62
 
+#: Budget-slice size used for cooperative cancellation checks when no
+#: event stream dictates a heartbeat cadence (same default cadence).
+CANCEL_SLICE = 250_000
+
 #: Valid ``engine=`` arguments, slowest to fastest.
 ENGINES = ("nocache", "cache", "predict", "superblock", "aot")
 
@@ -71,6 +75,7 @@ class Interpreter:
         max_block_len=None,
         events=None,
         flight=None,
+        cancel=None,
     ) -> None:
         self.state = state
         self.target = target if target is not None else build_target(state.arch)
@@ -195,6 +200,17 @@ class Interpreter:
         #: the engine's observer seam; per-instruction trail on the
         #: interactive engines via the featureful loop.
         self.flight = flight
+        #: Cooperative cancellation hook: a zero-argument callable
+        #: polled between budget slices (the same seam heartbeats and
+        #: periodic checkpoints use, so stopping early is covered by
+        #: the determinism contract).  When it returns true, run()
+        #: stops at the next slice boundary — an *instruction*
+        #: boundary — sets :attr:`cancelled` and returns normally with
+        #: the stats so far; the architectural state is resumable
+        #: exactly like a checkpoint slice.
+        self.cancel = cancel
+        #: Set when the last run() stopped because :attr:`cancel` fired.
+        self.cancelled = False
         if flight is not None and self.superblock is not None:
             sb = self.superblock
             if sb.profiler is None:
@@ -228,9 +244,10 @@ class Interpreter:
         # get the per-run delta so resumed segments merge additively.
         simops_before = self.state.simop_count
         switches_before = self.state.isa_switches
+        self.cancelled = False
         start = time.perf_counter()
         try:
-            if self.events is not None:
+            if self.events is not None or self.cancel is not None:
                 self._dispatch_with_heartbeats(budget, start)
             else:
                 self._dispatch(budget)
@@ -300,20 +317,30 @@ class Interpreter:
         Architecturally identical to one _dispatch(budget) call: the
         checkpoint runner slices run() the same way and the determinism
         gate proves bitwise-equal cycles and state under slicing
-        (including fused DOE accounting).
+        (including fused DOE accounting).  The cancellation hook is
+        polled at the same slice boundaries, so a cancelled run stops
+        on a clean instruction boundary with every event emitted.
         """
         events = self.events
-        every = events.heartbeat_every
+        cancel = self.cancel
+        every = events.heartbeat_every if events is not None else CANCEL_SLICE
         start_exec = self.stats.executed_instructions
         done = 0
         while done < budget and not self.state.halted:
+            if cancel is not None and cancel():
+                self.cancelled = True
+                break
             before = self.stats.executed_instructions
             self._dispatch(min(every, budget - done))
             executed = self.stats.executed_instructions - before
             done += executed
             if executed == 0 or self.stopped_at_breakpoint:
                 break
-            if done < budget and not self.state.halted:
+            if (
+                events is not None
+                and done < budget
+                and not self.state.halted
+            ):
                 self._emit_heartbeat(start, start_exec)
 
     def _emit_heartbeat(self, start: float, start_exec: int) -> None:

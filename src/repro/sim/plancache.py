@@ -39,12 +39,20 @@ plain ``marshal``) — warm superblock runs never parse module blobs,
 and warm aot runs load them without JSON/base64 overhead.
 
 Writes are atomic (tempfile + ``os.replace``) and merge with the
-on-disk state first, so concurrent shard workers lose at worst a few
-entries, never the file.  An optional entry cap (``limit``, the CLI's
-``--plan-cache-limit``) evicts least-recently-used plan entries at
-save time so the file cannot grow unboundedly across runs; evictions
-are counted for telemetry.  Failures to read or write the cache are
-silently ignored — the cache is a pure accelerator, never load-bearing.
+on-disk state first, under a sidecar file lock (``<file>.lock``,
+``flock`` where available, an ``O_EXCL`` spin elsewhere), so any
+number of concurrent writers — ``kahrisma parallel`` shard workers,
+``kahrisma serve`` worker processes — serialize their
+read-merge-write cycles and never corrupt *or drop* each other's
+entries.  Lock contention is counted (:attr:`PlanCache.lock_waits`,
+exported as ``sim.plancache.lock_waits``); a writer that cannot take
+the lock within a bounded wait falls back to the old merge-and-hope
+write rather than stalling the simulation.  An optional entry cap
+(``limit``, the CLI's ``--plan-cache-limit``) evicts
+least-recently-used plan entries at save time so the file cannot grow
+unboundedly across runs; evictions are counted for telemetry.
+Failures to read or write the cache are silently ignored — the cache
+is a pure accelerator, never load-bearing.
 """
 
 from __future__ import annotations
@@ -61,9 +69,101 @@ from typing import Dict, Optional, Tuple
 
 from ..targetgen.behavior_compiler import SIM_GLOBALS
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX: O_EXCL spin-lock fallback
+    fcntl = None
+
 #: Bump when the on-disk layout or the generated-function calling
 #: convention changes.
 FORMAT_VERSION = 1
+
+#: Longest a writer waits for the sidecar lock before degrading to an
+#: unlocked (merge-and-hope) write.  Generous: the critical section is
+#: one JSON read + dump, milliseconds even for big caches.
+LOCK_TIMEOUT = 10.0
+
+
+class _FileLock:
+    """Sidecar advisory lock serializing cache-file writers.
+
+    ``flock`` on POSIX (kernel-cleaned on process death); an
+    ``O_CREAT|O_EXCL`` spin with a staleness bound elsewhere.  Used as
+    a context manager; :attr:`acquired` reports whether the lock was
+    actually taken (callers degrade gracefully when it was not) and
+    :attr:`contended` whether another writer held it first.
+    """
+
+    def __init__(self, path: str, timeout: float = LOCK_TIMEOUT) -> None:
+        self.path = path + ".lock"
+        self.timeout = timeout
+        self.acquired = False
+        self.contended = False
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        import time
+
+        deadline = time.monotonic() + self.timeout
+        try:
+            if fcntl is not None:
+                fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    self.contended = True
+                    while True:
+                        try:
+                            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                            break
+                        except OSError:
+                            if time.monotonic() >= deadline:
+                                os.close(fd)
+                                return self
+                            time.sleep(0.005)
+                self._fd = fd
+                self.acquired = True
+            else:  # pragma: no cover - non-POSIX fallback
+                while True:
+                    try:
+                        fd = os.open(
+                            self.path,
+                            os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                            0o644,
+                        )
+                        self._fd = fd
+                        self.acquired = True
+                        return self
+                    except FileExistsError:
+                        self.contended = True
+                        try:
+                            if (time.time() - os.path.getmtime(self.path)
+                                    > self.timeout * 3):
+                                os.unlink(self.path)  # stale holder died
+                                continue
+                        except OSError:
+                            pass
+                        if time.monotonic() >= deadline:
+                            return self
+                        time.sleep(0.005)
+        except OSError:
+            return self  # unlockable filesystem: degrade to unlocked
+        return self
+
+    def __exit__(self, *exc) -> None:
+        fd = self._fd
+        self._fd = None
+        if fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+            else:  # pragma: no cover
+                os.close(fd)
+                os.unlink(self.path)
+        except OSError:
+            pass
 
 
 def default_cache_dir() -> str:
@@ -95,6 +195,12 @@ class PlanCache:
         self.limit = limit
         #: Entries evicted by this process (telemetry counter).
         self.evictions = 0
+        #: Times a save/side-file write found the file lock held by a
+        #: concurrent writer and had to wait (``sim.plancache.lock_waits``).
+        self.lock_waits = 0
+        #: Times the lock could not be taken within :data:`LOCK_TIMEOUT`
+        #: and the write proceeded unlocked (best-effort degradation).
+        self.lock_timeouts = 0
         #: Logical LRU clock: bumped on every lookup hit and record.
         #: Persisted per entry as ``"t"``; approximate across
         #: concurrent writers, which is all LRU needs.
@@ -155,15 +261,37 @@ class PlanCache:
         )
 
     def save(self) -> None:
-        """Atomically merge-and-write; no-op when nothing was recorded."""
+        """Atomically merge-and-write; no-op when nothing was recorded.
+
+        The read-merge-write cycle runs under the sidecar file lock so
+        simultaneous writers (shard workers, serve workers) serialize:
+        without it, two writers reading the same base file and
+        replacing it in turn silently drop whichever entries the loser
+        translated.  When the lock cannot be taken within
+        :data:`LOCK_TIMEOUT` the write still happens (merge-and-hope,
+        the pre-lock behaviour) — the cache must never stall a run.
+        """
         if not self._dirty:
             return
         directory = os.path.dirname(self.path)
         try:
             os.makedirs(directory, exist_ok=True)
-            # Merge with concurrent writers (parallel shard workers):
-            # last writer wins per entry, which is fine — every writer
-            # compiled from the same bytes.
+            with _FileLock(self.path) as lock:
+                if lock.contended:
+                    self.lock_waits += 1
+                if not lock.acquired:
+                    self.lock_timeouts += 1
+                self._merge_write()
+        except OSError:
+            return  # read-only HOME, full disk, ...: run uncached
+
+    def _merge_write(self) -> None:
+        """The locked critical section of :meth:`save`."""
+        directory = os.path.dirname(self.path)
+        try:
+            # Merge with the on-disk state: last writer wins per
+            # entry, which is fine — every writer compiled from the
+            # same bytes.
             merged: Dict[str, dict] = {}
             try:
                 with open(self.path, "r", encoding="utf-8") as fh:
@@ -338,19 +466,29 @@ class PlanCache:
         directory = os.path.dirname(path)
         try:
             os.makedirs(directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=directory, prefix=".mod-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    marshal.dump(payload, fh)
-                os.replace(tmp, path)
-            except BaseException:
+            # Same sidecar lock as save(): concurrent compiles of the
+            # same namespace (e.g. two serve workers racing a cold
+            # cache) write identical payloads, so serializing them is
+            # about avoiding wasted temp files and torn mtime stamps
+            # (module_stamp feeds the per-process revival memo).
+            with _FileLock(path) as lock:
+                if lock.contended:
+                    self.lock_waits += 1
+                if not lock.acquired:
+                    self.lock_timeouts += 1
+                fd, tmp = tempfile.mkstemp(
+                    dir=directory, prefix=".mod-", suffix=".tmp"
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as fh:
+                        marshal.dump(payload, fh)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
         except (OSError, ValueError):
             return  # best effort, same contract as save()
 

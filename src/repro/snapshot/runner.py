@@ -85,6 +85,11 @@ def run_with_checkpoints(
         interp.run(max_instructions=min(every, budget - done))
         if interp.state.halted:
             break  # final state is the run result; no checkpoint needed
+        if interp.cancelled:
+            # Cooperative cancellation fired inside the slice: the
+            # caller (pipeline.run) writes the final resumable
+            # checkpoint; looping on would spin forever at 0 progress.
+            break
         merged = base.copy()
         merged.merge(interp.stats)
         payload = snapshot_run(

@@ -95,6 +95,12 @@ def collect_interpreter_metrics(interp) -> Dict[str, object]:
     if plan_cache is not None:
         out["sim.plancache.entries"] = len(plan_cache)
         out["sim.plancache.evictions"] = plan_cache.evictions
+        out["sim.plancache.lock_waits"] = getattr(
+            plan_cache, "lock_waits", 0
+        )
+        out["sim.plancache.lock_timeouts"] = getattr(
+            plan_cache, "lock_timeouts", 0
+        )
     return out
 
 

@@ -274,6 +274,24 @@ class TestParallelMerge:
         assert shard_tags == {0, 1}
         assert any(t == "heartbeat" for t in types)
 
+    @pytest.mark.parametrize(
+        "engine", ["nocache", "cache", "predict", "superblock"]
+    )
+    def test_merged_stream_schema_valid_per_engine(self, kc, engine):
+        # The merged coordinator stream must be schema-valid and seq
+        # gap-free no matter which engine ran the shards.
+        built = bench(kc, "dct4x4")
+        events = EventStream(heartbeat_every=20_000)
+        run_parallel(built, shards=2, model="none", engine=engine,
+                     workload="dct4x4", events=events)
+        for event in events.events:
+            validate_event(event)
+        seqs = [e["seq"] for e in events.events]
+        assert seqs == list(range(len(seqs)))
+        types = [e["type"] for e in events.events]
+        assert types[0] == "run-start" and types[-1] == "run-end"
+        assert {e["shard"] for e in events.events if "shard" in e} == {0, 1}
+
     def test_merge_shard_events_counts(self):
         coordinator = EventStream()
         worker = EventStream(shard=0, heartbeat_every=10)
@@ -441,3 +459,16 @@ class TestCli:
         events = validate_stream_text(captured.out)
         assert [e["type"] for e in events][-1] == "run-end"
         assert "instructions:" in captured.err  # summary went to stderr
+
+    def test_events_stdout_stays_pure_with_live(self, elf, capsys):
+        # --live renders \r-rewritten progress; with --events - that
+        # rendering must land on stderr, never inside the NDJSON.
+        from repro.cli import main
+
+        assert main(["run", elf, "--events", "-", "--live",
+                     "--heartbeat", "1000"]) == 0
+        captured = capsys.readouterr()
+        assert "\r" not in captured.out
+        events = validate_stream_text(captured.out)
+        assert [e["type"] for e in events][-1] == "run-end"
+        assert "\r" in captured.err  # the progress line went to stderr

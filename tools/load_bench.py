@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Serving load benchmark: throughput and latency of ``kahrisma serve``.
+
+Starts an in-thread server (:func:`repro.serve.start_in_thread`), pushes
+a burst of concurrent small-run jobs at it from a thread pool of HTTP
+clients, and records the serving numbers the acceptance criteria ask
+for into the ``serving`` section of ``BENCH_table1.json``:
+
+* sustained **requests/sec** (jobs completed / wall clock of the burst);
+* submit→result **latency percentiles** (p50/p90/p99) per job;
+* per-tenant fairness evidence: jobs are spread over several tenants
+  with a per-tenant running cap, and the observed per-tenant maximum
+  concurrency is recorded (must never exceed the cap);
+* a mid-burst **cancellation** probe: one long job is cancelled while
+  running and must come back ``cancelled`` with a resumable checkpoint;
+* warm-start evidence: the second half of the burst reuses the worker
+  build caches and shared plan cache, so its latency p50 is reported
+  separately from the cold first job.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/load_bench.py --out BENCH_table1.json
+    PYTHONPATH=src python tools/load_bench.py --quick --floor 2.0
+
+``--quick`` shrinks the burst for CI smoke; ``--floor`` makes the run
+fail (exit 1) if sustained jobs/sec lands below the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.serve import ServerConfig, start_in_thread  # noqa: E402
+from repro.serve.client import KahrismaClient, ServeError  # noqa: E402
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            text=True, stderr=subprocess.DEVNULL,
+        ).strip()
+    except Exception:
+        return "unknown"
+
+
+def percentile(values, fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted list."""
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def run_burst(client, *, jobs, tenants, engine, program, poll_every=0.05):
+    """Submit ``jobs`` concurrently and wait for all; returns per-job
+    latency rows plus the per-tenant concurrency high-water marks."""
+    results = []
+    lock = threading.Lock()
+    high_water = {}
+
+    def watch_concurrency(stop):
+        # Sample per-tenant running counts while the burst is in
+        # flight: the recorded maxima are the fairness evidence.
+        while not stop.is_set():
+            try:
+                docs = client.jobs()
+            except ServeError:
+                break
+            running = {}
+            for doc in docs:
+                if doc["state"] == "running":
+                    running[doc["tenant"]] = (
+                        running.get(doc["tenant"], 0) + 1
+                    )
+            with lock:
+                for tenant, n in running.items():
+                    high_water[tenant] = max(
+                        high_water.get(tenant, 0), n
+                    )
+            stop.wait(poll_every)
+
+    def one(index):
+        tenant = tenants[index % len(tenants)]
+        t0 = time.perf_counter()
+        job = client.submit({
+            "program": program,
+            "engine": engine,
+            "tenant": tenant,
+            "priority": 10,
+        })
+        result = client.wait(job["id"], timeout=600)
+        return {
+            "tenant": tenant,
+            "state": result["state"],
+            "latency": time.perf_counter() - t0,
+            "instructions": result.get("instructions"),
+        }
+
+    stop = threading.Event()
+    watcher = threading.Thread(target=watch_concurrency, args=(stop,),
+                               daemon=True)
+    watcher.start()
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=min(jobs, 32)) as pool:
+        results = list(pool.map(one, range(jobs)))
+    elapsed = time.perf_counter() - t0
+    stop.set()
+    watcher.join(timeout=2.0)
+    return results, elapsed, dict(high_water)
+
+
+def cancel_probe(client, *, program="djpeg", engine="cache"):
+    """Cancel one slow job mid-run; returns the evidence dict."""
+    job = client.submit({
+        "program": program,
+        "engine": engine,          # interactive engine: slow on purpose
+        "heartbeat_every": 5_000,  # tight slices -> low cancel latency
+        "tenant": "cancel-probe",
+    })
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if client.status(job["id"])["state"] == "running":
+            break
+        time.sleep(0.02)
+    time.sleep(0.25)  # let it get some instructions in
+    t0 = time.perf_counter()
+    client.cancel(job["id"])
+    result = client.wait(job["id"], timeout=60)
+    return {
+        "state": result["state"],
+        "cancel_latency_seconds": round(time.perf_counter() - t0, 4),
+        "instructions_at_cancel": result.get("instructions"),
+        "checkpoint": result.get("checkpoint"),
+        "resumable": bool(result.get("checkpoint")),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default=None,
+                        help="merge the serving section into this "
+                             "BENCH_table1.json (default: print only)")
+    parser.add_argument("--jobs", type=int, default=60,
+                        help="burst size (default 60)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="server worker processes (default: cpu "
+                             "count, at most 8)")
+    parser.add_argument("--program", default="dct4x4",
+                        help="workload per job (default dct4x4)")
+    parser.add_argument("--engine", default="superblock",
+                        choices=["nocache", "cache", "predict",
+                                 "superblock", "aot"])
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="tenants the burst is spread over "
+                             "(default 3)")
+    parser.add_argument("--tenant-max-running", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 12 jobs, 2 workers")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail if sustained jobs/sec is below this")
+    parser.add_argument("--skip-cancel", action="store_true")
+    args = parser.parse_args()
+    if args.quick:
+        args.jobs = min(args.jobs, 12)
+        args.workers = args.workers or 2
+    workers = args.workers or min(8, os.cpu_count() or 2)
+
+    tmp = tempfile.mkdtemp(prefix="kahrisma-load-")
+    config = ServerConfig(
+        port=0,
+        workers=workers,
+        tenant_max_running=args.tenant_max_running,
+        checkpoint_dir=os.path.join(tmp, "checkpoints"),
+        plan_cache_dir=os.path.join(tmp, "plans"),
+    )
+    handle = start_in_thread(config)
+    client = KahrismaClient(handle.base_url)
+    print(f"server: {handle.base_url}  ({workers} workers, "
+          f"{args.jobs} jobs, {args.tenants} tenants)", file=sys.stderr)
+
+    tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
+    try:
+        # Warm the pool: first job pays compile + translation once.
+        warm0 = time.perf_counter()
+        seed = client.submit({"program": args.program,
+                              "engine": args.engine})
+        client.wait(seed["id"], timeout=600)
+        cold_seconds = time.perf_counter() - warm0
+
+        results, elapsed, high_water = run_burst(
+            client, jobs=args.jobs, tenants=tenants,
+            engine=args.engine, program=args.program,
+        )
+        failed = [r for r in results if r["state"] != "done"]
+        latencies = [r["latency"] for r in results]
+        cancel = None
+        if not args.skip_cancel:
+            cancel = cancel_probe(client)
+        metrics_text = client.metrics_text()
+    finally:
+        handle.stop()
+
+    jobs_per_second = len(results) / elapsed if elapsed else 0.0
+    cap_violations = {
+        tenant: peak for tenant, peak in high_water.items()
+        if peak > args.tenant_max_running
+    }
+    section = {
+        "workload": args.program,
+        "engine": args.engine,
+        "workers": workers,
+        "jobs": len(results),
+        "tenants": len(tenants),
+        "tenant_max_running": args.tenant_max_running,
+        "failed_jobs": len(failed),
+        "elapsed_seconds": round(elapsed, 4),
+        "jobs_per_second": round(jobs_per_second, 3),
+        "cold_first_job_seconds": round(cold_seconds, 4),
+        "latency_p50_seconds": round(percentile(latencies, 0.50), 4),
+        "latency_p90_seconds": round(percentile(latencies, 0.90), 4),
+        "latency_p99_seconds": round(percentile(latencies, 0.99), 4),
+        "latency_mean_seconds": round(statistics.mean(latencies), 4),
+        "tenant_peak_running": dict(sorted(high_water.items())),
+        "tenant_cap_violations": cap_violations,
+        "cancellation": cancel,
+        "quick": bool(args.quick),
+    }
+    print(json.dumps(section, indent=2, sort_keys=True))
+
+    if args.out:
+        doc = {}
+        if os.path.exists(args.out):
+            with open(args.out, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        doc["serving"] = section
+        doc.setdefault("git_commit", git_commit())
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"merged serving section into {args.out}", file=sys.stderr)
+
+    status = 0
+    if failed:
+        print(f"FAIL: {len(failed)} jobs did not complete "
+              f"(states: {sorted(set(r['state'] for r in failed))})",
+              file=sys.stderr)
+        status = 1
+    if cap_violations:
+        print(f"FAIL: tenant concurrency cap exceeded: {cap_violations}",
+              file=sys.stderr)
+        status = 1
+    if cancel is not None and (
+        cancel["state"] != "cancelled" or not cancel["resumable"]
+    ):
+        print(f"FAIL: cancellation probe did not produce a resumable "
+              f"cancelled job: {cancel}", file=sys.stderr)
+        status = 1
+    if args.floor is not None and jobs_per_second < args.floor:
+        print(f"FAIL: {jobs_per_second:.3f} jobs/sec below the "
+              f"--floor {args.floor}", file=sys.stderr)
+        status = 1
+    if "kahrisma_serve_scheduler_rejected_tenant" not in metrics_text:
+        print("FAIL: /metrics is missing serve scheduler counters",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
