@@ -14,6 +14,9 @@ Subcommands mirror the paper's toolchain (Figure 2)::
     kahrisma ilp app.kc
     kahrisma select app.kc
     kahrisma targetgen --emit-sim gen_sim.py --emit-stubs libc.s
+    kahrisma fuzz --seed 1234 --count 200
+    kahrisma fuzz --self-test
+    kahrisma fuzz --replay tests/corpus
     kahrisma programs
     kahrisma serve --port 8321 --workers 4
     kahrisma submit dct4x4 --engine aot --follow
@@ -46,7 +49,7 @@ from .programs import PROGRAMS, load_program
 from .rtl.pipeline import RtlPipeline
 from .sim.disasm import disassemble_range
 from .sim.errors import SimulationError
-from .sim.interpreter import Interpreter
+from .sim.interpreter import ENGINES, Interpreter
 from .sim.tracing import Tracer
 from .telemetry import (
     HotspotProfiler,
@@ -829,6 +832,145 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return int(result.get("exit_code") or 0)
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import (
+        GenConfig,
+        assemble_fuzz,
+        default_matrix,
+        generate_program,
+        load_corpus,
+        replay_entry,
+        run_differential,
+        save_reproducer,
+        shrink,
+    )
+    from .fuzz.runner import SELF_TEST_VICTIM, self_test
+    from .telemetry import format_forensics
+
+    engines = tuple(e for e in args.engines.split(",") if e)
+    for engine in engines:
+        if engine not in ENGINES:
+            print(f"error: unknown engine {engine!r}", file=sys.stderr)
+            return 2
+    models = tuple(m for m in args.models.split(",") if m)
+    configs = default_matrix(engines, models)
+    max_instructions = args.max_instructions
+
+    def report(result) -> None:
+        for div in result.divergences:
+            print(
+                f"DIVERGENCE [{div.kind}] {div.config.label} vs "
+                f"{div.reference.label}: {div.detail}",
+                file=sys.stderr,
+            )
+            if div.forensics is not None:
+                print(format_forensics(div.forensics), file=sys.stderr)
+
+    def minimize(program, divergence, *, inject=None, inject_into=None):
+        # The shrinker's hot loop re-runs every candidate, so it uses
+        # only the two configurations that disagree (reference vs
+        # divergent cell) and skips lockstep escalation.
+        pair = [divergence.reference, divergence.config]
+
+        def still_fails(candidate) -> bool:
+            built = assemble_fuzz(candidate.render())
+            return not run_differential(
+                built, pair, max_instructions=max_instructions,
+                inject=inject, inject_into=inject_into, escalate=False,
+            ).ok
+
+        return shrink(program, still_fails,
+                      max_attempts=args.shrink_attempts)
+
+    if args.replay is not None:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print(f"fuzz: no corpus entries under {args.replay}")
+            return 0
+        failed = 0
+        for entry in entries:
+            result = replay_entry(entry, configs,
+                                  max_instructions=max_instructions)
+            print(f"{entry['path']}: "
+                  f"{'ok' if result.ok else 'DIVERGED'}")
+            if not result.ok:
+                failed += 1
+                report(result)
+        print(f"fuzz: replayed {len(entries)} corpus entries x "
+              f"{len(configs)} configs, {failed} divergence(s)")
+        return 1 if failed else 0
+
+    if args.self_test:
+        program = generate_program(args.seed, GenConfig(smc=True))
+        built = assemble_fuzz(program.render())
+        try:
+            inject, result = self_test(
+                built, configs, max_instructions=max_instructions)
+        except RuntimeError as exc:
+            print(f"fuzz self-test FAILED: {exc}", file=sys.stderr)
+            return 1
+        div = result.divergences[0]
+        print(f"fuzz self-test: injected {inject} into "
+              f"{SELF_TEST_VICTIM}; caught "
+              f"{len(result.divergences)} divergence(s)")
+        report(result)
+        small = minimize(program, div, inject=inject,
+                         inject_into=SELF_TEST_VICTIM)
+        before = len(program.render().splitlines())
+        after = len(small.render().splitlines())
+        print(f"fuzz self-test: shrunk reproducer {before} -> "
+              f"{after} asm lines")
+        if div.first_divergent_pc is not None:
+            print("fuzz self-test: forensics localized first "
+                  f"divergent pc {div.first_divergent_pc:#x}")
+        print("fuzz self-test: PASS (the rig trips on an injected "
+              "fault)")
+        return 0
+
+    smc_every = args.smc_every
+    ran = 0
+    failures = 0
+    for i in range(args.count):
+        seed = args.seed + i
+        smc = bool(smc_every) and i % smc_every == smc_every - 1
+        program = generate_program(
+            seed, GenConfig(segments=args.segments, smc=smc))
+        built = assemble_fuzz(program.render(), name=f"<fuzz seed {seed}>")
+        result = run_differential(built, configs,
+                                  max_instructions=max_instructions)
+        ran += 1
+        features = "+".join(program.features) or "straight-line"
+        if result.ok:
+            if args.verbose or (i + 1) % 25 == 0 or i + 1 == args.count:
+                print(f"[{i + 1}/{args.count}] seed={seed} ok "
+                      f"({features}); {failures} divergence(s) so far")
+            continue
+        failures += 1
+        print(f"[{i + 1}/{args.count}] seed={seed} DIVERGED "
+              f"({features})", file=sys.stderr)
+        report(result)
+        div = result.divergences[0]
+        small = minimize(program, div)
+        doc = {"kind": div.kind, "config": div.config.label,
+               "reference": div.reference.label, "detail": div.detail}
+        if div.first_divergent_pc is not None:
+            doc["first_divergent_pc"] = div.first_divergent_pc
+        path = save_reproducer(
+            args.save_failures, small,
+            note=f"found by kahrisma fuzz --seed {args.seed} "
+                 f"(program seed {seed})",
+            divergence=doc,
+        )
+        print(f"reproducer written: {path} "
+              f"({len(small.render().splitlines())} asm lines)",
+              file=sys.stderr)
+        if not args.keep_going:
+            break
+    print(f"fuzz: {ran} programs x {len(configs)} configs, "
+          f"{failures} divergence(s)")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="kahrisma",
@@ -1048,6 +1190,53 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--cycles", action="store_true",
                    help="require identical cycle numbers too")
     p.set_defaults(func=cmd_trace_diff)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="cross-engine differential fuzzing of generated guest "
+             "programs (docs/validation.md)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; program i uses seed+i (default 0)")
+    p.add_argument("--count", type=int, default=50,
+                   help="number of programs to generate (default 50)")
+    p.add_argument("--segments", type=int, default=10,
+                   help="body segments per generated program "
+                        "(default 10)")
+    p.add_argument("--smc-every", type=int, default=5, metavar="N",
+                   help="every Nth program includes self-modifying "
+                        "code (0 disables; default 5)")
+    p.add_argument("--engines", default=",".join(ENGINES),
+                   help="comma list of engines to cross-check "
+                        f"(default {','.join(ENGINES)})")
+    p.add_argument("--models", default="ilp,aie,doe",
+                   help="comma list of cycle models (default "
+                        "ilp,aie,doe; empty string = architectural "
+                        "state only)")
+    p.add_argument("--max-instructions", type=int, default=2_000_000,
+                   help="per-configuration execution budget; hitting "
+                        "it is itself a divergence (default 2000000)")
+    p.add_argument("--save-failures", default="tests/corpus",
+                   metavar="DIR",
+                   help="where shrunk reproducers are written "
+                        "(default tests/corpus)")
+    p.add_argument("--shrink-attempts", type=int, default=120,
+                   metavar="N",
+                   help="candidate-evaluation budget of the shrinker "
+                        "(default 120)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="continue fuzzing after a divergence instead "
+                        "of stopping at the first failure")
+    p.add_argument("--replay", metavar="DIR",
+                   help="replay corpus entries from DIR over the "
+                        "matrix instead of generating programs")
+    p.add_argument("--self-test", action="store_true",
+                   help="inject a register fault into one "
+                        "configuration and verify the rig catches, "
+                        "localizes and shrinks it")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per generated program")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "serve",

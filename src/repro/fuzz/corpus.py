@@ -1,0 +1,105 @@
+"""Reproducer corpus: minimized fuzz programs tier-1 replays forever.
+
+A corpus entry is a small JSON document carrying the *rendered
+assembly* (the source of truth — replay does not depend on the
+generator staying bit-stable across refactors) plus the provenance
+needed to regenerate or extend it: seed, generator config, features,
+and — for entries born from a real divergence — the divergence
+summary.
+
+Policy (``docs/validation.md``): every divergence the rig finds is
+shrunk and saved here; coverage entries (programs exercising rare
+feature combinations like SMC and ISA switches) are checked in
+proactively so the matrix runs them on every tier-1 invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from .generator import FuzzProgram
+from .runner import DiffResult, EngineConfig, assemble_fuzz, run_differential
+
+SCHEMA = "kahrisma-fuzz-corpus-v1"
+
+#: Default in-repo corpus location (relative to the repository root).
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+
+def save_reproducer(
+    directory: str,
+    program: FuzzProgram,
+    *,
+    note: str = "",
+    divergence: Optional[Dict[str, object]] = None,
+    name: Optional[str] = None,
+) -> str:
+    """Write one corpus entry; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    if name is None:
+        name = f"seed{program.seed}"
+        if divergence:
+            name = f"divergence-{name}"
+    path = os.path.join(directory, f"{name}.json")
+    doc = {
+        "schema": SCHEMA,
+        "seed": program.seed,
+        "config": program.config.to_doc(),
+        "features": program.features,
+        "note": note,
+        "asm": program.render(),
+    }
+    if divergence:
+        doc["divergence"] = divergence
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_corpus(directory: str) -> List[Dict[str, object]]:
+    """All corpus entries in ``directory`` (sorted, stable order)."""
+    entries = []
+    if not os.path.isdir(directory):
+        return entries
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: unknown corpus schema {doc.get('schema')!r}"
+            )
+        doc["path"] = path
+        entries.append(doc)
+    return entries
+
+
+def replay_entry(
+    entry: Dict[str, object],
+    configs: Optional[List[EngineConfig]] = None,
+    *,
+    max_instructions: int = 2_000_000,
+) -> DiffResult:
+    """Re-run one corpus entry's assembly over the matrix."""
+    built = assemble_fuzz(
+        entry["asm"], name=entry.get("path", "<corpus>")
+    )
+    return run_differential(
+        built, configs, max_instructions=max_instructions
+    )
+
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "SCHEMA",
+    "load_corpus",
+    "replay_entry",
+    "save_reproducer",
+]

@@ -1,0 +1,464 @@
+"""Seeded generator of random-but-valid mixed-ISA guest programs.
+
+Programs are built from *segments* — structured units the shrinker can
+drop or reduce independently — and rendered to KAHRISMA assembly that
+goes through the real assembler/linker, so every generated ELF is a
+loadable program indistinguishable from compiler output.
+
+Validity rules (what makes the generated chaos safe):
+
+* **Termination is structural.**  All direct branches are forward;
+  loops use a dedicated counter register (``r21``) that no generated
+  body op may write, with a bounded count; indirect jumps go through a
+  jump table whose entries all point forward.  The dynamic instruction
+  count is therefore bounded by construction.
+* **Stores stay in the arena** (a ``.data`` scratch region addressed
+  off ``r20``, which is never written after the prologue) or — for
+  the opt-in SMC segments — at a designated patch site.  Loads may
+  occasionally use a wild base register: the simulated address space
+  is a full sparse 32-bit space, so any load is well-defined.
+* **VLIW bundles follow the scheduler's contract** (read-all-sources
+  before write-back): every op in a bundle writes a distinct
+  register, at most one memory op per bundle, no control ops inside a
+  bundle, ``switchtarget`` in a bundle of its own.
+* **Division is total** (``sdiv``/``srem`` define ÷0), so arbitrary
+  ``div``/``rem`` operands are fine.
+
+Register budget: ``r2``–``r15`` are generated-code scratch, ``r20``
+the arena base, ``r21`` the loop counter, ``r22``/``r23`` indirect-jump
+scratch, ``r24``/``r25`` SMC scratch; ``r0``/``r1`` and the ABI
+registers ``r28``–``r31`` are never touched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+MASK32 = 0xFFFFFFFF
+
+#: Scratch registers generated ops may read and write freely.
+POOL = tuple(range(2, 16))
+R_ARENA = 20
+R_LOOP = 21
+R_JT = 22
+R_JIDX = 23
+R_SMC_A = 24
+R_SMC_B = 25
+
+#: Arena size in 32-bit words (256 bytes of scratch data).
+ARENA_WORDS = 64
+ARENA_BYTES = ARENA_WORDS * 4
+
+ALU3 = (
+    "add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+    "slt", "sltu", "mul", "mulh", "div", "rem",
+)
+ALUI_SIGNED = ("addi", "slti")
+ALUI_UNSIGNED = ("andi", "ori", "xori", "sltiu")
+ALUI_SHIFT = ("slli", "srli", "srai")
+LOADS = ("lw", "lh", "lhu", "lb", "lbu")
+STORES = ("sw", "sh", "sb")
+BRANCH_CONDS = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+_MEM_SIZE = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1,
+             "sw": 4, "sh": 2, "sb": 1}
+
+#: VLIW ISAs the ISA-switch segments may enter (name -> ident).
+VLIW_ISAS = {"vliw2": 1, "vliw4": 2, "vliw6": 3, "vliw8": 4}
+VLIW_WIDTH = {"vliw2": 2, "vliw4": 4, "vliw6": 6, "vliw8": 8}
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of one generated program (all deterministic given seed)."""
+
+    #: Number of body segments to generate.
+    segments: int = 10
+    #: Cap on straight-line ops per segment / loop / branch body.
+    max_ops: int = 8
+    #: Loop trip-count range (inclusive).
+    max_loop_count: int = 16
+    #: Enable bounded loops.
+    loops: bool = True
+    #: Enable forward conditional branches.
+    branches: bool = True
+    #: Enable indirect jumps through a jump table.
+    indirect: bool = True
+    #: Enable ISA-switch segments (RISC -> VLIW -> RISC).
+    isa_switches: bool = True
+    #: Opt-in: self-modifying-code segments.
+    smc: bool = False
+    #: Enable syscall-output segments (print_int/putchar).
+    output: bool = True
+    #: VLIW ISAs switch segments may use.
+    vliw: tuple = ("vliw2", "vliw4")
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "segments": self.segments,
+            "max_ops": self.max_ops,
+            "max_loop_count": self.max_loop_count,
+            "loops": self.loops,
+            "branches": self.branches,
+            "indirect": self.indirect,
+            "isa_switches": self.isa_switches,
+            "smc": self.smc,
+            "output": self.output,
+            "vliw": list(self.vliw),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "GenConfig":
+        doc = dict(doc)
+        if "vliw" in doc:
+            doc["vliw"] = tuple(doc["vliw"])
+        return cls(**doc)
+
+
+@dataclass
+class Segment:
+    """One shrinkable unit of a generated program.
+
+    ``kind`` is one of ``straight``/``loop``/``branch``/``indirect``/
+    ``switch``/``smc``/``output``.  ``body`` holds individually
+    droppable instruction lines (the shrinker removes entries);
+    structural lines (labels, branches, the switchtarget pair) are
+    re-rendered from the other fields, so any subset of ``body`` is
+    still a valid program.
+    """
+
+    kind: str
+    #: Stable per-program id used in labels (survives shrinking).
+    uid: int = 0
+    #: Droppable instruction lines (or VLIW bundle lines for switch).
+    body: List[str] = field(default_factory=list)
+    #: Loop trip count (loop/smc kinds; shrinkable down to 1).
+    count: int = 1
+    #: Branch condition mnemonic + registers (branch kind).
+    cond: str = "bne"
+    cond_regs: tuple = (2, 3)
+    #: Indirect-jump arms: list of droppable-line lists.
+    arms: List[List[str]] = field(default_factory=list)
+    #: Index register the indirect jump hashes (indirect kind).
+    index_reg: int = 2
+    #: VLIW ISA name (switch kind).
+    isa: str = "vliw2"
+    #: Register printed by an output segment.
+    out_reg: int = 2
+    #: Replacement-instruction line planted at the donor site (smc).
+    donor_line: str = ""
+
+    def render(self, text: List[str], donors: List[str],
+               data: List[str]) -> None:
+        uid = self.uid
+        if self.kind == "straight":
+            text.extend(self.body)
+        elif self.kind == "loop":
+            text.append(f"    li r{R_LOOP}, {self.count}")
+            text.append(f"loop_{uid}:")
+            text.extend(self.body)
+            text.append(f"    addi r{R_LOOP}, r{R_LOOP}, -1")
+            text.append(f"    bne r{R_LOOP}, r0, loop_{uid}")
+        elif self.kind == "branch":
+            a, b = self.cond_regs
+            text.append(f"    {self.cond} r{a}, r{b}, skip_{uid}")
+            text.extend(self.body)
+            text.append(f"skip_{uid}:")
+        elif self.kind == "indirect":
+            n = len(self.arms)
+            text.append(f"    andi r{R_JIDX}, r{self.index_reg}, {n - 1}")
+            text.append(f"    slli r{R_JIDX}, r{R_JIDX}, 2")
+            text.append(f"    la r{R_JT}, jt_{uid}")
+            text.append(f"    add r{R_JT}, r{R_JT}, r{R_JIDX}")
+            text.append(f"    lw r{R_JT}, 0(r{R_JT})")
+            text.append(f"    jr r{R_JT}")
+            for i, arm in enumerate(self.arms):
+                text.append(f"arm_{uid}_{i}:")
+                text.extend(arm)
+                text.append(f"    j join_{uid}")
+            text.append(f"join_{uid}:")
+            entries = ", ".join(f"arm_{uid}_{i}" for i in range(n))
+            data.append(f"jt_{uid}: .word {entries}")
+        elif self.kind == "switch":
+            ident = VLIW_ISAS[self.isa]
+            text.append(f"    switchtarget {ident}")
+            text.append(f".isa {self.isa}")
+            text.extend(self.body)
+            text.append("    { switchtarget 0 }")
+            text.append(".isa risc")
+        elif self.kind == "smc":
+            # The first loop iteration executes the original patch-site
+            # instruction and then overwrites it with the donor word;
+            # later iterations execute the replacement — a store into
+            # live translated code, exercising byte-precise
+            # invalidation on every engine.
+            text.append(f"    li r{R_LOOP}, {max(2, self.count)}")
+            text.append(f"smcl_{uid}:")
+            text.append(f"patch_{uid}:")
+            text.append("    addi r5, r5, 1")
+            text.append(f"    la r{R_SMC_A}, donor_{uid}")
+            text.append(f"    lw r{R_SMC_B}, 0(r{R_SMC_A})")
+            text.append(f"    la r{R_SMC_A}, patch_{uid}")
+            text.append(f"    sw r{R_SMC_B}, 0(r{R_SMC_A})")
+            text.extend(self.body)
+            text.append(f"    addi r{R_LOOP}, r{R_LOOP}, -1")
+            text.append(f"    bne r{R_LOOP}, r0, smcl_{uid}")
+            donors.append(f"donor_{uid}:")
+            donors.append(self.donor_line)
+        elif self.kind == "output":
+            text.append(f"    addi r4, r{self.out_reg}, 0")
+            text.append("    simop 4")  # print_int(r4)
+            text.append("    addi r4, r0, 32")
+            text.append("    simop 1")  # putchar(' ')
+        else:  # pragma: no cover - generator invariant
+            raise ValueError(f"unknown segment kind {self.kind!r}")
+
+
+@dataclass
+class FuzzProgram:
+    """A generated program: structured segments plus render()."""
+
+    seed: int
+    config: GenConfig
+    segments: List[Segment]
+    #: Prologue constants loaded into the scratch pool.
+    reg_seeds: Dict[int, int] = field(default_factory=dict)
+    #: Initial arena contents (words).
+    arena: List[int] = field(default_factory=list)
+
+    @property
+    def features(self) -> List[str]:
+        found = []
+        for kind in ("loop", "branch", "indirect", "switch", "smc",
+                     "output"):
+            if any(s.kind == kind for s in self.segments):
+                found.append("isa-switch" if kind == "switch" else kind)
+        return found
+
+    def with_segments(self, segments: List[Segment]) -> "FuzzProgram":
+        return FuzzProgram(
+            seed=self.seed, config=self.config, segments=list(segments),
+            reg_seeds=self.reg_seeds, arena=self.arena,
+        )
+
+    def render(self) -> str:
+        text: List[str] = [
+            f"# generated by repro.fuzz (seed={self.seed})",
+            ".isa risc",
+            ".text",
+            ".global $risc$main",
+            "$risc$main:",
+            f"    la r{R_ARENA}, arena",
+        ]
+        for reg in sorted(self.reg_seeds):
+            text.append(f"    li r{reg}, {self.reg_seeds[reg]}")
+        donors: List[str] = []
+        data: List[str] = []
+        for segment in self.segments:
+            segment.render(text, donors, data)
+        text.append("    halt")
+        # Donor words live in .text after the halt — never executed,
+        # only loaded as data by the SMC patch loop.
+        text.extend(donors)
+        text.append(".data")
+        arena_words = ", ".join(str(w) for w in self.arena) or "0"
+        text.append(f"arena: .word {arena_words}")
+        text.extend(data)
+        return "\n".join(text) + "\n"
+
+
+# -- op sampling --------------------------------------------------------------
+
+
+def _imm_for(rng: random.Random, mnemonic: str) -> int:
+    if mnemonic in ALUI_SHIFT:
+        return rng.randrange(0, 32)
+    if mnemonic in ALUI_UNSIGNED:
+        return rng.randrange(0, 8192)
+    return rng.randrange(-8192, 8192)
+
+
+def _sample_alu(rng: random.Random) -> str:
+    if rng.random() < 0.55:
+        mn = rng.choice(ALU3)
+        rd = rng.choice(POOL)
+        rs1 = rng.choice(POOL + (0,))
+        rs2 = rng.choice(POOL)
+        return f"    {mn} r{rd}, r{rs1}, r{rs2}"
+    mn = rng.choice(ALUI_SIGNED + ALUI_UNSIGNED + ALUI_SHIFT)
+    rd = rng.choice(POOL)
+    rs1 = rng.choice(POOL + (0,))
+    return f"    {mn} r{rd}, r{rs1}, {_imm_for(rng, mn)}"
+
+
+def _sample_mem(rng: random.Random) -> str:
+    if rng.random() < 0.5:
+        mn = rng.choice(LOADS)
+        rd = rng.choice(POOL)
+        if rng.random() < 0.1:
+            # Wild-base load: any 32-bit address is defined (sparse
+            # memory), and identical across engines by construction.
+            rs1 = rng.choice(POOL)
+            return f"    {mn} r{rd}, {rng.randrange(-8192, 8192)}(r{rs1})"
+        off = _arena_offset(rng, _MEM_SIZE[mn])
+        return f"    {mn} r{rd}, {off}(r{R_ARENA})"
+    mn = rng.choice(STORES)
+    rt = rng.choice(POOL)
+    off = _arena_offset(rng, _MEM_SIZE[mn])
+    return f"    {mn} r{rt}, {off}(r{R_ARENA})"
+
+
+def _arena_offset(rng: random.Random, size: int) -> int:
+    return rng.randrange(0, (ARENA_BYTES - size) // size + 1) * size
+
+
+def _sample_body(rng: random.Random, max_ops: int, *,
+                 mem_ratio: float = 0.35) -> List[str]:
+    ops = []
+    for _ in range(rng.randrange(1, max_ops + 1)):
+        if rng.random() < mem_ratio:
+            ops.append(_sample_mem(rng))
+        else:
+            ops.append(_sample_alu(rng))
+    return ops
+
+
+def _sample_bundles(rng: random.Random, isa: str, max_bundles: int) -> List[str]:
+    """VLIW bundle lines: distinct dests, <=1 memory op, no control."""
+    width = VLIW_WIDTH[isa]
+    lines = []
+    for _ in range(rng.randrange(1, max_bundles + 1)):
+        n = rng.randrange(1, min(width, 4) + 1)
+        dests = rng.sample(POOL, n)
+        ops = []
+        used_mem = False
+        for rd in dests:
+            if not used_mem and rng.random() < 0.25:
+                used_mem = True
+                if rng.random() < 0.5:
+                    mn = rng.choice(LOADS)
+                    off = _arena_offset(rng, _MEM_SIZE[mn])
+                    ops.append(f"{mn} r{rd}, {off}(r{R_ARENA})")
+                else:
+                    mn = rng.choice(STORES)
+                    off = _arena_offset(rng, _MEM_SIZE[mn])
+                    ops.append(f"{mn} r{rd}, {off}(r{R_ARENA})")
+            elif rng.random() < 0.5:
+                mn = rng.choice(ALU3)
+                ops.append(
+                    f"{mn} r{rd}, r{rng.choice(POOL)}, r{rng.choice(POOL)}"
+                )
+            else:
+                mn = rng.choice(ALUI_SIGNED + ALUI_UNSIGNED + ALUI_SHIFT)
+                ops.append(
+                    f"{mn} r{rd}, r{rng.choice(POOL)}, {_imm_for(rng, mn)}"
+                )
+        lines.append("    { " + " ; ".join(ops) + " }")
+    return lines
+
+
+#: Replacement instructions an SMC donor site may carry (all one-word
+#: RISC ops with no control-flow effect).
+_SMC_DONORS = (
+    "    xori r5, r5, 341",
+    "    addi r5, r5, 7",
+    "    sub r5, r0, r5",
+    "    slli r5, r5, 1",
+)
+
+
+def generate_program(
+    seed: int, config: Optional[GenConfig] = None
+) -> FuzzProgram:
+    """Deterministically generate one program from ``seed``."""
+    config = config if config is not None else GenConfig()
+    rng = random.Random(seed)
+    reg_seeds = {
+        reg: rng.randrange(0, 1 << 32) for reg in POOL
+    }
+    arena = [rng.randrange(0, 1 << 32) for _ in range(ARENA_WORDS)]
+
+    kinds = ["straight", "straight"]
+    if config.loops:
+        kinds.append("loop")
+    if config.branches:
+        kinds.append("branch")
+    if config.indirect:
+        kinds.append("indirect")
+    if config.isa_switches:
+        kinds.append("switch")
+    if config.smc:
+        kinds.append("smc")
+    if config.output:
+        kinds.append("output")
+
+    segments: List[Segment] = []
+    # Guarantee requested rare features appear at least once.
+    forced = []
+    if config.smc:
+        forced.append("smc")
+    if config.isa_switches:
+        forced.append("switch")
+    for uid in range(config.segments):
+        kind = forced.pop(0) if forced else rng.choice(kinds)
+        if kind == "straight":
+            segments.append(Segment(
+                kind="straight", uid=uid,
+                body=_sample_body(rng, config.max_ops),
+            ))
+        elif kind == "loop":
+            segments.append(Segment(
+                kind="loop", uid=uid,
+                count=rng.randrange(1, config.max_loop_count + 1),
+                body=_sample_body(rng, config.max_ops),
+            ))
+        elif kind == "branch":
+            segments.append(Segment(
+                kind="branch", uid=uid,
+                cond=rng.choice(BRANCH_CONDS),
+                cond_regs=(rng.choice(POOL), rng.choice(POOL)),
+                body=_sample_body(rng, config.max_ops),
+            ))
+        elif kind == "indirect":
+            n = rng.choice((2, 4))
+            segments.append(Segment(
+                kind="indirect", uid=uid,
+                index_reg=rng.choice(POOL),
+                arms=[
+                    _sample_body(rng, max(2, config.max_ops // 2))
+                    for _ in range(n)
+                ],
+            ))
+        elif kind == "switch":
+            isa = rng.choice(config.vliw)
+            segments.append(Segment(
+                kind="switch", uid=uid, isa=isa,
+                body=_sample_bundles(rng, isa, 3),
+            ))
+        elif kind == "smc":
+            segments.append(Segment(
+                kind="smc", uid=uid,
+                count=rng.randrange(2, max(3, config.max_loop_count // 2)),
+                body=_sample_body(rng, max(1, config.max_ops // 2)),
+                donor_line=rng.choice(_SMC_DONORS),
+            ))
+        elif kind == "output":
+            segments.append(Segment(
+                kind="output", uid=uid, out_reg=rng.choice(POOL),
+            ))
+    return FuzzProgram(
+        seed=seed, config=config, segments=segments,
+        reg_seeds=reg_seeds, arena=arena,
+    )
+
+
+__all__ = [
+    "ARENA_BYTES",
+    "FuzzProgram",
+    "GenConfig",
+    "Segment",
+    "generate_program",
+    "replace",
+]

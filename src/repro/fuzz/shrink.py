@@ -1,0 +1,151 @@
+"""Delta-debugging minimizer for failing fuzz programs.
+
+Given a program and a failure predicate (``still_fails(program) ->
+bool``, typically "run_differential finds a divergence"), the shrinker
+greedily removes structure while the failure persists:
+
+1. **segment ddmin** — drop contiguous chunks of segments, halving
+   the chunk size down to single segments;
+2. **loop-count reduction** — binary-reduce every loop/SMC trip count
+   towards 1 (SMC keeps the 2-iteration minimum that makes the
+   patched instruction execute);
+3. **instruction ddmin** — drop individual body lines inside the
+   surviving segments (and whole indirect-jump arms' bodies).
+
+Every candidate re-assembles through the real toolchain, so the
+minimized reproducer is always a valid program.  The budget caps total
+candidate evaluations — differential runs dominate the cost, and a
+linear-ish bound keeps worst-case shrinks predictable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .generator import FuzzProgram, Segment
+
+
+def _copy_segment(segment: Segment) -> Segment:
+    return Segment(
+        kind=segment.kind, uid=segment.uid, body=list(segment.body),
+        count=segment.count, cond=segment.cond,
+        cond_regs=segment.cond_regs,
+        arms=[list(arm) for arm in segment.arms],
+        index_reg=segment.index_reg, isa=segment.isa,
+        out_reg=segment.out_reg, donor_line=segment.donor_line,
+    )
+
+
+class _Budget:
+    def __init__(self, attempts: int) -> None:
+        self.remaining = attempts
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _check(program: FuzzProgram,
+           still_fails: Callable[[FuzzProgram], bool],
+           budget: _Budget) -> bool:
+    if not budget.spend():
+        return False
+    try:
+        return still_fails(program)
+    except Exception:
+        # A candidate that breaks assembly/execution outright is not a
+        # valid reduction — keep shrinking elsewhere.
+        return False
+
+
+def _ddmin_segments(program: FuzzProgram, still_fails, budget) -> FuzzProgram:
+    segments = list(program.segments)
+    chunk = max(1, len(segments) // 2)
+    while chunk >= 1 and len(segments) > 1:
+        shrunk_here = False
+        start = 0
+        while start < len(segments) and len(segments) > 1:
+            candidate_segments = segments[:start] + segments[start + chunk:]
+            if not candidate_segments:
+                start += chunk
+                continue
+            candidate = program.with_segments(candidate_segments)
+            if _check(candidate, still_fails, budget):
+                segments = candidate_segments
+                shrunk_here = True
+            else:
+                start += chunk
+            if budget.remaining <= 0:
+                return program.with_segments(segments)
+        chunk = chunk // 2 if not shrunk_here else max(1, chunk // 2)
+    return program.with_segments(segments)
+
+
+def _shrink_counts(program: FuzzProgram, still_fails, budget) -> FuzzProgram:
+    segments = [_copy_segment(s) for s in program.segments]
+    for segment in segments:
+        floor = 2 if segment.kind == "smc" else 1
+        while segment.count > floor and budget.remaining > 0:
+            candidate_count = max(floor, segment.count // 2)
+            saved = segment.count
+            segment.count = candidate_count
+            if not _check(program.with_segments(segments), still_fails,
+                          budget):
+                segment.count = saved
+                break
+    return program.with_segments(segments)
+
+
+def _shrink_bodies(program: FuzzProgram, still_fails, budget) -> FuzzProgram:
+    segments = [_copy_segment(s) for s in program.segments]
+    for segment in segments:
+        lists: List[List[str]] = [segment.body] + segment.arms
+        for lines in lists:
+            i = 0
+            while i < len(lines) and budget.remaining > 0:
+                removed = lines.pop(i)
+                if _check(program.with_segments(segments), still_fails,
+                          budget):
+                    continue  # stays removed; same index now next line
+                lines.insert(i, removed)
+                i += 1
+    return program.with_segments(segments)
+
+
+def shrink(
+    program: FuzzProgram,
+    still_fails: Callable[[FuzzProgram], bool],
+    *,
+    max_attempts: int = 300,
+) -> FuzzProgram:
+    """Return a minimized program for which ``still_fails`` holds.
+
+    The input program itself must fail; the result is the smallest
+    failing candidate found within ``max_attempts`` evaluations (the
+    original is returned unchanged when nothing smaller fails).
+    """
+    budget = _Budget(max_attempts)
+    current = program
+    # Fixpoint over the three passes: a dropped segment often unlocks
+    # further body reductions and vice versa.
+    while budget.remaining > 0:
+        before = _signature(current)
+        current = _ddmin_segments(current, still_fails, budget)
+        current = _shrink_counts(current, still_fails, budget)
+        current = _shrink_bodies(current, still_fails, budget)
+        if _signature(current) == before:
+            break
+    return current
+
+
+def _signature(program: FuzzProgram) -> tuple:
+    return tuple(
+        (s.kind, s.count, tuple(s.body),
+         tuple(tuple(arm) for arm in s.arms))
+        for s in program.segments
+    )
+
+
+__all__ = ["shrink"]

@@ -182,6 +182,9 @@ class Job:
     #: Resumable checkpoint written on cancellation.
     checkpoint: Optional[str] = None
     cancel_requested: bool = False
+    #: Guard against double-releasing the scheduler slot (set by
+    #: :meth:`repro.serve.scheduler.Scheduler.release`).
+    released: bool = False
 
     @property
     def terminal(self) -> bool:

@@ -80,6 +80,11 @@ class Scheduler:
         self.dispatched = 0
         self.completed = 0
         self.cancelled_queued = 0
+        self.requeued = 0
+        #: Release calls that would have underflowed a tenant's
+        #: running count (double release / release without acquire) —
+        #: clamped instead of corrupting the fairness state.
+        self.release_underflows = 0
 
     # -- admission ----------------------------------------------------------
 
@@ -157,17 +162,55 @@ class Scheduler:
         self._depth -= 1
         self._running[best_tenant] = self._running.get(best_tenant, 0) + 1
         self.dispatched += 1
+        job.released = False
         return job
 
     def release(self, job: Job) -> None:
-        """A previously acquired job finished (any terminal state)."""
+        """A previously acquired job finished (any terminal state).
+
+        Idempotent: releasing the same job twice (e.g. a worker-death
+        reaper racing a late ``done`` message) is counted in
+        ``release_underflows`` and otherwise ignored — the tenant's
+        running count never goes negative, which would permanently
+        skew the fairness pick in :meth:`acquire`.
+        """
+        if job.released:
+            self.release_underflows += 1
+            return
+        job.released = True
         tenant = job.spec.tenant
         count = self._running.get(tenant, 0)
-        if count <= 1:
+        if count <= 0:
+            self.release_underflows += 1
+            return
+        if count == 1:
             self._running.pop(tenant, None)
         else:
             self._running[tenant] = count - 1
         self.completed += 1
+
+    def requeue(self, job: Job) -> None:
+        """Put an acquired-but-undispatchable job back in its queue.
+
+        Used when dispatch to a worker fails (dead process, broken
+        pipe): the running slot is given back and the job keeps its
+        original ``seq``, so it stays first in line for its priority
+        class.
+        """
+        if not job.released:
+            job.released = True
+            tenant = job.spec.tenant
+            count = self._running.get(tenant, 0)
+            if count <= 1:
+                self._running.pop(tenant, None)
+            else:
+                self._running[tenant] = count - 1
+        heapq.heappush(
+            self._queues.setdefault(job.spec.tenant, []),
+            (job.spec.priority, job.seq, job),
+        )
+        self._depth += 1
+        self.requeued += 1
 
     def remove(self, job: Job) -> bool:
         """Remove a still-queued job (cancellation before dispatch)."""
@@ -200,4 +243,6 @@ class Scheduler:
             "serve.scheduler.rejected_tenant": self.rejected_tenant,
             "serve.scheduler.rejected_global": self.rejected_global,
             "serve.scheduler.cancelled_queued": self.cancelled_queued,
+            "serve.scheduler.requeued": self.requeued,
+            "serve.scheduler.release_underflows": self.release_underflows,
         }

@@ -41,11 +41,21 @@ from .workers import WorkerPool
 #: Submitted request bodies beyond this are rejected (413).
 BODY_LIMIT = 4 * 1024 * 1024
 
+#: Header-section caps: more than this many header lines, or more
+#: than this many header bytes total, is rejected with 431.
+MAX_HEADERS = 100
+HEADER_LIMIT = 32 * 1024
+
+#: How often the reaper sweeps the pool for dead worker processes.
+REAP_INTERVAL = 0.5
+
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout",
     409: "Conflict", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
@@ -113,9 +123,17 @@ class KahrismaServer:
         self._watchers: Dict[str, List[asyncio.Queue]] = {}
         #: jobs in terminal order, for retention eviction.
         self._terminal_order: List[str] = []
+        self._reaper: Optional[asyncio.Task] = None
         # -- serve.* counters --
         self.http_requests = 0
         self.http_errors = 0
+        #: Requests rejected before routing: unparseable framing
+        #: (e.g. malformed Content-Length -> 400) and header-cap
+        #: rejects (-> 431).
+        self.http_bad_requests = 0
+        self.http_header_rejects = 0
+        self.workers_died = 0
+        self.workers_respawned = 0
         self.jobs_by_state = {
             "done": 0, "cancelled": 0, "failed": 0,
         }
@@ -144,6 +162,7 @@ class KahrismaServer:
             self._handle_connection, self.config.host, self.config.port
         )
         self.address = self._server.sockets[0].getsockname()[:2]
+        self._reaper = self._loop.create_task(self._reap_forever())
 
     async def serve_forever(self) -> None:
         assert self._server is not None
@@ -152,6 +171,13 @@ class KahrismaServer:
 
     async def stop(self) -> None:
         """Stop accepting, stop workers, end open event relays."""
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -204,7 +230,12 @@ class KahrismaServer:
             return
         if kind == "done":
             if self.pool is not None:
-                self.pool.worker(worker_id).job_id = None
+                worker = self.pool.worker(worker_id)
+                # Only clear if this worker still owns the job: a late
+                # message from a reaped worker's queue must not mark a
+                # respawned (and possibly re-dispatched) slot idle.
+                if worker.job_id == job_id:
+                    worker.job_id = None
             if job is not None and not job.terminal:
                 job.state = payload.get("state", "failed")
                 job.finished_at = time.time()
@@ -230,6 +261,41 @@ class KahrismaServer:
             evicted = self._terminal_order.pop(0)
             self.jobs.pop(evicted, None)
 
+    async def _reap_forever(self) -> None:
+        """Watch for dead worker processes (crash/kill) and recover.
+
+        A worker dying mid-job would otherwise leave that job
+        ``running`` forever: no ``done`` message ever arrives, the
+        scheduler slot stays acquired, and result waiters block until
+        their timeout.  The reaper fails the job, releases the slot,
+        respawns the worker, and lets scheduling continue.
+        """
+        while True:
+            await asyncio.sleep(REAP_INTERVAL)
+            if self.pool is None:
+                continue
+            for worker in self.pool.dead_workers():
+                self.workers_died += 1
+                exitcode = worker.process.exitcode
+                job = (
+                    self.jobs.get(worker.job_id)
+                    if worker.job_id is not None else None
+                )
+                if job is not None and not job.terminal:
+                    job.state = "failed"
+                    job.finished_at = time.time()
+                    job.error = (
+                        f"worker {worker.id} died while running this "
+                        f"job (exit code {exitcode})"
+                    )
+                    job.result = {"state": "failed", "error": job.error}
+                    self.scheduler.release(job)
+                    self._finish(job)
+                self.pool.respawn(worker.id)
+                self.workers_respawned += 1
+            # Respawned workers announce themselves with "ready",
+            # which re-enters _schedule; nothing more to do here.
+
     def _schedule(self) -> None:
         """Dispatch queued jobs onto idle workers (fairness in acquire)."""
         if self.pool is None:
@@ -244,7 +310,17 @@ class KahrismaServer:
             job.state = "running"
             job.started_at = time.time()
             job.worker = worker.id
-            worker.dispatch(job.id, job.spec)
+            try:
+                worker.dispatch(job.id, job.spec)
+            except (OSError, BrokenPipeError, ValueError):
+                # Dead pipe: give the slot back (keeping the job first
+                # in line) and let the reaper replace the worker.
+                worker.job_id = None
+                job.state = "queued"
+                job.started_at = None
+                job.worker = None
+                self.scheduler.requeue(job)
+                return
 
     # -- job operations (loop thread) ---------------------------------------
 
@@ -271,7 +347,9 @@ class KahrismaServer:
                 self._finish(job)
             return {"id": job.id, "state": job.state}
         if self.pool is not None and job.worker is not None:
-            self.pool.worker(job.worker).cancel()
+            # Job-id-aware: the worker only honors this if it is still
+            # executing *this* job (stale-cancel race fix).
+            self.pool.worker(job.worker).cancel(job.id)
         return {"id": job.id, "state": job.state,
                 "cancelling": True}
 
@@ -289,6 +367,10 @@ class KahrismaServer:
             ),
             "serve.http.requests": self.http_requests,
             "serve.http.errors": self.http_errors,
+            "serve.http.bad_requests": self.http_bad_requests,
+            "serve.http.header_rejects": self.http_header_rejects,
+            "serve.workers_died": self.workers_died,
+            "serve.workers_respawned": self.workers_respawned,
             "serve.jobs.known": len(self.jobs),
             "serve.jobs.done": self.jobs_by_state.get("done", 0),
             "serve.jobs.cancelled": self.jobs_by_state.get("cancelled", 0),
@@ -333,7 +415,13 @@ class KahrismaServer:
                 pass
 
     async def _read_request(self, reader):
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except ValueError:
+            # StreamReader limit exceeded: a request line longer than
+            # the 64 KiB stream buffer.
+            self.http_header_rejects += 1
+            raise _HttpError(431, "request line too long")
         if not line:
             return None
         try:
@@ -341,15 +429,43 @@ class KahrismaServer:
                 line.decode("latin-1").strip().split(" ", 2)
             )
         except ValueError:
+            self.http_bad_requests += 1
             raise _HttpError(400, "malformed request line")
         headers: Dict[str, str] = {}
+        header_count = 0
+        header_bytes = 0
         while True:
-            raw = await reader.readline()
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                self.http_header_rejects += 1
+                raise _HttpError(431, "header line too long")
             if raw in (b"\r\n", b"\n", b""):
                 break
+            header_count += 1
+            header_bytes += len(raw)
+            if header_count > MAX_HEADERS or header_bytes > HEADER_LIMIT:
+                self.http_header_rejects += 1
+                raise _HttpError(
+                    431,
+                    f"header section exceeds {MAX_HEADERS} fields / "
+                    f"{HEADER_LIMIT} bytes",
+                )
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self.http_bad_requests += 1
+            raise _HttpError(
+                400, f"malformed Content-Length {raw_length!r}"
+            )
+        if length < 0:
+            self.http_bad_requests += 1
+            raise _HttpError(
+                400, f"negative Content-Length {raw_length!r}"
+            )
         if length > BODY_LIMIT:
             raise _HttpError(413, f"body exceeds {BODY_LIMIT} bytes")
         body = await reader.readexactly(length) if length else b""

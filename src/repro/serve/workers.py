@@ -20,8 +20,12 @@ Message protocol (worker → server, one shared queue)::
 
 Dispatch (server → worker) goes over a per-worker pipe: a job document
 ``{"id": ..., "spec": {...}}`` or ``None`` to shut down.  Cancellation
-uses a per-worker :class:`multiprocessing.Event` polled by the
-interpreter's budget-slicing seam — the server sets it, the running
+is **job-id-aware**: the server writes the id of the job to cancel
+into a small shared-memory cell, and the worker's budget-slice poll
+compares it against the id of the job it is *currently* executing.  A
+stale cancel (sent for job N after N finished, arriving while job M
+runs) can therefore never stop the wrong job — there is no event to
+clear and no window in which clearing races dispatch.  The running
 job stops at the next slice (at most ``heartbeat_every`` instructions
 later) and reports ``state="cancelled"`` with a resumable checkpoint.
 """
@@ -30,7 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .protocol import JobSpec
 
@@ -176,7 +180,25 @@ def execute_job(
         }
 
 
-def _worker_main(worker_id, conn, msgq, cancel_event, config) -> None:
+#: Size of the shared cancel cell: one length byte plus the UTF-8 job
+#: id (:func:`repro.serve.protocol.job_id_new` ids are ~16 chars).
+CANCEL_CELL_SIZE = 64
+
+
+def _cancel_cell_read(cell) -> str:
+    with cell.get_lock():
+        n = cell[0]
+        return bytes(cell[1:1 + n]).decode("utf-8", "replace")
+
+
+def _cancel_cell_write(cell, job_id: str) -> None:
+    data = job_id.encode("utf-8")[:CANCEL_CELL_SIZE - 1]
+    with cell.get_lock():
+        cell[0] = len(data)
+        cell[1:1 + len(data)] = data
+
+
+def _worker_main(worker_id, conn, msgq, cancel_cell, config) -> None:
     """Process entry point: serve jobs from the dispatch pipe forever."""
     build_cache: Dict[tuple, object] = {}
     msgq.put(("ready", worker_id, None, None))
@@ -189,15 +211,19 @@ def _worker_main(worker_id, conn, msgq, cancel_event, config) -> None:
             break
         job_id = item["id"]
         spec = JobSpec(**item["spec"])
-        cancel_event.clear()
 
         def emit(event, _jid=job_id):
             msgq.put(("event", worker_id, _jid, event))
 
+        # Only a cancel naming *this* job counts; requests for any
+        # other (earlier, finished) job are inert by construction.
+        def cancelled(_jid=job_id):
+            return _cancel_cell_read(cancel_cell) == _jid
+
         result = execute_job(
             job_id,
             spec,
-            cancel=cancel_event.is_set,
+            cancel=cancelled,
             emit=emit,
             build_cache=build_cache,
             checkpoint_dir=config.get("checkpoint_dir"),
@@ -215,12 +241,12 @@ class Worker:
         self.id = worker_id
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
-        self.cancel_event = ctx.Event()
+        self.cancel_cell = ctx.Array("B", CANCEL_CELL_SIZE)
         #: Job id currently running on this worker (None = idle).
         self.job_id: Optional[str] = None
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, child_conn, msgq, self.cancel_event, config),
+            args=(worker_id, child_conn, msgq, self.cancel_cell, config),
             daemon=True,
             name=f"kahrisma-worker-{worker_id}",
         )
@@ -228,17 +254,26 @@ class Worker:
         child_conn.close()
 
     @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
     def idle(self) -> bool:
         return self.job_id is None and self.process.is_alive()
 
     def dispatch(self, job_id: str, spec: JobSpec) -> None:
         self.job_id = job_id
-        self.cancel_event.clear()
         self.conn.send({"id": job_id, "spec": spec.to_doc()})
 
-    def cancel(self) -> None:
-        """Ask the running job to stop at its next budget slice."""
-        self.cancel_event.set()
+    def cancel(self, job_id: Optional[str] = None) -> None:
+        """Ask ``job_id`` (default: the dispatched job) to stop at its
+        next budget slice.  Naming the job makes stale requests inert:
+        if the worker has moved on to another job, the id comparison
+        in its poll fails and nothing is cancelled."""
+        target = job_id if job_id is not None else self.job_id
+        if target is None:
+            return
+        _cancel_cell_write(self.cancel_cell, target)
 
     def stop(self) -> None:
         try:
@@ -274,13 +309,13 @@ class WorkerPool:
             "fork" if "fork" in methods else None
         )
         self.messages = self.ctx.Queue()
-        config = {
+        self._config = {
             "checkpoint_dir": checkpoint_dir,
             "plan_cache_dir": plan_cache_dir,
             "use_plan_cache": use_plan_cache,
         }
         self.workers = [
-            Worker(i, self.ctx, self.messages, config)
+            Worker(i, self.ctx, self.messages, self._config)
             for i in range(max(1, workers))
         ]
 
@@ -295,6 +330,31 @@ class WorkerPool:
 
     def worker(self, worker_id: int) -> Worker:
         return self.workers[worker_id]
+
+    def dead_workers(self) -> List["Worker"]:
+        """Workers whose process exited (crash, OOM-kill, terminate)."""
+        return [w for w in self.workers if not w.process.is_alive()]
+
+    def respawn(self, worker_id: int) -> Worker:
+        """Replace a dead worker with a fresh process under the same id.
+
+        The old handle's pipe is closed (drops any queued dispatch);
+        the replacement announces itself with the usual ``ready``
+        message once it is up.
+        """
+        old = self.workers[worker_id]
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(1.0)
+        replacement = Worker(
+            worker_id, self.ctx, self.messages, self._config
+        )
+        self.workers[worker_id] = replacement
+        return replacement
 
     def shutdown(self) -> None:
         for worker in self.workers:

@@ -18,6 +18,7 @@ Three layers, tested bottom-up:
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 
@@ -36,7 +37,8 @@ from repro.serve import (
 )
 from repro.serve.client import KahrismaClient, ServeError
 from repro.serve.protocol import Job, job_id_new
-from repro.serve.workers import execute_job
+from repro.serve.workers import WorkerPool, execute_job
+from repro.sim.interpreter import CANCEL_SLICE
 from repro.telemetry.stream import validate_stream_text
 
 
@@ -510,3 +512,239 @@ class TestStraightVsServed:
         assert served["exit_code"] == local.exit_code
         assert served["cycles"] == local.cycles
         assert served["output"] == local.output
+
+
+class TestSchedulerGuards:
+    """Release/requeue bookkeeping must survive hostile call orders."""
+
+    def test_double_release_is_clamped(self):
+        s = Scheduler()
+        job = make_job()
+        s.submit(job)
+        assert s.acquire() is job
+        s.release(job)
+        assert s.running == 0
+        # The reaper failing a job can race a late "done" message:
+        # the second release must be a counted no-op, not an
+        # underflow that skews the fairness pick forever.
+        s.release(job)
+        assert s.running == 0
+        assert s.completed == 1
+        assert s.release_underflows == 1
+        assert s.metrics()["serve.scheduler.release_underflows"] == 1
+
+    def test_release_without_acquire_is_counted(self):
+        s = Scheduler()
+        s.release(make_job())
+        assert s.running == 0
+        assert s.completed == 0
+        assert s.release_underflows == 1
+
+    def test_requeue_keeps_slot_and_position(self):
+        s = Scheduler()
+        first = make_job(priority=5)
+        second = make_job(priority=5)
+        s.submit(first)
+        s.submit(second)
+        assert s.acquire() is first
+        s.requeue(first)  # dispatch failed: give the slot back
+        assert s.running == 0
+        assert s.depth == 2
+        assert s.metrics()["serve.scheduler.requeued"] == 1
+        assert s.acquire() is first  # kept its place in line
+        s.release(first)
+        assert s.running == 0
+        assert s.release_underflows == 0
+
+
+class TestStaleCancelRace:
+    """Cancellation is job-id-aware: a cancel for a finished job must
+    never stop whatever the worker is running *now*."""
+
+    def _drain_until(self, pool, kind, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            msg = pool.messages.get(timeout=timeout)
+            if msg[0] == kind and msg[2] == job_id:
+                return msg
+        raise AssertionError(f"no {kind!r} for {job_id!r} within "
+                             f"{timeout}s")
+
+    def test_stale_cancel_cannot_stop_the_next_job(self, tmp_path):
+        pool = WorkerPool(1, checkpoint_dir=str(tmp_path))
+        try:
+            worker = pool.worker(0)
+            assert pool.messages.get(timeout=30)[0] == "ready"
+            worker.dispatch("job-A", JobSpec(program="dct4x4"))
+            done = self._drain_until(pool, "done", "job-A")
+            assert done[3]["state"] == "done"
+            worker.job_id = None
+            # job-B is running when the cancel for the long-finished
+            # job-A arrives — the historical race window (an event
+            # flag would have stopped job-B here).
+            worker.dispatch(
+                "job-B",
+                JobSpec(program="djpeg", heartbeat_every=50_000,
+                        max_instructions=400_000),
+            )
+            self._drain_until(pool, "event", "job-B")
+            worker.cancel("job-A")
+            done = self._drain_until(pool, "done", "job-B")
+            assert done[3]["state"] == "done"
+            assert done[3]["instructions"] == 400_000
+        finally:
+            pool.shutdown()
+
+    def test_named_cancel_stops_the_running_job(self, tmp_path):
+        pool = WorkerPool(1, checkpoint_dir=str(tmp_path))
+        try:
+            worker = pool.worker(0)
+            assert pool.messages.get(timeout=30)[0] == "ready"
+            worker.dispatch(
+                "job-C", JobSpec(program="djpeg", heartbeat_every=5_000)
+            )
+            self._drain_until(pool, "event", "job-C")
+            worker.cancel("job-C")
+            done = self._drain_until(pool, "done", "job-C")
+            assert done[3]["state"] == "cancelled"
+            assert done[3]["checkpoint"]
+        finally:
+            pool.shutdown()
+
+
+class TestDeadWorkerReaper:
+    """A worker dying mid-job must not leave the job stuck forever."""
+
+    def test_dead_worker_fails_job_releases_slot_respawns(
+        self, tmp_path
+    ):
+        handle = start_in_thread(ServerConfig(
+            port=0, workers=1,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            plan_cache_dir=str(tmp_path / "plans"),
+        ))
+        try:
+            client = KahrismaClient(handle.base_url)
+            job = client.submit({"program": "djpeg", "engine": "cache",
+                                 "heartbeat_every": 5_000})
+            deadline = time.monotonic() + 30
+            while (client.status(job["id"])["state"] != "running"
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            status = client.status(job["id"])
+            assert status["state"] == "running"
+            handle.server.pool.worker(
+                status["worker"]
+            ).process.terminate()
+            result = client.wait(job["id"], timeout=30)
+            assert result["state"] == "failed"
+            assert "died" in result["error"]
+            assert "exit code" in result["error"]
+            # Slot released and worker respawned: the next job on the
+            # only worker runs to completion.
+            follow_up = client.submit({"program": "dct4x4"})
+            final = client.wait(follow_up["id"], timeout=60)
+            assert final["state"] == "done"
+            assert handle.server.workers_died >= 1
+            assert handle.server.workers_respawned >= 1
+            assert handle.server.scheduler.running == 0
+            text = client.metrics_text()
+            assert "kahrisma_serve_workers_died 1" in text
+        finally:
+            handle.stop()
+
+
+class TestHttpHardening:
+    """Malformed framing must be a 4xx, never a 500 — and counted."""
+
+    def _raw(self, server, payload: bytes) -> str:
+        host, port = server.server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(payload)
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        return data.decode("latin-1")
+
+    def test_malformed_content_length_is_400(self, server):
+        resp = self._raw(
+            server,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert resp.startswith("HTTP/1.1 400 ")
+        assert "Content-Length" in resp
+
+    def test_negative_content_length_is_400(self, server):
+        resp = self._raw(
+            server,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        )
+        assert resp.startswith("HTTP/1.1 400 ")
+
+    def test_too_many_header_fields_is_431(self, server):
+        headers = b"".join(
+            b"X-Filler-%d: v\r\n" % i for i in range(150)
+        )
+        resp = self._raw(
+            server, b"GET /healthz HTTP/1.1\r\n" + headers + b"\r\n"
+        )
+        assert resp.startswith("HTTP/1.1 431 ")
+
+    def test_oversized_header_section_is_431(self, server):
+        big = b"X-Big: " + b"a" * 40_000 + b"\r\n"
+        resp = self._raw(
+            server, b"GET /healthz HTTP/1.1\r\n" + big + b"\r\n"
+        )
+        assert resp.startswith("HTTP/1.1 431 ")
+
+    def test_rejects_counted_in_metrics(self, server):
+        self._raw(
+            server,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        )
+        text = KahrismaClient(server.base_url).metrics_text()
+        counts = {
+            line.split()[0]: float(line.split()[1])
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert counts["kahrisma_serve_http_bad_requests"] >= 1
+        assert counts["kahrisma_serve_http_header_rejects"] >= 2
+
+
+class TestCancelSliceFallback:
+    """``cancel=`` polling must work with ``events=None``: the
+    interpreter falls back to CANCEL_SLICE-instruction budget slices,
+    bounding cancellation latency and still writing a resumable
+    checkpoint."""
+
+    @pytest.mark.parametrize("engine", ["superblock", "aot"])
+    def test_cancel_bounded_and_resumable(self, engine, tmp_path):
+        built = pipeline.build_benchmark("djpeg")
+        straight = pipeline.run(built, engine=engine)
+        # The poll turns true after the run starts: cancellation must
+        # land at the first CANCEL_SLICE boundary, not run to halt.
+        polls = iter([False])
+        cancelled = pipeline.run(
+            built, engine=engine, events=None,
+            cancel=lambda: next(polls, True),
+            cancel_checkpoint_dir=str(tmp_path / engine),
+        )
+        assert cancelled.cancelled
+        executed = cancelled.stats.executed_instructions
+        assert 0 < executed <= CANCEL_SLICE
+        assert executed < straight.stats.executed_instructions
+        assert cancelled.cancel_checkpoint
+        resumed = pipeline.run(
+            built, engine=engine,
+            resume_from=cancelled.cancel_checkpoint,
+        )
+        assert not resumed.cancelled
+        assert resumed.stats.executed_instructions == (
+            straight.stats.executed_instructions
+        )
+        assert resumed.output == straight.output
+        assert resumed.exit_code == straight.exit_code
