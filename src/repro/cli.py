@@ -256,6 +256,117 @@ def _check_run_flags(args: argparse.Namespace) -> None:
             "model with a fetch stage (pass --model aie/doe/rtl); "
             f"--model {args.model} never consults a predictor"
         )
+    if args.sample:
+        if args.model not in ("aie", "doe"):
+            raise SystemExit(
+                f"--sample needs a detailed cycle model to sample "
+                f"(pass --model aie/doe); --model {args.model} has no "
+                f"reset-and-warm entry point"
+            )
+        for flag, name in ((args.trace, "--trace"),
+                           (args.profile, "--profile"),
+                           (args.timeline, "--timeline"),
+                           (args.checkpoint_every, "--checkpoint-every")):
+            if flag:
+                raise SystemExit(
+                    f"--sample is incompatible with {name}: sampling "
+                    f"runs the detailed model only on measured "
+                    f"intervals (see docs/performance.md)"
+                )
+
+
+def _cmd_run_sampled(
+    args, program, model, branch_model, *,
+    base_stats, resume_meta, plan_cache, aot_module,
+    events, flight, live, prom, out,
+) -> int:
+    """``kahrisma run --sample U:k[:W[:seed]]`` body (flags validated)."""
+    from .framework.sampling import SamplingConfig, run_sampled
+    from .telemetry.stream import write_prometheus
+
+    try:
+        config = SamplingConfig.parse(args.sample)
+    except ValueError as exc:
+        raise SystemExit(f"--sample: {exc}")
+    if events is not None:
+        events.emit(
+            "run-start",
+            workload=args.input,
+            engine=args.engine,
+            model=args.model,
+            heartbeat_every=events.heartbeat_every,
+            sampling=config.spec(),
+        )
+    try:
+        outcome = run_sampled(
+            program, model, config,
+            engine=args.engine,
+            max_instructions=args.max_instructions,
+            plan_cache=plan_cache,
+            aot_module=aot_module,
+            max_block_len=args.max_block_len,
+            fuse_cycles=not args.no_cycle_fusion,
+            events=events,
+            flight=flight,
+            base_stats=base_stats,
+            meta=resume_meta,
+        )
+    except (ValueError, RuntimeError) as exc:
+        if live is not None:
+            live.close()
+        if events is not None:
+            events.close()
+        raise SystemExit(f"--sample: {exc}")
+    stats = outcome.stats
+    result = outcome.result
+    if events is not None:
+        events.emit(
+            "run-end",
+            instructions=stats.executed_instructions,
+            exit_code=program.state.exit_code,
+            elapsed_seconds=round(stats.elapsed_seconds, 6),
+            mips=round(stats.mips, 3),
+            halted=program.state.halted,
+            cycles_estimated=result.cycles_estimated,
+        )
+        events.close()
+    out.write(program.output)
+    print("---", file=out)
+    print(f"instructions: {stats.executed_instructions}", file=out)
+    print(f"exit code:    {program.state.exit_code}", file=out)
+    print(f"mips:         {stats.mips:.3f}", file=out)
+    est = result.cycles_estimated
+    ci = result.cycles_ci95
+    ci_text = f" +/- {ci:.0f} (95% CI)" if ci is not None else ""
+    print(f"{args.model} cycles:   "
+          f"{est if est is not None else '(no interval measured)'}"
+          f"{ci_text}  [estimated]", file=out)
+    print(f"sampling:     U={config.interval} k={config.period} "
+          f"W={config.warmup} seed={config.seed}  "
+          f"{len(result.intervals)} intervals, "
+          f"{result.detailed_fraction * 100:.2f}% detailed", file=out)
+    if branch_model is not None:
+        print(f"branches:     {branch_model.summary()}", file=out)
+    if args.flight and flight is not None:
+        flight.dump()
+        print(f"flight:       wrote {args.flight} "
+              f"({len(flight)} entries)", file=out)
+    report = None
+    if args.metrics or args.prom:
+        report = build_run_report(
+            outcome.fast, model,
+            stats=stats,
+            workload=args.input,
+            sampling=result,
+        )
+    if args.prom:
+        write_prometheus(report["metrics"], args.prom)
+        print(f"prometheus:   wrote {args.prom} "
+              f"({prom.writes} heartbeat refreshes)", file=out)
+    if args.metrics:
+        write_report(report, args.metrics)
+        print(f"metrics:      wrote {args.metrics}", file=out)
+    return program.state.exit_code
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -331,10 +442,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(f"--resume: {exc}")
         program = resumed.program
         base_stats = resumed.base_stats
+        resume_meta = resumed.meta
     else:
         program = load_executable(elf, KAHRISMA, isa_id=args.isa)
         width = KAHRISMA.isa(program.state.isa_id).issue_width
         model = _make_model(args.model, width, branch_model)
+        resume_meta = None
     profiler = None
     if args.profile:
         mode = args.profile_mode
@@ -363,15 +476,30 @@ def cmd_run(args: argparse.Namespace) -> int:
         and tracer is None
         and profiler is None
         and timeline is None
-        and (not args.no_cycle_fusion or model is None)
+        and (args.sample or not args.no_cycle_fusion or model is None)
     ):
         from .sim import aot
 
         aot_module = aot.prepare(
             elf, KAHRISMA,
-            model=model,
+            # --sample fast-forwards functionally: the module serves
+            # the fast tier, never the detailed model.
+            model=None if args.sample else model,
             plan_cache=plan_cache,
             max_block_len=args.max_block_len,
+        )
+    if args.sample:
+        return _cmd_run_sampled(
+            args, program, model, branch_model,
+            base_stats=base_stats,
+            resume_meta=resume_meta,
+            plan_cache=plan_cache,
+            aot_module=aot_module,
+            events=events,
+            flight=flight,
+            live=live,
+            prom=prom,
+            out=out,
         )
     checkpoints = []
     try:
@@ -520,6 +648,7 @@ def cmd_parallel(args: argparse.Namespace) -> int:
             use_plan_cache=not args.no_plan_cache,
             plan_cache_dir=args.plan_cache_dir,
             events=events,
+            sampling=args.sample,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -533,7 +662,14 @@ def cmd_parallel(args: argparse.Namespace) -> int:
           f"{plan.total_instructions} instructions", file=out)
     print(f"instructions: {result.stats.executed_instructions}", file=out)
     print(f"exit code:    {result.exit_code}", file=out)
-    if result.cycles is not None:
+    if result.sampling is not None:
+        est = result.sampling.cycles_estimated
+        ci = result.sampling.cycles_ci95
+        ci_text = f" +/- {ci:.0f} (95% CI)" if ci is not None else ""
+        print(f"{args.model} cycles:   "
+              f"{est if est is not None else '(no interval measured)'}"
+              f"{ci_text}  [estimated, per-shard sampling]", file=out)
+    elif result.cycles is not None:
         print(f"{args.model} cycles:   {result.cycles} "
               f"(approximate: shard models start cold)", file=out)
     for i, shard in enumerate(result.shard_results):
@@ -767,6 +903,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         spec["isa_map"] = isa_map
     if args.resume:
         spec["resume_from"] = args.resume
+    if args.sample:
+        spec["sampling"] = args.sample
     client = KahrismaClient(args.server)
     try:
         job = client.submit(spec)
@@ -820,6 +958,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(f"exit code:    {result['exit_code']}", file=out)
     if result.get("cycles") is not None:
         print(f"cycles:       {result['cycles']}", file=out)
+    if result.get("cycles_estimated") is not None:
+        ci = result.get("cycles_ci95")
+        ci_text = f" +/- {ci:.0f} (95% CI)" if ci is not None else ""
+        print(f"cycles (est): {result['cycles_estimated']}{ci_text}",
+              file=out)
     if result.get("mips") is not None:
         print(f"mips:         {result['mips']}", file=out)
     if result.get("checkpoint"):
@@ -853,6 +996,15 @@ def cmd_fuzz(args) -> int:
             print(f"error: unknown engine {engine!r}", file=sys.stderr)
             return 2
     models = tuple(m for m in args.models.split(",") if m)
+    if "rtl" in models:
+        # The RTL pipeline is a clocked reference model, several orders
+        # of magnitude slower than the fuzz budget assumes; a matrix
+        # cell with it would time out and read as a divergence.
+        print("error: the fuzz matrix does not support --models rtl "
+              "(the clocked RTL reference is too slow for the "
+              "differential budget; use `kahrisma run --model rtl` "
+              "on a reproducer instead)", file=sys.stderr)
+        return 2
     configs = default_matrix(engines, models)
     max_instructions = args.max_instructions
 
@@ -1078,6 +1230,14 @@ def main(argv: Optional[list] = None) -> int:
                    help="keep AIE/DOE accounting on the per-instruction "
                         "observe path instead of compiling it into "
                         "translated superblocks")
+    p.add_argument("--sample", metavar="U:k[:W[:seed]]",
+                   help="statistical sampling tier: fast-forward "
+                        "functionally and run the detailed cycle model "
+                        "(aie/doe) on every k-th interval of U "
+                        "instructions, warming caches/predictors for W "
+                        "instructions first; reports an extrapolated "
+                        "cycle estimate with a 95%% CI "
+                        "(docs/performance.md)")
     p.add_argument("--events", metavar="PATH",
                    help="stream NDJSON run events (run-start, periodic "
                         "heartbeats, syscalls, ISA switches, SMC, "
@@ -1142,6 +1302,10 @@ def main(argv: Optional[list] = None) -> int:
                    help="plan-cache directory shared by the workers")
     p.add_argument("--metrics", metavar="PATH",
                    help="write the merged telemetry JSON")
+    p.add_argument("--sample", metavar="U:k[:W[:seed]]",
+                   help="per-shard statistical sampling (aie/doe): each "
+                        "shard samples its own segment with seed+index, "
+                        "estimates add, CI widths combine in quadrature")
     p.add_argument("--events", metavar="PATH",
                    help="stream NDJSON run events to PATH ('-' for "
                         "stdout); worker events arrive shard-tagged "
@@ -1304,6 +1468,10 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--heartbeat", type=int, default=250_000, metavar="N",
                    help="heartbeat cadence and cancellation latency in "
                         "executed instructions (default 250000)")
+    p.add_argument("--sample", metavar="U:k[:W[:seed]]",
+                   help="statistical sampling tier on the server side "
+                        "(requires --model aie/doe); the result carries "
+                        "cycles_estimated/cycles_ci95")
     p.add_argument("--resume", metavar="PATH",
                    help="resume from a (server-local) checkpoint file — "
                         "e.g. one written by cancelling a previous job")

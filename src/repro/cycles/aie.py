@@ -59,6 +59,13 @@ class AieModel(CycleModel):
         if self.branch_model is not None:
             self.branch_model.reset()
 
+    def reset_timing(self) -> None:
+        # Content (cache tags, predictor tables) stays warm; the clock
+        # and all timestamps derived from it restart at zero.
+        super().reset_timing()
+        self.memory.reset_timing()
+        self.current_cycle = 0
+
     def save_state(self):
         data = super().save_state()
         data["current_cycle"] = self.current_cycle

@@ -141,6 +141,21 @@ class CycleModel:
         self.ops = 0
         self.instructions = 0
 
+    def reset_timing(self) -> None:
+        """Zero the timing clock while keeping learned *content*.
+
+        The sampling tier (:mod:`repro.framework.sampling`) warms a
+        detailed model before each measured interval and needs the
+        cycle clock re-based to zero without discarding what warming
+        built up: cache tags stay resident and branch-predictor tables
+        stay trained, but every absolute-cycle timestamp (register
+        scoreboard, cache line availability, port reservations) is
+        cleared — a stale timestamp from a previous interval's timeline
+        would otherwise leak stalls into the fresh one.  Subclasses
+        extend this; the base clears the register scoreboard only.
+        """
+        self.reg_write_cycle = [0] * self.num_regs
+
     # -- checkpointing ------------------------------------------------------
 
     def save_state(self) -> Dict[str, object]:

@@ -87,6 +87,16 @@ class DoeModel(CycleModel):
             self.branch_model.reset()
         self.fetch_floor = 0
 
+    def reset_timing(self) -> None:
+        # Keeps cache tags/LRU and branch-predictor tables (content
+        # warmed by the sampling tier); clears every absolute-cycle
+        # timestamp so the next measured interval starts at cycle 0.
+        super().reset_timing()
+        self.memory.reset_timing()
+        self.slot_last_start = [0] * self.issue_width
+        self.max_completion = 0
+        self.fetch_floor = 0
+
     def save_state(self):
         data = super().save_state()
         data["slot_last_start"] = list(self.slot_last_start)

@@ -35,6 +35,17 @@ class MemoryModule:
     def reset(self) -> None:
         """Forget all timing/content state (new simulation run)."""
 
+    def reset_timing(self) -> None:
+        """Zero absolute-cycle timestamps, keep content and statistics.
+
+        The sampling tier re-bases the cycle clock to zero at each
+        measured interval (:meth:`repro.cycles.base.CycleModel.reset_timing`).
+        Levels that remember *when* something happened (cache line
+        availability, port reservations) must clear those timestamps —
+        they refer to a dead timeline — while keeping *what* happened
+        (tags, LRU order, hit/miss counters).
+        """
+
 
 class MainMemory(MemoryModule):
     """Backing store with a fixed, configurable access delay."""
@@ -118,6 +129,12 @@ class Cache(MemoryModule):
         self.misses = 0
         self.writebacks = 0
         self.sub.reset()
+
+    def reset_timing(self) -> None:
+        for cache_set in self._sets:
+            for line in cache_set:
+                line.write_cycle = 0
+        self.sub.reset_timing()
 
     # -- the delay function (paper Section VI-D) ---------------------------
 
@@ -222,6 +239,14 @@ class ConnectionLimit(MemoryModule):
         self._horizon = 0
         self.stalls = 0
         self.sub.reset()
+
+    def reset_timing(self) -> None:
+        # Port reservations are pure timing: every key is an absolute
+        # cycle on the timeline being abandoned.  The stall counter is
+        # a statistic and survives.
+        self._usage.clear()
+        self._horizon = 0
+        self.sub.reset_timing()
 
 
 @dataclass(frozen=True)

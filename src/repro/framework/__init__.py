@@ -25,6 +25,14 @@ from .pipeline import (
     build_benchmark,
     run,
 )
+from .sampling import (
+    SampledRun,
+    SamplingConfig,
+    SamplingResult,
+    estimate_cycles,
+    merge_sampling_results,
+    run_sampled,
+)
 from .selection import (
     FunctionAttributor,
     FunctionProfile,
@@ -46,6 +54,9 @@ __all__ = [
     "FunctionProfile",
     "ParallelResult",
     "RunResult",
+    "SampledRun",
+    "SamplingConfig",
+    "SamplingResult",
     "ShardPlan",
     "make_branch_model",
     "make_cycle_model",
@@ -57,7 +68,10 @@ __all__ = [
     "build_and_run",
     "build_benchmark",
     "demangle",
+    "estimate_cycles",
+    "merge_sampling_results",
     "profile_functions",
     "run",
+    "run_sampled",
     "select_isas",
 ]

@@ -215,16 +215,50 @@ def _run_shard(spec: Dict[str, object]) -> Dict[str, object]:
             heartbeat_every=int(events_spec["heartbeat_every"]),
             shard=int(spec["shard"]),
         )
+    budget = spec.get("budget")
+    budget = DEFAULT_MAX_INSTRUCTIONS if budget is None else int(budget)
+    sampling_spec = spec.get("sampling")
+    if sampling_spec is not None:
+        # Sampled shard: the schedule is local to the shard's segment
+        # (its model cold-starts at the boundary anyway — see the
+        # shard accuracy caveat in docs/checkpointing.md), with a
+        # per-shard seed so shards don't all measure the same phase
+        # of a loop that happens to align with the boundaries.
+        from types import SimpleNamespace
+
+        from .sampling import SamplingConfig, run_sampled
+
+        outcome = run_sampled(
+            SimpleNamespace(state=restored.state),
+            model,
+            SamplingConfig.from_doc(sampling_spec),
+            engine=str(spec["engine"]),
+            max_instructions=budget,
+            plan_cache=plan_cache,
+            events=events,
+        )
+        stdout = restored.syscalls.save_state()["stdout"]
+        return {
+            "shard": spec["shard"],
+            "stats": outcome.stats,
+            # Measured-interval cycles only (the model's running count
+            # is reset at every warm-up boundary, so ``model.cycles``
+            # would be the last region's residual, not a total).
+            "cycles": outcome.result.cycles_sampled,
+            "sampling": outcome.result.to_doc(),
+            "metrics": collect_run_metrics(
+                outcome.fast, model, stats=outcome.stats
+            ),
+            "stdout_delta": stdout[prefix:],
+            "exit_code": restored.state.exit_code,
+            "halted": restored.state.halted,
+            "events": events.events if events is not None else None,
+        }
     interp = Interpreter(
         restored.state, cycle_model=model, engine=str(spec["engine"]),
         plan_cache=plan_cache, events=events,
     )
-    budget = spec.get("budget")
-    interp.run(
-        max_instructions=(
-            DEFAULT_MAX_INSTRUCTIONS if budget is None else int(budget)
-        )
-    )
+    interp.run(max_instructions=budget)
     stdout = restored.syscalls.save_state()["stdout"]
     return {
         "shard": spec["shard"],
@@ -336,6 +370,11 @@ class ParallelResult:
     shard_results: List[Dict[str, object]] = field(default_factory=list)
     #: Merged telemetry document (``kahrisma-telemetry`` schema).
     telemetry: Optional[dict] = None
+    #: Merged :class:`repro.framework.sampling.SamplingResult` when the
+    #: shards ran under the sampling tier; per-shard estimates add and
+    #: CI widths combine in quadrature.  :attr:`cycles` then counts
+    #: only the measured intervals.
+    sampling: object = None
 
     @property
     def metrics(self) -> Optional[Dict[str, object]]:
@@ -362,6 +401,7 @@ def run_parallel(
     use_plan_cache: bool = True,
     plan_cache_dir: Optional[str] = None,
     events=None,
+    sampling=None,
 ) -> ParallelResult:
     """Fast-forward, shard, and simulate the intervals in parallel.
 
@@ -390,10 +430,20 @@ def run_parallel(
     import tempfile
 
     # Validate the spec before paying for the fast-forward pass.
-    make_cycle_model(
+    probe = make_cycle_model(
         model, built.issue_width,
         make_branch_model(branch_predictor, branch_penalty),
     )
+    sampling_config = None
+    if sampling is not None:
+        from .sampling import SamplingConfig
+
+        sampling_config = SamplingConfig.coerce(sampling)
+        if probe is None or not hasattr(probe, "reset_timing"):
+            raise ValueError(
+                f"sampling requires a detailed cycle model (aie/doe), "
+                f"got {model!r}"
+            )
 
     plan_cache = None
     cache_spec = None
@@ -442,6 +492,11 @@ def run_parallel(
                 "branch_penalty": branch_penalty,
                 "issue_width": built.issue_width,
                 "plan_cache": cache_spec,
+                "sampling": (
+                    {**sampling_config.to_doc(),
+                     "seed": sampling_config.seed + i}
+                    if sampling_config is not None else None
+                ),
                 "events": (
                     {"heartbeat_every": events.heartbeat_every}
                     if events is not None else None
@@ -488,6 +543,13 @@ def run_parallel(
     cycles = None
     if model is not None and model != "none":
         cycles = sum(int(result["cycles"]) for result in results)
+    merged_sampling = None
+    if sampling_config is not None:
+        from .sampling import SamplingResult, merge_sampling_results
+
+        merged_sampling = merge_sampling_results([
+            SamplingResult.from_doc(r["sampling"]) for r in results
+        ])
     telemetry = {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
@@ -498,6 +560,10 @@ def run_parallel(
         "shard_boundaries": list(plan.boundaries),
         "metrics": merge_metric_dicts([r["metrics"] for r in results]),
     }
+    if merged_sampling is not None:
+        telemetry["cycles_estimated"] = merged_sampling.cycles_estimated
+        telemetry["cycles_ci95"] = merged_sampling.cycles_ci95
+        telemetry["sampling"] = merged_sampling.block()
     if events is not None:
         events.emit(
             "run-end",
@@ -515,4 +581,5 @@ def run_parallel(
         plan=plan,
         shard_results=results,
         telemetry=telemetry,
+        sampling=merged_sampling,
     )

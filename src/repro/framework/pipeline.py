@@ -76,6 +76,11 @@ class RunResult:
     #: Resumable checkpoint written on cancellation when the run was
     #: invoked with ``cancel_checkpoint_dir``; None otherwise.
     cancel_checkpoint: Optional[str] = None
+    #: :class:`repro.framework.sampling.SamplingResult` when the run
+    #: used the statistical-sampling tier (``sampling=...``); the
+    #: extrapolated cycle estimate and CI live here, while
+    #: :attr:`cycles` then covers only the measured intervals.
+    sampling: object = None
 
     @property
     def cycles(self) -> Optional[int]:
@@ -172,6 +177,7 @@ def run(
     flight=None,
     cancel=None,
     cancel_checkpoint_dir: Optional[str] = None,
+    sampling=None,
 ) -> RunResult:
     """Load and simulate a built executable.
 
@@ -220,7 +226,47 @@ def run(
     is set, and — with ``cancel_checkpoint_dir`` — a resumable
     checkpoint is written there (``RunResult.cancel_checkpoint``), so
     a preempted job can be rescheduled via ``resume_from``.
+
+    Sampling (``docs/performance.md``): ``sampling`` (a
+    :class:`repro.framework.sampling.SamplingConfig` or a spec string
+    ``"U:k[:W[:seed]]"``) switches the run to the statistical-sampling
+    tier: ``engine`` fast-forwards functionally between measured
+    intervals and ``cycle_model`` (AIE/DOE, required) runs fused over
+    warmup + measured intervals only.  ``RunResult.sampling`` carries
+    the measured intervals, the extrapolated ``cycles_estimated`` and
+    the 95% confidence half-width ``cycles_ci95``; the telemetry
+    report gains the same fields.  Incompatible with tracers,
+    profilers, timelines and ``checkpoint_every`` (cancel checkpoints
+    and ``resume_from`` compose fine — the schedule is absolute).
     """
+    sampling_config = None
+    if sampling is not None:
+        from .sampling import SamplingConfig
+
+        sampling_config = SamplingConfig.coerce(sampling)
+        if cycle_model is None:
+            raise ValueError(
+                "sampling requires a detailed cycle model (aie/doe)"
+            )
+        if not hasattr(cycle_model, "reset_timing"):
+            raise ValueError(
+                f"sampling needs a cycle model with reset_timing "
+                f"(aie/doe); {type(cycle_model).__name__} has none"
+            )
+        incompatible = [
+            name for name, value in (
+                ("tracer", tracer), ("profiler", profiler),
+                ("timeline", timeline),
+                ("checkpoint_every", checkpoint_every),
+            ) if value is not None
+        ]
+        if incompatible:
+            raise ValueError(
+                f"sampling is incompatible with "
+                f"{', '.join(incompatible)} (per-instruction hooks "
+                f"and periodic checkpointing need one continuous "
+                f"detailed run)"
+            )
     if resume_from is not None:
         from ..snapshot import load_checkpoint_program
 
@@ -229,27 +275,52 @@ def run(
         )
         program = resumed.program
         base_stats = resumed.base_stats
+        resume_meta = resumed.meta
     else:
         program = load_executable(
             built.elf, built.arch, isa_id=isa_id, input_data=input_data
         )
         base_stats = None
+        resume_meta = None
     if (
         engine == "aot"
         and aot_module is None
         and tracer is None
         and profiler is None
         and timeline is None
-        and (fuse_cycles or cycle_model is None)
+        and (sampling_config is not None
+             or fuse_cycles or cycle_model is None)
     ):
         from ..sim import aot
 
         aot_module = aot.prepare(
             built.elf, built.arch,
-            model=cycle_model,
+            # Sampling fast-forwards *functionally*; the detailed
+            # model never runs under the AOT module.
+            model=None if sampling_config is not None else cycle_model,
             plan_cache=plan_cache,
             max_block_len=max_block_len,
             input_data=input_data,
+        )
+    if sampling_config is not None:
+        return _run_sampled(
+            built, program,
+            sampling_config=sampling_config,
+            cycle_model=cycle_model,
+            engine=engine,
+            max_instructions=max_instructions,
+            plan_cache=plan_cache,
+            aot_module=aot_module,
+            max_block_len=max_block_len,
+            fuse_cycles=fuse_cycles,
+            events=events,
+            flight=flight,
+            cancel=cancel,
+            cancel_checkpoint_dir=cancel_checkpoint_dir,
+            base_stats=base_stats,
+            resume_meta=resume_meta,
+            workload=workload,
+            collect_metrics=collect_metrics,
         )
     interpreter = Interpreter(
         program.state,
@@ -363,6 +434,122 @@ def run(
         interpreter=interpreter,
         cancelled=cancelled,
         cancel_checkpoint=cancel_checkpoint,
+    )
+
+
+def _run_sampled(
+    built: BuildResult,
+    program: LoadedProgram,
+    *,
+    sampling_config,
+    cycle_model,
+    engine,
+    max_instructions,
+    plan_cache,
+    aot_module,
+    max_block_len,
+    fuse_cycles,
+    events,
+    flight,
+    cancel,
+    cancel_checkpoint_dir,
+    base_stats,
+    resume_meta,
+    workload,
+    collect_metrics,
+) -> RunResult:
+    """Sampling-tier body of :func:`run` (validated arguments)."""
+    from .sampling import run_sampled
+
+    if events is not None:
+        events.emit(
+            "run-start",
+            workload=workload,
+            engine=engine or "superblock",
+            model=str(getattr(cycle_model, "name",
+                              type(cycle_model).__name__)),
+            heartbeat_every=events.heartbeat_every,
+            sampling=sampling_config.spec(),
+        )
+    outcome = run_sampled(
+        program, cycle_model, sampling_config,
+        engine=engine,
+        max_instructions=max_instructions,
+        plan_cache=plan_cache,
+        aot_module=aot_module,
+        max_block_len=max_block_len,
+        fuse_cycles=fuse_cycles,
+        events=events,
+        flight=flight,
+        cancel=cancel,
+        base_stats=base_stats,
+        meta=resume_meta,
+    )
+    stats = outcome.stats
+    cancelled = outcome.cancelled
+    cancel_checkpoint = None
+    if (
+        cancelled
+        and cancel_checkpoint_dir is not None
+        and not program.state.halted
+    ):
+        from ..snapshot import checkpoint_path, snapshot_run, write_checkpoint
+
+        payload = snapshot_run(
+            program.state, program.syscalls,
+            stats=stats,
+            cycle_model=cycle_model,
+            meta={
+                "instructions": stats.executed_instructions,
+                "engine": outcome.fast.engine,
+                "workload": workload,
+                "cancelled": True,
+                "sampling": outcome.progress_doc(),
+            },
+        )
+        os.makedirs(cancel_checkpoint_dir, exist_ok=True)
+        cancel_checkpoint = checkpoint_path(
+            cancel_checkpoint_dir, stats.executed_instructions,
+            prefix="cancel",
+        )
+        write_checkpoint(cancel_checkpoint, payload)
+        if events is not None:
+            events.emit(
+                "checkpoint",
+                path=cancel_checkpoint,
+                instructions=stats.executed_instructions,
+            )
+    if events is not None:
+        events.emit(
+            "run-end",
+            instructions=stats.executed_instructions,
+            exit_code=program.state.exit_code,
+            elapsed_seconds=round(stats.elapsed_seconds, 6),
+            mips=round(stats.mips, 3),
+            halted=program.state.halted,
+            cycles_estimated=outcome.result.cycles_estimated,
+        )
+    telemetry = None
+    if collect_metrics:
+        from ..telemetry import build_run_report
+
+        telemetry = build_run_report(
+            outcome.fast, cycle_model,
+            stats=stats,
+            debug_info=program.debug_info,
+            workload=workload,
+            sampling=outcome.result,
+        )
+    return RunResult(
+        output=program.output,
+        stats=stats,
+        program=program,
+        cycle_model=cycle_model,
+        telemetry=telemetry,
+        interpreter=outcome.fast,
+        cancelled=cancelled,
+        cancel_checkpoint=cancel_checkpoint,
+        sampling=outcome.result,
     )
 
 

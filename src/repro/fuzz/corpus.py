@@ -87,10 +87,26 @@ def replay_entry(
     *,
     max_instructions: int = 2_000_000,
 ) -> DiffResult:
-    """Re-run one corpus entry's assembly over the matrix."""
-    built = assemble_fuzz(
-        entry["asm"], name=entry.get("path", "<corpus>")
-    )
+    """Re-run one corpus entry's assembly over the matrix.
+
+    Entries carry either rendered ``asm`` (fuzz reproducers) or a
+    bundled benchmark name under ``program`` — the latter lets the
+    corpus pin whole benchmark kernels into the replay matrix
+    (compiled fresh at replay time, so they track the compiler).
+    """
+    asm = entry.get("asm")
+    if asm is None:
+        from ..adl.kahrisma import KAHRISMA
+        from ..lang.driver import compile_source
+        from ..programs import load_program
+
+        name = str(entry["program"])
+        compiled = compile_source(
+            load_program(name), KAHRISMA, isa=str(entry.get("isa", "risc")),
+            filename=f"{name}.kc",
+        )
+        asm = compiled.assembly
+    built = assemble_fuzz(asm, name=str(entry.get("path", "<corpus>")))
     return run_differential(
         built, configs, max_instructions=max_instructions
     )

@@ -85,6 +85,11 @@ class JobSpec:
     resume_from: Optional[str] = None
     fuse_cycles: bool = True
     label: Optional[str] = None
+    #: Statistical-sampling spec ``"U:k[:W[:seed]]"`` (see
+    #: ``docs/performance.md``); requires ``model`` aie/doe.  The
+    #: result document then carries ``cycles_estimated``/
+    #: ``cycles_ci95`` and a ``sampling`` block.
+    sampling: Optional[str] = None
 
     def validate(self) -> "JobSpec":
         """Raise :class:`SpecError` on any malformed field; return self."""
@@ -130,6 +135,18 @@ class JobSpec:
             self.resume_from, str
         ):
             raise SpecError("resume_from must be a checkpoint path")
+        if self.sampling is not None:
+            if self.model not in ("aie", "doe"):
+                raise SpecError(
+                    f"sampling requires a detailed cycle model "
+                    f"(aie/doe), not {self.model!r}"
+                )
+            from ..framework.sampling import SamplingConfig
+
+            try:
+                SamplingConfig.parse(self.sampling)
+            except ValueError as exc:
+                raise SpecError(str(exc))
         return self
 
     @classmethod
@@ -214,7 +231,8 @@ class Job:
             doc["checkpoint"] = self.checkpoint
         if self.result is not None:
             for key in ("instructions", "exit_code", "cycles", "mips",
-                        "elapsed_seconds"):
+                        "elapsed_seconds", "cycles_estimated",
+                        "cycles_ci95", "sampling"):
                 if key in self.result:
                     doc[key] = self.result[key]
         return doc

@@ -142,6 +142,7 @@ def execute_job(
             cancel_checkpoint_dir=(
                 checkpoint_dir if spec.checkpoint_on_cancel else None
             ),
+            sampling=spec.sampling,
         )
         if plan_cache is not None:
             plan_cache.save()
@@ -158,6 +159,10 @@ def execute_job(
             "halted": result.program.state.halted,
             "report": result.telemetry,
         }
+        if result.sampling is not None:
+            doc["cycles_estimated"] = result.sampling.cycles_estimated
+            doc["cycles_ci95"] = result.sampling.cycles_ci95
+            doc["sampling"] = result.sampling.block()
         if result.cancel_checkpoint is not None:
             doc["checkpoint"] = result.cancel_checkpoint
         return doc

@@ -107,20 +107,42 @@ class _FileLock:
         deadline = time.monotonic() + self.timeout
         try:
             if fcntl is not None:
-                fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
-                try:
-                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-                except OSError:
-                    self.contended = True
-                    while True:
-                        try:
-                            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-                            break
-                        except OSError:
-                            if time.monotonic() >= deadline:
-                                os.close(fd)
-                                return self
-                            time.sleep(0.005)
+                while True:
+                    fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    except OSError:
+                        self.contended = True
+                        stop = False
+                        while True:
+                            try:
+                                fcntl.flock(
+                                    fd, fcntl.LOCK_EX | fcntl.LOCK_NB
+                                )
+                                break
+                            except OSError:
+                                if time.monotonic() >= deadline:
+                                    stop = True
+                                    break
+                                time.sleep(0.005)
+                        if stop:
+                            os.close(fd)
+                            return self
+                    # The holder unlinks the sidecar on release, so the
+                    # inode we opened may be orphaned by the time our
+                    # flock lands — a lock on it excludes nobody.
+                    # Verify the path still names our inode; reopen
+                    # otherwise.
+                    try:
+                        live = (os.stat(self.path).st_ino
+                                == os.fstat(fd).st_ino)
+                    except OSError:
+                        live = False
+                    if live:
+                        break
+                    os.close(fd)
+                    if time.monotonic() >= deadline:
+                        return self
                 self._fd = fd
                 self.acquired = True
             else:  # pragma: no cover - non-POSIX fallback
@@ -157,6 +179,15 @@ class _FileLock:
             return
         try:
             if fcntl is not None:
+                # Unlink the sidecar *while still holding* the lock so
+                # no ``*.lock`` litter outlives the writer; waiters that
+                # locked the now-orphaned inode detect it via the inode
+                # check in ``__enter__`` and reopen the live path.
+                if self.acquired:
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass
                 fcntl.flock(fd, fcntl.LOCK_UN)
                 os.close(fd)
             else:  # pragma: no cover

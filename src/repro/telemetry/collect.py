@@ -29,8 +29,10 @@ from typing import Dict, Optional
 
 #: Telemetry document format identifiers; bump ``SCHEMA_VERSION`` on
 #: any backwards-incompatible change to metric names or report layout.
+#: v2: sampled runs add top-level ``cycles_estimated``/``cycles_ci95``
+#: and a ``sampling`` block (absent on non-sampled runs).
 SCHEMA_NAME = "kahrisma-telemetry"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def collect_stats_metrics(stats) -> Dict[str, object]:

@@ -28,8 +28,15 @@ def build_run_report(
     workload: Optional[str] = None,
     extra_metrics=None,
     top: int = 20,
+    sampling=None,
 ) -> dict:
-    """Assemble the telemetry document for one finished run."""
+    """Assemble the telemetry document for one finished run.
+
+    ``sampling`` (a :class:`repro.framework.sampling.SamplingResult`)
+    adds the schema-v2 sampled-run fields: top-level
+    ``cycles_estimated``/``cycles_ci95`` and the ``sampling`` block
+    (U/k/W/seed, intervals measured, sampled fractions).
+    """
     metrics = collect_run_metrics(
         interp, model, stats=stats, extra=extra_metrics
     )
@@ -50,6 +57,10 @@ def build_run_report(
         "workload": workload,
         "metrics": metrics,
     }
+    if sampling is not None:
+        doc["cycles_estimated"] = sampling.cycles_estimated
+        doc["cycles_ci95"] = sampling.cycles_ci95
+        doc["sampling"] = sampling.block()
     if profiler is not None:
         doc["profile"] = profiler.report(debug_info, top=top)
     return doc
@@ -83,6 +94,25 @@ def render_report(doc: dict, top: int = 10) -> str:
         if value:
             header.append(f"{key}={value}")
     lines.append("  ".join(header))
+
+    sampling = doc.get("sampling")
+    if sampling:
+        est = doc.get("cycles_estimated")
+        ci = doc.get("cycles_ci95")
+        lines.append("")
+        lines.append(
+            f"== sampled cycle estimate =="
+        )
+        lines.append(
+            f"cycles {est if est is not None else '?'}"
+            + (f" +/- {ci:.0f} (95% CI)" if ci is not None else "")
+        )
+        lines.append(
+            f"U={sampling.get('interval')} k={sampling.get('period')} "
+            f"W={sampling.get('warmup')} seed={sampling.get('seed')}  "
+            f"{sampling.get('intervals_measured')} intervals, "
+            f"{sampling.get('detailed_fraction', 0) * 100:.2f}% detailed"
+        )
 
     metrics = doc.get("metrics", {})
     if metrics:

@@ -101,6 +101,12 @@ class EventStream:
         self.subscribers: List[Callable[[dict], None]] = []
         self.seq = 0
         self.shard = shard
+        #: Execution-phase tag injected into every emitted event while
+        #: set (optional field — schema v1 allows extras).  The
+        #: sampling tier flips it between ``"fast-forward"`` and
+        #: ``"detailed"`` so heartbeat consumers can tell which tier a
+        #: sampled run is currently in.
+        self.phase: Optional[str] = None
         self.heartbeat_every = max(1, int(heartbeat_every))
         self._now = _now
         self._t0 = _now()
@@ -141,6 +147,8 @@ class EventStream:
         }
         if self.shard is not None:
             event["shard"] = self.shard
+        if self.phase is not None:
+            event["phase"] = self.phase
         event.update(fields)
         self.seq += 1
         self._deliver(event)

@@ -39,7 +39,7 @@ from repro.sim.state import TEXT_BASE
 from .test_sim_interpreter import enc, make_state
 from .test_superblock import mem_digest
 
-BENCHMARKS = ("cjpeg", "djpeg", "fft", "qsort", "aes", "dct4x4")
+BENCHMARKS = ("cjpeg", "djpeg", "fft", "qsort", "aes", "dct4x4", "crc32")
 
 #: Run cap per differential cell — same budget as the cycle-fusion
 #: matrix: crosses every hot threshold, keeps the matrix in tier-1.

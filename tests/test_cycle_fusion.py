@@ -20,7 +20,7 @@ from repro.framework.pipeline import build_benchmark, run
 from repro.programs import program_names
 from repro.telemetry import HotspotProfiler
 
-BENCHMARKS = ("cjpeg", "djpeg", "fft", "qsort", "aes", "dct4x4")
+BENCHMARKS = ("cjpeg", "djpeg", "fft", "qsort", "aes", "dct4x4", "crc32")
 
 #: Cap per differential run — enough to cross HOT_THRESHOLD on every
 #: hot loop and exercise the memory hierarchy, small enough that the

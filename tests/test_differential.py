@@ -86,7 +86,7 @@ class TestOptimizerPreservesSemantics:
         plain = outputs(source, isa=isa, optimize_ir=False)
         assert optimized == plain
 
-    @pytest.mark.parametrize("name", ["dct4x4", "qsort", "fft"])
+    @pytest.mark.parametrize("name", ["dct4x4", "qsort", "fft", "crc32"])
     def test_benchmarks(self, name):
         source = load_program(name)
         optimized = outputs(source, isa="risc", optimize_ir=True,

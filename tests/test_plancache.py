@@ -262,6 +262,57 @@ class TestConcurrentWriters:
         assert metrics["sim.plancache.lock_timeouts"] == 0
 
 
+class TestLockCleanup:
+    """``save()`` must not litter ``*.lock`` sidecars in the cache dir.
+
+    The holder unlinks the sidecar while still holding the flock;
+    waiters verify the inode they locked is still the one on disk and
+    reopen otherwise, so cleanup cannot hand two writers the lock.
+    """
+
+    def test_save_leaves_no_lock_sidecar(self, tmp_path):
+        cache = PlanCache.open(elf_digest="aa", arch_digest="xx",
+                               directory=str(tmp_path))
+        cache.record(0, 0x1000, (0x1000, 0x1010), "d1", "",
+                     {"full": (SRC, CODE)})
+        cache.save()
+        names = os.listdir(str(tmp_path))
+        assert [n for n in names if n.endswith(".lock")] == [], names
+
+    def test_reacquire_after_cleanup(self, tmp_path):
+        """Fresh saves keep working after the sidecar was removed."""
+        path = str(tmp_path / "plans.json")
+        for i in range(3):
+            cache = PlanCache(path)
+            addr = 0x1000 + 0x100 * i
+            cache.record(0, addr, (addr, addr + 16), f"d{i}", "",
+                         {"full": (SRC, CODE)})
+            cache.save()
+            assert not os.path.exists(path + ".lock")
+        merged = PlanCache(path)
+        assert len(merged) == 3
+
+    def test_hammer_leaves_no_lock_files(self, tmp_path):
+        """Contended writers clean up too (the orphaned-inode path)."""
+        import multiprocessing
+
+        ctx = (multiprocessing.get_context("fork")
+               if "fork" in multiprocessing.get_all_start_methods()
+               else multiprocessing.get_context("spawn"))
+        writers, rounds = 4, 10
+        path = str(tmp_path / "plans-cleanup.json")
+        with ctx.Pool(writers) as pool:
+            timeouts = pool.starmap(
+                _hammer_writer,
+                [(path, w, rounds) for w in range(writers)],
+            )
+        assert sum(timeouts) == 0
+        merged = PlanCache(path)
+        assert len(merged) == writers * rounds  # contention lost nothing
+        names = os.listdir(str(tmp_path))
+        assert [n for n in names if n.endswith(".lock")] == [], names
+
+
 class TestModuleSideFiles:
     PAYLOAD = {"format": 1, "namespace": "", "code": b"\x00\x01",
                "entries": []}

@@ -28,9 +28,9 @@ def run_program(kc, simulate, name, isa="risc"):
 
 
 class TestRegistry:
-    def test_six_programs(self):
+    def test_seven_programs(self):
         assert sorted(program_names()) == [
-            "aes", "cjpeg", "dct4x4", "djpeg", "fft", "qsort",
+            "aes", "cjpeg", "crc32", "dct4x4", "djpeg", "fft", "qsort",
         ]
 
     def test_sources_load(self):
@@ -295,6 +295,35 @@ class TestAes:
         assert out == self.golden()
 
 
+class TestCrc32:
+    @staticmethod
+    def golden():
+        """Chained zlib CRC-32 over the xorshift32 buffer."""
+        import binascii
+
+        seed = 2463534242
+        msg = bytearray()
+        for _ in range(1024):
+            seed ^= (seed << 13) & MASK32
+            seed ^= seed >> 17
+            seed ^= (seed << 5) & MASK32
+            seed &= MASK32
+            msg.append(seed & 255)
+        crc = 0
+        for _ in range(16):
+            crc = binascii.crc32(msg, crc)
+        return format(crc, "08x") + "\n"
+
+    def test_matches_zlib(self, kc, simulate):
+        out, _stats = run_program(kc, simulate, "crc32")
+        assert out == self.golden()
+
+    def test_memory_bound_profile(self, kc, simulate):
+        """One table load per byte: a substantial memory fraction."""
+        _out, stats = run_program(kc, simulate, "crc32")
+        assert stats.memory_instruction_fraction > 0.05
+
+
 class TestJpeg:
     def test_cjpeg_deterministic_and_compresses(self, kc, simulate):
         out, _stats = run_program(kc, simulate, "cjpeg")
@@ -318,7 +347,8 @@ class TestJpeg:
 
 
 class TestCrossIsaEquivalence:
-    @pytest.mark.parametrize("name", ["dct4x4", "fft", "qsort", "aes"])
+    @pytest.mark.parametrize("name", ["dct4x4", "fft", "qsort", "aes",
+                                      "crc32"])
     def test_all_widths_agree(self, kc, simulate, name):
         reference, _stats = run_program(kc, simulate, name, isa="risc")
         for isa in ("vliw2", "vliw4", "vliw6", "vliw8"):

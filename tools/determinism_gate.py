@@ -30,7 +30,14 @@ mismatch:
    a forensic report: first divergent PC, register delta and the
    last-N blocks both engines executed.
 
-5. **Forensics self-test** (``--forensics-selftest``) — inject a
+5. **Sampled determinism** — run the statistical sampling tier twice
+   with a fixed ``(U, k, W, seed)`` schedule (``--sampling-spec``) and
+   require bitwise-identical measured intervals and estimate, then
+   require the sampled run's architectural end-state (registers,
+   memory digest, output, exit code, architectural statistics) to
+   equal a pure functional run bitwise.
+
+6. **Forensics self-test** (``--forensics-selftest``) — inject a
    register fault mid-run on one lockstep side and require the
    forensics pipeline to localize it: a non-empty report naming the
    first divergent PC, the corrupted register and both block trails.
@@ -175,6 +182,39 @@ def aot_cross_engine(name):
         aot_forensics(built, name)
 
 
+def sampled_determinism(built, width, spec):
+    """Sampling tier: fixed (U,k,W,seed) is bitwise reproducible.
+
+    Two sampled runs must agree on every measured interval and the
+    extrapolated estimate, and the architectural end-state must equal
+    a pure functional run bitwise — the schedule only decides *when*
+    the cycle model watches, never what the program computes.
+    """
+    first = run(built, engine="superblock",
+                cycle_model=DoeModel(issue_width=width), sampling=spec)
+    second = run(built, engine="superblock",
+                 cycle_model=DoeModel(issue_width=width), sampling=spec)
+    check("sampled intervals reproducible",
+          first.sampling.intervals, second.sampling.intervals)
+    check("sampled estimate reproducible",
+          (first.sampling.cycles_estimated, first.sampling.cycles_ci95),
+          (second.sampling.cycles_estimated, second.sampling.cycles_ci95))
+
+    functional = run(built, engine="superblock")
+    check("sampled architectural stats vs functional",
+          functional.stats.architectural_dict(),
+          first.stats.architectural_dict())
+    check("sampled registers vs functional",
+          list(functional.program.state.regs),
+          list(first.program.state.regs))
+    check("sampled memory digest vs functional",
+          memory_digest(functional.program.state.mem),
+          memory_digest(first.program.state.mem))
+    check("sampled output vs functional", functional.output, first.output)
+    check("sampled exit code vs functional",
+          functional.exit_code, first.exit_code)
+
+
 def aot_perf_smoke(name, min_speedup):
     """Warm AOT must beat the warm-cache superblock engine.
 
@@ -281,6 +321,9 @@ def main(argv=None):
                              "run and require the forensics report to "
                              "localize it (first divergent PC, register "
                              "delta, block trails)")
+    parser.add_argument("--sampling-spec", default="2000:10:200",
+                        help="U:k[:W[:seed]] schedule for the sampled "
+                             "determinism section")
     parser.add_argument("--aot-benchmarks", default=None,
                         help="comma list of workloads for the aot "
                              "cross-engine section; 'all' = every "
@@ -364,6 +407,9 @@ def main(argv=None):
     print(f"aot cross-engine ({', '.join(aot_names)}) ...")
     for name in aot_names:
         aot_cross_engine(name)
+
+    print(f"sampled determinism ({args.sampling_spec}) ...")
+    sampled_determinism(built, width, args.sampling_spec)
 
     if args.forensics_selftest:
         print("forensics self-test (injected sp fault) ...")

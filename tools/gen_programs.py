@@ -475,6 +475,60 @@ int main() {{
 
 
 # ---------------------------------------------------------------------------
+# crc32: table-driven CRC-32 (IEEE 802.3) over a pseudo-random buffer
+# ---------------------------------------------------------------------------
+
+def _crc32_table():
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0xEDB88320 if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+def gen_crc32() -> str:
+    return f"""\
+// crc32: table-driven CRC-32 (IEEE 802.3 polynomial, reflected) over
+// a 1-KiB xorshift32-generated buffer, iterated with chained init —
+// result-for-result compatible with zlib/binascii crc32.  One table
+// lookup plus shift/xor per byte: a serial dependence chain through
+// `crc` with a strided 1-KiB table in between — memory-latency-bound
+// where dct4x4 is compute-bound.
+
+{fmt_array("CRC_TAB", _crc32_table(), 6, "unsigned int")}
+
+unsigned int msg[1024];
+
+unsigned int crc32_buf(unsigned int *buf, int n, unsigned int init) {{
+    unsigned int crc = init ^ 0xFFFFFFFF;
+    for (int i = 0; i < n; i++) {{
+        crc = CRC_TAB[(crc ^ buf[i]) & 255] ^ (crc >> 8);
+    }}
+    return crc ^ 0xFFFFFFFF;
+}}
+
+int main() {{
+    unsigned int seed = 2463534242;
+    for (int i = 0; i < 1024; i++) {{
+        seed = seed ^ (seed << 13);
+        seed = seed ^ (seed >> 17);
+        seed = seed ^ (seed << 5);
+        msg[i] = seed & 255;
+    }}
+    unsigned int crc = 0;
+    for (int rep = 0; rep < 16; rep++) {{
+        crc = crc32_buf(msg, 1024, crc);
+    }}
+    print_hex(crc);
+    putchar('\\n');
+    return 0;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
 # jpeg: DCT-based image codec (encoder = cjpeg, decoder = djpeg)
 # ---------------------------------------------------------------------------
 
@@ -728,6 +782,7 @@ def main() -> None:
         "aes.kc": gen_aes(),
         "cjpeg.kc": gen_cjpeg(),
         "djpeg.kc": gen_djpeg(),
+        "crc32.kc": gen_crc32(),
     }
     for name, text in programs.items():
         path = os.path.join(out, name)

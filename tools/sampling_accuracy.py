@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Sampling-tier accuracy and speed harness (``docs/performance.md``).
+
+For every bundled benchmark this tool runs the exact fused DOE
+reference (warm plan cache — the steady-state Table I configuration)
+and the statistical-sampling tier over the same model, then gates the
+estimate against the truth:
+
+* the 95% confidence interval must bracket the exact cycle count on
+  **every** workload;
+* per-workload relative error must stay under its gate (default 5%,
+  flagship ``cjpeg`` 2%);
+* the ``cjpeg`` sampled run must finish at least ``--min-speedup``
+  (default 5x) faster than the full fused DOE run — the point of the
+  tier is wall-clock, so CI holds it to the claim.
+
+``--quick`` restricts the sweep to one small workload (default
+dct4x4) with relaxed gates (error <= 5%, sampled run must not be
+slower than the full run) — the CI smoke configuration.
+
+The sampled runs fast-forward on the warm AOT engine (``--quick``
+uses the superblock engine to skip the module compile); the measured
+intervals always run the fused DOE superblock path with functional
+cache/predictor warming.  All schedules are fixed (U:k:W:seed below),
+so the estimates are bit-reproducible run to run.
+
+Writes one JSON document (``--out``) and can merge it as the
+``sampling`` section of the Table I benchmark file (``--merge
+BENCH_table1.json``).
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/sampling_accuracy.py --merge BENCH_table1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.cycles.doe import DoeModel  # noqa: E402
+from repro.framework.pipeline import (  # noqa: E402
+    build_benchmark,
+    open_plan_cache,
+    run,
+)
+from repro.programs import program_names  # noqa: E402
+
+#: Per-workload sampling schedules.  The sampling period scales with
+#: the workload's dynamic length so every benchmark measures enough
+#: intervals for a stable CI while the long ones stay fast; specs are
+#: pinned (not derived at runtime) so the numbers in BENCH_table1.json
+#: are reproducible bit-for-bit.
+SPECS = {
+    "cjpeg": "2000:200:500",
+    "djpeg": "2000:50:300",
+    "aes": "2000:5:2000",
+    "crc32": "6000:5:6000",
+    "dct4x4": "2000:5:1000",
+    "fft": "2000:10:200",
+    "qsort": "2000:10:200",
+}
+
+#: Relative-error gates; the flagship compression workload carries the
+#: paper-facing 2% claim, everything else gates at 5%.
+ERROR_GATES = {"cjpeg": 0.02}
+DEFAULT_ERROR_GATE = 0.05
+
+FAILURES = []
+
+
+def fail(message):
+    FAILURES.append(message)
+    print(f"  GATE FAILED: {message}")
+
+
+def measure_workload(name, spec, *, engine, repeats):
+    """Exact fused DOE vs sampled run of one workload; returns a doc."""
+    built = build_benchmark(name)
+    width = built.issue_width
+    with tempfile.TemporaryDirectory() as cache_dir:
+        def cache():
+            return open_plan_cache(built, directory=cache_dir)
+
+        # Prime the plan cache: the timed runs model the steady state
+        # (warm fused-DOE plans for the reference and the measured
+        # intervals, warm functional plans for the fast-forward).
+        run(built, engine="superblock",
+            cycle_model=DoeModel(issue_width=width), plan_cache=cache())
+
+        aot_module = None
+        if engine == "aot":
+            from repro.sim import aot
+
+            # Compile the functional module outside the timed region —
+            # a serving deployment compiles once.  The fast-forward is
+            # purely functional, so it takes the longest block cap the
+            # compiler offers (fewer dispatch boundaries) rather than
+            # the detailed tier's default.
+            aot_module = aot.prepare(
+                built.elf, built.arch, model=None, max_block_len=256
+            )
+        # Warm the functional fast-forward plans too.
+        run(built, engine=engine, aot_module=aot_module, plan_cache=cache())
+
+        # One cache handle for every timed run, opened outside the
+        # timed region — serve workers hold theirs open across jobs,
+        # so per-run open/parse cost is not part of the steady state.
+        cache_obj = cache()
+        # Interleave the timed pairs: the reference and the sampled
+        # run see the same background load, so the speedup ratio stays
+        # honest even when the host is busy.
+        best_exact = float("inf")
+        best_sampled = float("inf")
+        exact_model = None
+        result = None
+        for _ in range(repeats):
+            model = DoeModel(issue_width=width)
+            t0 = time.perf_counter()
+            run(built, engine="superblock", cycle_model=model,
+                plan_cache=cache_obj)
+            best_exact = min(best_exact, time.perf_counter() - t0)
+            exact_model = model
+            t0 = time.perf_counter()
+            result = run(
+                built, engine=engine, aot_module=aot_module,
+                cycle_model=DoeModel(issue_width=width),
+                sampling=spec, plan_cache=cache_obj,
+            )
+            best_sampled = min(best_sampled, time.perf_counter() - t0)
+
+    sampled = result.sampling
+    exact = exact_model.cycles
+    error = (abs(sampled.cycles_estimated - exact) / exact
+             if sampled.cycles_estimated is not None else None)
+    ci = sampled.cycles_ci95
+    brackets = (
+        ci is not None
+        and abs(sampled.cycles_estimated - exact) <= ci
+    )
+    speedup = best_exact / best_sampled if best_sampled > 0 else None
+    doc = {
+        "spec": spec,
+        "engine": engine,
+        "instructions": result.stats.executed_instructions,
+        "exact_cycles": exact,
+        "exact_seconds": round(best_exact, 4),
+        "estimated_cycles": sampled.cycles_estimated,
+        "ci95": ci,
+        "error_fraction": round(error, 6) if error is not None else None,
+        "ci_brackets_exact": brackets,
+        "intervals_measured": len(sampled.intervals),
+        "detailed_fraction": round(sampled.detailed_fraction, 6),
+        "sampled_seconds": round(best_sampled, 4),
+        "speedup_vs_full_doe": round(speedup, 3),
+    }
+    ci_text = f"{ci:.0f}" if ci is not None else "n/a"
+    print(f"  {name}: exact {exact} in {best_exact:.3f}s; "
+          f"estimated {sampled.cycles_estimated} +/- {ci_text} "
+          f"({error * 100:.2f}% err, {len(sampled.intervals)} intervals, "
+          f"{sampled.detailed_fraction * 100:.2f}% detailed) "
+          f"in {best_sampled:.3f}s -> {speedup:.2f}x")
+    return doc
+
+
+def merge_into_bench(path, section):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    doc["sampling"] = section
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    print(f"merged sampling section into {path}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one small workload, relaxed gates (CI "
+                             "smoke)")
+    parser.add_argument("--quick-workload", default="dct4x4")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="cjpeg sampled-vs-full wall-clock gate")
+    parser.add_argument("--quick-min-speedup", type=float, default=1.0,
+                        help="--quick wall-clock floor (sampled must "
+                             "not be slower than the full run)")
+    parser.add_argument("--out", default=None,
+                        help="write the standalone JSON document here")
+    parser.add_argument("--merge", default=None,
+                        help="merge a 'sampling' section into this "
+                             "Table I benchmark JSON file")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        names = [args.quick_workload]
+        engine = "superblock"
+    else:
+        names = sorted(program_names())
+        engine = "aot"
+
+    workloads = {}
+    print(f"sampling accuracy sweep ({', '.join(names)}; "
+          f"fast-forward engine {engine}) ...")
+    for name in names:
+        spec = SPECS.get(name, "2000:10:300")
+        doc = measure_workload(name, spec, engine=engine,
+                               repeats=args.repeats)
+        workloads[name] = doc
+
+        if not doc["ci_brackets_exact"]:
+            fail(f"{name}: 95% CI does not bracket the exact count "
+                 f"({doc['estimated_cycles']} +/- {doc['ci95']} vs "
+                 f"{doc['exact_cycles']})")
+        gate = ERROR_GATES.get(name, DEFAULT_ERROR_GATE)
+        if doc["error_fraction"] is None or doc["error_fraction"] > gate:
+            fail(f"{name}: error {doc['error_fraction']} exceeds "
+                 f"{gate:.0%} gate")
+        if args.quick and doc["speedup_vs_full_doe"] < args.quick_min_speedup:
+            fail(f"{name}: sampled run slower than the wall-clock floor "
+                 f"({doc['speedup_vs_full_doe']}x < "
+                 f"{args.quick_min_speedup}x)")
+        if not args.quick and name == "cjpeg" \
+                and doc["speedup_vs_full_doe"] < args.min_speedup:
+            fail(f"cjpeg: speedup {doc['speedup_vs_full_doe']}x below "
+                 f"the {args.min_speedup}x gate")
+
+    section = {
+        "quick": args.quick,
+        "min_cjpeg_speedup_gate": None if args.quick else args.min_speedup,
+        "workloads": workloads,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(section, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.merge:
+        merge_into_bench(args.merge, section)
+
+    if FAILURES:
+        print(f"\nsampling accuracy gate FAILED "
+              f"({len(FAILURES)} violation(s))")
+        return 1
+    print("\nsampling accuracy gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
